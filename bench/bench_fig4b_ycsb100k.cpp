@@ -1,0 +1,34 @@
+// Fig. 4b: YCSB-E response-time breakdown with 100 KB blocks for the six
+// techniques (paper values, ms: R 23, EC 35, EC+LB 28, EC+C 30,
+// EC+C+M 20, EC+C+M+LB 18 — retrieval dominating every bar).
+//
+// Usage: bench_fig4b_ycsb100k [--sites=32 --blocks=20000 --clients=64
+//   --warmup=30 --measure=45 --runs=3 --techniques=R,EC,...]
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecstore;
+  using namespace ecstore::bench;
+
+  const Flags flags(argc, argv);
+  ExperimentParams params = ExperimentParams::FromFlags(flags);
+  params.block_bytes = static_cast<std::uint64_t>(
+      flags.GetInt("block-bytes", 100 * 1024));
+
+  std::printf("Fig 4b — YCSB-E breakdown (%s)\n", params.Describe().c_str());
+
+  const auto techniques = TechniquesFromFlags(flags);
+  std::vector<AggregateBreakdown> rows;
+  for (Technique t : techniques) {
+    rows.push_back(RunSeeds(t, params));
+    std::printf("  done %-10s total=%s ms\n", TechniqueName(t).c_str(),
+                WithCi(rows.back().total).c_str());
+  }
+  PrintBreakdownTable("Fig 4b — response time breakdown (YCSB-E, 100 KB blocks)",
+                      techniques, rows);
+  std::printf("\nPaper reference totals (ms): R 23, EC 35, EC+LB 28, EC+C 30, "
+              "EC+C+M 20, EC+C+M+LB 18\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 4c: tail-latency CDF (p80-p100) for the YCSB-E 100 KB experiment.
+// The paper shows EC with the sharpest straggler-driven rise, EC+C and
+// especially EC+C+M flattening the tail, and EC+C+M beating EC+LB at p99.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecstore;
+  using namespace ecstore::bench;
+
+  const Flags flags(argc, argv);
+  const ExperimentParams params = ExperimentParams::FromFlags(flags);
+
+  std::printf("Fig 4c — tail latency CDF, YCSB-E 100 KB (%s)\n",
+              params.Describe().c_str());
+
+  const auto techniques = TechniquesFromFlags(flags);
+  const std::vector<double> percentiles = {80, 85, 90, 92.5, 95,
+                                           97.5, 99, 99.5, 99.9, 100};
+
+  // Merge histograms across seeds per technique.
+  std::vector<Histogram> merged(techniques.size());
+  for (std::size_t i = 0; i < techniques.size(); ++i) {
+    for (const RunResult& r : RunSeedsRaw(techniques[i], params)) {
+      merged[i].Merge(r.metrics.total);
+    }
+    std::printf("  done %s (p99=%.1f ms)\n", TechniqueName(techniques[i]).c_str(),
+                ToMillis(merged[i].Percentile(99)));
+  }
+
+  std::printf("\nFig 4c — response time (ms) at percentile\n");
+  std::printf("%-8s", "pct");
+  for (Technique t : techniques) std::printf(" %10s", TechniqueName(t).c_str());
+  std::printf("\n");
+  for (double p : percentiles) {
+    std::printf("%-8.1f", p);
+    for (std::size_t i = 0; i < techniques.size(); ++i) {
+      std::printf(" %10.1f", ToMillis(merged[i].Percentile(p)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper shape: EC worst at the tail; EC+C below EC; EC+C+M "
+              "below EC+LB at p99; combined EC+C+M+LB lowest.\n");
+  return 0;
+}

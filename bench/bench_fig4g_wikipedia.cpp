@@ -1,0 +1,32 @@
+// Fig. 4g: Wikipedia image-trace breakdown (paper totals, ms: R 139,
+// EC 190, EC+LB 148, EC+C 159, EC+C+M 126, EC+C+M+LB 109). The workload
+// mixes power-law image sizes and page sizes; EC+C+M beats EC by ~40%,
+// R by ~20%, and EC+LB by ~17%.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecstore;
+  using namespace ecstore::bench;
+
+  const Flags flags(argc, argv);
+  ExperimentParams params = ExperimentParams::FromFlags(flags);
+  params.workload = "wiki";
+
+  std::printf("Fig 4g — Wikipedia trace breakdown (%s)\n",
+              params.Describe().c_str());
+
+  const auto techniques = TechniquesFromFlags(flags);
+  std::vector<AggregateBreakdown> rows;
+  for (Technique t : techniques) {
+    rows.push_back(RunSeeds(t, params));
+    std::printf("  done %-10s total=%s ms\n", TechniqueName(t).c_str(),
+                WithCi(rows.back().total).c_str());
+  }
+  PrintBreakdownTable("Fig 4g — response time breakdown (Wikipedia trace)",
+                      techniques, rows);
+  std::printf("\nPaper reference totals (ms): R 139, EC 190, EC+LB 148, "
+              "EC+C 159, EC+C+M 126, EC+C+M+LB 109\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks for the GF(2^8) + Reed–Solomon substrate.
+//
+// Besides regression tracking, the decode numbers calibrate the DES
+// decode-cost constant (ECStoreConfig::decode_bytes_per_ms): the paper's
+// Fig. 1 charges ~0.8 ms of decode for a multiget of 100 KB blocks.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "erasure/codec.h"
+#include "gf/gf256.h"
+
+namespace ecstore {
+namespace {
+
+std::vector<std::uint8_t> RandomBlock(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> block(n);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  return block;
+}
+
+void BM_GfMulAddRegion(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto src = RandomBlock(n, 1);
+  std::vector<std::uint8_t> dst(n, 0);
+  for (auto _ : state) {
+    gf::MulAddRegion(0x57, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfMulAddRegion)->Arg(4 * 1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_GfAddRegion(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto src = RandomBlock(n, 2);
+  std::vector<std::uint8_t> dst(n, 0);
+  for (auto _ : state) {
+    gf::AddRegion(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfAddRegion)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_RsEncode(benchmark::State& state) {
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t r = static_cast<std::uint32_t>(state.range(1));
+  const std::size_t block_size = static_cast<std::size_t>(state.range(2));
+  ReedSolomonCodec codec(k, r);
+  const auto block = RandomBlock(block_size, 3);
+  for (auto _ : state) {
+    auto chunks = codec.Encode(block);
+    benchmark::DoNotOptimize(chunks.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({2, 2, 100 * 1024})
+    ->Args({2, 2, 1024 * 1024})
+    ->Args({4, 2, 1024 * 1024})
+    ->Args({10, 4, 1024 * 1024});
+
+void BM_RsDecodeSystematic(benchmark::State& state) {
+  const std::size_t block_size = static_cast<std::size_t>(state.range(0));
+  ReedSolomonCodec codec(2, 2);
+  const auto block = RandomBlock(block_size, 4);
+  const auto chunks = codec.Encode(block);
+  const std::vector<IndexedChunk> use = {{0, chunks[0]}, {1, chunks[1]}};
+  for (auto _ : state) {
+    auto decoded = codec.Decode(use, block_size);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+}
+BENCHMARK(BM_RsDecodeSystematic)->Arg(100 * 1024)->Arg(1024 * 1024);
+
+void BM_RsDecodeWithParity(benchmark::State& state) {
+  // The decode path that involves matrix inversion + GF arithmetic; its
+  // MB/s calibrates ECStoreConfig::decode_bytes_per_ms.
+  const std::size_t block_size = static_cast<std::size_t>(state.range(0));
+  ReedSolomonCodec codec(2, 2);
+  const auto block = RandomBlock(block_size, 5);
+  const auto chunks = codec.Encode(block);
+  const std::vector<IndexedChunk> use = {{2, chunks[2]}, {3, chunks[3]}};
+  for (auto _ : state) {
+    auto decoded = codec.Decode(use, block_size);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+}
+BENCHMARK(BM_RsDecodeWithParity)->Arg(100 * 1024)->Arg(1024 * 1024);
+
+void BM_ReplicationEncode(benchmark::State& state) {
+  const std::size_t block_size = static_cast<std::size_t>(state.range(0));
+  ReplicationCodec codec(2);
+  const auto block = RandomBlock(block_size, 6);
+  for (auto _ : state) {
+    auto copies = codec.Encode(block);
+    benchmark::DoNotOptimize(copies.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+}
+BENCHMARK(BM_ReplicationEncode)->Arg(1024 * 1024);
+
+}  // namespace
+}  // namespace ecstore
+
+BENCHMARK_MAIN();

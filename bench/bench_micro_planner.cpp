@@ -1,0 +1,107 @@
+// Micro-benchmarks for the chunk read optimizer: ILP vs greedy vs
+// exhaustive plan generation, and the plan-cache hit path.
+//
+// These validate the paper's Section V-B1 narrative quantitatively: the
+// ILP solve is orders of magnitude slower than a cache lookup or the
+// greedy fallback — which is precisely why the plan cache exists.
+#include <benchmark/benchmark.h>
+
+#include "cluster/state.h"
+#include "common/rng.h"
+#include "placement/plan_cache.h"
+#include "placement/planner.h"
+
+namespace ecstore {
+namespace {
+
+struct Scenario {
+  ClusterState state;
+  std::vector<BlockId> query;
+  DemandResult demands;
+  CostParams params;
+
+  Scenario(std::size_t sites, std::size_t blocks, std::uint64_t seed)
+      : state(sites), params(CostParams::Homogeneous(sites, 5.0, 7.15e-6)) {
+    Rng rng(seed);
+    for (BlockId b = 0; b < blocks; ++b) {
+      state.AddBlock(b, 100 * 1024, 50 * 1024, 2, 2, state.PickRandomSites(rng, 4));
+      query.push_back(b);
+    }
+    for (std::size_t j = 0; j < sites; ++j) {
+      params.site_overhead_ms[j] = 1.0 + rng.NextDouble() * 9.0;
+    }
+    demands = BuildDemands(state, query, 0);
+  }
+};
+
+void BM_IlpPlan(benchmark::State& state) {
+  Scenario s(32, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto plan = IlpPlan(s.demands.demands, s.params);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_IlpPlan)->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GreedyPlan(benchmark::State& state) {
+  Scenario s(32, static_cast<std::size_t>(state.range(0)), 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto plan = GreedyPlan(s.demands.demands, s.params, rng);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_GreedyPlan)->Arg(1)->Arg(10)->Arg(20)->Unit(benchmark::kMicrosecond);
+
+void BM_RandomPlan(benchmark::State& state) {
+  Scenario s(32, static_cast<std::size_t>(state.range(0)), 4);
+  Rng rng(5);
+  for (auto _ : state) {
+    auto plan = RandomPlan(s.demands.demands, rng);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_RandomPlan)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_ExhaustivePlanPair(benchmark::State& state) {
+  // The mover's inner loop: pairwise exhaustive optimum (36 combos).
+  Scenario s(32, 2, 6);
+  for (auto _ : state) {
+    auto plan = ExhaustivePlan(s.demands.demands, s.params);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ExhaustivePlanPair)->Unit(benchmark::kMicrosecond);
+
+void BM_PlanCacheHit(benchmark::State& state) {
+  Scenario s(32, 10, 7);
+  PlanCache cache;
+  auto plan = IlpPlan(s.demands.demands, s.params);
+  cache.Insert(s.query, 0, *plan);
+  for (auto _ : state) {
+    auto hit = cache.Lookup(s.query, 0);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PlanCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_PlanCacheInsertInvalidate(benchmark::State& state) {
+  Scenario s(32, 10, 8);
+  PlanCache cache;
+  Rng rng(9);
+  const auto plan = GreedyPlan(s.demands.demands, s.params, rng);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::vector<BlockId> key = {i % 100, (i % 100) + 1};
+    cache.Insert(key, 0, plan);
+    if (i % 10 == 9) cache.InvalidateBlock(i % 100);
+    ++i;
+  }
+}
+BENCHMARK(BM_PlanCacheInsertInvalidate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ecstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Micro-benchmarks for the statistics service: co-access tracking
+// (window update + lambda queries) and the LP/ILP substrate, validating
+// that per-request statistics stay far below request latency.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "lp/ilp.h"
+#include "stats/co_access.h"
+#include "stats/load_tracker.h"
+
+namespace ecstore {
+namespace {
+
+void BM_CoAccessRecord(benchmark::State& state) {
+  // Steady-state window update with the paper's parameters: 5000-request
+  // window, ~10-block requests.
+  const std::size_t request_size = static_cast<std::size_t>(state.range(0));
+  CoAccessTracker tracker(5000);
+  Rng rng(1);
+  std::vector<BlockId> request(request_size);
+  for (auto _ : state) {
+    for (auto& b : request) b = rng.NextBounded(100000);
+    tracker.RecordRequest(request);
+  }
+}
+BENCHMARK(BM_CoAccessRecord)->Arg(2)->Arg(10)->Arg(20)->Unit(benchmark::kMicrosecond);
+
+void BM_CoAccessLambda(benchmark::State& state) {
+  CoAccessTracker tracker(5000);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<BlockId> req;
+    for (int j = 0; j < 10; ++j) req.push_back(rng.NextBounded(1000));
+    tracker.RecordRequest(req);
+  }
+  for (auto _ : state) {
+    const double l = tracker.Lambda(rng.NextBounded(1000), rng.NextBounded(1000));
+    benchmark::DoNotOptimize(l);
+  }
+}
+BENCHMARK(BM_CoAccessLambda);
+
+void BM_CoAccessPartners(benchmark::State& state) {
+  CoAccessTracker tracker(5000);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<BlockId> req;
+    for (int j = 0; j < 10; ++j) req.push_back(rng.NextBounded(1000));
+    tracker.RecordRequest(req);
+  }
+  for (auto _ : state) {
+    auto partners = tracker.Partners(rng.NextBounded(1000), 10);
+    benchmark::DoNotOptimize(partners.data());
+  }
+}
+BENCHMARK(BM_CoAccessPartners)->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateSampling(benchmark::State& state) {
+  CoAccessTracker tracker(5000);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<BlockId> req;
+    for (int j = 0; j < 10; ++j) req.push_back(rng.NextBounded(10000));
+    tracker.RecordRequest(req);
+  }
+  for (auto _ : state) {
+    auto candidates = tracker.SampleCandidateBlocks(rng, 8);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+}
+BENCHMARK(BM_CandidateSampling)->Unit(benchmark::kMicrosecond);
+
+void BM_LoadTrackerReport(benchmark::State& state) {
+  LoadTracker tracker(32);
+  Rng rng(5);
+  SiteId j = 0;
+  for (auto _ : state) {
+    tracker.RecordReport(j, rng.NextDouble(), rng.NextDouble() * 1e8, 100);
+    j = (j + 1) % 32;
+  }
+}
+BENCHMARK(BM_LoadTrackerReport);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  // LP of the access-plan shape: B blocks x 32 sites.
+  const int blocks = static_cast<int>(state.range(0));
+  Rng rng(6);
+  lp::IlpProblem ilp;
+  std::vector<std::vector<std::size_t>> block_vars(blocks);
+  for (int b = 0; b < blocks; ++b) {
+    for (int c = 0; c < 4; ++c) {
+      block_vars[b].push_back(ilp.AddBinaryVariable(0.36));
+    }
+  }
+  for (int b = 0; b < blocks; ++b) {
+    lp::Constraint cons;
+    for (auto v : block_vars[b]) cons.terms.push_back({v, 1.0});
+    cons.relation = lp::Relation::kGreaterEq;
+    cons.rhs = 2.0;
+    ilp.lp.AddConstraint(std::move(cons));
+  }
+  for (auto _ : state) {
+    auto sol = lp::SolveLp(ilp.lp);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(2)->Arg(10)->Arg(20)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ecstore
+
+BENCHMARK_MAIN();

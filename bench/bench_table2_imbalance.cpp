@@ -1,0 +1,32 @@
+// Table II: the I/O load-imbalance factor
+//   lambda = (Lmax - Lavg) / Lavg * 100
+// over per-site bytes read in the YCSB-E 100 KB experiment.
+// Paper values: R 45.4, EC 43.0, EC+LB 22.8, EC+C 31.1, EC+C+M 24.5,
+// EC+C+M+LB 19.8 — i.e. the cost model reduces imbalance vs both
+// baselines, movement reduces it further, and adding LB is lowest.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecstore;
+  using namespace ecstore::bench;
+
+  const Flags flags(argc, argv);
+  const ExperimentParams params = ExperimentParams::FromFlags(flags);
+
+  std::printf("Table II — I/O load imbalance lambda (%s)\n",
+              params.Describe().c_str());
+
+  const auto techniques = TechniquesFromFlags(flags);
+  std::printf("\n%-12s %16s\n", "technique", "lambda");
+  for (Technique t : techniques) {
+    const AggregateBreakdown agg = RunSeeds(t, params);
+    std::printf("%-12s %16s\n", TechniqueName(t).c_str(),
+                WithCi(agg.imbalance).c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\nPaper reference: R 45.4, EC 43.0, EC+LB 22.8, EC+C 31.1, "
+              "EC+C+M 24.5, EC+C+M+LB 19.8 (lower = more balanced)\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecstore::bench {
+
+ExperimentParams ExperimentParams::FromFlags(const Flags& flags) {
+  // Benches stream progress lines; line-buffer stdout so redirected runs
+  // (tee, CI logs) show progress as it happens.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  ExperimentParams p;
+  p.num_sites = static_cast<std::size_t>(flags.GetInt("sites", p.num_sites));
+  p.num_blocks = static_cast<std::uint64_t>(flags.GetInt("blocks", p.num_blocks));
+  p.block_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("block-bytes", p.block_bytes));
+  p.clients = static_cast<std::uint32_t>(flags.GetInt("clients", p.clients));
+  p.warmup_s = flags.GetDouble("warmup", p.warmup_s);
+  p.measure_s = flags.GetDouble("measure", p.measure_s);
+  p.zipf_exponent = flags.GetDouble("zipf", p.zipf_exponent);
+  p.max_scan_length =
+      static_cast<std::uint32_t>(flags.GetInt("scan-length", p.max_scan_length));
+  p.runs = static_cast<std::uint32_t>(flags.GetInt("runs", p.runs));
+  p.base_seed = static_cast<std::uint64_t>(flags.GetInt("seed", p.base_seed));
+  p.workload = flags.GetString("workload", p.workload);
+  p.wiki_pages = static_cast<std::uint64_t>(flags.GetInt("pages", p.wiki_pages));
+  p.mover_rate = flags.GetDouble("mover-rate", p.mover_rate);
+  p.mover_w1 = flags.GetDouble("w1", p.mover_w1);
+  p.mover_w2 = flags.GetDouble("w2", p.mover_w2);
+  p.late_binding_delta =
+      static_cast<std::uint32_t>(flags.GetInt("delta", p.late_binding_delta));
+  p.disk_mb_per_sec = flags.GetDouble("disk-mb", p.disk_mb_per_sec);
+  p.site_concurrency =
+      static_cast<std::uint32_t>(flags.GetInt("site-concurrency", p.site_concurrency));
+  p.k = static_cast<std::uint32_t>(flags.GetInt("k", p.k));
+  p.r = static_cast<std::uint32_t>(flags.GetInt("r", p.r));
+  p.slow_sites = static_cast<std::uint32_t>(flags.GetInt("slow-sites", p.slow_sites));
+  p.slow_factor = flags.GetDouble("slow-factor", p.slow_factor);
+  return p;
+}
+
+std::string ExperimentParams::Describe() const {
+  std::ostringstream os;
+  os << "sites=" << num_sites << " clients=" << clients;
+  if (workload == "wiki") {
+    os << " workload=wikipedia pages=" << wiki_pages;
+  } else {
+    os << " workload=ycsb-e blocks=" << num_blocks
+       << " block=" << block_bytes / 1024 << "KB zipf=" << zipf_exponent;
+  }
+  os << " warmup=" << warmup_s << "s measure=" << measure_s << "s runs=" << runs;
+  return os.str();
+}
+
+namespace {
+
+std::unique_ptr<WorkloadGenerator> MakeWorkload(const ExperimentParams& p,
+                                                std::uint64_t seed) {
+  if (p.workload == "wiki") {
+    WikipediaWorkload::Params wp;
+    wp.num_pages = p.wiki_pages;
+    wp.seed = seed ^ 0x77696B69;
+    return std::make_unique<WikipediaWorkload>(wp);
+  }
+  if (p.workload != "ycsb") {
+    throw std::invalid_argument("unknown workload: " + p.workload);
+  }
+  YcsbEWorkload::Params yp;
+  yp.num_blocks = p.num_blocks;
+  yp.block_bytes = p.block_bytes;
+  yp.max_scan_length = p.max_scan_length;
+  yp.zipf_exponent = p.zipf_exponent;
+  return std::make_unique<YcsbEWorkload>(yp);
+}
+
+}  // namespace
+
+RunResult RunOnce(Technique technique, const ExperimentParams& params,
+                  std::uint64_t seed, const StoreSetupHook& setup) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(technique);
+  config.num_sites = params.num_sites;
+  config.seed = seed;
+  config.mover_chunks_per_sec = params.mover_rate;
+  config.mover.w1 = params.mover_w1;
+  config.mover.w2 = params.mover_w2;
+  config.late_binding_delta = params.late_binding_delta;
+  if (params.disable_plan_cache) config.plan_cache_capacity = 1;
+  config.site.disk_bytes_per_sec = params.disk_mb_per_sec * 1024 * 1024;
+  config.site.concurrency = params.site_concurrency;
+  config.k = params.k;
+  config.r = params.r;
+  for (std::uint32_t s = 0; s < params.slow_sites; ++s) {
+    config.slow_sites.push_back(static_cast<SiteId>(s * 5 % params.num_sites));
+  }
+  config.slow_factor = params.slow_factor;
+
+  SimECStore store(config);
+  auto workload = MakeWorkload(params, seed);
+  for (const BlockSpec& b : workload->Blocks()) store.LoadBlock(b.id, b.bytes);
+
+  if (setup) setup(store);
+
+  ClosedLoopDriver::Params dp;
+  dp.clients = params.clients;
+  dp.warmup = FromSeconds(params.warmup_s);
+  dp.measure = FromSeconds(params.measure_s);
+  ClosedLoopDriver driver(&store, workload.get(), dp);
+  driver.Run();
+
+  RunResult result;
+  result.metrics = driver.metrics();
+  result.timeline = driver.Timeline();
+  result.site_bytes_start = driver.measure_start_bytes();
+  result.site_bytes_end = store.SiteBytesRead();
+  result.imbalance_lambda = store.ImbalanceLambda(result.site_bytes_start);
+  result.cache_hit_rate =
+      result.metrics.cache_lookups
+          ? static_cast<double>(result.metrics.cache_hits) /
+                static_cast<double>(result.metrics.cache_lookups)
+          : 0.0;
+  result.usage = store.Usage();
+  result.measure_seconds = params.measure_s;
+  result.requests = result.metrics.requests;
+  return result;
+}
+
+std::vector<RunResult> RunSeedsRaw(Technique technique,
+                                   const ExperimentParams& params,
+                                   const StoreSetupHook& setup) {
+  std::vector<RunResult> results;
+  results.reserve(params.runs);
+  for (std::uint32_t run = 0; run < params.runs; ++run) {
+    results.push_back(RunOnce(technique, params, params.base_seed + run, setup));
+  }
+  return results;
+}
+
+AggregateBreakdown RunSeeds(Technique technique, const ExperimentParams& params,
+                            const StoreSetupHook& setup) {
+  AggregateBreakdown agg;
+  for (const RunResult& r : RunSeedsRaw(technique, params, setup)) {
+    agg.total.Add(r.metrics.total.Mean() / kMillisecond);
+    agg.metadata.Add(r.metrics.metadata.Mean() / kMillisecond);
+    agg.planning.Add(r.metrics.planning.Mean() / kMillisecond);
+    agg.retrieval.Add(r.metrics.retrieval.Mean() / kMillisecond);
+    agg.decode.Add(r.metrics.decode.Mean() / kMillisecond);
+    agg.imbalance.Add(r.imbalance_lambda);
+    agg.cache_hit_rate.Add(r.cache_hit_rate);
+    agg.throughput.Add(static_cast<double>(r.requests) / r.measure_seconds);
+    agg.sites_per_request.Add(r.metrics.sites_per_request.Mean());
+  }
+  return agg;
+}
+
+std::vector<Technique> AllTechniques() {
+  return {Technique::kReplication, Technique::kEc,   Technique::kEcLb,
+          Technique::kEcC,         Technique::kEcCM, Technique::kEcCMLb};
+}
+
+std::vector<Technique> TechniquesFromFlags(const Flags& flags) {
+  const std::string list = flags.GetString("techniques", "");
+  if (list.empty()) return AllTechniques();
+  std::vector<Technique> out;
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) out.push_back(ParseTechnique(token));
+  return out;
+}
+
+std::string WithCi(const RunningStat& stat) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f ±%.1f", stat.Mean(),
+                stat.ConfidenceHalfWidth95());
+  return buf;
+}
+
+void PrintBreakdownTable(const std::string& title,
+                         const std::vector<Technique>& techniques,
+                         const std::vector<AggregateBreakdown>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-12s %14s %14s %14s %14s %14s %9s %7s %7s %7s\n", "technique",
+              "metadata(ms)", "planning(ms)", "retrieval(ms)", "decode(ms)",
+              "total(ms)", "req/s", "hit%", "imbal", "sites");
+  for (std::size_t i = 0; i < techniques.size(); ++i) {
+    const AggregateBreakdown& a = rows[i];
+    std::printf("%-12s %14s %14s %14s %14s %14s %9.0f %7.0f %7.1f %7.1f\n",
+                TechniqueName(techniques[i]).c_str(), WithCi(a.metadata).c_str(),
+                WithCi(a.planning).c_str(), WithCi(a.retrieval).c_str(),
+                WithCi(a.decode).c_str(), WithCi(a.total).c_str(),
+                a.throughput.Mean(), 100 * a.cache_hit_rate.Mean(),
+                a.imbalance.Mean(), a.sites_per_request.Mean());
+  }
+}
+
+}  // namespace ecstore::bench

@@ -1,0 +1,128 @@
+// Shared experiment harness for the paper-reproduction benches: builds a
+// SimECStore + workload + closed-loop driver for each (technique, seed)
+// pair, aggregates across seeds with 95% confidence intervals (the
+// paper's five-run methodology), and prints the tables/series each
+// figure reports.
+//
+// Scale note (DESIGN.md): defaults are scaled down from the paper's
+// 1M-block, 20+20-minute runs so each bench finishes in seconds; every
+// parameter can be restored to paper scale via --flags.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/histogram.h"
+#include "core/sim_store.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace ecstore::bench {
+
+/// Scenario parameters, overridable from the command line.
+struct ExperimentParams {
+  std::size_t num_sites = 32;
+  std::uint64_t num_blocks = 10000;
+  std::uint64_t block_bytes = 100 * 1024;
+  std::uint32_t clients = 24;
+  double warmup_s = 15;
+  double measure_s = 30;
+  double zipf_exponent = 1.0;
+  std::uint32_t max_scan_length = 19;
+  std::uint32_t runs = 3;      // Seeds averaged (paper used 5).
+  std::uint64_t base_seed = 1;
+  std::string workload = "ycsb";  // "ycsb" or "wiki"
+  std::uint64_t wiki_pages = 4000;
+  /// Mover throttle in chunks/second. The paper used 1/s over 20-minute
+  /// runs; scaled runs compress time ~25x, so the default compresses the
+  /// mover's schedule equally to keep moves-per-experiment comparable.
+  double mover_rate = 8.0;
+  /// Movement-strategy weights (Eq. 8). The paper's search settled on
+  /// (1, 3) with I magnitudes near 1; our per-single-chunk-move I values
+  /// are O(1e-2), so the equivalent operating point sits at w2 ~ 1000
+  /// (found by the same style of parameter search, Section V-B3; see
+  /// bench_ablation_weights for the sweep).
+  double mover_w1 = 1.0;
+  double mover_w2 = 1000.0;
+  /// Late-binding depth for the +LB techniques (Section IV-B1: 0 < delta
+  /// <= r; the paper's experiments use 1).
+  std::uint32_t late_binding_delta = 1;
+  /// Forces every request down the greedy path (cache disabled) — used by
+  /// the plan-cache ablation.
+  bool disable_plan_cache = false;
+  /// Storage-media read rate (MB/s). The paper's 100 KB dataset fits the
+  /// page cache while the 1 MB dataset does not; benches model the
+  /// uncached regime by lowering this.
+  double disk_mb_per_sec = 140.0;
+  /// Per-site service concurrency. The cached 100 KB regime is CPU/NIC
+  /// bound (many concurrent streams); the uncached large-block regime is
+  /// disk bound (few).
+  std::uint32_t site_concurrency = 6;
+  /// Coding parameters (paper default RS(2,2) / 3-way replication).
+  std::uint32_t k = 2;
+  std::uint32_t r = 2;
+  /// Number of artificially slowed sites (heterogeneity ablation).
+  std::uint32_t slow_sites = 0;
+  double slow_factor = 3.0;
+
+  /// Reads overrides: --sites, --blocks, --block-bytes, --clients,
+  /// --warmup, --measure, --zipf, --runs, --seed, --workload, --pages.
+  static ExperimentParams FromFlags(const Flags& flags);
+
+  /// Human-readable one-liner for bench headers.
+  std::string Describe() const;
+};
+
+/// Everything one run produces.
+struct RunResult {
+  PhaseMetrics metrics;
+  std::vector<TimelinePoint> timeline;
+  std::vector<std::uint64_t> site_bytes_start;
+  std::vector<std::uint64_t> site_bytes_end;
+  double imbalance_lambda = 0;
+  double cache_hit_rate = 0;
+  ControlPlaneUsage usage;
+  double measure_seconds = 0;
+  std::uint64_t requests = 0;
+};
+
+/// Aggregated (mean ± CI95) per-category latencies in milliseconds.
+struct AggregateBreakdown {
+  RunningStat total, metadata, planning, retrieval, decode;
+  RunningStat imbalance, cache_hit_rate, throughput, sites_per_request;
+};
+
+/// Hook to mutate the store before the driver starts (e.g. fail sites).
+using StoreSetupHook = std::function<void(SimECStore&)>;
+
+/// Runs one (technique, seed) experiment.
+RunResult RunOnce(Technique technique, const ExperimentParams& params,
+                  std::uint64_t seed, const StoreSetupHook& setup = {});
+
+/// Runs `params.runs` seeds and aggregates.
+AggregateBreakdown RunSeeds(Technique technique, const ExperimentParams& params,
+                            const StoreSetupHook& setup = {});
+
+/// Collects per-seed results (for CDFs and timelines that need raw data).
+std::vector<RunResult> RunSeedsRaw(Technique technique,
+                                   const ExperimentParams& params,
+                                   const StoreSetupHook& setup = {});
+
+/// The six techniques in the paper's presentation order.
+std::vector<Technique> AllTechniques();
+
+/// Parses --techniques=R,EC,... (defaults to all six).
+std::vector<Technique> TechniquesFromFlags(const Flags& flags);
+
+/// Prints the Fig. 4b-style stacked-breakdown table.
+void PrintBreakdownTable(const std::string& title,
+                         const std::vector<Technique>& techniques,
+                         const std::vector<AggregateBreakdown>& rows);
+
+/// Formats "12.3 ±0.4".
+std::string WithCi(const RunningStat& stat);
+
+}  // namespace ecstore::bench

@@ -1,0 +1,84 @@
+// Failure and repair walkthrough (paper Sections V-C, VI-C4): sites fail,
+// reads degrade gracefully through RS decoding, the repair service waits
+// out transient outages and then reconstructs lost chunks elsewhere.
+//
+// Build & run:  ./build/examples/failure_recovery
+#include <cstdio>
+
+#include "core/local_store.h"
+#include "core/repair.h"
+#include "core/sim_store.h"
+
+int main() {
+  using namespace ecstore;
+
+  std::printf("== Part 1: degraded reads on the real-bytes store ==\n");
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  config.num_sites = 10;
+  config.seed = 5;
+  LocalECStore store(config);
+
+  Rng rng(1);
+  std::vector<std::vector<std::uint8_t>> originals;
+  for (BlockId id = 0; id < 50; ++id) {
+    std::vector<std::uint8_t> data(4096);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+    store.Put(id, data);
+    originals.push_back(std::move(data));
+  }
+
+  store.FailSite(2);
+  store.FailSite(7);
+  int intact = 0;
+  for (BlockId id = 0; id < 50; ++id) {
+    intact += (store.Get(id) == originals[id]);
+  }
+  std::printf("2 of 10 sites down: %d/50 blocks readable and intact "
+              "(r = 2 fault tolerance)\n", intact);
+
+  const auto rebuilt = store.RepairSite(2) + store.RepairSite(7);
+  std::printf("repair rebuilt %llu chunks from surviving chunks; every block "
+              "again has 4 available chunks\n",
+              static_cast<unsigned long long>(rebuilt));
+
+  // A further double failure after repair is still survivable.
+  store.FailSite(0);
+  store.FailSite(1);
+  intact = 0;
+  for (BlockId id = 0; id < 50; ++id) intact += (store.Get(id) == originals[id]);
+  std::printf("after repair + 2 MORE failures: %d/50 blocks still intact\n\n",
+              intact);
+
+  std::printf("== Part 2: automatic repair service on the simulated cluster ==\n");
+  ECStoreConfig sim_config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  sim_config.num_sites = 10;
+  sim_config.repair_wait = 30 * kSecond;  // Scaled from the paper's 15 min.
+  sim_config.repair_poll_interval = 2 * kSecond;
+  SimECStore sim(sim_config);
+  sim.LoadBlocks(0, 100, 100 * 1024);
+
+  RepairService repair(&sim, [&](SiteId site, std::uint64_t chunks) {
+    std::printf("  t=%.0fs: repair service rebuilt %llu chunks lost with "
+                "site %u\n", ToMillis(sim.queue().Now()) / 1000,
+                static_cast<unsigned long long>(chunks), site);
+  });
+  sim.Start();
+  repair.Start();
+
+  sim.queue().RunUntil(5 * kSecond);
+  std::printf("  t=5s: site 3 fails (transient) — recovers before the grace "
+              "period ends\n");
+  sim.FailSite(3);
+  sim.queue().RunUntil(20 * kSecond);
+  sim.RecoverSite(3);
+
+  sim.queue().RunUntil(40 * kSecond);
+  std::printf("  t=40s: site 6 fails permanently\n");
+  sim.FailSite(6);
+  sim.queue().RunUntil(120 * kSecond);
+
+  std::printf("  repair total: %llu chunks (site 3's transient outage "
+              "correctly triggered no repair)\n",
+              static_cast<unsigned long long>(repair.chunks_rebuilt()));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the EC-Store public API in one minute.
+//
+// Stores blocks across an in-process 8-site cluster with RS(2,2) erasure
+// coding, reads them back through the cost-model access planner, and
+// shows that any two chunk failures are survivable while storing only
+// 2x the data (vs 3x for replication with the same fault tolerance).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "core/local_store.h"
+
+int main() {
+  using namespace ecstore;
+
+  // 1. Configure EC-Store: RS(2,2) with the cost-model read optimizer.
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  config.num_sites = 8;
+  config.seed = 2024;
+  LocalECStore store(config);
+
+  // 2. Put a few blocks. Each is encoded into k + r = 4 chunks placed on
+  //    4 distinct sites; any 2 chunks reconstruct the block.
+  for (BlockId id = 0; id < 4; ++id) {
+    std::string payload = "block #" + std::to_string(id) +
+                          " — erasure coded, fault tolerant, 2x storage";
+    payload.resize(1000, '.');
+    store.Put(id, std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(payload.data()),
+                      payload.size()));
+  }
+  std::printf("stored 4 blocks of 1000 B as %llu B of chunks (%.1fx overhead)\n",
+              static_cast<unsigned long long>(store.TotalStoredBytes()),
+              static_cast<double>(store.TotalStoredBytes()) / 4000.0);
+
+  // 3. Multi-block read through one cost-optimized access plan.
+  const std::vector<BlockId> request = {0, 1, 2, 3};
+  const auto blocks = store.MultiGet(request);
+  std::printf("multiget returned %zu blocks; block 0 starts with: %.9s\n",
+              blocks.size(), reinterpret_cast<const char*>(blocks[0].data()));
+
+  // 4. Fault tolerance: kill r = 2 of block 0's chunk sites and read on.
+  const BlockInfo& info = store.state().GetBlock(0);
+  store.FailSite(info.locations[0].site);
+  store.FailSite(info.locations[1].site);
+  const auto degraded = store.Get(0);
+  std::printf("degraded read after 2 site failures: %s (%zu bytes)\n",
+              degraded == blocks[0] ? "intact" : "CORRUPT", degraded.size());
+
+  // 5. Repair: rebuild the lost chunks elsewhere, restoring full strength.
+  const auto rebuilt = store.RepairSite(info.locations[0].site);
+  std::printf("repair reconstructed %llu chunk(s); block 0 now has %zu "
+              "available chunks\n",
+              static_cast<unsigned long long>(rebuilt),
+              store.state().AvailableLocations(0).size());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Wikipedia-style image store over the real-bytes LocalECStore: pages of
+// images are stored as erasure-coded blocks, whole pages are fetched via
+// co-planned multigets, and the chunk mover co-locates images that the
+// same page always pulls together — the paper's motivating application.
+//
+// Build & run:  ./build/examples/wikipedia_page_store
+#include <cstdio>
+#include <numeric>
+
+#include "core/local_store.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace ecstore;
+
+  // A small statistical twin of the Wikipedia trace (Section VI-B).
+  WikipediaWorkload::Params wp;
+  wp.num_pages = 40;
+  wp.size_min_bytes = 8 * 1024;     // Keep the demo's memory modest.
+  wp.size_max_bytes = 256 * 1024;
+  WikipediaWorkload trace(wp);
+
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcCM);
+  config.num_sites = 12;
+  config.seed = 99;
+  LocalECStore store(config);
+
+  // Store every image with synthetic contents derived from its id.
+  Rng rng(1);
+  std::uint64_t total_bytes = 0;
+  for (const BlockSpec& image : trace.Blocks()) {
+    std::vector<std::uint8_t> payload(image.bytes);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>((image.id * 131 + i) & 0xFF);
+    }
+    store.Put(image.id, payload);
+    total_bytes += image.bytes;
+  }
+  std::printf("stored %zu images (%.1f MB original, %.1f MB encoded, %.2fx)\n",
+              trace.Blocks().size(), total_bytes / 1048576.0,
+              store.TotalStoredBytes() / 1048576.0,
+              static_cast<double>(store.TotalStoredBytes()) /
+                  static_cast<double>(total_bytes));
+  std::printf("median images/page %.0f, median image %.0f KB\n\n",
+              trace.MedianImagesPerPage(), trace.MedianImageBytes() / 1024);
+
+  // Browse: fetch pages with Zipf popularity; every multiget verifies.
+  const auto sites_for_page = [&](const std::vector<BlockId>& page) {
+    std::vector<bool> used(store.state().num_sites(), false);
+    const DemandResult dr = BuildDemands(store.state(), page, 0);
+    // Count sites in the optimal co-planned access.
+    const auto plan = IlpPlan(dr.demands, CostParams::Homogeneous(
+                                              store.state().num_sites(), 5.0, 1e-5));
+    std::size_t count = 0;
+    for (const ChunkRead& read : plan->reads) {
+      if (!used[read.site]) {
+        used[read.site] = true;
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  const auto& hot_page = trace.page(0);
+  const std::size_t sites_before = sites_for_page(hot_page);
+
+  Rng browse_rng(2);
+  std::uint64_t bytes_served = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::vector<BlockId> page = trace.NextRequest(browse_rng);
+    const auto images = store.MultiGet(page);
+    for (const auto& img : images) bytes_served += img.size();
+    if (i % 10 == 0) (void)store.RunMovementRound();
+  }
+  const std::size_t sites_after = sites_for_page(hot_page);
+
+  std::printf("served 400 page loads (%.1f MB of images, all verified "
+              "decodable)\n",
+              bytes_served / 1048576.0);
+  std::printf("hottest page spans %zu sites before movement, %zu after\n",
+              sites_before, sites_after);
+  std::printf("\nthe mover co-locates images that appear on the same page, so "
+              "page loads touch fewer sites and dodge stragglers.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every benchmark binary, recording combined output.
+for b in build/bench/bench_*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "##### $b"
+    "$b"
+    echo
+  fi
+done
+echo "##### SUITE COMPLETE"

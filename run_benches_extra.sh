@@ -1,0 +1,15 @@
+#!/bin/bash
+# Supplementary experiment runs appended after the main suite:
+# - Section VI-C3's 10 KB block-size variant (same binary as Fig 4e)
+# - the remaining ablation sweeps (the plain run covers --sweep=w2)
+set -u
+echo "##### bench_fig4e_ycsb1mb --block-bytes=10240 (Section VI-C3, 10 KB blocks)"
+build/bench/bench_fig4e_ycsb1mb --block-bytes=10240 --blocks=20000 \
+  --scan-length=19 --disk-mb=140 --site-concurrency=6 --runs=2
+echo
+for sweep in rate delta cache k hetero; do
+  echo "##### bench_ablation --sweep=$sweep"
+  build/bench/bench_ablation --sweep=$sweep
+  echo
+done
+echo "##### EXTRA SUITE COMPLETE"

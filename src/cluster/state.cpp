@@ -1,0 +1,145 @@
+#include "cluster/state.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecstore {
+
+ClusterState::ClusterState(std::size_t num_sites)
+    : num_sites_(num_sites),
+      site_chunks_(num_sites, 0),
+      site_bytes_(num_sites, 0),
+      available_(num_sites, true) {
+  if (num_sites == 0) throw std::invalid_argument("ClusterState: need at least one site");
+}
+
+void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
+                            std::uint64_t chunk_bytes, std::uint32_t k,
+                            std::uint32_t r, std::span<const SiteId> sites) {
+  if (blocks_.count(id)) throw std::invalid_argument("AddBlock: duplicate block id");
+  if (sites.size() != k + r) {
+    throw std::invalid_argument("AddBlock: need exactly k + r sites");
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i] >= num_sites_) throw std::invalid_argument("AddBlock: site out of range");
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      if (sites[i] == sites[j]) {
+        throw std::invalid_argument("AddBlock: duplicate site violates fault tolerance");
+      }
+    }
+  }
+  BlockInfo info;
+  info.k = k;
+  info.r = r;
+  info.block_bytes = block_bytes;
+  info.chunk_bytes = chunk_bytes;
+  info.locations.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    info.locations.push_back({sites[i], static_cast<ChunkIndex>(i)});
+    site_chunks_[sites[i]] += 1;
+    site_bytes_[sites[i]] += chunk_bytes;
+    total_bytes_ += chunk_bytes;
+  }
+  blocks_.emplace(id, std::move(info));
+  ++version_;
+}
+
+bool ClusterState::RemoveBlock(BlockId id) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return false;
+  for (const auto& loc : it->second.locations) {
+    site_chunks_[loc.site] -= 1;
+    site_bytes_[loc.site] -= it->second.chunk_bytes;
+    total_bytes_ -= it->second.chunk_bytes;
+  }
+  blocks_.erase(it);
+  ++version_;
+  return true;
+}
+
+const BlockInfo& ClusterState::GetBlock(BlockId id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) throw std::out_of_range("GetBlock: unknown block");
+  return it->second;
+}
+
+bool ClusterState::HasChunkAt(BlockId id, SiteId site) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return false;
+  return std::any_of(it->second.locations.begin(), it->second.locations.end(),
+                     [site](const ChunkLocation& l) { return l.site == site; });
+}
+
+bool ClusterState::MoveChunk(BlockId id, SiteId from, SiteId to) {
+  if (from >= num_sites_ || to >= num_sites_ || from == to) return false;
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return false;
+  auto& locs = it->second.locations;
+  const auto src = std::find_if(locs.begin(), locs.end(),
+                                [from](const ChunkLocation& l) { return l.site == from; });
+  if (src == locs.end()) return false;
+  const bool dst_taken =
+      std::any_of(locs.begin(), locs.end(),
+                  [to](const ChunkLocation& l) { return l.site == to; });
+  if (dst_taken) return false;
+
+  src->site = to;
+  site_chunks_[from] -= 1;
+  site_chunks_[to] += 1;
+  site_bytes_[from] -= it->second.chunk_bytes;
+  site_bytes_[to] += it->second.chunk_bytes;
+  ++version_;
+  return true;
+}
+
+void ClusterState::SetSiteAvailable(SiteId site, bool available) {
+  if (site >= num_sites_) throw std::out_of_range("SetSiteAvailable: bad site");
+  if (available_[site] != available) {
+    available_[site] = available;
+    ++version_;
+  }
+}
+
+std::size_t ClusterState::num_available_sites() const {
+  return static_cast<std::size_t>(
+      std::count(available_.begin(), available_.end(), true));
+}
+
+std::vector<ChunkLocation> ClusterState::AvailableLocations(BlockId id) const {
+  const BlockInfo& info = GetBlock(id);
+  std::vector<ChunkLocation> out;
+  out.reserve(info.locations.size());
+  for (const auto& loc : info.locations) {
+    if (available_[loc.site]) out.push_back(loc);
+  }
+  return out;
+}
+
+std::vector<BlockId> ClusterState::BlocksWithChunkAt(SiteId site) const {
+  std::vector<BlockId> out;
+  for (const auto& [id, info] : blocks_) {
+    if (std::any_of(info.locations.begin(), info.locations.end(),
+                    [site](const ChunkLocation& l) { return l.site == site; })) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SiteId> ClusterState::PickRandomSites(Rng& rng, std::size_t count) const {
+  if (count > num_sites_) {
+    throw std::invalid_argument("PickRandomSites: more sites requested than exist");
+  }
+  // Partial Fisher–Yates over the site ids.
+  std::vector<SiteId> ids(num_sites_);
+  for (std::size_t i = 0; i < num_sites_; ++i) ids[i] = static_cast<SiteId>(i);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.NextBounded(num_sites_ - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(count);
+  return ids;
+}
+
+}  // namespace ecstore

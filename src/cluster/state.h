@@ -1,0 +1,110 @@
+// ClusterState: the system-state matrix C of the paper (Table I) — which
+// block has a chunk on which site — plus per-site inventory aggregates.
+//
+// This is the shared data structure between the metadata service, the
+// chunk read optimizer, and the chunk mover. It is a value-semantics
+// catalog: no I/O, no timing; both the simulated cluster and the
+// real-bytes LocalCluster embed one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ecstore {
+
+/// Where one chunk of a block lives.
+struct ChunkLocation {
+  SiteId site = kInvalidSite;
+  ChunkIndex chunk = 0;
+
+  bool operator==(const ChunkLocation&) const = default;
+};
+
+/// Catalog entry for one block.
+struct BlockInfo {
+  std::uint32_t k = 0;            // chunks required to reconstruct
+  std::uint32_t r = 0;            // parity / extra copies
+  std::uint64_t block_bytes = 0;  // original block size
+  std::uint64_t chunk_bytes = 0;  // z_i: size of each chunk
+  std::vector<ChunkLocation> locations;  // exactly k + r entries
+};
+
+/// The state matrix C with c_{i,j} = 1 iff block i has a chunk at site j.
+/// Enforces the paper's invariant that no two chunks of a block share a
+/// site (which would void the r-fault-tolerance guarantee).
+class ClusterState {
+ public:
+  explicit ClusterState(std::size_t num_sites);
+
+  std::size_t num_sites() const { return num_sites_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// Registers a block with chunks placed at `sites[i]` holding chunk
+  /// index i. Throws std::invalid_argument on duplicate block id,
+  /// duplicate sites, out-of-range sites, or wrong site count.
+  void AddBlock(BlockId id, std::uint64_t block_bytes, std::uint64_t chunk_bytes,
+                std::uint32_t k, std::uint32_t r, std::span<const SiteId> sites);
+
+  /// Removes a block entirely. Returns false if unknown.
+  bool RemoveBlock(BlockId id);
+
+  bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
+
+  /// Catalog lookup; throws std::out_of_range for unknown blocks.
+  const BlockInfo& GetBlock(BlockId id) const;
+
+  /// True iff block `id` has a chunk at `site` (c_{i,j} = 1).
+  bool HasChunkAt(BlockId id, SiteId site) const;
+
+  /// Moves block `id`'s chunk from `from` to `to`. The chunk keeps its
+  /// chunk index (its coded content is unchanged by relocation).
+  /// Returns false without changes if `from` holds no chunk of the block
+  /// or `to` already holds one (fault-tolerance invariant).
+  bool MoveChunk(BlockId id, SiteId from, SiteId to);
+
+  /// Number of chunks stored at each site.
+  const std::vector<std::uint64_t>& site_chunk_counts() const { return site_chunks_; }
+
+  /// Bytes stored at each site.
+  const std::vector<std::uint64_t>& site_bytes() const { return site_bytes_; }
+
+  /// Total bytes stored across sites (the storage-overhead metric).
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Site availability for failure experiments (Section VI-C4). Failed
+  /// sites keep their inventory; reads route around them.
+  void SetSiteAvailable(SiteId site, bool available);
+  bool IsSiteAvailable(SiteId site) const { return available_[site]; }
+  std::size_t num_available_sites() const;
+
+  /// Locations of a block restricted to available sites.
+  std::vector<ChunkLocation> AvailableLocations(BlockId id) const;
+
+  /// Ids of all blocks holding a chunk at `site`, sorted ascending (used
+  /// by the repair service to enumerate what a dead site lost).
+  std::vector<BlockId> BlocksWithChunkAt(SiteId site) const;
+
+  /// Picks `count` distinct sites uniformly at random — the random
+  /// placement baseline the paper compares against [38].
+  std::vector<SiteId> PickRandomSites(Rng& rng, std::size_t count) const;
+
+  /// Monotone counter bumped on every mutation; used by plan caches to
+  /// detect staleness cheaply.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::size_t num_sites_;
+  std::unordered_map<BlockId, BlockInfo> blocks_;
+  std::vector<std::uint64_t> site_chunks_;
+  std::vector<std::uint64_t> site_bytes_;
+  std::vector<bool> available_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace ecstore

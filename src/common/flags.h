@@ -1,0 +1,31 @@
+// Minimal --key=value command-line parser used by the benchmark and
+// example binaries so paper-scale parameters can be overridden without
+// recompiling (DESIGN.md §2, "scaled parameters ... CLI overrides").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ecstore {
+
+/// Parses flags of the form --name=value (or bare --name for booleans).
+/// Unrecognized positional arguments are ignored. Typical use:
+///
+///   Flags flags(argc, argv);
+///   const int sites = flags.GetInt("sites", 32);
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ecstore

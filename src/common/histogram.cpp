@@ -1,0 +1,144 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace ecstore {
+
+Histogram::Histogram() = default;
+
+std::size_t Histogram::BucketFor(std::uint64_t value) {
+  // Values below kSubBuckets map 1:1; above that, each power-of-two range
+  // is split into kSubBuckets/2 linear sub-buckets.
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - (kSubBucketBits - 1);
+  const std::size_t sub = static_cast<std::size_t>(value >> shift);  // in [kSubBuckets/2, kSubBuckets)
+  const std::size_t range = static_cast<std::size_t>(shift);
+  return range * (kSubBuckets / 2) + sub + kSubBuckets / 2;
+}
+
+std::int64_t Histogram::BucketMidpoint(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t adjusted = index - kSubBuckets / 2;
+  const std::size_t range = adjusted / (kSubBuckets / 2) - 1;
+  const std::size_t sub = adjusted - range * (kSubBuckets / 2);
+  const std::uint64_t lo = static_cast<std::uint64_t>(sub) << range;
+  const std::uint64_t width = 1ull << range;
+  return static_cast<std::int64_t>(lo + width / 2);
+}
+
+void Histogram::Record(std::int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  const std::size_t idx = BucketFor(static_cast<std::uint64_t>(value));
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += count;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::int64_t Histogram::min() const { return count_ ? min_ : 0; }
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(BucketMidpoint(i), min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p95=" << Percentile(95) << " p99=" << Percentile(99)
+     << " p999=" << Percentile(99.9) << " max=" << max_;
+  return os.str();
+}
+
+std::vector<std::pair<double, std::int64_t>> Histogram::Cdf(
+    const std::vector<double>& percentiles) const {
+  std::vector<std::pair<double, std::int64_t>> out;
+  out.reserve(percentiles.size());
+  for (double p : percentiles) out.emplace_back(p, Percentile(p));
+  return out;
+}
+
+void Histogram::Clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void RunningStat::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+}
+
+double RunningStat::Variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStat::ConfidenceHalfWidth95() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * StdDev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace ecstore

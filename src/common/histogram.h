@@ -1,0 +1,85 @@
+// Log-linear latency histogram (HDR-histogram style) with percentile
+// queries, plus a small streaming summary for mean / confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecstore {
+
+/// Records non-negative integer values (typically latencies in
+/// microseconds) into logarithmically ranged, linearly subdivided buckets.
+/// Relative quantile error is bounded by 1/kSubBuckets.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to zero.
+  void Record(std::int64_t value);
+
+  /// Records `count` observations of the same value.
+  void RecordMany(std::int64_t value, std::uint64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1]; returns 0 for an empty histogram.
+  std::int64_t Quantile(double q) const;
+
+  /// Convenience percentile accessor, p in [0, 100].
+  std::int64_t Percentile(double p) const { return Quantile(p / 100.0); }
+
+  /// Emits "count mean p50 p95 p99 p999 max" for logs.
+  std::string Summary() const;
+
+  /// CDF sample points: returns (percentile, value) pairs for the given
+  /// percentiles; used by the tail-latency figure benches.
+  std::vector<std::pair<double, std::int64_t>> Cdf(
+      const std::vector<double>& percentiles) const;
+
+  void Clear();
+
+ private:
+  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets => <1% error
+  static constexpr std::size_t kSubBuckets = 1u << kSubBucketBits;
+
+  static std::size_t BucketFor(std::uint64_t value);
+  static std::int64_t BucketMidpoint(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Streaming mean/variance accumulator (Welford) with a 95% confidence
+/// half-interval, mirroring the paper's "average of five runs with 95%
+/// confidence intervals" methodology.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  std::uint64_t count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Variance() const;
+  double StdDev() const;
+
+  /// Half-width of the 95% confidence interval around the mean, using the
+  /// normal approximation (t-quantile 1.96; adequate for n >= 5 reporting).
+  double ConfidenceHalfWidth95() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace ecstore

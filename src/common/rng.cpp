@@ -1,0 +1,223 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecstore {
+
+std::uint64_t SplitMix64::Next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian() {
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+Rng Rng::Split() {
+  return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL);
+}
+
+// ---------------------------------------------------------------------------
+// ZipfSampler: rejection-inversion after Hörmann & Derflinger (1996).
+// ---------------------------------------------------------------------------
+
+namespace {
+// Computes (exp(x) - 1) / x with care near 0.
+double ExpM1OverX(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0;
+}
+// Computes log1p(x)/x with care near 0.
+double Log1pOverX(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), s_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (exponent <= 0) throw std::invalid_argument("ZipfSampler: exponent must be > 0");
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+// H(x) = integral of x^-s: for s != 1, (x^(1-s) - 1)/(1-s); for s == 1, ln x.
+// Implemented via helpers that stay stable as s -> 1.
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  return ExpM1OverX((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  const double t = x * (1.0 - s_);
+  if (t < -1.0) {
+    // Numerical guard; maps to the smallest value.
+    return 1.0;
+  }
+  return std::exp(Log1pOverX(t) * x);
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= threshold_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BoundedParetoSampler
+// ---------------------------------------------------------------------------
+
+BoundedParetoSampler::BoundedParetoSampler(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+  if (alpha <= 0) throw std::invalid_argument("BoundedPareto: alpha must be > 0");
+  if (lo <= 0 || hi <= lo) throw std::invalid_argument("BoundedPareto: need 0 < lo < hi");
+  lo_pow_ = std::pow(lo_, -alpha_);
+  hi_pow_ = std::pow(hi_, -alpha_);
+}
+
+double BoundedParetoSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Inverse CDF of the bounded Pareto.
+  return std::pow(lo_pow_ - u * (lo_pow_ - hi_pow_), -1.0 / alpha_);
+}
+
+std::uint64_t BoundedParetoSampler::SampleInt(Rng& rng) const {
+  return static_cast<std::uint64_t>(Sample(rng) + 0.5);
+}
+
+double BoundedParetoSampler::Median() const {
+  return std::pow(lo_pow_ - 0.5 * (lo_pow_ - hi_pow_), -1.0 / alpha_);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted sampling without replacement (Efraimidis–Spirakis keys).
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> WeightedSampleWithoutReplacement(
+    Rng& rng, const std::vector<double>& weights, std::size_t count) {
+  // key_i = u_i^(1/w_i); take the `count` largest keys. Zero/negative
+  // weights are never selected unless there are not enough positives.
+  struct Keyed {
+    double key;
+    std::size_t index;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    double key;
+    if (w > 0) {
+      double u;
+      do {
+        u = rng.NextDouble();
+      } while (u <= 0.0);
+      key = std::pow(u, 1.0 / w);
+    } else {
+      key = -1.0;  // Sorts after every valid key.
+    }
+    keyed.push_back({key, i});
+  }
+  if (count > keyed.size()) count = keyed.size();
+  std::partial_sort(keyed.begin(), keyed.begin() + static_cast<std::ptrdiff_t>(count),
+                    keyed.end(),
+                    [](const Keyed& a, const Keyed& b) { return a.key > b.key; });
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (keyed[i].key < 0) break;  // Ran out of positive weights.
+    out.push_back(keyed[i].index);
+  }
+  return out;
+}
+
+}  // namespace ecstore

@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation and the sampling
+// distributions used by the workload generators and the cluster simulator.
+//
+// Everything here is seedable and self-contained so that a simulation run
+// is bit-reproducible for a given seed (DESIGN.md §5 "Determinism").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecstore {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the base generator for all simulation randomness.
+/// Small, fast, and high quality; satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless unbiased technique.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Exponentially distributed sample with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  /// Log-normal sample parameterized by the *underlying* normal's mu and
+  /// sigma. Used for heavy-tailed service-time jitter in the simulator.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Creates an independent stream (for per-client RNGs) by jumping the
+  /// seed through SplitMix64.
+  Rng Split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(N, s) sampler over {1, ..., N} with exponent s > 0, using
+/// Hörmann & Derflinger rejection-inversion: O(1) memory and O(1)
+/// expected time per sample, so it scales to the paper's 1M-block
+/// keyspace without a precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  /// Returns a rank in [1, n]; rank 1 is the most popular.
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;       // H(1.5) - 1
+  double h_n_;        // H(n + 0.5)
+  double threshold_;  // rejection threshold
+};
+
+/// Discrete bounded Pareto (power-law) sampler over [lo, hi], used for
+/// Wikipedia image sizes and images-per-page counts, both of which the
+/// paper describes as power-law distributed.
+class BoundedParetoSampler {
+ public:
+  /// alpha > 0 is the tail exponent; lo >= 1; hi > lo.
+  BoundedParetoSampler(double alpha, double lo, double hi);
+
+  double Sample(Rng& rng) const;
+  std::uint64_t SampleInt(Rng& rng) const;
+
+  /// The distribution's median, handy for calibrating generators against
+  /// the paper's published medians (10 images/page, 500 KB images).
+  double Median() const;
+
+ private:
+  double alpha_, lo_, hi_;
+  double lo_pow_, hi_pow_;
+};
+
+/// Weighted sampling without replacement from a fixed set of weights.
+/// Used by the chunk mover to probabilistically pick candidate blocks by
+/// access likelihood (Algorithm 1, line 1).
+std::vector<std::size_t> WeightedSampleWithoutReplacement(
+    Rng& rng, const std::vector<double>& weights, std::size_t count);
+
+}  // namespace ecstore

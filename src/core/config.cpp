@@ -1,0 +1,50 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+namespace ecstore {
+
+std::string TechniqueName(Technique t) {
+  switch (t) {
+    case Technique::kReplication: return "R";
+    case Technique::kEc: return "EC";
+    case Technique::kEcLb: return "EC+LB";
+    case Technique::kEcC: return "EC+C";
+    case Technique::kEcCM: return "EC+C+M";
+    case Technique::kEcCMLb: return "EC+C+M+LB";
+  }
+  return "?";
+}
+
+Technique ParseTechnique(const std::string& name) {
+  if (name == "R") return Technique::kReplication;
+  if (name == "EC") return Technique::kEc;
+  if (name == "EC+LB") return Technique::kEcLb;
+  if (name == "EC+C") return Technique::kEcC;
+  if (name == "EC+C+M") return Technique::kEcCM;
+  if (name == "EC+C+M+LB") return Technique::kEcCMLb;
+  throw std::invalid_argument("unknown technique: " + name);
+}
+
+bool UsesCostModel(Technique t) {
+  return t == Technique::kEcC || t == Technique::kEcCM || t == Technique::kEcCMLb;
+}
+
+bool UsesMover(Technique t) {
+  return t == Technique::kEcCM || t == Technique::kEcCMLb;
+}
+
+std::uint32_t LateBindingDelta(Technique t, std::uint32_t delta) {
+  return (t == Technique::kEcLb || t == Technique::kEcCMLb) ? delta : 0;
+}
+
+ECStoreConfig ECStoreConfig::ForTechnique(Technique t) {
+  return ForTechnique(t, ECStoreConfig{});
+}
+
+ECStoreConfig ECStoreConfig::ForTechnique(Technique t, ECStoreConfig base) {
+  base.technique = t;
+  return base;
+}
+
+}  // namespace ecstore

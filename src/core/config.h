@@ -1,0 +1,131 @@
+// System-level configuration: the six techniques the paper evaluates and
+// every tunable the services expose (Section V-B3 parameter choices).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "placement/mover.h"
+#include "sim/network.h"
+#include "sim/site.h"
+
+namespace ecstore {
+
+/// The six configurations of Section VI-A.
+enum class Technique {
+  kReplication,  // R:          3-way replication, random placement/access
+  kEc,           // EC:         RS(k,r), random placement/access
+  kEcLb,         // EC+LB:      EC with late binding (delta extra chunks)
+  kEcC,          // EC+C:       EC with the cost-model access strategy
+  kEcCM,         // EC+C+M:     EC+C plus dynamic chunk movement
+  kEcCMLb,       // EC+C+M+LB:  everything combined
+};
+
+/// Short names used in benchmark tables ("R", "EC", "EC+LB", ...).
+std::string TechniqueName(Technique t);
+
+/// Parses a technique name; throws std::invalid_argument on junk.
+Technique ParseTechnique(const std::string& name);
+
+/// True when the technique plans reads with the Eq. 1-3 cost model.
+bool UsesCostModel(Technique t);
+
+/// True when the technique runs the chunk mover.
+bool UsesMover(Technique t);
+
+/// Late-binding delta for the technique (0 or the configured delta).
+std::uint32_t LateBindingDelta(Technique t, std::uint32_t delta);
+
+/// Full system configuration with the paper's defaults.
+struct ECStoreConfig {
+  Technique technique = Technique::kEcCM;
+
+  // --- Coding scheme (Section V-B3: RS(2,2) vs three-way replication).
+  std::uint32_t k = 2;
+  std::uint32_t r = 2;
+
+  // --- Cluster shape (Section VI-A: 32 storage sites).
+  std::size_t num_sites = 32;
+
+  // --- Late binding (Section IV-B1: 0 < delta <= r; experiments use 1).
+  std::uint32_t late_binding_delta = 1;
+
+  // --- Statistics service (Section V-A).
+  SimTime stats_report_interval = 5 * kSecond;
+  std::size_t co_access_window = 5000;
+
+  // --- Probing for o_j (Section V-B3).
+  SimTime probe_interval = 1 * kSecond;
+
+  // --- Chunk mover (Sections IV-D, V-B2, VI-C5: <= 1 chunk/second).
+  double mover_chunks_per_sec = 1.0;
+  MoverParams mover;
+
+  // --- Plan cache + planners (Section V-B1).
+  std::size_t plan_cache_capacity = 200000;
+  /// Modeled latency of a plan-cache lookup / greedy fallback (the paper
+  /// measures sub-millisecond access planning).
+  SimTime plan_lookup_cost = 60;          // 0.06 ms
+  SimTime greedy_plan_cost = 250;         // 0.25 ms
+  SimTime random_plan_cost = 120;         // baseline planning cost
+  /// Modeled latency of the background ILP solve ("order of tens of
+  /// milliseconds", Section V-B1).
+  SimTime ilp_solve_latency = 20 * kMillisecond;
+  /// Relative change in mean o_j that invalidates all cached plans.
+  double epoch_bump_threshold = 0.3;
+  /// Uniform tie-break noise added to o_j per planning decision, as a
+  /// fraction of the mean overhead. Prevents equal-cost solves from all
+  /// picking the same (lowest-indexed) sites and herding load.
+  double cost_tiebreak_noise = 0.25;
+
+  // --- Metadata service access (client -> control plane round trip).
+  SimTime metadata_base_latency = 300;    // 0.3 ms
+  SimTime metadata_per_block = 25;        // lookup cost per requested block
+
+  // --- Client-side decode model: throughput of the RS decode when parity
+  // chunks are involved (calibrated by bench_micro_erasure; pure
+  // reassembly is charged at memcpy speed).
+  double decode_bytes_per_ms = 1.2e6;
+  double reassemble_bytes_per_ms = 2.0e7;
+  /// Client-side encode throughput for puts (parity generation).
+  double encode_bytes_per_ms = 1.0e6;
+
+  // --- Physical models.
+  sim::SiteParams site;
+  sim::NetworkParams net;
+  /// Heterogeneity: these sites run with their media and overhead slowed
+  /// by `slow_factor` (e.g. aging disks, background batch jobs). The
+  /// dynamic o_j estimation discovers them; static baselines cannot.
+  std::vector<SiteId> slow_sites;
+  double slow_factor = 3.0;
+
+  // --- Repair service (Section V-C: mark dead, wait 15 min, rebuild).
+  SimTime repair_poll_interval = 5 * kSecond;
+  SimTime repair_wait = 15 * kMinute;
+
+  std::uint64_t seed = 1;
+
+  /// Applies the technique's flags and returns the adjusted config.
+  static ECStoreConfig ForTechnique(Technique t);
+  static ECStoreConfig ForTechnique(Technique t, ECStoreConfig base);
+
+  std::uint32_t EffectiveDelta() const {
+    return LateBindingDelta(technique, late_binding_delta);
+  }
+  bool CostModelEnabled() const { return UsesCostModel(technique); }
+  bool MoverEnabled() const { return UsesMover(technique); }
+  bool IsReplication() const { return technique == Technique::kReplication; }
+
+  /// Chunks per block under this configuration's coding scheme.
+  std::uint32_t ChunksPerBlock() const { return IsReplication() ? r + 1 : k + r; }
+  /// Chunks needed to reconstruct a block.
+  std::uint32_t RequiredChunks() const { return IsReplication() ? 1 : k; }
+  /// Chunk size for a block of `block_bytes`.
+  std::uint64_t ChunkBytes(std::uint64_t block_bytes) const {
+    return IsReplication() ? block_bytes : (block_bytes + k - 1) / k;
+  }
+};
+
+}  // namespace ecstore

@@ -1,0 +1,251 @@
+#include "core/local_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecstore {
+
+void StorageNode::PutChunk(BlockId block, ChunkIndex chunk, ChunkData data) {
+  auto key = std::make_pair(block, chunk);
+  const auto it = chunks_.find(key);
+  if (it != chunks_.end()) {
+    bytes_stored_ -= it->second.size();
+    it->second = std::move(data);
+    bytes_stored_ += it->second.size();
+    return;
+  }
+  bytes_stored_ += data.size();
+  chunks_.emplace(key, std::move(data));
+}
+
+const ChunkData* StorageNode::GetChunk(BlockId block, ChunkIndex chunk) const {
+  if (!available_) throw std::runtime_error("StorageNode: node is failed");
+  const auto it = chunks_.find({block, chunk});
+  if (it == chunks_.end()) return nullptr;
+  ++reads_served_;
+  return &it->second;
+}
+
+bool StorageNode::DeleteChunk(BlockId block, ChunkIndex chunk) {
+  const auto it = chunks_.find({block, chunk});
+  if (it == chunks_.end()) return false;
+  bytes_stored_ -= it->second.size();
+  chunks_.erase(it);
+  return true;
+}
+
+bool StorageNode::HasChunk(BlockId block, ChunkIndex chunk) const {
+  return chunks_.count({block, chunk}) > 0;
+}
+
+// ---------------------------------------------------------------------------
+
+LocalECStore::LocalECStore(ECStoreConfig config)
+    : config_(config),
+      rng_(config.seed),
+      state_(config.num_sites),
+      co_access_(config.co_access_window),
+      load_tracker_(config.num_sites),
+      reads_at_last_refresh_(config.num_sites, 0) {
+  if (config_.IsReplication()) {
+    codec_ = std::make_unique<ReplicationCodec>(config_.r);
+  } else {
+    codec_ = std::make_unique<ReedSolomonCodec>(config_.k, config_.r);
+  }
+  nodes_.reserve(config_.num_sites);
+  for (std::size_t j = 0; j < config_.num_sites; ++j) {
+    nodes_.push_back(std::make_unique<StorageNode>());
+  }
+}
+
+void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data) {
+  std::vector<ChunkData> chunks = codec_->Encode(data);
+  const std::vector<SiteId> sites = state_.PickRandomSites(rng_, chunks.size());
+  state_.AddBlock(id, data.size(), codec_->ChunkSize(data.size()),
+                  codec_->RequiredChunks(),
+                  codec_->TotalChunks() - codec_->RequiredChunks(), sites);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    nodes_[sites[i]]->PutChunk(id, static_cast<ChunkIndex>(i), std::move(chunks[i]));
+  }
+}
+
+std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
+  const std::vector<BlockId> one = {id};
+  return std::move(MultiGet(one)[0]);
+}
+
+std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
+    std::span<const BlockId> ids) {
+  co_access_.RecordRequest(ids);
+  ++gets_since_refresh_;
+  if (gets_since_refresh_ % 64 == 0) RefreshLoadFromCounters();
+
+  DemandResult dr = BuildDemands(state_, ids, config_.EffectiveDelta());
+  for (std::size_t i = 0; i < dr.readable.size(); ++i) {
+    if (!dr.readable[i]) {
+      throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
+    }
+  }
+
+  AccessPlan plan;
+  if (config_.CostModelEnabled()) {
+    const auto ilp = IlpPlan(dr.demands, CurrentCostParams());
+    plan = ilp ? *ilp : GreedyPlan(dr.demands, CurrentCostParams(), rng_);
+  } else {
+    plan = RandomPlan(dr.demands, rng_);
+  }
+
+  // Fetch chunks per block; a late-binding plan may fetch extras, decode
+  // uses the first k.
+  std::map<BlockId, std::vector<IndexedChunk>> fetched;
+  for (const ChunkRead& read : plan.reads) {
+    const ChunkData* data = nodes_[read.site]->GetChunk(read.block, read.chunk);
+    if (data == nullptr) {
+      throw std::runtime_error("LocalECStore::MultiGet: chunk missing at planned site");
+    }
+    fetched[read.block].push_back({read.chunk, *data});
+  }
+
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(ids.size());
+  for (BlockId id : ids) {
+    const BlockInfo& info = state_.GetBlock(id);
+    out.push_back(codec_->Decode(fetched.at(id), info.block_bytes));
+  }
+  return out;
+}
+
+bool LocalECStore::Remove(BlockId id) {
+  if (!state_.Contains(id)) return false;
+  const BlockInfo info = state_.GetBlock(id);
+  for (const ChunkLocation& loc : info.locations) {
+    nodes_[loc.site]->DeleteChunk(id, loc.chunk);
+  }
+  return state_.RemoveBlock(id);
+}
+
+void LocalECStore::FailSite(SiteId site) {
+  state_.SetSiteAvailable(site, false);
+  nodes_[site]->set_available(false);
+}
+
+void LocalECStore::RecoverSite(SiteId site) {
+  state_.SetSiteAvailable(site, true);
+  nodes_[site]->set_available(true);
+}
+
+std::uint64_t LocalECStore::RepairSite(SiteId site) {
+  std::uint64_t rebuilt = 0;
+  for (BlockId block : state_.BlocksWithChunkAt(site)) {
+    const BlockInfo& info = state_.GetBlock(block);
+    const auto survivors = state_.AvailableLocations(block);
+    if (survivors.size() < info.k) continue;  // Data loss: cannot rebuild.
+
+    // The lost chunk's index is recorded in the catalog.
+    const auto lost = std::find_if(
+        info.locations.begin(), info.locations.end(),
+        [site](const ChunkLocation& l) { return l.site == site; });
+    const ChunkIndex lost_index = lost->chunk;
+
+    // Reconstruct the block from k survivors, re-encode, extract the
+    // lost chunk's content.
+    std::vector<IndexedChunk> gathered;
+    for (std::size_t i = 0; i < info.k; ++i) {
+      const ChunkLocation& loc = survivors[i];
+      const ChunkData* data = nodes_[loc.site]->GetChunk(block, loc.chunk);
+      if (data == nullptr) throw std::runtime_error("RepairSite: catalog/node mismatch");
+      gathered.push_back({loc.chunk, *data});
+    }
+    const std::vector<std::uint8_t> decoded =
+        codec_->Decode(gathered, info.block_bytes);
+    std::vector<ChunkData> re_encoded = codec_->Encode(decoded);
+
+    // Destination: least-loaded available site without a chunk of this block.
+    SiteId best = kInvalidSite;
+    for (SiteId j = 0; j < state_.num_sites(); ++j) {
+      if (!state_.IsSiteAvailable(j) || state_.HasChunkAt(block, j)) continue;
+      if (best == kInvalidSite ||
+          nodes_[j]->chunk_count() < nodes_[best]->chunk_count()) {
+        best = j;
+      }
+    }
+    if (best == kInvalidSite) continue;
+    nodes_[best]->PutChunk(block, lost_index, std::move(re_encoded[lost_index]));
+    state_.MoveChunk(block, site, best);
+    nodes_[site]->DeleteChunk(block, lost_index);  // No-op while failed data kept.
+    ++rebuilt;
+  }
+  return rebuilt;
+}
+
+std::optional<MovementPlan> LocalECStore::RunMovementRound() {
+  RefreshLoadFromCounters();
+  const CostParams params = CurrentCostParams();
+  MoverContext ctx;
+  ctx.state = &state_;
+  ctx.co_access = &co_access_;
+  ctx.load = &load_tracker_;
+  ctx.cost_params = &params;
+  ctx.request_rate_per_sec = static_cast<double>(co_access_.requests_in_window());
+
+  const auto plan = SelectMovementPlan(ctx, config_.mover, rng_);
+  if (!plan) return std::nullopt;
+
+  // Execute with a real data copy: read at source, write at destination,
+  // commit metadata, delete the old copy.
+  const BlockInfo& info = state_.GetBlock(plan->block);
+  const auto loc = std::find_if(
+      info.locations.begin(), info.locations.end(),
+      [&](const ChunkLocation& l) { return l.site == plan->source; });
+  if (loc == info.locations.end()) return std::nullopt;
+  const ChunkIndex chunk = loc->chunk;
+  const ChunkData* data = nodes_[plan->source]->GetChunk(plan->block, chunk);
+  if (data == nullptr) return std::nullopt;
+  nodes_[plan->destination]->PutChunk(plan->block, chunk, *data);
+  if (!state_.MoveChunk(plan->block, plan->source, plan->destination)) {
+    nodes_[plan->destination]->DeleteChunk(plan->block, chunk);
+    return std::nullopt;
+  }
+  nodes_[plan->source]->DeleteChunk(plan->block, chunk);
+  return plan;
+}
+
+std::uint64_t LocalECStore::TotalStoredBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->bytes_stored();
+  return total;
+}
+
+CostParams LocalECStore::CurrentCostParams() const {
+  CostParams params;
+  params.site_overhead_ms = load_tracker_.OverheadVector();
+  params.media_ms_per_byte.assign(config_.num_sites,
+                                  1000.0 / config_.site.disk_bytes_per_sec);
+  return params;
+}
+
+void LocalECStore::RefreshLoadFromCounters() {
+  // Derive site load from reads served since the last refresh: the
+  // in-process analogue of the periodic load reports.
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> deltas(nodes_.size(), 0);
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    deltas[j] = nodes_[j]->reads_served() - reads_at_last_refresh_[j];
+    reads_at_last_refresh_[j] = nodes_[j]->reads_served();
+    total += deltas[j];
+  }
+  if (total == 0) return;
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    const double util =
+        static_cast<double>(deltas[j]) / static_cast<double>(total);
+    load_tracker_.RecordReport(static_cast<SiteId>(j), util, 0,
+                               nodes_[j]->chunk_count());
+    // Overhead estimate proportional to relative load: busy nodes answer
+    // probes slower. The swing is kept moderate (1-5 ms) so that load
+    // awareness tempers, rather than dominates, co-location decisions.
+    load_tracker_.RecordProbe(static_cast<SiteId>(j), 1.0 + util * 4.0);
+  }
+  gets_since_refresh_ = 0;
+}
+
+}  // namespace ecstore

@@ -1,0 +1,77 @@
+#include "core/repair.h"
+
+#include <algorithm>
+
+namespace ecstore {
+
+RepairService::RepairService(SimECStore* store, RepairCallback on_repair)
+    : store_(store),
+      on_repair_(std::move(on_repair)),
+      pending_(store->config().num_sites, false),
+      repaired_(store->config().num_sites, false) {}
+
+void RepairService::Start() {
+  store_->queue().ScheduleAfter(store_->config().repair_poll_interval,
+                                [this] { PollTick(); });
+}
+
+void RepairService::PollTick() {
+  const ClusterState& state = store_->state();
+  for (SiteId j = 0; j < state.num_sites(); ++j) {
+    if (state.IsSiteAvailable(j)) {
+      pending_[j] = false;
+      repaired_[j] = false;
+      continue;
+    }
+    if (pending_[j] || repaired_[j]) continue;
+    pending_[j] = true;
+    // Wait before rebuilding, in case the outage is transient
+    // (Section V-C: 15 minutes, as in GFS).
+    store_->queue().ScheduleAfter(store_->config().repair_wait, [this, j] {
+      if (!pending_[j]) return;  // Site came back during the grace period.
+      if (store_->state().IsSiteAvailable(j)) {
+        pending_[j] = false;
+        return;
+      }
+      const std::uint64_t rebuilt = ReconstructSite(j);
+      pending_[j] = false;
+      repaired_[j] = true;
+      if (on_repair_) on_repair_(j, rebuilt);
+    });
+  }
+  store_->queue().ScheduleAfter(store_->config().repair_poll_interval,
+                                [this] { PollTick(); });
+}
+
+std::uint64_t RepairService::ReconstructSite(SiteId site) {
+  ClusterState& state = store_->state();
+  const LoadTracker& load = store_->load_tracker();
+  std::uint64_t rebuilt = 0;
+
+  for (BlockId block : state.BlocksWithChunkAt(site)) {
+    const BlockInfo& info = state.GetBlock(block);
+    // Reconstruction needs k surviving chunks.
+    if (state.AvailableLocations(block).size() < info.k) continue;
+
+    // Destination: the least-loaded available site holding no chunk of
+    // this block — the data-movement strategy's load awareness.
+    SiteId best = kInvalidSite;
+    double best_load = 0;
+    for (SiteId j = 0; j < state.num_sites(); ++j) {
+      if (!state.IsSiteAvailable(j)) continue;
+      if (state.HasChunkAt(block, j)) continue;
+      if (best == kInvalidSite || load.Omega(j) < best_load) {
+        best = j;
+        best_load = load.Omega(j);
+      }
+    }
+    if (best == kInvalidSite) continue;
+    if (state.MoveChunk(block, site, best)) {
+      ++rebuilt;
+    }
+  }
+  chunks_rebuilt_ += rebuilt;
+  return rebuilt;
+}
+
+}  // namespace ecstore

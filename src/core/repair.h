@@ -1,0 +1,51 @@
+// Repair service (paper Section V-C): polls each site's storage service,
+// marks unresponsive sites unavailable, waits a grace period (15 minutes,
+// following GFS) in case the outage is transient, then reconstructs the
+// lost chunks elsewhere, choosing destinations with the data-movement
+// strategy's load awareness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/sim_store.h"
+
+namespace ecstore {
+
+/// Watches a SimECStore for failed sites and re-creates lost chunks.
+///
+/// The paper's fault-tolerance experiment (Fig. 4f) deliberately leaves
+/// reconstruction off; this service is exercised by its own tests and the
+/// failure_recovery example.
+class RepairService {
+ public:
+  /// `on_repair(site, chunks_rebuilt)` fires after a site's chunks have
+  /// been reconstructed (optional).
+  using RepairCallback = std::function<void(SiteId, std::uint64_t)>;
+
+  RepairService(SimECStore* store, RepairCallback on_repair = {});
+
+  /// Starts the polling loop on the store's event queue.
+  void Start();
+
+  /// How many chunks were reconstructed in total.
+  std::uint64_t chunks_rebuilt() const { return chunks_rebuilt_; }
+
+  /// Immediately reconstructs every chunk whose only copy-bearing site is
+  /// `site`, relocating them to the least-loaded sites that do not
+  /// already hold a chunk of the affected block. Exposed for tests.
+  std::uint64_t ReconstructSite(SiteId site);
+
+ private:
+  void PollTick();
+
+  SimECStore* store_;
+  RepairCallback on_repair_;
+  std::vector<bool> pending_;   // repair scheduled for this site
+  std::vector<bool> repaired_;  // already reconstructed
+  std::uint64_t chunks_rebuilt_ = 0;
+};
+
+}  // namespace ecstore

@@ -1,0 +1,664 @@
+#include "core/sim_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace ecstore {
+
+namespace {
+
+/// Per-site media read cost in milliseconds per byte, from the site model.
+double MediaMsPerByte(const sim::SiteParams& site) {
+  return 1000.0 / site.disk_bytes_per_sec;
+}
+
+constexpr std::size_t kStatsReportMsgBytes = 64;
+constexpr std::size_t kProbeMsgBytes = 32;
+
+}  // namespace
+
+/// In-flight multiget state. Shared by the chunk-arrival events.
+struct SimECStore::PendingRequest {
+  std::vector<BlockId> blocks;
+  std::vector<BlockDemand> demands;  // parallel to blocks after dedup
+  GetCallback done;
+
+  SimTime start = 0;
+  SimTime metadata = 0;
+  SimTime planning = 0;
+  SimTime retrieval_start = 0;
+  SimTime retrieval = 0;
+  bool cache_hit = false;
+
+  // Per-demand completion tracking.
+  std::vector<std::uint32_t> remaining;            // chunks still needed
+  std::vector<std::vector<ChunkIndex>> received;   // first k indices kept
+  std::size_t blocks_remaining = 0;
+  std::uint32_t sites_accessed = 0;
+  bool finished = false;  // retrieval barrier passed (late chunks ignored)
+  // Bumped on every (re)issue; in-flight chunk events from an older
+  // generation are ignored after a failure-triggered re-plan.
+  std::uint32_t generation = 0;
+};
+
+SimECStore::SimECStore(ECStoreConfig config)
+    : config_(config),
+      rng_(config.seed),
+      net_(config.net, Rng(config.seed ^ 0x6E65745F726E67ULL)),
+      state_(config.num_sites),
+      co_access_(config.co_access_window),
+      load_tracker_(config.num_sites,
+                    [&] {
+                      LoadTrackerParams p;
+                      p.reference_io_bytes_per_sec = config.site.disk_bytes_per_sec;
+                      return p;
+                    }()),
+      plan_cache_(config.plan_cache_capacity) {
+  sites_.reserve(config.num_sites);
+  for (std::size_t j = 0; j < config.num_sites; ++j) {
+    sim::SiteParams site_params = config.site;
+    if (std::find(config.slow_sites.begin(), config.slow_sites.end(),
+                  static_cast<SiteId>(j)) != config.slow_sites.end()) {
+      site_params.disk_bytes_per_sec /= config.slow_factor;
+      site_params.request_overhead = static_cast<SimTime>(
+          static_cast<double>(site_params.request_overhead) * config.slow_factor);
+    }
+    sites_.push_back(std::make_unique<sim::SimSite>(
+        static_cast<SiteId>(j), &queue_, site_params, rng_.Split()));
+  }
+
+}
+
+SimECStore::~SimECStore() = default;
+
+void SimECStore::LoadBlock(BlockId id, std::uint64_t block_bytes) {
+  const std::uint32_t total = config_.ChunksPerBlock();
+  const std::uint64_t chunk_bytes = config_.ChunkBytes(block_bytes);
+  const std::vector<SiteId> sites = state_.PickRandomSites(rng_, total);
+  state_.AddBlock(id, block_bytes, chunk_bytes, config_.RequiredChunks(),
+                  total - config_.RequiredChunks(), sites);
+  for (SiteId s : sites) {
+    sites_[s]->set_chunk_count(state_.site_chunk_counts()[s]);
+  }
+}
+
+void SimECStore::LoadBlocks(BlockId first, std::uint64_t count,
+                            std::uint64_t block_bytes) {
+  for (std::uint64_t i = 0; i < count; ++i) LoadBlock(first + i, block_bytes);
+}
+
+void SimECStore::Start() {
+  assert(!started_);
+  started_ = true;
+  queue_.ScheduleAfter(config_.stats_report_interval, [this] { StatsTick(); });
+  queue_.ScheduleAfter(config_.probe_interval, [this] { ProbeTick(); });
+  if (config_.MoverEnabled()) {
+    queue_.ScheduleAfter(MoverPeriod(), [this] { MoverTick(); });
+  }
+}
+
+CostParams SimECStore::CurrentCostParams() const {
+  CostParams params;
+  params.site_overhead_ms = load_tracker_.OverheadVector();
+  params.media_ms_per_byte.assign(config_.num_sites, MediaMsPerByte(config_.site));
+  return params;
+}
+
+CostParams SimECStore::PlanningCostParams() {
+  // Near-equal o_j values would otherwise be tie-broken identically by
+  // every solve (always the lowest-indexed site), herding load. A small
+  // per-call perturbation spreads equal-cost choices across sites while
+  // leaving genuine load differences decisive.
+  CostParams params = CurrentCostParams();
+  const double mean = load_tracker_.MeanOverheadMs();
+  for (double& o : params.site_overhead_ms) {
+    o += rng_.NextDouble() * config_.cost_tiebreak_noise * mean;
+  }
+  return params;
+}
+
+void SimECStore::Get(std::vector<BlockId> blocks, GetCallback done) {
+  auto req = std::make_shared<PendingRequest>();
+  req->blocks = std::move(blocks);
+  req->done = std::move(done);
+  req->start = queue_.Now();
+
+  // Statistics service samples the request stream (Section V-A).
+  co_access_.RecordRequest(req->blocks);
+
+  // R1: metadata access — a control-plane round trip plus lookup work.
+  req->metadata = net_.RoundTrip() + config_.metadata_base_latency +
+                  config_.metadata_per_block *
+                      static_cast<SimTime>(req->blocks.size());
+  queue_.ScheduleAfter(req->metadata, [this, req] { PlanPhase(req); });
+}
+
+void SimECStore::PlanPhase(std::shared_ptr<PendingRequest> req) {
+  DemandResult dr = BuildDemands(state_, req->blocks, config_.EffectiveDelta());
+  if (std::find(dr.readable.begin(), dr.readable.end(), false) != dr.readable.end()) {
+    Complete(req, /*ok=*/false);
+    return;
+  }
+  req->demands = std::move(dr.demands);
+
+  // R2: the chunk read optimizer decides the access strategy.
+  AccessPlan plan;
+  SimTime planning_cost = 0;
+  if (config_.CostModelEnabled()) {
+    bool hit = false;
+    plan = PlanWithCostModel(req->blocks, req->demands, &hit);
+    req->cache_hit = hit;
+    planning_cost = hit ? config_.plan_lookup_cost : config_.greedy_plan_cost;
+  } else {
+    plan = RandomPlan(req->demands, rng_);
+    planning_cost = config_.random_plan_cost;
+  }
+  req->planning = planning_cost;
+  queue_.ScheduleAfter(planning_cost,
+                       [this, req, plan = std::move(plan)] { IssueReads(req, plan); });
+}
+
+AccessPlan SimECStore::PlanWithCostModel(const std::vector<BlockId>& blocks,
+                                         const std::vector<BlockDemand>& demands,
+                                         bool* cache_hit) {
+  const std::uint32_t delta = config_.EffectiveDelta();
+  if (auto cached = plan_cache_.LookupSatisfying(blocks, delta)) {
+    if (ValidatePlan(*cached)) {
+      *cache_hit = true;
+      return *cached;
+    }
+    // Stale entry (site failed since caching): drop and fall through.
+    for (BlockId b : blocks) plan_cache_.InvalidateBlock(b);
+  }
+  *cache_hit = false;
+  AccessPlan plan = GreedyPlan(demands, PlanningCostParams(), rng_);
+  ScheduleBackgroundIlp(blocks);
+  return plan;
+}
+
+void SimECStore::ScheduleBackgroundIlp(const std::vector<BlockId>& blocks) {
+  // One background worker solves queued ILPs off the request path and
+  // installs solutions for future requests (Section V-B1). The queue is
+  // deduplicated and bounded: under a miss storm extra solve requests are
+  // dropped — the greedy plan already served the client.
+  constexpr std::size_t kMaxQueue = 64;
+  constexpr std::size_t kMaxMissedOnce = 100000;
+  // Very large multigets (the Wikipedia trace's tail pages) are served by
+  // the greedy plan permanently: their exact sets rarely recur, and their
+  // ILPs are the most expensive -- bounded optimization, as in any
+  // production solver deployment.
+  constexpr std::size_t kMaxIlpBlocks = 16;
+  std::vector<BlockId> key = PlanCache::CanonicalKey(blocks);
+  if (key.size() > kMaxIlpBlocks) return;
+  if (ilp_pending_.count(key)) return;
+  // First miss only registers the set; a solve is queued when it recurs,
+  // since only recurring sets can ever profit from a cached plan.
+  if (missed_once_.insert(key).second) {
+    if (missed_once_.size() > kMaxMissedOnce) missed_once_.clear();
+    return;
+  }
+  if (ilp_queue_.size() >= kMaxQueue) return;
+  ilp_pending_.insert(key);
+  ilp_queue_.push_back(std::move(key));
+  if (!ilp_worker_busy_) {
+    ilp_worker_busy_ = true;
+    RunIlpWorker();
+  }
+}
+
+void SimECStore::RunIlpWorker() {
+  if (ilp_queue_.empty()) {
+    ilp_worker_busy_ = false;
+    return;
+  }
+  std::vector<BlockId> blocks = std::move(ilp_queue_.front());
+  ilp_queue_.pop_front();
+  queue_.ScheduleAfter(config_.ilp_solve_latency, [this, blocks = std::move(blocks)] {
+    ilp_pending_.erase(blocks);
+    DemandResult dr = BuildDemands(state_, blocks, config_.EffectiveDelta());
+    const bool readable =
+        std::find(dr.readable.begin(), dr.readable.end(), false) ==
+        dr.readable.end();
+    if (readable) {
+      const auto plan = IlpPlan(dr.demands, PlanningCostParams());
+      ++ilp_solves_;
+      if (plan) plan_cache_.Insert(blocks, config_.EffectiveDelta(), *plan);
+    }
+    RunIlpWorker();
+  });
+}
+
+bool SimECStore::ValidatePlan(const AccessPlan& plan) const {
+  for (const ChunkRead& read : plan.reads) {
+    if (!state_.IsSiteAvailable(read.site)) return false;
+    if (!state_.HasChunkAt(read.block, read.site)) return false;
+  }
+  return !plan.reads.empty();
+}
+
+void SimECStore::IssueReads(std::shared_ptr<PendingRequest> req,
+                            const AccessPlan& plan) {
+  if (req->retrieval_start == 0) req->retrieval_start = queue_.Now();
+  const std::uint32_t generation = ++req->generation;
+  const std::size_t n = req->demands.size();
+  req->remaining.assign(n, 0);
+  req->received.assign(n, {});
+  req->blocks_remaining = n;
+
+  // Completion requires k chunks per block — with late binding the plan
+  // contains k + delta reads but only the first k responses matter.
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockInfo& info = state_.GetBlock(req->demands[i].block);
+    req->remaining[i] = info.k;
+  }
+  if (n == 0) {
+    FinishRetrieval(req);
+    return;
+  }
+
+  // One storage-service request per accessed site: all chunks the plan
+  // takes from a site travel in a single RPC, so the per-request
+  // overhead o_j is paid once per site — the structure Eq. 1 models and
+  // the reason co-located placement reduces retrieval cost.
+  struct SiteBatch {
+    std::vector<std::pair<std::size_t, ChunkIndex>> items;  // (block idx, chunk)
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t bytes = 0;
+  };
+  std::map<SiteId, SiteBatch> batches;
+  for (const ChunkRead& read : plan.reads) {
+    const auto it = std::find_if(
+        req->demands.begin(), req->demands.end(),
+        [&](const BlockDemand& d) { return d.block == read.block; });
+    assert(it != req->demands.end());
+    const std::size_t block_index =
+        static_cast<std::size_t>(it - req->demands.begin());
+    SiteBatch& batch = batches[read.site];
+    batch.items.emplace_back(block_index, read.chunk);
+    batch.sizes.push_back(it->chunk_bytes);
+    batch.bytes += it->chunk_bytes;
+  }
+
+  req->sites_accessed = static_cast<std::uint32_t>(batches.size());
+  for (auto& [site, batch] : batches) {
+    const SimTime arrival = net_.RequestDelay();
+    queue_.ScheduleAfter(arrival, [this, req, generation, site = site,
+                                   batch = std::move(batch)] {
+      sim::SimSite& s = *sites_[site];
+      if (!s.available()) {
+        // The site failed while the request was in flight: the client
+        // detects the failure and re-plans against the surviving sites
+        // (Section VI-C4 "requests are routed to only the available
+        // nodes").
+        RetryAfterFailure(req, generation);
+        return;
+      }
+      s.SubmitBatchRead(batch.sizes, [this, req, generation, batch](SimTime) {
+        const SimTime back = net_.ResponseDelay(batch.bytes);
+        queue_.ScheduleAfter(back, [this, req, generation, batch] {
+          if (req->generation != generation) return;  // Superseded plan.
+          for (const auto& [block_index, chunk] : batch.items) {
+            OnChunkArrived(req, block_index, chunk);
+          }
+        });
+      });
+    });
+  }
+}
+
+void SimECStore::RetryAfterFailure(const std::shared_ptr<PendingRequest>& req,
+                                   std::uint32_t generation) {
+  if (req->finished || req->generation != generation) return;
+  ++req->generation;  // Poison outstanding chunk events immediately.
+  queue_.ScheduleAfter(config_.metadata_base_latency, [this, req] {
+    if (req->finished) return;
+    PlanPhase(req);
+  });
+}
+
+void SimECStore::OnChunkArrived(const std::shared_ptr<PendingRequest>& req,
+                                std::size_t block_index, ChunkIndex chunk) {
+  if (req->finished) return;  // Late-binding straggler: ignored.
+  auto& remaining = req->remaining[block_index];
+  if (remaining == 0) return;  // Block already satisfied.
+  req->received[block_index].push_back(chunk);
+  if (--remaining == 0) {
+    if (--req->blocks_remaining == 0) FinishRetrieval(req);
+  }
+}
+
+void SimECStore::FinishRetrieval(const std::shared_ptr<PendingRequest>& req) {
+  req->finished = true;
+  req->retrieval = queue_.Now() - req->retrieval_start;
+
+  // R3: decode. Blocks whose first-k chunks are all systematic (or any
+  // replica) are pure reassembly; otherwise the GF-arithmetic decode rate
+  // applies. The client decodes blocks sequentially.
+  SimTime decode_total = 0;
+  for (std::size_t i = 0; i < req->demands.size(); ++i) {
+    const BlockInfo& info = state_.GetBlock(req->demands[i].block);
+    if (config_.IsReplication()) continue;  // A replica needs no decode.
+    const auto& chunks = req->received[i];
+    const bool systematic =
+        std::all_of(chunks.begin(), chunks.end(),
+                    [&](ChunkIndex c) { return c < info.k; });
+    const double rate = systematic ? config_.reassemble_bytes_per_ms
+                                   : config_.decode_bytes_per_ms;
+    decode_total += static_cast<SimTime>(
+        static_cast<double>(info.block_bytes) / rate * kMillisecond);
+  }
+  queue_.ScheduleAfter(decode_total, [this, req, decode_total] {
+    RequestBreakdown out;
+    out.metadata = req->metadata;
+    out.planning = req->planning;
+    out.retrieval = req->retrieval;
+    out.decode = decode_total;
+    out.total = queue_.Now() - req->start;
+    out.ok = true;
+    out.plan_cache_hit = req->cache_hit;
+    out.sites_accessed = req->sites_accessed;
+    ++requests_completed_;
+    req->done(out);
+  });
+}
+
+void SimECStore::Complete(const std::shared_ptr<PendingRequest>& req, bool ok) {
+  RequestBreakdown out;
+  out.metadata = req->metadata;
+  out.total = queue_.Now() - req->start;
+  out.ok = ok;
+  ++requests_completed_;
+  req->done(out);
+}
+
+std::vector<SiteId> SimECStore::ChooseWriteSites(std::uint32_t count) {
+  std::vector<SiteId> available;
+  for (SiteId j = 0; j < state_.num_sites(); ++j) {
+    if (state_.IsSiteAvailable(j)) available.push_back(j);
+  }
+  if (available.size() < count) return {};
+
+  if (!config_.CostModelEnabled()) {
+    // Baseline: random distinct placement [38].
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng_.NextBounded(available.size() - i));
+      std::swap(available[i], available[j]);
+    }
+    available.resize(count);
+    return available;
+  }
+
+  // Load-aware placement: spread new chunks over the least-loaded sites,
+  // with the same tie-break perturbation planning uses so concurrent
+  // writers do not all pick the same set.
+  const CostParams params = PlanningCostParams();
+  std::stable_sort(available.begin(), available.end(), [&](SiteId a, SiteId b) {
+    return params.site_overhead_ms[a] < params.site_overhead_ms[b];
+  });
+  available.resize(count);
+  return available;
+}
+
+void SimECStore::Put(BlockId id, std::uint64_t block_bytes, PutCallback done) {
+  const SimTime start = queue_.Now();
+  // W1: placement decision at the chunk placement service.
+  const SimTime control = net_.RoundTrip() + config_.metadata_base_latency;
+  queue_.ScheduleAfter(control, [this, id, block_bytes, start,
+                                 done = std::move(done)]() mutable {
+    const std::uint32_t total_chunks = config_.ChunksPerBlock();
+    const std::vector<SiteId> sites = ChooseWriteSites(total_chunks);
+    if (sites.empty() || state_.Contains(id)) {
+      done(PutResult{queue_.Now() - start, false});
+      return;
+    }
+    const std::uint64_t chunk_bytes = config_.ChunkBytes(block_bytes);
+
+    // Client-side encode (parity generation) before chunks go out.
+    const SimTime encode = static_cast<SimTime>(
+        static_cast<double>(block_bytes) / config_.encode_bytes_per_ms *
+        kMillisecond);
+    queue_.ScheduleAfter(encode, [this, id, block_bytes, chunk_bytes, sites,
+                                  start, done = std::move(done)]() mutable {
+      // W2: write all k+r chunks in parallel; durable once ALL land. If a
+      // target site fails in flight, the writer re-places that chunk on a
+      // healthy site before committing.
+      auto final_sites = std::make_shared<std::vector<SiteId>>(sites);
+      auto remaining = std::make_shared<std::size_t>(sites.size());
+      auto commit = [this, id, block_bytes, chunk_bytes, final_sites, start,
+                     done = std::move(done), remaining]() {
+        if (--*remaining > 0) return;
+        // W3: metadata commit.
+        queue_.ScheduleAfter(config_.metadata_base_latency, [this, id,
+                                                             block_bytes,
+                                                             chunk_bytes,
+                                                             final_sites,
+                                                             start, done] {
+          PutResult result;
+          result.ok = !state_.Contains(id);
+          if (result.ok) {
+            state_.AddBlock(id, block_bytes, chunk_bytes,
+                            config_.RequiredChunks(),
+                            config_.ChunksPerBlock() - config_.RequiredChunks(),
+                            *final_sites);
+            for (SiteId s : *final_sites) {
+              sites_[s]->set_chunk_count(state_.site_chunk_counts()[s]);
+            }
+          }
+          result.total = queue_.Now() - start;
+          done(result);
+        });
+      };
+
+      // Writes one chunk, substituting a healthy site on failure.
+      std::function<void(std::size_t)> write_chunk =
+          [this, final_sites, chunk_bytes, commit](std::size_t index) {
+            const SiteId s = (*final_sites)[index];
+            if (!sites_[s]->available()) {
+              SiteId substitute = kInvalidSite;
+              for (SiteId j = 0; j < state_.num_sites(); ++j) {
+                if (!state_.IsSiteAvailable(j)) continue;
+                if (std::find(final_sites->begin(), final_sites->end(), j) !=
+                    final_sites->end()) {
+                  continue;
+                }
+                substitute = j;
+                break;
+              }
+              if (substitute == kInvalidSite) {
+                commit();  // No healthy site left; count the chunk lost.
+                return;
+              }
+              (*final_sites)[index] = substitute;
+              sites_[substitute]->SubmitWrite(chunk_bytes,
+                                              [commit](SimTime) { commit(); });
+              return;
+            }
+            sites_[s]->SubmitWrite(chunk_bytes, [commit](SimTime) { commit(); });
+          };
+
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        // Upload: request dispatch plus payload transfer to the site.
+        const SimTime arrival = net_.ResponseDelay(chunk_bytes);
+        queue_.ScheduleAfter(std::max<SimTime>(arrival, 1),
+                             [write_chunk, i] { write_chunk(i); });
+      }
+    });
+  });
+}
+
+void SimECStore::Delete(BlockId id, PutCallback done) {
+  const SimTime start = queue_.Now();
+  const SimTime control = net_.RoundTrip() + config_.metadata_base_latency;
+  queue_.ScheduleAfter(control, [this, id, start, done = std::move(done)] {
+    PutResult result;
+    result.ok = state_.Contains(id);
+    if (result.ok) {
+      plan_cache_.InvalidateBlock(id);
+      const BlockInfo info = state_.GetBlock(id);
+      state_.RemoveBlock(id);
+      for (const ChunkLocation& loc : info.locations) {
+        sites_[loc.site]->set_chunk_count(state_.site_chunk_counts()[loc.site]);
+      }
+    }
+    result.total = queue_.Now() - start;
+    done(result);
+  });
+}
+
+void SimECStore::FailSite(SiteId site) {
+  state_.SetSiteAvailable(site, false);
+  sites_[site]->set_available(false);
+  plan_cache_.BumpEpoch();  // Any plan may reference the dead site.
+}
+
+void SimECStore::RecoverSite(SiteId site) {
+  state_.SetSiteAvailable(site, true);
+  sites_[site]->set_available(true);
+}
+
+std::vector<std::uint64_t> SimECStore::SiteBytesRead() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(sites_.size());
+  for (const auto& s : sites_) out.push_back(s->total_bytes_read());
+  return out;
+}
+
+double SimECStore::ImbalanceLambda(const std::vector<std::uint64_t>& baseline) const {
+  double max_load = 0, sum = 0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < sites_.size(); ++j) {
+    if (!state_.IsSiteAvailable(static_cast<SiteId>(j))) continue;
+    const double delta = static_cast<double>(
+        sites_[j]->total_bytes_read() - (j < baseline.size() ? baseline[j] : 0));
+    max_load = std::max(max_load, delta);
+    sum += delta;
+    ++n;
+  }
+  if (n == 0 || sum <= 0) return 0;
+  const double avg = sum / static_cast<double>(n);
+  return (max_load - avg) / avg * 100.0;
+}
+
+ControlPlaneUsage SimECStore::Usage() const {
+  ControlPlaneUsage u;
+  u.stats_memory_bytes = co_access_.ApproxMemoryBytes();
+  u.optimizer_memory_bytes = plan_cache_.ApproxMemoryBytes();
+  // The mover's working set: candidate demand vectors + partner lists; a
+  // small multiple of the per-evaluation state.
+  u.mover_memory_bytes =
+      config_.mover.max_evaluations *
+      (sizeof(BlockDemand) + 8 * sizeof(ChunkLocation) + sizeof(MovementPlan));
+  u.stats_network_bytes = stats_network_bytes_;
+  u.mover_network_bytes = mover_network_bytes_;
+  u.ilp_solves = ilp_solves_;
+  u.moves_executed = moves_executed_;
+  return u;
+}
+
+void SimECStore::StatsTick() {
+  for (auto& site : sites_) {
+    const sim::LoadReport report = site->CollectReport();
+    load_tracker_.RecordReport(report.site, report.cpu_utilization,
+                               report.io_bytes_per_sec, report.chunk_count);
+    stats_network_bytes_ += kStatsReportMsgBytes;
+  }
+  // Request-rate estimate for the mover's load-shift model.
+  const double interval_s =
+      static_cast<double>(config_.stats_report_interval) / kSecond;
+  request_rate_per_sec_ =
+      static_cast<double>(requests_completed_ - completed_at_last_stats_tick_) /
+      interval_s;
+  completed_at_last_stats_tick_ = requests_completed_;
+
+  // Reload cached plans when the cost landscape shifted materially
+  // (Section V-B1 "dynamically reload solutions"). The trigger is the
+  // largest per-site drift of o_j since the last epoch, relative to the
+  // mean — a single site going hot or cold is exactly what invalidates
+  // plans, even though the cluster-wide mean barely moves.
+  const auto& overheads = load_tracker_.OverheadVector();
+  if (overheads_at_epoch_.empty()) {
+    overheads_at_epoch_ = overheads;
+  } else {
+    const double mean_o = std::max(load_tracker_.MeanOverheadMs(), 1e-9);
+    double max_drift = 0;
+    for (std::size_t j = 0; j < overheads.size(); ++j) {
+      max_drift = std::max(
+          max_drift, std::abs(overheads[j] - overheads_at_epoch_[j]) / mean_o);
+    }
+    if (max_drift > config_.epoch_bump_threshold) {
+      plan_cache_.BumpEpoch();
+      overheads_at_epoch_ = overheads;
+    }
+  }
+
+  queue_.ScheduleAfter(config_.stats_report_interval, [this] { StatsTick(); });
+}
+
+void SimECStore::ProbeTick() {
+  for (std::size_t j = 0; j < sites_.size(); ++j) {
+    sim::SimSite& site = *sites_[j];
+    if (!site.available()) continue;
+    const SimTime sent = queue_.Now();
+    const SimTime rtt_net = net_.RoundTrip();
+    site.SubmitProbe([this, j, sent, rtt_net](SimTime done_at) {
+      const SimTime rtt = (done_at - sent) + rtt_net;
+      load_tracker_.RecordProbe(static_cast<SiteId>(j), ToMillis(rtt));
+    });
+    stats_network_bytes_ += kProbeMsgBytes;
+  }
+  queue_.ScheduleAfter(config_.probe_interval, [this] { ProbeTick(); });
+}
+
+SimTime SimECStore::MoverPeriod() const {
+  return static_cast<SimTime>(kSecond / std::max(config_.mover_chunks_per_sec, 1e-3));
+}
+
+void SimECStore::MoverTick() {
+  queue_.ScheduleAfter(MoverPeriod(), [this] { MoverTick(); });
+  if (mover_busy_) return;  // Throttle: one in-flight movement at a time.
+
+  const CostParams params = CurrentCostParams();
+  MoverContext ctx;
+  ctx.state = &state_;
+  ctx.co_access = &co_access_;
+  ctx.load = &load_tracker_;
+  ctx.cost_params = &params;
+  ctx.request_rate_per_sec = request_rate_per_sec_;
+
+  const auto plan = SelectMovementPlan(ctx, config_.mover, rng_);
+  if (!plan) return;
+
+  mover_busy_ = true;
+  const std::uint64_t chunk_bytes = state_.GetBlock(plan->block).chunk_bytes;
+  // Copy: read the chunk at the source, write it at the destination, then
+  // commit the metadata update; reads of the old location remain valid
+  // until the commit (Section V-B2).
+  sites_[plan->source]->SubmitRead(chunk_bytes, [this, plan = *plan,
+                                                 chunk_bytes](SimTime) {
+    const SimTime transfer = net_.ResponseDelay(chunk_bytes);
+    queue_.ScheduleAfter(transfer, [this, plan, chunk_bytes] {
+      if (!sites_[plan.destination]->available()) {
+        mover_busy_ = false;
+        return;
+      }
+      sites_[plan.destination]->SubmitWrite(chunk_bytes, [this, plan,
+                                                          chunk_bytes](SimTime) {
+        if (state_.MoveChunk(plan.block, plan.source, plan.destination)) {
+          plan_cache_.InvalidateBlock(plan.block);
+          sites_[plan.source]->set_chunk_count(
+              state_.site_chunk_counts()[plan.source]);
+          sites_[plan.destination]->set_chunk_count(
+              state_.site_chunk_counts()[plan.destination]);
+          ++moves_executed_;
+          mover_network_bytes_ += chunk_bytes;
+        }
+        mover_busy_ = false;
+      });
+    });
+  });
+}
+
+}  // namespace ecstore

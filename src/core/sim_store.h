@@ -1,0 +1,200 @@
+// SimECStore: the complete EC-Store system (Fig. 3's control and data
+// planes) running against the discrete-event cluster simulator.
+//
+// The data plane is a set of SimSite FIFO servers; the control plane is
+// the metadata service (ClusterState + modeled lookup latency), the
+// statistics service (CoAccessTracker + LoadTracker fed by periodic
+// reports and probes), and the chunk placement service (plan cache +
+// greedy/ILP chunk read optimizer + throttled chunk mover). All six of
+// the paper's techniques (R, EC, EC+LB, EC+C, EC+C+M, EC+C+M+LB) are
+// configurations of this one system, exactly as in Section VI-A.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/state.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "placement/mover.h"
+#include "placement/plan_cache.h"
+#include "placement/planner.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/site.h"
+#include "stats/co_access.h"
+#include "stats/load_tracker.h"
+
+namespace ecstore {
+
+/// Per-request latency breakdown in simulated microseconds — the four
+/// categories of Fig. 1 / Fig. 4b.
+struct RequestBreakdown {
+  SimTime metadata = 0;
+  SimTime planning = 0;
+  SimTime retrieval = 0;
+  SimTime decode = 0;
+  SimTime total = 0;
+  bool ok = true;            // false when a block was unreadable
+  bool plan_cache_hit = false;
+  std::uint32_t sites_accessed = 0;  // distinct sites in the access plan
+};
+
+/// Control-plane resource usage counters (Table III).
+struct ControlPlaneUsage {
+  std::size_t stats_memory_bytes = 0;
+  std::size_t optimizer_memory_bytes = 0;
+  std::size_t mover_memory_bytes = 0;
+  std::uint64_t stats_network_bytes = 0;    // reports + probes
+  std::uint64_t mover_network_bytes = 0;    // chunk copies
+  std::uint64_t ilp_solves = 0;
+  std::uint64_t moves_executed = 0;
+};
+
+/// The simulated EC-Store deployment.
+class SimECStore {
+ public:
+  using GetCallback = std::function<void(const RequestBreakdown&)>;
+
+  explicit SimECStore(ECStoreConfig config);
+  ~SimECStore();
+
+  SimECStore(const SimECStore&) = delete;
+  SimECStore& operator=(const SimECStore&) = delete;
+
+  sim::EventQueue& queue() { return queue_; }
+  const ECStoreConfig& config() const { return config_; }
+  ClusterState& state() { return state_; }
+  const ClusterState& state() const { return state_; }
+
+  /// Bulk-loads a block with random chunk placement (the paper's load
+  /// phase). Costs no simulated time.
+  void LoadBlock(BlockId id, std::uint64_t block_bytes);
+
+  /// Loads `count` blocks with ids [first, first + count).
+  void LoadBlocks(BlockId first, std::uint64_t count, std::uint64_t block_bytes);
+
+  /// Starts the periodic control-plane services (stats reports, probes,
+  /// chunk mover). Call once, before running the event queue.
+  void Start();
+
+  /// Asynchronous multiget: reconstructs every block and reports the
+  /// latency breakdown. Drives the full R1-R3 path of Fig. 3.
+  void Get(std::vector<BlockId> blocks, GetCallback done);
+
+  /// Outcome of a write (the W1-W3 path of Fig. 3).
+  struct PutResult {
+    SimTime total = 0;
+    bool ok = true;
+  };
+  using PutCallback = std::function<void(const PutResult&)>;
+
+  /// Asynchronous put: W1 decide placement (load-aware under the cost
+  /// model, random otherwise), W2 encode + write all k+r chunks, W3
+  /// commit metadata. Completion requires every chunk durable.
+  void Put(BlockId id, std::uint64_t block_bytes, PutCallback done);
+
+  /// Asynchronous delete: removes the metadata entry immediately (no
+  /// future plan can reach the chunks) and lazily discards chunk data.
+  void Delete(BlockId id, PutCallback done);
+
+  /// W1's placement decision, exposed for tests: k+r distinct available
+  /// sites — the least-loaded ones under the cost model, random for the
+  /// baseline techniques.
+  std::vector<SiteId> ChooseWriteSites(std::uint32_t count);
+
+  /// Fails/recovers a site (Section VI-C4). Failed sites finish queued
+  /// work but receive no new requests.
+  void FailSite(SiteId site);
+  void RecoverSite(SiteId site);
+
+  // --- Introspection for benches and tests.
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  const CoAccessTracker& co_access() const { return co_access_; }
+  const LoadTracker& load_tracker() const { return load_tracker_; }
+  std::uint64_t requests_completed() const { return requests_completed_; }
+
+  /// Cumulative bytes served by reads, per site (Fig. 4d).
+  std::vector<std::uint64_t> SiteBytesRead() const;
+
+  /// The paper's I/O imbalance metric (Table II):
+  /// lambda = (Lmax - Lavg) / Lavg * 100 over per-site bytes read since
+  /// the `baseline` snapshot. Only available sites participate.
+  double ImbalanceLambda(const std::vector<std::uint64_t>& baseline) const;
+
+  ControlPlaneUsage Usage() const;
+
+  /// Current cost parameters (o_j from probes, m_j from media model).
+  CostParams CurrentCostParams() const;
+
+  /// Cost parameters for a planning decision: CurrentCostParams() plus a
+  /// small random tie-break perturbation (see ECStoreConfig).
+  CostParams PlanningCostParams();
+
+  /// Estimated request arrival rate (requests/second), as the statistics
+  /// service sees it.
+  double RequestRate() const { return request_rate_per_sec_; }
+
+ private:
+  struct PendingRequest;
+
+  void PlanPhase(std::shared_ptr<PendingRequest> req);
+  void IssueReads(std::shared_ptr<PendingRequest> req, const AccessPlan& plan);
+  void OnChunkArrived(const std::shared_ptr<PendingRequest>& req,
+                      std::size_t block_index, ChunkIndex chunk);
+  void RetryAfterFailure(const std::shared_ptr<PendingRequest>& req,
+                         std::uint32_t generation);
+  void FinishRetrieval(const std::shared_ptr<PendingRequest>& req);
+  void Complete(const std::shared_ptr<PendingRequest>& req, bool ok);
+  bool ValidatePlan(const AccessPlan& plan) const;
+  AccessPlan PlanWithCostModel(const std::vector<BlockId>& blocks,
+                               const std::vector<BlockDemand>& demands,
+                               bool* cache_hit);
+  void ScheduleBackgroundIlp(const std::vector<BlockId>& blocks);
+  void RunIlpWorker();
+
+  void StatsTick();
+  void ProbeTick();
+  void MoverTick();
+  SimTime MoverPeriod() const;
+
+  ECStoreConfig config_;
+  sim::EventQueue queue_;
+  Rng rng_;
+  std::vector<std::unique_ptr<sim::SimSite>> sites_;
+  sim::Network net_;
+  ClusterState state_;
+  CoAccessTracker co_access_;
+  LoadTracker load_tracker_;
+  PlanCache plan_cache_;
+
+  bool started_ = false;
+  bool mover_busy_ = false;
+
+  // The chunk placement service runs ONE background ILP worker (as in
+  // Section V-B1); misses queue up (deduplicated, bounded) rather than
+  // spawning unbounded solver work.
+  std::deque<std::vector<BlockId>> ilp_queue_;
+  std::set<std::vector<BlockId>> ilp_pending_;
+  // Query sets that missed once: a set is only worth an ILP solve if it
+  // recurs (one-off scans can never hit the cache afterwards).
+  std::set<std::vector<BlockId>> missed_once_;
+  bool ilp_worker_busy_ = false;
+
+  std::uint64_t requests_completed_ = 0;
+  std::uint64_t completed_at_last_stats_tick_ = 0;
+  double request_rate_per_sec_ = 0;
+  std::vector<double> overheads_at_epoch_;
+
+  // Resource counters (Table III).
+  std::uint64_t stats_network_bytes_ = 0;
+  std::uint64_t mover_network_bytes_ = 0;
+  std::uint64_t ilp_solves_ = 0;
+  std::uint64_t moves_executed_ = 0;
+};
+
+}  // namespace ecstore

@@ -1,0 +1,108 @@
+// Codec interface shared by Reed–Solomon erasure coding and replication.
+//
+// A codec turns a block of bytes into `TotalChunks()` chunks such that the
+// block can be reconstructed from any `RequiredChunks()` of them. For
+// RS(k, r): total = k + r, required = k. For (r+1)-way replication:
+// total = r + 1, required = 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecstore {
+
+/// Bytes of a single encoded chunk.
+using ChunkData = std::vector<std::uint8_t>;
+
+/// A chunk paired with its index within the block's encoding.
+struct IndexedChunk {
+  ChunkIndex index = 0;
+  ChunkData data;
+};
+
+/// Fault-tolerant block codec. Implementations are stateless and
+/// thread-compatible; one instance may be shared across threads.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Chunks needed to reconstruct a block (the "k" of the scheme).
+  virtual std::uint32_t RequiredChunks() const = 0;
+
+  /// Chunks produced per block (k + r for RS, r + 1 for replication).
+  virtual std::uint32_t TotalChunks() const = 0;
+
+  /// Number of independent faults the scheme tolerates (the "r").
+  std::uint32_t FaultTolerance() const { return TotalChunks() - RequiredChunks(); }
+
+  /// Size in bytes of each chunk for a block of `block_size` bytes.
+  virtual std::size_t ChunkSize(std::size_t block_size) const = 0;
+
+  /// Storage factor relative to one copy of the data (k+r)/k or r+1.
+  double StorageOverhead() const {
+    return static_cast<double>(TotalChunks()) /
+           static_cast<double>(RequiredChunks());
+  }
+
+  /// Encodes a block into TotalChunks() chunks, each ChunkSize(n) bytes.
+  virtual std::vector<ChunkData> Encode(std::span<const std::uint8_t> block) const = 0;
+
+  /// Reconstructs the original block from any RequiredChunks() distinct
+  /// chunks. `block_size` is the original (pre-padding) byte count.
+  /// Throws std::invalid_argument on insufficient or duplicate chunks.
+  virtual std::vector<std::uint8_t> Decode(std::span<const IndexedChunk> chunks,
+                                           std::size_t block_size) const = 0;
+
+  /// True when decoding the given chunk set is a pure reassembly with no
+  /// field arithmetic (all-systematic RS chunks, or any replica). The
+  /// cluster simulator uses this to decide whether to charge decode CPU.
+  virtual bool IsTrivialDecode(std::span<const ChunkIndex> indices) const = 0;
+};
+
+/// RS(k, r) maximum-distance-separable codec over GF(2^8), built on a
+/// systematic Cauchy coding matrix. Replaces the paper's Jerasure 2.0.
+class ReedSolomonCodec final : public Codec {
+ public:
+  /// Requires k >= 2 (the paper's Section II) and k + r <= 256.
+  ReedSolomonCodec(std::uint32_t k, std::uint32_t r);
+  ~ReedSolomonCodec() override;
+
+  std::uint32_t RequiredChunks() const override { return k_; }
+  std::uint32_t TotalChunks() const override { return k_ + r_; }
+  std::size_t ChunkSize(std::size_t block_size) const override;
+
+  std::vector<ChunkData> Encode(std::span<const std::uint8_t> block) const override;
+  std::vector<std::uint8_t> Decode(std::span<const IndexedChunk> chunks,
+                                   std::size_t block_size) const override;
+  bool IsTrivialDecode(std::span<const ChunkIndex> indices) const override;
+
+ private:
+  struct Impl;
+  std::uint32_t k_, r_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// (r+1)-way replication expressed as a codec: every "chunk" is a full
+/// copy of the block. Used for the paper's replication baseline (R).
+class ReplicationCodec final : public Codec {
+ public:
+  explicit ReplicationCodec(std::uint32_t r);
+
+  std::uint32_t RequiredChunks() const override { return 1; }
+  std::uint32_t TotalChunks() const override { return r_ + 1; }
+  std::size_t ChunkSize(std::size_t block_size) const override { return block_size; }
+
+  std::vector<ChunkData> Encode(std::span<const std::uint8_t> block) const override;
+  std::vector<std::uint8_t> Decode(std::span<const IndexedChunk> chunks,
+                                   std::size_t block_size) const override;
+  bool IsTrivialDecode(std::span<const ChunkIndex> indices) const override;
+
+ private:
+  std::uint32_t r_;
+};
+
+}  // namespace ecstore

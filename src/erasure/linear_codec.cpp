@@ -1,0 +1,243 @@
+#include "erasure/linear_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "gf/gf256.h"
+
+namespace ecstore {
+
+LinearCodec::LinearCodec(gf::Matrix generator)
+    : generator_(std::move(generator)),
+      k_(generator_.cols()),
+      n_(generator_.rows()) {
+  if (k_ == 0) throw std::invalid_argument("LinearCodec: empty generator");
+  if (n_ < k_) throw std::invalid_argument("LinearCodec: fewer rows than data chunks");
+  if (n_ > 256) throw std::invalid_argument("LinearCodec: more than 256 chunks");
+}
+
+std::vector<ChunkData> LinearCodec::Encode(
+    std::span<const std::uint8_t> block) const {
+  const std::size_t chunk_size = ChunkSize(block.size());
+
+  // Split the block into k padded data chunks.
+  std::vector<ChunkData> data(k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    data[j].assign(chunk_size, 0);
+    const std::size_t offset = j * chunk_size;
+    if (offset < block.size()) {
+      const std::size_t count = std::min(chunk_size, block.size() - offset);
+      std::memcpy(data[j].data(), block.data() + offset, count);
+    }
+  }
+
+  std::vector<ChunkData> chunks(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    chunks[i].assign(chunk_size, 0);
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf::MulAddRegion(generator_.At(i, j), data[j], chunks[i]);
+    }
+  }
+  return chunks;
+}
+
+std::optional<LinearCodec::DecodeMap> LinearCodec::SolveFor(
+    std::span<const ChunkIndex> rows) const {
+  // Greedily collect k linearly independent generator rows, tracking,
+  // for each accepted row, its composition in terms of accepted inputs
+  // so we can build the inverse afterwards. Simpler: collect the row
+  // indices, then invert the resulting k x k submatrix.
+  std::vector<std::size_t> used;
+  std::vector<std::vector<gf::Elem>> basis;      // reduced rows
+  std::vector<std::size_t> pivot_col;            // pivot column per basis row
+
+  for (std::size_t pos = 0; pos < rows.size() && used.size() < k_; ++pos) {
+    const ChunkIndex r = rows[pos];
+    if (r >= n_) continue;
+    // Reduce the candidate row against the current basis.
+    std::vector<gf::Elem> row(k_);
+    for (std::size_t j = 0; j < k_; ++j) row[j] = generator_.At(r, j);
+    for (std::size_t b = 0; b < basis.size(); ++b) {
+      const gf::Elem factor = row[pivot_col[b]];
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < k_; ++j) {
+        row[j] = gf::Add(row[j], gf::Mul(factor, basis[b][j]));
+      }
+    }
+    // Find a pivot.
+    std::size_t col = k_;
+    for (std::size_t j = 0; j < k_; ++j) {
+      if (row[j] != 0) {
+        col = j;
+        break;
+      }
+    }
+    if (col == k_) continue;  // Dependent row.
+    // Normalize so the pivot is 1, then keep the basis in reduced
+    // (Gauss-Jordan) form: every other basis row gets a zero in this
+    // pivot column, so sequential elimination of future candidates is
+    // exact.
+    const gf::Elem inv = gf::Inverse(row[col]);
+    for (std::size_t j = 0; j < k_; ++j) row[j] = gf::Mul(row[j], inv);
+    for (std::size_t b = 0; b < basis.size(); ++b) {
+      const gf::Elem factor = basis[b][col];
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < k_; ++j) {
+        basis[b][j] = gf::Add(basis[b][j], gf::Mul(factor, row[j]));
+      }
+    }
+    basis.push_back(std::move(row));
+    pivot_col.push_back(col);
+    used.push_back(pos);
+  }
+  if (used.size() < k_) return std::nullopt;
+
+  // Invert the k x k submatrix of the chosen rows.
+  gf::Matrix sub(k_, k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t j = 0; j < k_; ++j) {
+      sub.At(i, j) = generator_.At(rows[used[i]], j);
+    }
+  }
+  if (!sub.Invert()) return std::nullopt;  // Unreachable given rank check.
+  return DecodeMap{std::move(used), std::move(sub)};
+}
+
+bool LinearCodec::CanDecode(std::span<const ChunkIndex> indices) const {
+  return SolveFor(indices).has_value();
+}
+
+std::optional<std::vector<std::uint8_t>> LinearCodec::TryDecode(
+    std::span<const IndexedChunk> chunks, std::size_t block_size) const {
+  const std::size_t chunk_size = ChunkSize(block_size);
+  std::vector<ChunkIndex> indices;
+  indices.reserve(chunks.size());
+  for (const IndexedChunk& c : chunks) {
+    if (c.data.size() != chunk_size) {
+      throw std::invalid_argument("LinearCodec::TryDecode: chunk size mismatch");
+    }
+    indices.push_back(c.index);
+  }
+  const auto map = SolveFor(indices);
+  if (!map) return std::nullopt;
+
+  std::vector<std::uint8_t> block(block_size);
+  std::vector<std::uint8_t> recovered(chunk_size);
+  for (std::size_t data_row = 0; data_row < k_; ++data_row) {
+    const std::size_t offset = data_row * chunk_size;
+    if (offset >= block_size) continue;
+    std::fill(recovered.begin(), recovered.end(), 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+      gf::MulAddRegion(map->inverse.At(data_row, i), chunks[map->used[i]].data,
+                       recovered);
+    }
+    const std::size_t count = std::min(chunk_size, block_size - offset);
+    std::memcpy(block.data() + offset, recovered.data(), count);
+  }
+  return block;
+}
+
+std::optional<ChunkData> LinearCodec::ReconstructChunk(
+    std::span<const IndexedChunk> chunks, ChunkIndex target,
+    std::size_t block_size) const {
+  if (target >= n_) return std::nullopt;
+  const auto block = TryDecode(chunks, block_size);
+  if (!block) return std::nullopt;
+  // Re-encode only the target row.
+  const std::size_t chunk_size = ChunkSize(block_size);
+  std::vector<ChunkData> data(k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    data[j].assign(chunk_size, 0);
+    const std::size_t offset = j * chunk_size;
+    if (offset < block->size()) {
+      const std::size_t count = std::min(chunk_size, block->size() - offset);
+      std::memcpy(data[j].data(), block->data() + offset, count);
+    }
+  }
+  ChunkData out(chunk_size, 0);
+  for (std::size_t j = 0; j < k_; ++j) {
+    gf::MulAddRegion(generator_.At(target, j), data[j], out);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LRC
+// ---------------------------------------------------------------------------
+
+gf::Matrix BuildLrcGenerator(std::uint32_t k, std::uint32_t l, std::uint32_t g) {
+  if (l == 0 || g == 0 || k == 0 || k % l != 0) {
+    throw std::invalid_argument("BuildLrcGenerator: need k % l == 0, l,g >= 1");
+  }
+  if (k + l + g > 256) throw std::invalid_argument("BuildLrcGenerator: too many chunks");
+  const std::uint32_t group = k / l;
+
+  gf::Matrix m(k + l + g, k);
+  for (std::uint32_t i = 0; i < k; ++i) m.At(i, i) = 1;
+  // Local parities: XOR over each group.
+  for (std::uint32_t i = 0; i < l; ++i) {
+    for (std::uint32_t j = i * group; j < (i + 1) * group; ++j) {
+      m.At(k + i, j) = 1;
+    }
+  }
+  // Global parities: Cauchy rows with evaluation points disjoint from the
+  // data points, so any g x g (and smaller) global submatrix is regular.
+  for (std::uint32_t t = 0; t < g; ++t) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const gf::Elem x = static_cast<gf::Elem>(t);
+      const gf::Elem y = static_cast<gf::Elem>(g + j);
+      m.At(k + l + t, j) = gf::Inverse(gf::Add(x, y));
+    }
+  }
+  return m;
+}
+
+LrcCodec::LrcCodec(std::uint32_t k, std::uint32_t l, std::uint32_t g)
+    : k_(k), l_(l), g_(g), codec_(BuildLrcGenerator(k, l, g)) {}
+
+std::optional<std::uint32_t> LrcCodec::GroupOf(ChunkIndex index) const {
+  if (index < k_) return index / GroupSize();
+  if (index < k_ + l_) return index - k_;
+  return std::nullopt;  // Global parity.
+}
+
+std::optional<std::vector<ChunkIndex>> LrcCodec::LocalRepairSet(
+    ChunkIndex failed) const {
+  const auto group = GroupOf(failed);
+  if (!group) return std::nullopt;
+  std::vector<ChunkIndex> set;
+  for (std::uint32_t j = *group * GroupSize(); j < (*group + 1) * GroupSize(); ++j) {
+    if (j != failed) set.push_back(j);
+  }
+  const ChunkIndex parity = k_ + *group;
+  if (parity != failed) set.push_back(parity);
+  return set;
+}
+
+std::optional<ChunkData> LrcCodec::RepairLocally(
+    ChunkIndex failed, std::span<const IndexedChunk> group_chunks,
+    std::size_t block_size) const {
+  const auto expected = LocalRepairSet(failed);
+  if (!expected) return std::nullopt;
+  const std::size_t chunk_size = codec_.ChunkSize(block_size);
+  // A local parity is the XOR of its group: the failed chunk equals the
+  // XOR of every other chunk in {group members, parity}.
+  std::vector<bool> seen(TotalChunks(), false);
+  ChunkData out(chunk_size, 0);
+  std::size_t provided = 0;
+  for (const IndexedChunk& c : group_chunks) {
+    if (std::find(expected->begin(), expected->end(), c.index) == expected->end()) {
+      continue;  // Not part of this repair set.
+    }
+    if (seen[c.index]) continue;
+    if (c.data.size() != chunk_size) return std::nullopt;
+    seen[c.index] = true;
+    gf::AddRegion(c.data, out);
+    ++provided;
+  }
+  if (provided != expected->size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace ecstore

@@ -1,0 +1,133 @@
+// General linear block codes over GF(2^8), and Local Reconstruction
+// Codes (LRC) as used by Windows Azure Storage (Huang et al., the
+// paper's reference [19]).
+//
+// The paper treats coding schemes as orthogonal to its placement and
+// access strategies (Section VII: new codes "do not address strategies
+// for placement and access"); this module extends the library beyond
+// MDS Reed–Solomon so downstream users can pair EC-Store's strategies
+// with repair-efficient codes.
+//
+// A linear codec is defined by a (k+p) x k generator matrix G over
+// GF(2^8): chunks = G * data_chunks. Unlike the MDS codecs in codec.h,
+// an arbitrary linear code cannot reconstruct from *every* k-subset —
+// decodability depends on the rank of the selected rows, so Decode here
+// is a Try-style operation and callers can query decodability per
+// erasure pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "erasure/codec.h"
+#include "gf/matrix.h"
+
+namespace ecstore {
+
+/// A linear block code chunks = G * data over GF(2^8).
+class LinearCodec {
+ public:
+  /// `generator` must have cols >= 1 and rows >= cols; rows of the
+  /// identity on top are conventional but not required.
+  explicit LinearCodec(gf::Matrix generator);
+
+  std::uint32_t DataChunks() const { return static_cast<std::uint32_t>(k_); }
+  std::uint32_t TotalChunks() const { return static_cast<std::uint32_t>(n_); }
+  std::size_t ChunkSize(std::size_t block_size) const {
+    return (block_size + k_ - 1) / k_;
+  }
+
+  const gf::Matrix& generator() const { return generator_; }
+
+  /// Encodes a block into TotalChunks() chunks.
+  std::vector<ChunkData> Encode(std::span<const std::uint8_t> block) const;
+
+  /// True iff the given chunk indices span the data (selected generator
+  /// rows have rank k) — i.e., Decode would succeed.
+  bool CanDecode(std::span<const ChunkIndex> indices) const;
+
+  /// Reconstructs the block from the given chunks if their rows span the
+  /// data space; returns std::nullopt otherwise.
+  std::optional<std::vector<std::uint8_t>> TryDecode(
+      std::span<const IndexedChunk> chunks, std::size_t block_size) const;
+
+  /// Re-creates the content of chunk `target` from the given chunks
+  /// (e.g. a repair). Returns std::nullopt if they do not determine it.
+  std::optional<ChunkData> ReconstructChunk(
+      std::span<const IndexedChunk> chunks, ChunkIndex target,
+      std::size_t block_size) const;
+
+ private:
+  /// How to recover the data chunks from a set of available chunks: the
+  /// positions (into the caller's chunk list) of the k chunks used, and
+  /// the k x k matrix mapping them to the data chunks.
+  struct DecodeMap {
+    std::vector<std::size_t> used;
+    gf::Matrix inverse;
+  };
+
+  /// Greedy rank-building over the selected generator rows; nullopt when
+  /// they do not span the data space.
+  std::optional<DecodeMap> SolveFor(std::span<const ChunkIndex> rows) const;
+
+  gf::Matrix generator_;
+  std::size_t k_, n_;
+};
+
+/// Azure-style LRC(k, l, g): k data chunks split into l equal local
+/// groups, one XOR parity per group, plus g global (Cauchy) parities.
+/// Total chunks = k + l + g.
+///
+/// Chunk layout: [0, k) data; [k, k+l) local parities (group i's parity
+/// at index k+i); [k+l, k+l+g) global parities.
+class LrcCodec {
+ public:
+  /// Requires k % l == 0, l >= 1, g >= 1, k + l + g <= 256.
+  LrcCodec(std::uint32_t k, std::uint32_t l, std::uint32_t g);
+
+  std::uint32_t k() const { return k_; }
+  std::uint32_t l() const { return l_; }
+  std::uint32_t g() const { return g_; }
+  std::uint32_t TotalChunks() const { return k_ + l_ + g_; }
+  std::uint32_t GroupSize() const { return k_ / l_; }
+
+  /// Storage factor, e.g. LRC(12,2,2) = 16/12 = 1.33x.
+  double StorageOverhead() const {
+    return static_cast<double>(TotalChunks()) / k_;
+  }
+
+  const LinearCodec& codec() const { return codec_; }
+
+  std::vector<ChunkData> Encode(std::span<const std::uint8_t> block) const {
+    return codec_.Encode(block);
+  }
+  std::optional<std::vector<std::uint8_t>> TryDecode(
+      std::span<const IndexedChunk> chunks, std::size_t block_size) const {
+    return codec_.TryDecode(chunks, block_size);
+  }
+
+  /// The local group of a data or local-parity chunk; global parities
+  /// belong to no group (returns nullopt).
+  std::optional<std::uint32_t> GroupOf(ChunkIndex index) const;
+
+  /// The chunk indices needed to repair `failed` locally: the rest of its
+  /// group plus the group parity (GroupSize() chunks instead of k).
+  /// Global parities have no local repair set.
+  std::optional<std::vector<ChunkIndex>> LocalRepairSet(ChunkIndex failed) const;
+
+  /// Repairs one failed chunk from its local repair set's data.
+  std::optional<ChunkData> RepairLocally(ChunkIndex failed,
+                                         std::span<const IndexedChunk> group_chunks,
+                                         std::size_t block_size) const;
+
+ private:
+  std::uint32_t k_, l_, g_;
+  LinearCodec codec_;
+};
+
+/// Builds the LRC generator matrix described above.
+gf::Matrix BuildLrcGenerator(std::uint32_t k, std::uint32_t l, std::uint32_t g);
+
+}  // namespace ecstore

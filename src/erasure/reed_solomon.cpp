@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "erasure/codec.h"
+#include "gf/gf256.h"
+#include "gf/matrix.h"
+
+namespace ecstore {
+
+struct ReedSolomonCodec::Impl {
+  gf::Matrix coding;  // (k+r) x k systematic Cauchy matrix.
+};
+
+ReedSolomonCodec::ReedSolomonCodec(std::uint32_t k, std::uint32_t r)
+    : k_(k), r_(r), impl_(std::make_unique<Impl>()) {
+  if (k < 2) throw std::invalid_argument("ReedSolomonCodec: k must be >= 2");
+  if (r < 1) throw std::invalid_argument("ReedSolomonCodec: r must be >= 1");
+  if (k + r > 256) throw std::invalid_argument("ReedSolomonCodec: k + r must be <= 256");
+  impl_->coding = gf::BuildSystematicCauchy(k, r);
+}
+
+ReedSolomonCodec::~ReedSolomonCodec() = default;
+
+std::size_t ReedSolomonCodec::ChunkSize(std::size_t block_size) const {
+  return (block_size + k_ - 1) / k_;
+}
+
+std::vector<ChunkData> ReedSolomonCodec::Encode(
+    std::span<const std::uint8_t> block) const {
+  const std::size_t chunk_size = ChunkSize(block.size());
+  std::vector<ChunkData> chunks(k_ + r_);
+
+  // Systematic chunks: a straight split of the block, zero-padded at the
+  // tail so every chunk is exactly chunk_size bytes.
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    chunks[i].assign(chunk_size, 0);
+    const std::size_t offset = static_cast<std::size_t>(i) * chunk_size;
+    if (offset < block.size()) {
+      const std::size_t n = std::min(chunk_size, block.size() - offset);
+      std::memcpy(chunks[i].data(), block.data() + offset, n);
+    }
+  }
+  // Parity chunks: row (k + p) of the coding matrix applied to the data.
+  for (std::uint32_t p = 0; p < r_; ++p) {
+    chunks[k_ + p].assign(chunk_size, 0);
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      gf::MulAddRegion(impl_->coding.At(k_ + p, j), chunks[j], chunks[k_ + p]);
+    }
+  }
+  return chunks;
+}
+
+std::vector<std::uint8_t> ReedSolomonCodec::Decode(
+    std::span<const IndexedChunk> chunks, std::size_t block_size) const {
+  if (chunks.size() < k_) {
+    throw std::invalid_argument("ReedSolomonCodec::Decode: fewer than k chunks");
+  }
+  const std::size_t chunk_size = ChunkSize(block_size);
+
+  // Use the first k distinct chunk indices.
+  std::vector<const IndexedChunk*> use;
+  use.reserve(k_);
+  for (const auto& c : chunks) {
+    if (c.index >= k_ + r_) {
+      throw std::invalid_argument("ReedSolomonCodec::Decode: chunk index out of range");
+    }
+    const bool dup = std::any_of(use.begin(), use.end(), [&](const IndexedChunk* u) {
+      return u->index == c.index;
+    });
+    if (dup) continue;
+    if (c.data.size() != chunk_size) {
+      throw std::invalid_argument("ReedSolomonCodec::Decode: chunk size mismatch");
+    }
+    use.push_back(&c);
+    if (use.size() == k_) break;
+  }
+  if (use.size() < k_) {
+    throw std::invalid_argument("ReedSolomonCodec::Decode: fewer than k distinct chunks");
+  }
+
+  std::vector<std::uint8_t> block(block_size);
+
+  // Fast path: all k systematic chunks present — reassembly only.
+  const bool all_systematic =
+      std::all_of(use.begin(), use.end(),
+                  [&](const IndexedChunk* c) { return c->index < k_; });
+  if (all_systematic) {
+    for (const IndexedChunk* c : use) {
+      const std::size_t offset = static_cast<std::size_t>(c->index) * chunk_size;
+      if (offset >= block_size) continue;
+      const std::size_t n = std::min(chunk_size, block_size - offset);
+      std::memcpy(block.data() + offset, c->data.data(), n);
+    }
+    return block;
+  }
+
+  // General path: invert the k x k submatrix of the rows we hold. The
+  // product (inverse * held_chunks) yields the k systematic chunks.
+  std::vector<std::size_t> rows(k_);
+  for (std::uint32_t i = 0; i < k_; ++i) rows[i] = use[i]->index;
+  gf::Matrix sub = impl_->coding.SelectRows(rows);
+  if (!sub.Invert()) {
+    // Cannot happen for a Cauchy MDS matrix with distinct rows; guard anyway.
+    throw std::runtime_error("ReedSolomonCodec::Decode: singular decode matrix");
+  }
+
+  std::vector<std::uint8_t> recovered(chunk_size);
+  for (std::uint32_t data_row = 0; data_row < k_; ++data_row) {
+    const std::size_t offset = static_cast<std::size_t>(data_row) * chunk_size;
+    if (offset >= block_size) continue;
+    std::fill(recovered.begin(), recovered.end(), 0);
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      gf::MulAddRegion(sub.At(data_row, j), use[j]->data, recovered);
+    }
+    const std::size_t n = std::min(chunk_size, block_size - offset);
+    std::memcpy(block.data() + offset, recovered.data(), n);
+  }
+  return block;
+}
+
+bool ReedSolomonCodec::IsTrivialDecode(std::span<const ChunkIndex> indices) const {
+  std::uint32_t systematic = 0;
+  for (ChunkIndex i : indices) {
+    if (i < k_) ++systematic;
+  }
+  return systematic >= k_;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationCodec
+// ---------------------------------------------------------------------------
+
+ReplicationCodec::ReplicationCodec(std::uint32_t r) : r_(r) {
+  if (r < 1) throw std::invalid_argument("ReplicationCodec: r must be >= 1");
+}
+
+std::vector<ChunkData> ReplicationCodec::Encode(
+    std::span<const std::uint8_t> block) const {
+  std::vector<ChunkData> copies(r_ + 1);
+  for (auto& copy : copies) copy.assign(block.begin(), block.end());
+  return copies;
+}
+
+std::vector<std::uint8_t> ReplicationCodec::Decode(
+    std::span<const IndexedChunk> chunks, std::size_t block_size) const {
+  for (const auto& c : chunks) {
+    if (c.index >= r_ + 1) {
+      throw std::invalid_argument("ReplicationCodec::Decode: chunk index out of range");
+    }
+    if (c.data.size() != block_size) {
+      throw std::invalid_argument("ReplicationCodec::Decode: replica size mismatch");
+    }
+    return c.data;
+  }
+  throw std::invalid_argument("ReplicationCodec::Decode: no chunks supplied");
+}
+
+bool ReplicationCodec::IsTrivialDecode(std::span<const ChunkIndex> indices) const {
+  return !indices.empty();
+}
+
+}  // namespace ecstore

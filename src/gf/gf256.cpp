@@ -1,0 +1,120 @@
+#include "gf/gf256.h"
+
+#include <array>
+#include <cassert>
+
+namespace ecstore::gf {
+
+namespace {
+
+struct Tables {
+  // exp_[i] = alpha^i for i in [0, 510) so Mul can skip a modulo.
+  std::array<Elem, 512> exp_;
+  std::array<unsigned, 256> log_;
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<Elem>(x);
+      log_[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= kPrimitivePoly;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+    log_[0] = 0;  // Undefined; callers must not look it up.
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+Elem Mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = T();
+  return t.exp_[t.log_[a] + t.log_[b]];
+}
+
+Elem Div(Elem a, Elem b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const auto& t = T();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+Elem Inverse(Elem a) {
+  assert(a != 0);
+  const auto& t = T();
+  return t.exp_[255 - t.log_[a]];
+}
+
+Elem Pow(Elem a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = T();
+  return t.exp_[(t.log_[a] * static_cast<unsigned long>(n)) % 255];
+}
+
+Elem Exp(unsigned n) { return T().exp_[n % 255]; }
+
+unsigned Log(Elem a) {
+  assert(a != 0);
+  return T().log_[a];
+}
+
+void MulAddRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst) {
+  assert(dst.size() >= src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    AddRegion(src, dst);
+    return;
+  }
+  // Build a product table for this constant: one multiply per distinct
+  // byte value instead of one per data byte.
+  const auto& t = T();
+  const unsigned log_c = t.log_[c];
+  std::array<Elem, 256> prod;
+  prod[0] = 0;
+  for (unsigned v = 1; v < 256; ++v) prod[v] = t.exp_[t.log_[v] + log_c];
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= prod[src[i]];
+}
+
+void MulRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst) {
+  assert(dst.size() >= src.size());
+  const std::size_t n = src.size();
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  const auto& t = T();
+  const unsigned log_c = t.log_[c];
+  std::array<Elem, 256> prod;
+  prod[0] = 0;
+  for (unsigned v = 1; v < 256; ++v) prod[v] = t.exp_[t.log_[v] + log_c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = prod[src[i]];
+}
+
+void AddRegion(std::span<const Elem> src, std::span<Elem> dst) {
+  assert(dst.size() >= src.size());
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  // XOR eight bytes at a time; the compiler vectorizes the remainder.
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    __builtin_memcpy(&a, src.data() + i, 8);
+    __builtin_memcpy(&b, dst.data() + i, 8);
+    b ^= a;
+    __builtin_memcpy(dst.data() + i, &b, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace ecstore::gf

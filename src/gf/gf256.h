@@ -1,0 +1,53 @@
+// Galois-field GF(2^8) arithmetic, the substrate for Reed–Solomon coding.
+//
+// Replaces the paper's use of Jerasure/GF-Complete. Field is GF(2^8) with
+// the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same
+// field used by most storage erasure-coding libraries. Addition is XOR;
+// multiplication uses 256-entry log/exp tables built once at startup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ecstore::gf {
+
+/// Field element.
+using Elem = std::uint8_t;
+
+/// The field's primitive polynomial (without the x^8 term): 0x1D.
+constexpr std::uint16_t kPrimitivePoly = 0x11D;
+
+/// Adds two field elements (carry-less, so identical to subtraction).
+constexpr Elem Add(Elem a, Elem b) { return a ^ b; }
+
+/// Multiplies two field elements.
+Elem Mul(Elem a, Elem b);
+
+/// Divides a by b. b must be non-zero.
+Elem Div(Elem a, Elem b);
+
+/// Multiplicative inverse of a non-zero element.
+Elem Inverse(Elem a);
+
+/// a raised to the n-th power (n >= 0).
+Elem Pow(Elem a, unsigned n);
+
+/// Evaluates exp table: alpha^n where alpha = 2 is the field generator.
+Elem Exp(unsigned n);
+
+/// Discrete log base alpha of a non-zero element.
+unsigned Log(Elem a);
+
+/// dst[i] ^= c * src[i] for i in [0, n). The core inner loop of
+/// Reed–Solomon encode/decode; uses a per-constant 256-entry product
+/// table so the hot loop is a single lookup + XOR per byte.
+void MulAddRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst);
+
+/// dst[i] = c * src[i] for i in [0, n).
+void MulRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst);
+
+/// dst[i] ^= src[i] for i in [0, n).
+void AddRegion(std::span<const Elem> src, std::span<Elem> dst);
+
+}  // namespace ecstore::gf

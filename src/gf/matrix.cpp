@@ -1,0 +1,96 @@
+#include "gf/matrix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ecstore::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::SelectRows(const std::vector<std::size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    assert(row_indices[i] < rows_);
+    for (std::size_t c = 0; c < cols_; ++c) out.At(i, c) = At(row_indices[i], c);
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const Elem a = At(i, j);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.At(i, c) = Add(out.At(i, c), Mul(a, other.At(j, c)));
+      }
+    }
+  }
+  return out;
+}
+
+bool Matrix::Invert() {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix aug = Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot (any non-zero entry works in a field).
+    std::size_t pivot = col;
+    while (pivot < n && At(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;  // Singular.
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(At(pivot, c), At(col, c));
+        std::swap(aug.At(pivot, c), aug.At(col, c));
+      }
+    }
+    // Scale the pivot row to make the pivot 1.
+    const Elem inv = Inverse(At(col, col));
+    for (std::size_t c = 0; c < n; ++c) {
+      At(col, c) = Mul(At(col, c), inv);
+      aug.At(col, c) = Mul(aug.At(col, c), inv);
+    }
+    // Eliminate the column from every other row.
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const Elem factor = At(row, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        At(row, c) = Add(At(row, c), Mul(factor, At(col, c)));
+        aug.At(row, c) = Add(aug.At(row, c), Mul(factor, aug.At(col, c)));
+      }
+    }
+  }
+  *this = aug;
+  return true;
+}
+
+Matrix BuildSystematicCauchy(std::size_t k, std::size_t r) {
+  if (k + r > 256) {
+    throw std::invalid_argument("GF(2^8) Cauchy construction requires k + r <= 256");
+  }
+  Matrix m(k + r, k);
+  for (std::size_t i = 0; i < k; ++i) m.At(i, i) = 1;
+  // Disjoint evaluation points: x_i = i (for parity rows), y_j = r + j
+  // (for data columns). x_i + y_j is never 0 because the sets are disjoint
+  // (addition is XOR and all points are distinct 8-bit values).
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const Elem x = static_cast<Elem>(i);
+      const Elem y = static_cast<Elem>(r + j);
+      m.At(k + i, j) = Inverse(Add(x, y));
+    }
+  }
+  return m;
+}
+
+}  // namespace ecstore::gf

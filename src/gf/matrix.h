@@ -1,0 +1,50 @@
+// Dense matrices over GF(2^8) with Gauss–Jordan inversion, used to build
+// and invert Reed–Solomon coding matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace ecstore::gf {
+
+/// A rows x cols matrix of GF(2^8) elements, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Elem& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  Elem At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Returns a new matrix containing only the given rows, in order.
+  Matrix SelectRows(const std::vector<std::size_t>& row_indices) const;
+
+  /// Matrix product; cols() must equal other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Inverts a square matrix in place via Gauss–Jordan elimination.
+  /// Returns false (leaving contents unspecified) if singular.
+  bool Invert();
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<Elem> data_;
+};
+
+/// Builds the (k+r) x k Cauchy-style systematic coding matrix: the top
+/// k rows are the identity (systematic data chunks) and the bottom r rows
+/// are a Cauchy matrix with entries 1/(x_i + y_j), which guarantees that
+/// every k x k submatrix is invertible — the MDS property Reed–Solomon
+/// codes require (any k of k+r chunks reconstruct the block).
+Matrix BuildSystematicCauchy(std::size_t k, std::size_t r);
+
+}  // namespace ecstore::gf

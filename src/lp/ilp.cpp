@@ -1,0 +1,122 @@
+#include "lp/ilp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace ecstore::lp {
+
+std::size_t IlpProblem::AddBinaryVariable(double cost) {
+  const std::size_t idx = lp.AddVariable(cost);
+  Constraint ub;
+  ub.terms = {{idx, 1.0}};
+  ub.relation = Relation::kLessEq;
+  ub.rhs = 1.0;
+  lp.AddConstraint(std::move(ub));
+  binary_vars.push_back(idx);
+  return idx;
+}
+
+namespace {
+
+struct Node {
+  // Variable fixings accumulated down the branch: (var, value).
+  std::vector<std::pair<std::size_t, double>> fixings;
+  double bound = 0;  // LP relaxation objective (lower bound).
+
+  bool operator>(const Node& other) const { return bound > other.bound; }
+};
+
+/// Finds the most fractional binary variable; returns npos if integral.
+std::size_t MostFractional(const IlpProblem& p, const std::vector<double>& x,
+                           double tol) {
+  std::size_t best = static_cast<std::size_t>(-1);
+  double best_dist = tol;
+  for (std::size_t v : p.binary_vars) {
+    const double frac = x[v] - std::floor(x[v]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = v;
+    }
+  }
+  return best;
+}
+
+LpSolution SolveWithFixings(const IlpProblem& p,
+                            const std::vector<std::pair<std::size_t, double>>& fixings) {
+  LpProblem lp = p.lp;
+  for (const auto& [var, value] : fixings) {
+    Constraint c;
+    c.terms = {{var, 1.0}};
+    c.relation = Relation::kEqual;
+    c.rhs = value;
+    lp.AddConstraint(std::move(c));
+  }
+  return SolveLp(lp);
+}
+
+}  // namespace
+
+IlpSolution SolveIlp(const IlpProblem& problem, const IlpOptions& options) {
+  IlpSolution result;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> open;
+
+  // Root relaxation.
+  LpSolution root = SolveLp(problem.lp);
+  ++result.nodes_explored;
+  if (root.status == SolveStatus::kInfeasible) {
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+  if (root.status == SolveStatus::kUnbounded) {
+    result.status = SolveStatus::kUnbounded;
+    return result;
+  }
+
+  const auto try_accept = [&](const LpSolution& sol) {
+    const std::size_t frac = MostFractional(problem, sol.values, options.int_tolerance);
+    if (frac != static_cast<std::size_t>(-1)) return false;
+    if (sol.objective < incumbent - 1e-12) {
+      incumbent = sol.objective;
+      result.objective = sol.objective;
+      result.values = sol.values;
+      for (std::size_t v : problem.binary_vars) {
+        result.values[v] = std::round(result.values[v]);
+      }
+      result.status = SolveStatus::kOptimal;
+    }
+    return true;
+  };
+
+  if (try_accept(root)) return result;
+  open.push(Node{{}, root.objective});
+
+  while (!open.empty()) {
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent - 1e-12) continue;  // Pruned by bound.
+    if (options.max_nodes && result.nodes_explored >= options.max_nodes) break;
+
+    LpSolution sol = SolveWithFixings(problem, node.fixings);
+    ++result.nodes_explored;
+    if (sol.status != SolveStatus::kOptimal) continue;
+    if (sol.objective >= incumbent - 1e-12) continue;
+    if (try_accept(sol)) continue;
+
+    const std::size_t branch_var =
+        MostFractional(problem, sol.values, options.int_tolerance);
+    for (double value : {0.0, 1.0}) {
+      Node child = node;
+      child.fixings.emplace_back(branch_var, value);
+      child.bound = sol.objective;
+      open.push(std::move(child));
+    }
+  }
+  return result;
+}
+
+}  // namespace ecstore::lp

@@ -1,0 +1,46 @@
+// Branch-and-bound integer programming on top of the simplex LP solver.
+//
+// Supports binary (0/1) variables — the only integer kind EC-Store's
+// access-plan formulation uses (Table I: s_ij and a_j are binary).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace ecstore::lp {
+
+/// A minimization ILP: the base LP plus a designation of which variables
+/// must take values in {0, 1}. Branching fixes binaries via added
+/// equality constraints on LP relaxations.
+struct IlpProblem {
+  LpProblem lp;
+  std::vector<std::size_t> binary_vars;  // indices into lp variables
+
+  /// Adds a binary variable with the given objective cost; also installs
+  /// its x <= 1 bound constraint. Returns the variable index.
+  std::size_t AddBinaryVariable(double cost);
+};
+
+struct IlpSolution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> values;      // relaxation values rounded to integers
+  std::uint64_t nodes_explored = 0;  // B&B nodes, for diagnostics/benches
+};
+
+/// Solver options.
+struct IlpOptions {
+  /// Maximum branch-and-bound nodes before giving up and returning the
+  /// incumbent (status stays kOptimal only if proven). 0 = unlimited.
+  std::uint64_t max_nodes = 0;
+  /// Integrality tolerance.
+  double int_tolerance = 1e-6;
+};
+
+/// Solves the ILP with best-first branch-and-bound; returns a proven
+/// optimum for feasible problems (given no node limit).
+IlpSolution SolveIlp(const IlpProblem& problem, const IlpOptions& options = {});
+
+}  // namespace ecstore::lp

@@ -1,0 +1,261 @@
+#include "lp/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ecstore::lp {
+
+std::size_t LpProblem::AddVariable(double cost) {
+  objective.push_back(cost);
+  return num_vars++;
+}
+
+std::size_t LpProblem::AddConstraint(Constraint c) {
+  constraints.push_back(std::move(c));
+  return constraints.size() - 1;
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau simplex working state.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p) : p_(p), m_(p.constraints.size()) {
+    n_struct_ = p.num_vars;
+    // Column layout: [structural | slack/surplus | artificial].
+    // First pass: count slack and artificial columns.
+    std::size_t slacks = 0, artificials = 0;
+    for (const auto& c : p.constraints) {
+      const double rhs = c.rhs;
+      const bool flip = rhs < 0;  // Normalize to rhs >= 0.
+      Relation rel = c.relation;
+      if (flip) {
+        rel = rel == Relation::kLessEq     ? Relation::kGreaterEq
+              : rel == Relation::kGreaterEq ? Relation::kLessEq
+                                            : Relation::kEqual;
+      }
+      if (rel != Relation::kEqual) ++slacks;
+      // <= with rhs >= 0: slack is a ready-made basic var, no artificial.
+      if (rel != Relation::kLessEq) ++artificials;
+    }
+    n_slack_ = slacks;
+    n_art_ = artificials;
+    n_total_ = n_struct_ + n_slack_ + n_art_;
+
+    rows_.assign(m_, std::vector<double>(n_total_ + 1, 0.0));
+    basis_.assign(m_, 0);
+
+    std::size_t slack_at = n_struct_;
+    std::size_t art_at = n_struct_ + n_slack_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const auto& c = p.constraints[i];
+      double rhs = c.rhs;
+      double sign = 1.0;
+      Relation rel = c.relation;
+      if (rhs < 0) {
+        sign = -1.0;
+        rhs = -rhs;
+        rel = rel == Relation::kLessEq     ? Relation::kGreaterEq
+              : rel == Relation::kGreaterEq ? Relation::kLessEq
+                                            : Relation::kEqual;
+      }
+      for (const auto& [var, coeff] : c.terms) {
+        assert(var < n_struct_);
+        rows_[i][var] += sign * coeff;
+      }
+      rows_[i][n_total_] = rhs;
+      if (rel == Relation::kLessEq) {
+        rows_[i][slack_at] = 1.0;
+        basis_[i] = slack_at;
+        ++slack_at;
+      } else if (rel == Relation::kGreaterEq) {
+        rows_[i][slack_at] = -1.0;  // surplus
+        ++slack_at;
+        rows_[i][art_at] = 1.0;
+        basis_[i] = art_at;
+        ++art_at;
+      } else {  // kEqual
+        rows_[i][art_at] = 1.0;
+        basis_[i] = art_at;
+        ++art_at;
+      }
+    }
+  }
+
+  /// Runs phase 1 then phase 2; returns the final status.
+  SolveStatus Solve() {
+    if (n_art_ > 0) {
+      // Phase 1: minimize the sum of artificial variables.
+      std::vector<double> cost(n_total_, 0.0);
+      for (std::size_t j = n_struct_ + n_slack_; j < n_total_; ++j) cost[j] = 1.0;
+      const SolveStatus s1 = RunSimplex(cost, /*forbid_artificials=*/false);
+      if (s1 == SolveStatus::kUnbounded) return SolveStatus::kInfeasible;
+      if (PhaseObjective(cost) > 1e-7) return SolveStatus::kInfeasible;
+      DriveOutArtificials();
+    }
+    std::vector<double> cost(n_total_, 0.0);
+    for (std::size_t j = 0; j < n_struct_; ++j) cost[j] = p_.objective[j];
+    return RunSimplex(cost, /*forbid_artificials=*/true);
+  }
+
+  double ObjectiveValue() const {
+    double v = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_struct_) v += p_.objective[basis_[i]] * rows_[i][n_total_];
+    }
+    return v;
+  }
+
+  std::vector<double> Values() const {
+    std::vector<double> x(n_struct_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_struct_) x[basis_[i]] = rows_[i][n_total_];
+    }
+    return x;
+  }
+
+ private:
+  double PhaseObjective(const std::vector<double>& cost) const {
+    double v = 0;
+    for (std::size_t i = 0; i < m_; ++i) v += cost[basis_[i]] * rows_[i][n_total_];
+    return v;
+  }
+
+  SolveStatus RunSimplex(const std::vector<double>& cost, bool forbid_artificials) {
+    const std::size_t limit = forbid_artificials ? n_struct_ + n_slack_ : n_total_;
+
+    // Maintain the reduced-cost row incrementally: obj_[j] = c_j - z_j.
+    obj_.assign(n_total_ + 1, 0.0);
+    for (std::size_t j = 0; j < n_total_; ++j) obj_[j] = cost[j];
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j <= n_total_; ++j) obj_[j] -= cb * rows_[i][j];
+    }
+
+    // Dantzig pricing for speed; switch to Bland's rule after a run of
+    // degenerate pivots to guarantee termination.
+    const std::size_t max_iters = 100 * (m_ + n_total_) + 1000;
+    std::size_t degenerate_streak = 0;
+    constexpr std::size_t kBlandThreshold = 50;
+
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      const bool bland = degenerate_streak >= kBlandThreshold;
+      std::size_t enter = n_total_;
+      double most_negative = -kEps;
+      for (std::size_t j = 0; j < limit; ++j) {
+        const double d = obj_[j];
+        if (d < -kEps) {
+          if (bland) {
+            enter = j;
+            break;
+          }
+          if (d < most_negative) {
+            most_negative = d;
+            enter = j;
+          }
+        }
+      }
+      if (enter == n_total_) return SolveStatus::kOptimal;
+
+      std::size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double a = rows_[i][enter];
+        if (a > kEps) {
+          const double ratio = rows_[i][n_total_] / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave == m_ || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m_) return SolveStatus::kUnbounded;
+      degenerate_streak = best_ratio < kEps ? degenerate_streak + 1 : 0;
+      Pivot(leave, enter);
+    }
+    return SolveStatus::kOptimal;  // Defensive: should not be reached.
+  }
+
+  void Pivot(std::size_t row, std::size_t col) {
+    auto& pivot_row = rows_[row];
+    const double pv = pivot_row[col];
+    for (auto& v : pivot_row) v /= pv;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double factor = rows_[i][col];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j <= n_total_; ++j) {
+        rows_[i][j] -= factor * pivot_row[j];
+      }
+    }
+    // Keep the reduced-cost row in sync.
+    if (!obj_.empty()) {
+      const double factor = obj_[col];
+      if (std::abs(factor) > kEps * kEps) {
+        for (std::size_t j = 0; j <= n_total_; ++j) {
+          obj_[j] -= factor * pivot_row[j];
+        }
+      }
+    }
+    basis_[row] = col;
+  }
+
+  /// After phase 1, replace any artificial still in the basis (at value 0)
+  /// with a structural/slack column, or leave the degenerate row in place.
+  void DriveOutArtificials() {
+    const std::size_t art_begin = n_struct_ + n_slack_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < art_begin) continue;
+      for (std::size_t j = 0; j < art_begin; ++j) {
+        if (std::abs(rows_[i][j]) > kEps) {
+          Pivot(i, j);
+          break;
+        }
+      }
+      // If no pivot column exists the row is redundant (all-zero with
+      // zero rhs); the artificial stays basic at value 0, which is safe.
+    }
+  }
+
+  const LpProblem& p_;
+  std::size_t m_;
+  std::size_t n_struct_ = 0, n_slack_ = 0, n_art_ = 0, n_total_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> obj_;  // Reduced-cost row for the active phase.
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem) {
+  LpSolution sol;
+  if (problem.constraints.empty()) {
+    // Unconstrained non-negative minimization: 0 unless a negative cost
+    // makes it unbounded.
+    for (double c : problem.objective) {
+      if (c < -kEps) {
+        sol.status = SolveStatus::kUnbounded;
+        return sol;
+      }
+    }
+    sol.status = SolveStatus::kOptimal;
+    sol.objective = 0;
+    sol.values.assign(problem.num_vars, 0.0);
+    return sol;
+  }
+  Tableau t(problem);
+  sol.status = t.Solve();
+  if (sol.status == SolveStatus::kOptimal) {
+    sol.objective = t.ObjectiveValue();
+    sol.values = t.Values();
+  }
+  return sol;
+}
+
+}  // namespace ecstore::lp

@@ -1,0 +1,51 @@
+// Dense two-phase primal simplex for small linear programs.
+//
+// This substrate replaces the paper's use of the SCIP solver. EC-Store's
+// access-plan ILPs are small (tens of binary variables), so a dense
+// tableau with Bland's anti-cycling rule is both simple and fast enough;
+// branch-and-bound on top of it (ilp.h) yields proven-optimal plans.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecstore::lp {
+
+enum class Relation { kLessEq, kGreaterEq, kEqual };
+
+/// One linear constraint: sum_i coeffs[i] * x[i]  (relation)  rhs.
+/// Sparse representation: only the listed variable indices participate.
+struct Constraint {
+  std::vector<std::pair<std::size_t, double>> terms;
+  Relation relation = Relation::kLessEq;
+  double rhs = 0;
+};
+
+/// Minimization LP over non-negative variables: min c·x s.t. constraints,
+/// x >= 0. Upper bounds are expressed as explicit kLessEq constraints.
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  // size num_vars
+  std::vector<Constraint> constraints;
+
+  /// Appends a variable with the given objective coefficient; returns its
+  /// index.
+  std::size_t AddVariable(double cost);
+
+  /// Appends a constraint and returns its index.
+  std::size_t AddConstraint(Constraint c);
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> values;  // size num_vars when kOptimal
+};
+
+/// Solves the LP with two-phase primal simplex. Deterministic; suitable
+/// for problems up to a few hundred variables/constraints.
+LpSolution SolveLp(const LpProblem& problem);
+
+}  // namespace ecstore::lp

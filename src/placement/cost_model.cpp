@@ -1,0 +1,67 @@
+#include "placement/cost_model.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ecstore {
+
+CostParams CostParams::Homogeneous(std::size_t num_sites, double overhead_ms,
+                                   double media_ms_per_byte_each) {
+  CostParams p;
+  p.site_overhead_ms.assign(num_sites, overhead_ms);
+  p.media_ms_per_byte.assign(num_sites, media_ms_per_byte_each);
+  return p;
+}
+
+DemandResult BuildDemands(const ClusterState& state,
+                          std::span<const BlockId> blocks, std::uint32_t delta) {
+  DemandResult result;
+  result.demands.reserve(blocks.size());
+  result.readable.reserve(blocks.size());
+  // Collapse duplicate block ids: one demand per distinct block.
+  std::set<BlockId> seen;
+  for (BlockId id : blocks) {
+    if (!seen.insert(id).second) {
+      result.readable.push_back(true);  // Covered by the first occurrence.
+      continue;
+    }
+    const BlockInfo& info = state.GetBlock(id);
+    BlockDemand d;
+    d.block = id;
+    d.chunk_bytes = info.chunk_bytes;
+    d.candidates = state.AvailableLocations(id);
+    const auto available = static_cast<std::uint32_t>(d.candidates.size());
+    if (available < info.k) {
+      result.readable.push_back(false);
+      continue;  // Unreadable: no demand emitted.
+    }
+    d.needed = std::min(info.k + delta, available);
+    result.demands.push_back(std::move(d));
+    result.readable.push_back(true);
+  }
+  return result;
+}
+
+double PlanCost(std::span<const ChunkRead> reads,
+                std::span<const BlockDemand> demands, const CostParams& params) {
+  // Chunk-retrieval term: m_j * z_i per selected chunk.
+  double cost = 0;
+  std::set<SiteId> accessed;
+  for (const ChunkRead& read : reads) {
+    const auto demand = std::find_if(
+        demands.begin(), demands.end(),
+        [&](const BlockDemand& d) { return d.block == read.block; });
+    if (demand == demands.end()) {
+      throw std::invalid_argument("PlanCost: read for a block not in the demands");
+    }
+    cost += params.media_ms_per_byte[read.site] *
+            static_cast<double>(demand->chunk_bytes);
+    accessed.insert(read.site);
+  }
+  // Site-activation term: o_j once per accessed site.
+  for (SiteId site : accessed) cost += params.site_overhead_ms[site];
+  return cost;
+}
+
+}  // namespace ecstore

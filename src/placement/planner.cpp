@@ -1,0 +1,274 @@
+#include "placement/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "lp/ilp.h"
+
+namespace ecstore {
+
+namespace {
+
+/// Fisher–Yates selection of `count` items from `items` (by index).
+template <typename T>
+std::vector<T> RandomSubset(const std::vector<T>& items, std::size_t count, Rng& rng) {
+  std::vector<T> pool = items;
+  for (std::size_t i = 0; i < count && i < pool.size(); ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.NextBounded(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(std::min(count, pool.size()));
+  return pool;
+}
+
+}  // namespace
+
+AccessPlan RandomPlan(std::span<const BlockDemand> demands, Rng& rng) {
+  AccessPlan plan;
+  for (const BlockDemand& d : demands) {
+    for (const ChunkLocation& loc : RandomSubset(d.candidates, d.needed, rng)) {
+      plan.reads.push_back({d.block, loc.site, loc.chunk});
+    }
+  }
+  return plan;
+}
+
+AccessPlan GreedyPlan(std::span<const BlockDemand> demands,
+                      const CostParams& params, Rng& rng) {
+  AccessPlan plan;
+  std::set<SiteId> accessed;
+  for (const BlockDemand& d : demands) {
+    // Partition candidates into already-accessed sites and fresh sites.
+    std::vector<ChunkLocation> reuse, fresh;
+    for (const ChunkLocation& loc : d.candidates) {
+      (accessed.count(loc.site) ? reuse : fresh).push_back(loc);
+    }
+    // Prefer the cheaper already-accessed sites first.
+    std::stable_sort(reuse.begin(), reuse.end(),
+                     [&](const ChunkLocation& a, const ChunkLocation& b) {
+                       return params.site_overhead_ms[a.site] <
+                              params.site_overhead_ms[b.site];
+                     });
+    std::uint32_t taken = 0;
+    for (const ChunkLocation& loc : reuse) {
+      if (taken == d.needed) break;
+      plan.reads.push_back({d.block, loc.site, loc.chunk});
+      ++taken;
+    }
+    // Remaining chunks: random selection, per the paper's description.
+    if (taken < d.needed) {
+      for (const ChunkLocation& loc : RandomSubset(fresh, d.needed - taken, rng)) {
+        plan.reads.push_back({d.block, loc.site, loc.chunk});
+        accessed.insert(loc.site);
+        ++taken;
+      }
+    }
+  }
+  plan.estimated_cost_ms = PlanCost(plan.reads, demands, params);
+  return plan;
+}
+
+namespace {
+
+/// Solves the Eq. 1-3 ILP for one connected component of demands.
+std::optional<AccessPlan> IlpPlanComponent(std::span<const BlockDemand> demands,
+                                           const CostParams& params,
+                                           const IlpPlanOptions& options);
+
+}  // namespace
+
+std::optional<AccessPlan> IlpPlan(std::span<const BlockDemand> demands,
+                                  const CostParams& params,
+                                  const IlpPlanOptions& options) {
+  // The ILP decomposes exactly: two blocks interact only when their
+  // candidate sites overlap (they can share an a_j activation). Solve
+  // each connected component of the block-site graph independently —
+  // typical multigets split into several small components, shrinking
+  // branch-and-bound work by orders of magnitude.
+  const std::size_t n = demands.size();
+  if (n == 0) {
+    AccessPlan plan;
+    plan.optimal = true;
+    return plan;
+  }
+
+  // Union-find over demand indices keyed by shared sites.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  const std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t x) -> std::size_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::map<SiteId, std::size_t> site_owner;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const ChunkLocation& loc : demands[i].candidates) {
+      const auto [it, inserted] = site_owner.emplace(loc.site, i);
+      if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  std::map<std::size_t, std::vector<BlockDemand>> components;
+  for (std::size_t i = 0; i < n; ++i) {
+    components[find(i)].push_back(demands[i]);
+  }
+
+  AccessPlan combined;
+  combined.optimal = true;
+  for (const auto& [root, component] : components) {
+    (void)root;
+    const auto sub = IlpPlanComponent(component, params, options);
+    if (!sub) return std::nullopt;
+    combined.reads.insert(combined.reads.end(), sub->reads.begin(),
+                          sub->reads.end());
+    combined.optimal = combined.optimal && sub->optimal;
+  }
+  combined.estimated_cost_ms = PlanCost(combined.reads, demands, params);
+  return combined;
+}
+
+namespace {
+
+std::optional<AccessPlan> IlpPlanComponent(std::span<const BlockDemand> demands,
+                                           const CostParams& params,
+                                           const IlpPlanOptions& options) {
+  // Collect the sites that hold any candidate chunk.
+  std::set<SiteId> site_set;
+  for (const BlockDemand& d : demands) {
+    if (d.candidates.size() < d.needed) return std::nullopt;
+    for (const ChunkLocation& loc : d.candidates) site_set.insert(loc.site);
+  }
+  const std::vector<SiteId> sites(site_set.begin(), site_set.end());
+
+  lp::IlpProblem ilp;
+  // s variables: one per (block, candidate chunk location). A block holds
+  // at most one chunk per site, so (block, site) is unique.
+  struct SVar {
+    std::size_t var;
+    const BlockDemand* demand;
+    ChunkLocation loc;
+  };
+  std::vector<SVar> s_vars;
+  std::map<SiteId, std::vector<std::size_t>> site_to_svars;
+  for (const BlockDemand& d : demands) {
+    for (const ChunkLocation& loc : d.candidates) {
+      const double read_cost = params.media_ms_per_byte[loc.site] *
+                               static_cast<double>(d.chunk_bytes);
+      const std::size_t var = ilp.AddBinaryVariable(read_cost);
+      s_vars.push_back({var, &d, loc});
+      site_to_svars[loc.site].push_back(var);
+    }
+  }
+  // a variables: one per involved site, costing o_j.
+  std::map<SiteId, std::size_t> a_vars;
+  for (SiteId site : sites) {
+    a_vars[site] = ilp.AddBinaryVariable(params.site_overhead_ms[site]);
+  }
+
+  // Eq. 2: each block selects at least `needed` of its chunks.
+  std::size_t s_cursor = 0;
+  for (const BlockDemand& d : demands) {
+    lp::Constraint c;
+    for (std::size_t i = 0; i < d.candidates.size(); ++i) {
+      c.terms.push_back({s_vars[s_cursor + i].var, 1.0});
+    }
+    s_cursor += d.candidates.size();
+    c.relation = lp::Relation::kGreaterEq;
+    c.rhs = static_cast<double>(d.needed);
+    ilp.lp.AddConstraint(std::move(c));
+  }
+
+  // Eq. 3 links site activation to chunk selection. The paper writes the
+  // aggregated form |Q|*a_j - sum_i s_ij >= 0; we install the equivalent
+  // disaggregated facility-location form a_j >= s_ij (one row per pair),
+  // which has the same integer solutions but a far tighter LP relaxation
+  // — the relaxation is almost always integral, so branch-and-bound
+  // rarely needs to branch at all.
+  for (SiteId site : sites) {
+    for (std::size_t var : site_to_svars[site]) {
+      lp::Constraint c;
+      c.terms.push_back({a_vars[site], 1.0});
+      c.terms.push_back({var, -1.0});
+      c.relation = lp::Relation::kGreaterEq;
+      c.rhs = 0.0;
+      ilp.lp.AddConstraint(std::move(c));
+    }
+  }
+
+  lp::IlpOptions ilp_opts;
+  ilp_opts.max_nodes = options.max_nodes;
+  const lp::IlpSolution sol = lp::SolveIlp(ilp, ilp_opts);
+  if (sol.status != lp::SolveStatus::kOptimal) return std::nullopt;
+
+  AccessPlan plan;
+  plan.optimal = true;
+  for (const SVar& sv : s_vars) {
+    if (sol.values[sv.var] > 0.5) {
+      plan.reads.push_back({sv.demand->block, sv.loc.site, sv.loc.chunk});
+    }
+  }
+  plan.estimated_cost_ms = PlanCost(plan.reads, demands, params);
+  return plan;
+}
+
+}  // namespace
+
+namespace {
+
+void EnumeratePlans(std::span<const BlockDemand> demands, std::size_t index,
+                    std::vector<ChunkRead>& current, const CostParams& params,
+                    AccessPlan& best) {
+  if (index == demands.size()) {
+    const double cost = PlanCost(current, demands, params);
+    if (best.reads.empty() || cost < best.estimated_cost_ms) {
+      best.reads = current;
+      best.estimated_cost_ms = cost;
+    }
+    return;
+  }
+  const BlockDemand& d = demands[index];
+  // Enumerate all `needed`-subsets of candidates via combination masks.
+  const std::size_t n = d.candidates.size();
+  std::vector<std::size_t> pick(d.needed);
+  // Iterative combination generator.
+  for (std::size_t i = 0; i < d.needed; ++i) pick[i] = i;
+  while (true) {
+    for (std::size_t i = 0; i < d.needed; ++i) {
+      const ChunkLocation& loc = d.candidates[pick[i]];
+      current.push_back({d.block, loc.site, loc.chunk});
+    }
+    EnumeratePlans(demands, index + 1, current, params, best);
+    current.resize(current.size() - d.needed);
+
+    // Advance the combination.
+    std::size_t i = d.needed;
+    while (i > 0) {
+      --i;
+      if (pick[i] + (d.needed - i) < n) {
+        ++pick[i];
+        for (std::size_t j = i + 1; j < d.needed; ++j) pick[j] = pick[j - 1] + 1;
+        i = d.needed + 1;  // Signal: advanced.
+        break;
+      }
+    }
+    if (i != d.needed + 1) break;  // Exhausted.
+  }
+}
+
+}  // namespace
+
+AccessPlan ExhaustivePlan(std::span<const BlockDemand> demands,
+                          const CostParams& params) {
+  AccessPlan best;
+  best.optimal = true;
+  std::vector<ChunkRead> current;
+  EnumeratePlans(demands, 0, current, params, best);
+  return best;
+}
+
+}  // namespace ecstore

@@ -1,0 +1,54 @@
+// Access-plan generation strategies (paper Sections IV-B and V-B1):
+//
+//  - RandomPlan:     the baseline "random access" of standard EC /
+//                    replication systems [38] (configurations R and EC).
+//  - GreedyPlan:     EC-Store's cache-miss fallback — reuse sites already
+//                    in the plan, fill the remainder randomly.
+//  - IlpPlan:        exact minimizer of Eq. 1 under constraints Eq. 2-3,
+//                    via branch-and-bound (replaces the paper's SCIP).
+//  - ExhaustivePlan: brute-force optimum for small queries; used by the
+//                    chunk mover's pairwise cost deltas (Eq. 5) and as a
+//                    cross-check oracle in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "placement/cost_model.h"
+
+namespace ecstore {
+
+/// Picks `needed` chunks for every block uniformly at random, ignoring
+/// cost. This is the access strategy of the R and EC baselines.
+AccessPlan RandomPlan(std::span<const BlockDemand> demands, Rng& rng);
+
+/// The paper's greedy heuristic (Section V-B1): for each block, first
+/// take chunks located at sites the plan already accesses; if fewer than
+/// `needed` are found, pick the remaining chunks at random.
+AccessPlan GreedyPlan(std::span<const BlockDemand> demands,
+                      const CostParams& params, Rng& rng);
+
+struct IlpPlanOptions {
+  /// Branch-and-bound node budget; when exhausted the best incumbent is
+  /// returned. Access-plan relaxations are near-integral, so a modest
+  /// budget almost always proves the optimum; the cap bounds tail cost
+  /// on large multigets. 0 = unlimited.
+  std::uint64_t max_nodes = 300;
+};
+
+/// Solves the Eq. 1-3 ILP exactly. Returns std::nullopt only if a block's
+/// demand cannot be met (insufficient candidates), which BuildDemands
+/// normally filters out beforehand.
+std::optional<AccessPlan> IlpPlan(std::span<const BlockDemand> demands,
+                                  const CostParams& params,
+                                  const IlpPlanOptions& options = {});
+
+/// Brute-force exact optimum by enumerating every combination of chunk
+/// subsets. Cost grows as prod_i C(|candidates_i|, needed_i); callers
+/// must keep queries tiny (the mover's pairwise queries are 2 blocks of
+/// RS(2,2), i.e. 36 combinations).
+AccessPlan ExhaustivePlan(std::span<const BlockDemand> demands,
+                          const CostParams& params);
+
+}  // namespace ecstore

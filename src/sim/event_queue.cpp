@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace ecstore::sim {
+
+void EventQueue::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::RunUntil(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    // Moving out of the top of a priority_queue requires a const_cast;
+    // the element is popped immediately after, so this is safe.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::RunAll() {
+  while (Step()) {
+  }
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+}  // namespace ecstore::sim

@@ -1,0 +1,19 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace ecstore::sim {
+
+SimTime Network::RequestDelay() {
+  const double jitter = rng_.NextLogNormal(0.0, params_.jitter_sigma);
+  return std::max<SimTime>(
+      static_cast<SimTime>(static_cast<double>(params_.one_way_latency) * jitter), 1);
+}
+
+SimTime Network::ResponseDelay(std::uint64_t bytes) {
+  const double transmit_s =
+      static_cast<double>(bytes) / params_.client_bytes_per_sec;
+  return RequestDelay() + static_cast<SimTime>(transmit_s * kSecond);
+}
+
+}  // namespace ecstore::sim

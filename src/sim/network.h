@@ -1,0 +1,40 @@
+// Network latency model for the simulated cluster: a simple propagation +
+// transmission + jitter model of the paper's 10 GbE LAN. Contention on a
+// storage site's NIC is modeled inside SimSite's service time; this class
+// covers the client-side path and request fan-out.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ecstore::sim {
+
+struct NetworkParams {
+  /// One-way propagation + protocol latency between any two machines.
+  SimTime one_way_latency = 120;  // 0.12 ms
+  /// Client-side receive bandwidth (bytes/second).
+  double client_bytes_per_sec = 1.10 * 1024 * 1024 * 1024;
+  /// Lognormal sigma on the one-way latency.
+  double jitter_sigma = 0.2;
+};
+
+/// Computes per-message delays. Stateless apart from its RNG.
+class Network {
+ public:
+  Network(NetworkParams params, Rng rng) : params_(params), rng_(rng) {}
+
+  /// Delay for a small request message (no payload).
+  SimTime RequestDelay();
+
+  /// Delay for a response carrying `bytes` of payload back to a client.
+  SimTime ResponseDelay(std::uint64_t bytes);
+
+  /// Round trip with negligible payloads (metadata lookups, probes).
+  SimTime RoundTrip() { return RequestDelay() + RequestDelay(); }
+
+ private:
+  NetworkParams params_;
+  Rng rng_;
+};
+
+}  // namespace ecstore::sim

@@ -1,0 +1,131 @@
+#include "sim/site.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecstore::sim {
+
+SimSite::SimSite(SiteId id, EventQueue* queue, SiteParams params, Rng rng)
+    : id_(id), queue_(queue), params_(params), rng_(rng) {
+  server_busy_until_.assign(std::max<std::uint32_t>(params_.concurrency, 1), 0);
+}
+
+SimTime SimSite::busy_until() const {
+  return *std::min_element(server_busy_until_.begin(), server_busy_until_.end());
+}
+
+SimTime SimSite::Serve(std::uint64_t bytes, SimTime overhead, bool count_read,
+                       Done done) {
+  assert(available_);
+  const SimTime now = queue_->Now();
+  // Earliest-free server takes the request.
+  auto server = std::min_element(server_busy_until_.begin(),
+                                 server_busy_until_.end());
+  const SimTime start = std::max(now, *server);
+
+  // Service time: fixed overhead + media transfer + NIC transmit, scaled
+  // by a lognormal jitter factor with unit median.
+  const double media_s = static_cast<double>(bytes) / params_.disk_bytes_per_sec;
+  const double net_s = static_cast<double>(bytes) / params_.net_bytes_per_sec;
+  const double jitter = rng_.NextLogNormal(0.0, params_.jitter_sigma);
+  double service_s =
+      static_cast<double>(overhead) / kSecond + (media_s + net_s) * jitter;
+  // Contention: concurrent work slows everything down a little even
+  // before the servers saturate. Capped so overload degrades gracefully
+  // instead of spiraling (service time feeding back into more queueing).
+  const double contention =
+      params_.load_sensitivity * static_cast<double>(in_flight_) /
+      static_cast<double>(server_busy_until_.size());
+  service_s *= 1.0 + std::min(contention, 0.75);
+  if (rng_.NextBernoulli(params_.stall_probability)) {
+    // Transient stall: the whole request (overhead included) is held up.
+    service_s *= params_.stall_multiplier;
+  }
+  const SimTime service = static_cast<SimTime>(service_s * kSecond);
+
+  const SimTime completion = start + std::max<SimTime>(service, 1);
+  const SimTime served = completion - start;
+  *server = completion;
+  ++in_flight_;
+
+  queue_->ScheduleAt(completion, [this, completion, served, bytes, count_read,
+                                  done = std::move(done)]() {
+    --in_flight_;
+    // Busy time and bytes are attributed to the interval in which the
+    // request finishes serving, keeping load reports causal.
+    busy_accum_ += served;
+    if (count_read) {
+      interval_bytes_read_ += bytes;
+      total_bytes_read_ += bytes;
+    }
+    done(completion);
+  });
+  return completion;
+}
+
+void SimSite::SubmitRead(std::uint64_t bytes, Done done) {
+  Serve(bytes, params_.request_overhead, /*count_read=*/true, std::move(done));
+}
+
+void SimSite::SubmitBatchRead(std::span<const std::uint64_t> chunk_sizes,
+                              Done done) {
+  assert(!chunk_sizes.empty());
+  // Each chunk occupies its own server slot; dispatch overhead is paid in
+  // full by the first chunk and marginally by the rest. Completion is the
+  // slowest chunk's completion.
+  struct BatchState {
+    std::size_t remaining;
+    SimTime last = 0;
+    Done done;
+  };
+  auto batch = std::make_shared<BatchState>();
+  batch->remaining = chunk_sizes.size();
+  batch->done = std::move(done);
+
+  for (std::size_t i = 0; i < chunk_sizes.size(); ++i) {
+    const SimTime overhead =
+        i == 0 ? params_.request_overhead : params_.per_chunk_overhead;
+    Serve(chunk_sizes[i], overhead, /*count_read=*/true, [batch](SimTime t) {
+      batch->last = std::max(batch->last, t);
+      if (--batch->remaining == 0) batch->done(batch->last);
+    });
+  }
+}
+
+void SimSite::SubmitWrite(std::uint64_t bytes, Done done) {
+  Serve(bytes, params_.request_overhead, /*count_read=*/false, std::move(done));
+}
+
+void SimSite::SubmitProbe(Done done) {
+  // Probes are tiny; their response time is dominated by queueing delay,
+  // which is exactly what the o_j estimator wants to observe.
+  Serve(0, params_.request_overhead, /*count_read=*/false, std::move(done));
+}
+
+LoadReport SimSite::CollectReport() {
+  const SimTime now = queue_->Now();
+  const SimTime interval = std::max<SimTime>(now - interval_start_, 1);
+
+  // Utilization is busy time over the interval's total server capacity,
+  // clamped to [0, 1] (attribution happens at request completion).
+  const double capacity = static_cast<double>(interval) *
+                          static_cast<double>(server_busy_until_.size());
+  const double util =
+      std::clamp(static_cast<double>(busy_accum_) / capacity, 0.0, 1.0);
+
+  LoadReport report;
+  report.site = id_;
+  report.cpu_utilization = util;
+  report.io_bytes_per_sec = static_cast<double>(interval_bytes_read_) /
+                            (static_cast<double>(interval) / kSecond);
+  report.chunk_count = chunk_count_;
+  report.queue_length = in_flight_;
+
+  interval_start_ = now;
+  busy_accum_ = 0;
+  interval_bytes_read_ = 0;
+  return report;
+}
+
+}  // namespace ecstore::sim

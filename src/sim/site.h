@@ -1,0 +1,136 @@
+// Simulated storage site: a multi-server queue modeling the CPU/disk/NIC
+// of one storage machine, with heavy-tailed service jitter and transient
+// stalls.
+//
+// Stragglers are not injected artificially: they emerge from queueing at
+// sites that receive more work than they can service (Section III of the
+// paper), exactly the mechanism EC-Store's strategies exploit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace ecstore::sim {
+
+/// Physical characteristics of one site. Defaults approximate the
+/// paper's testbed (SATA disk, 10 GbE shared among services).
+struct SiteParams {
+  /// Sequential read throughput of the storage media (bytes/second).
+  double disk_bytes_per_sec = 140.0 * 1024 * 1024;
+  /// Fixed per-request service overhead (request parsing, scheduling,
+  /// kernel, RPC dispatch). Calibrated so that o_j : m_j*z_i is roughly
+  /// 5 : 1 for a 100 KB block's chunk, the ratio the paper reports for
+  /// its testbed (Section V-B3).
+  SimTime request_overhead = 1800;  // 1.8 ms
+  /// Additional dispatch cost for each chunk beyond the first within a
+  /// batched storage-service request.
+  SimTime per_chunk_overhead = 300;  // 0.3 ms
+  /// Sigma of the lognormal service-time multiplier; the source of
+  /// heavy-tailed service variation.
+  double jitter_sigma = 0.45;
+  /// Probability that a request hits a transient stall (page-cache miss,
+  /// compaction, GC — the "tail at scale" effect [9]) and the stall's
+  /// service-time multiplier.
+  double stall_probability = 0.04;
+  double stall_multiplier = 10.0;
+  /// NIC transmit rate for sending chunk data back (bytes/second).
+  double net_bytes_per_sec = 1.10 * 1024 * 1024 * 1024;
+  /// Concurrent requests a site services (the paper's storage machines
+  /// are 12-core; a stalled request does not serialize the whole site).
+  /// Queueing kicks in only when all servers are busy.
+  std::uint32_t concurrency = 6;
+  /// Smooth load-latency coupling: every request (and probe) is slowed by
+  /// 1 + load_sensitivity * in_flight / concurrency, modeling CPU/cache/
+  /// lock contention below full saturation. This is what makes probe
+  /// round trips a usable o_j load signal (Section V-B3).
+  double load_sensitivity = 0.25;
+};
+
+/// Point-in-time load report a site sends to the statistics service
+/// (Section V-A): CPU utilization and I/O load over the last interval.
+struct LoadReport {
+  SiteId site = 0;
+  double cpu_utilization = 0;    // [0, 1]: fraction of interval busy
+  double io_bytes_per_sec = 0;   // read throughput over the interval
+  std::uint64_t chunk_count = 0; // chunks currently stored
+  std::uint64_t queue_length = 0;
+};
+
+/// One simulated storage machine: `concurrency` parallel servers, each
+/// request occupying the earliest-free server for its full service time
+/// (overhead + media read + NIC send).
+class SimSite {
+ public:
+  /// `done(completion_time)` fires when the site finishes serving.
+  using Done = std::function<void(SimTime)>;
+
+  SimSite(SiteId id, EventQueue* queue, SiteParams params, Rng rng);
+
+  SiteId id() const { return id_; }
+  bool available() const { return available_; }
+  void set_available(bool a) { available_ = a; }
+
+  /// Submits a chunk read of `bytes`. Must not be called while failed.
+  void SubmitRead(std::uint64_t bytes, Done done);
+
+  /// Submits one storage-service request for several chunks (a client
+  /// multiget's per-site batch). The request-dispatch overhead is paid
+  /// once; each chunk's media/NIC work runs on its own server slot (the
+  /// storage service reads chunks concurrently), and `done` fires when
+  /// the last chunk is served. This is what makes co-located access
+  /// cheaper than scattering the same chunks across sites.
+  void SubmitBatchRead(std::span<const std::uint64_t> chunk_sizes, Done done);
+
+  /// Submits a chunk write (repair/movement traffic); same server.
+  void SubmitWrite(std::uint64_t bytes, Done done);
+
+  /// Submits a tiny load-status probe (Section V-B3): its response time
+  /// measures queueing delay and is the basis for the o_j estimate.
+  void SubmitProbe(Done done);
+
+  /// Time the earliest server frees up; Now() if any server is idle.
+  SimTime busy_until() const;
+
+  /// Instantaneous queue length estimate (requests not yet finished).
+  std::uint64_t queue_length() const { return in_flight_; }
+
+  /// Chunk inventory accounting, maintained by the cluster layer.
+  void set_chunk_count(std::uint64_t n) { chunk_count_ = n; }
+  std::uint64_t chunk_count() const { return chunk_count_; }
+
+  /// Total bytes served by reads since construction (Fig. 4d metric).
+  std::uint64_t total_bytes_read() const { return total_bytes_read_; }
+
+  /// Produces the load report for the interval since the previous call
+  /// and resets interval accumulators.
+  LoadReport CollectReport();
+
+ private:
+  SimTime Serve(std::uint64_t bytes, SimTime overhead, bool count_read, Done done);
+
+  SiteId id_;
+  EventQueue* queue_;
+  SiteParams params_;
+  Rng rng_;
+  bool available_ = true;
+
+  std::vector<SimTime> server_busy_until_;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t chunk_count_ = 0;
+
+  // Interval accumulators for load reports.
+  SimTime interval_start_ = 0;
+  SimTime busy_accum_ = 0;
+  std::uint64_t interval_bytes_read_ = 0;
+
+  std::uint64_t total_bytes_read_ = 0;
+};
+
+}  // namespace ecstore::sim

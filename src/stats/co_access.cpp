@@ -1,0 +1,127 @@
+#include "stats/co_access.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecstore {
+
+CoAccessTracker::CoAccessTracker(std::size_t window) : window_(window) {
+  assert(window_ > 0);
+}
+
+void CoAccessTracker::RecordRequest(std::span<const BlockId> blocks) {
+  std::vector<BlockId> unique(blocks.begin(), blocks.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  if (unique.empty()) return;
+
+  Apply(unique, +1);
+  requests_.push_back(std::move(unique));
+  if (requests_.size() > window_) {
+    Apply(requests_.front(), -1);
+    requests_.pop_front();
+  }
+}
+
+void CoAccessTracker::Apply(const std::vector<BlockId>& blocks, std::int64_t sign) {
+  for (BlockId b : blocks) {
+    if (sign > 0) {
+      counts_[b] += 1;
+    } else {
+      auto it = counts_.find(b);
+      assert(it != counts_.end() && it->second > 0);
+      if (--it->second == 0) counts_.erase(it);
+    }
+  }
+  for (std::size_t x = 0; x < blocks.size(); ++x) {
+    for (std::size_t y = 0; y < blocks.size(); ++y) {
+      if (x == y) continue;
+      if (sign > 0) {
+        co_counts_[blocks[x]][blocks[y]] += 1;
+      } else {
+        auto outer = co_counts_.find(blocks[x]);
+        assert(outer != co_counts_.end());
+        auto inner = outer->second.find(blocks[y]);
+        assert(inner != outer->second.end() && inner->second > 0);
+        if (--inner->second == 0) outer->second.erase(inner);
+        if (outer->second.empty()) co_counts_.erase(outer);
+      }
+    }
+  }
+}
+
+std::uint64_t CoAccessTracker::Count(BlockId b) const {
+  const auto it = counts_.find(b);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double CoAccessTracker::Lambda(BlockId b, BlockId i) const {
+  const std::uint64_t cb = Count(b);
+  if (cb == 0) return 0;
+  const auto outer = co_counts_.find(b);
+  if (outer == co_counts_.end()) return 0;
+  const auto inner = outer->second.find(i);
+  if (inner == outer->second.end()) return 0;
+  return static_cast<double>(inner->second) / static_cast<double>(cb);
+}
+
+std::vector<CoAccessPartner> CoAccessTracker::Partners(
+    BlockId b, std::size_t max_partners) const {
+  std::vector<CoAccessPartner> out;
+  const std::uint64_t cb = Count(b);
+  if (cb == 0) return out;
+  const auto outer = co_counts_.find(b);
+  if (outer == co_counts_.end()) return out;
+  out.reserve(outer->second.size());
+  for (const auto& [partner, count] : outer->second) {
+    out.push_back({partner, static_cast<double>(count) / static_cast<double>(cb)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CoAccessPartner& a, const CoAccessPartner& c) {
+                     return a.lambda > c.lambda;
+                   });
+  if (out.size() > max_partners) out.resize(max_partners);
+  return out;
+}
+
+std::vector<BlockId> CoAccessTracker::SampleCandidateBlocks(
+    Rng& rng, std::size_t count) const {
+  std::vector<BlockId> ids;
+  std::vector<double> weights;
+  ids.reserve(counts_.size());
+  weights.reserve(counts_.size());
+  for (const auto& [block, c] : counts_) {
+    ids.push_back(block);
+    weights.push_back(static_cast<double>(c));
+  }
+  const auto picked = WeightedSampleWithoutReplacement(rng, weights, count);
+  std::vector<BlockId> out;
+  out.reserve(picked.size());
+  for (std::size_t idx : picked) out.push_back(ids[idx]);
+  return out;
+}
+
+double CoAccessTracker::AccessFrequency(BlockId b) const {
+  if (requests_.empty()) return 0;
+  return static_cast<double>(Count(b)) / static_cast<double>(requests_.size());
+}
+
+std::size_t CoAccessTracker::ApproxMemoryBytes() const {
+  // Window entries.
+  std::size_t bytes = 0;
+  for (const auto& q : requests_) {
+    bytes += sizeof(q) + q.capacity() * sizeof(BlockId);
+  }
+  // Red-black tree nodes: payload + ~3 pointers + color word each.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  bytes += counts_.size() * (sizeof(std::pair<BlockId, std::uint64_t>) + kNodeOverhead);
+  for (const auto& [block, partners] : co_counts_) {
+    (void)block;
+    bytes += sizeof(std::pair<BlockId, std::map<BlockId, std::uint64_t>>) + kNodeOverhead;
+    bytes += partners.size() *
+             (sizeof(std::pair<BlockId, std::uint64_t>) + kNodeOverhead);
+  }
+  return bytes;
+}
+
+}  // namespace ecstore

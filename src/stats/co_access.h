@@ -1,0 +1,77 @@
+// Co-access statistics over a sliding window of sampled requests
+// (paper Section V-A): tracks the conditional likelihood
+// lambda_{b,i} = P({B_b, B_i} subset Q | B_b in Q) used to weight the
+// chunk mover's estimate of access-cost change (Eq. 5), and supplies the
+// candidate-block sampling for Algorithm 1 line 1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ecstore {
+
+/// A block co-accessed with some anchor block, with its likelihood.
+struct CoAccessPartner {
+  BlockId block = kInvalidBlock;
+  double lambda = 0;  // P(partner in Q | anchor in Q)
+};
+
+/// Sliding-window co-access tracker. When a request leaves the window its
+/// contribution is subtracted, so the statistics adapt to workload change
+/// — the behaviour the paper's Fig. 4a timeline depends on.
+///
+/// Deterministic: iteration uses ordered maps so candidate sampling is
+/// reproducible under a fixed seed.
+class CoAccessTracker {
+ public:
+  /// `window` = number of most recent sampled requests retained
+  /// (the paper used 5000).
+  explicit CoAccessTracker(std::size_t window = 5000);
+
+  /// Records one sampled multi-block request. Duplicate ids within one
+  /// request are collapsed. Single-block requests still count toward
+  /// block frequency (they just add no pairs).
+  void RecordRequest(std::span<const BlockId> blocks);
+
+  /// Number of windowed requests containing `b`.
+  std::uint64_t Count(BlockId b) const;
+
+  /// lambda_{b,i}; zero if either block is unseen or never co-accessed.
+  double Lambda(BlockId b, BlockId i) const;
+
+  /// All co-access partners of `b` with positive lambda, most likely
+  /// first, capped at `max_partners`.
+  std::vector<CoAccessPartner> Partners(BlockId b, std::size_t max_partners = 16) const;
+
+  /// Probabilistically samples up to `count` distinct candidate blocks,
+  /// weighted by windowed access frequency (Algorithm 1 line 1:
+  /// "recently accessed blocks ... generated probabilistically based on
+  /// access likelihood").
+  std::vector<BlockId> SampleCandidateBlocks(Rng& rng, std::size_t count) const;
+
+  /// Fraction of windowed requests containing `b` (access likelihood).
+  double AccessFrequency(BlockId b) const;
+
+  std::size_t window() const { return window_; }
+  std::size_t requests_in_window() const { return requests_.size(); }
+  std::size_t distinct_blocks_tracked() const { return counts_.size(); }
+
+  /// Rough heap footprint for the Table III resource-usage experiment.
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  void Apply(const std::vector<BlockId>& blocks, std::int64_t sign);
+
+  std::size_t window_;
+  std::deque<std::vector<BlockId>> requests_;
+  std::map<BlockId, std::uint64_t> counts_;
+  std::map<BlockId, std::map<BlockId, std::uint64_t>> co_counts_;
+};
+
+}  // namespace ecstore

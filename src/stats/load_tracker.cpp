@@ -1,0 +1,54 @@
+#include "stats/load_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ecstore {
+
+LoadTracker::LoadTracker(std::size_t num_sites, LoadTrackerParams params)
+    : params_(params),
+      omega_(num_sites, 0.0),
+      overhead_ms_(num_sites, params.initial_overhead_ms),
+      chunk_counts_(num_sites, 0),
+      probed_(num_sites, false) {
+  if (num_sites == 0) throw std::invalid_argument("LoadTracker: need sites");
+}
+
+void LoadTracker::RecordReport(SiteId site, double cpu_utilization,
+                               double io_bytes_per_sec, std::uint64_t chunk_count) {
+  const double io_norm = io_bytes_per_sec / params_.reference_io_bytes_per_sec;
+  const double instantaneous = std::max(0.0, cpu_utilization) + std::max(0.0, io_norm);
+  omega_[site] = params_.load_alpha * instantaneous +
+                 (1.0 - params_.load_alpha) * omega_[site];
+  chunk_counts_[site] = chunk_count;
+}
+
+void LoadTracker::RecordProbe(SiteId site, double rtt_ms) {
+  if (!probed_[site]) {
+    overhead_ms_[site] = rtt_ms;
+    probed_[site] = true;
+    return;
+  }
+  overhead_ms_[site] = params_.probe_alpha * rtt_ms +
+                       (1.0 - params_.probe_alpha) * overhead_ms_[site];
+}
+
+double LoadTracker::MeanOmega() const {
+  return std::accumulate(omega_.begin(), omega_.end(), 0.0) /
+         static_cast<double>(omega_.size());
+}
+
+double LoadTracker::BalanceFactor(SiteId site) const {
+  const double mean = MeanOmega();
+  if (mean <= 1e-12) return 0.0;
+  return std::abs(1.0 - omega_[site] / mean);
+}
+
+double LoadTracker::MeanOverheadMs() const {
+  return std::accumulate(overhead_ms_.begin(), overhead_ms_.end(), 0.0) /
+         static_cast<double>(overhead_ms_.size());
+}
+
+}  // namespace ecstore

@@ -1,0 +1,77 @@
+// Load statistics service (paper Section V-A): ingests periodic per-site
+// load reports (CPU utilization + I/O rate) and load-status probe round
+// trips, and exposes
+//   - omega(j): the scalar site-load value used by the mover (Eq. 6-7),
+//   - o_j:     the dynamic site-access-overhead cost parameter (Eq. 1),
+// both smoothed with an exponentially weighted moving average.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecstore {
+
+struct LoadTrackerParams {
+  /// EWMA smoothing factor for report-derived load (0 < alpha <= 1).
+  double load_alpha = 0.5;
+  /// EWMA smoothing factor for probe RTT-derived o_j.
+  double probe_alpha = 0.3;
+  /// I/O rate that counts as "fully loaded" when combining CPU and I/O
+  /// into the scalar omega (bytes/second). Roughly the disk's rate.
+  double reference_io_bytes_per_sec = 140.0 * 1024 * 1024;
+  /// o_j fallback before any probe completes (milliseconds).
+  double initial_overhead_ms = 5.0;
+};
+
+/// Tracks per-site load. Single-writer; readers see consistent snapshots
+/// (the simulated cluster is single-threaded; LocalCluster wraps this in
+/// its own lock).
+class LoadTracker {
+ public:
+  LoadTracker(std::size_t num_sites, LoadTrackerParams params = {});
+
+  std::size_t num_sites() const { return omega_.size(); }
+
+  /// Ingests one periodic report from a site's storage service.
+  void RecordReport(SiteId site, double cpu_utilization, double io_bytes_per_sec,
+                    std::uint64_t chunk_count);
+
+  /// Ingests one load-status probe round trip (milliseconds).
+  void RecordProbe(SiteId site, double rtt_ms);
+
+  /// The scalar load omega(C, S_j): CPU utilization plus normalized I/O
+  /// load, both in [0, ~1] so the sum is utilization-like.
+  double Omega(SiteId site) const { return omega_[site]; }
+  const std::vector<double>& OmegaVector() const { return omega_; }
+
+  /// Mean load over the given sites (all sites when empty); the omega-bar
+  /// of the load-balance factor.
+  double MeanOmega() const;
+
+  /// Load-balance factor Omega(C, S_j) = |1 - omega_j / mean| (paper's
+  /// normalization). Returns 0 when the system is completely idle.
+  double BalanceFactor(SiteId site) const;
+
+  /// Dynamic per-site access overhead o_j in milliseconds.
+  double OverheadMs(SiteId site) const { return overhead_ms_[site]; }
+  const std::vector<double>& OverheadVector() const { return overhead_ms_; }
+  double MeanOverheadMs() const;
+
+  std::uint64_t chunk_count(SiteId site) const { return chunk_counts_[site]; }
+
+  /// The I/O normalization constant used to fold byte rates into omega;
+  /// the chunk mover uses it to convert an estimated per-chunk byte rate
+  /// into omega units when simulating a post-move load shift.
+  double reference_io_bytes_per_sec() const { return params_.reference_io_bytes_per_sec; }
+
+ private:
+  LoadTrackerParams params_;
+  std::vector<double> omega_;
+  std::vector<double> overhead_ms_;
+  std::vector<std::uint64_t> chunk_counts_;
+  std::vector<bool> probed_;
+};
+
+}  // namespace ecstore

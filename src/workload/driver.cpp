@@ -1,0 +1,101 @@
+#include "workload/driver.h"
+
+#include <cassert>
+#include <memory>
+
+namespace ecstore {
+
+ClosedLoopDriver::ClosedLoopDriver(SimECStore* store, WorkloadGenerator* workload,
+                                   Params params)
+    : store_(store), workload_(workload), params_(params) {}
+
+void ClosedLoopDriver::Run() {
+  sim::EventQueue& queue = store_->queue();
+  measure_start_ = queue.Now() + params_.warmup;
+  measure_end_ = measure_start_ + params_.measure;
+
+  const SimTime timeline_span =
+      params_.measure + (params_.timeline_includes_warmup ? params_.warmup : 0);
+  const std::size_t buckets = static_cast<std::size_t>(
+      (timeline_span + params_.timeline_bucket - 1) / params_.timeline_bucket);
+  timeline_sums_.assign(buckets, 0.0);
+  timeline_counts_.assign(buckets, 0);
+
+  store_->Start();
+
+  // Workload shift + measurement-window bookkeeping at the boundary.
+  queue.ScheduleAt(measure_start_, [this] {
+    workload_->OnMeasurementStart();
+    measure_start_bytes_ = store_->SiteBytesRead();
+  });
+  queue.ScheduleAt(measure_end_, [this] { stop_issuing_ = true; });
+
+  Rng root(store_->config().seed ^ 0xC11E27);
+  for (std::uint32_t c = 0; c < params_.clients; ++c) {
+    ClientLoop(c, root.Split());
+  }
+  queue.RunUntil(measure_end_);
+}
+
+void ClosedLoopDriver::ClientLoop(std::uint32_t client, Rng rng) {
+  if (stop_issuing_) return;
+  // Rng is moved through the closure chain so each client's stream stays
+  // independent and deterministic.
+  auto rng_holder = std::make_shared<Rng>(rng);
+  std::vector<BlockId> request = workload_->NextRequest(*rng_holder);
+  const SimTime issued_at = store_->queue().Now();
+
+  store_->Get(std::move(request), [this, client, rng_holder,
+                                   issued_at](const RequestBreakdown& r) {
+    const SimTime now = store_->queue().Now();
+    const bool in_window = issued_at >= measure_start_ && now <= measure_end_;
+    if (in_window) {
+      ++metrics_.requests;
+      if (!r.ok) {
+        ++metrics_.failures;
+      } else {
+        metrics_.total.Record(r.total);
+        metrics_.metadata.Record(r.metadata);
+        metrics_.planning.Record(r.planning);
+        metrics_.retrieval.Record(r.retrieval);
+        metrics_.decode.Record(r.decode);
+        metrics_.sites_per_request.Add(r.sites_accessed);
+        if (store_->config().CostModelEnabled()) {
+          ++metrics_.cache_lookups;
+          if (r.plan_cache_hit) ++metrics_.cache_hits;
+        }
+      }
+    }
+    // Timeline bucket (by completion time).
+    const SimTime t0 = params_.timeline_includes_warmup
+                           ? measure_start_ - params_.warmup
+                           : measure_start_;
+    if (now >= t0 && now < measure_end_ && r.ok) {
+      const std::size_t bucket =
+          static_cast<std::size_t>((now - t0) / params_.timeline_bucket);
+      if (bucket < timeline_sums_.size()) {
+        timeline_sums_[bucket] += ToMillis(r.total);
+        timeline_counts_[bucket] += 1;
+      }
+    }
+    ClientLoop(client, *rng_holder);
+  });
+}
+
+std::vector<TimelinePoint> ClosedLoopDriver::Timeline() const {
+  std::vector<TimelinePoint> out;
+  out.reserve(timeline_sums_.size());
+  for (std::size_t i = 0; i < timeline_sums_.size(); ++i) {
+    TimelinePoint p;
+    p.minutes = static_cast<double>(i) *
+                static_cast<double>(params_.timeline_bucket) / kMinute;
+    p.requests = timeline_counts_[i];
+    p.mean_ms = timeline_counts_[i]
+                    ? timeline_sums_[i] / static_cast<double>(timeline_counts_[i])
+                    : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace ecstore

@@ -1,0 +1,84 @@
+// Closed-loop benchmark driver (paper Section VI-B): a configurable
+// number of concurrent clients issue requests with zero think time, a
+// warm-up phase precedes a measurement phase, and per-phase latency
+// breakdowns are collected — the experimental methodology behind every
+// figure in Section VI-C.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/sim_store.h"
+#include "workload/workload.h"
+
+namespace ecstore {
+
+/// Latency breakdown histograms for the measurement window, all in
+/// simulated microseconds.
+struct PhaseMetrics {
+  Histogram total;
+  Histogram metadata;
+  Histogram planning;
+  Histogram retrieval;
+  Histogram decode;
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  RunningStat sites_per_request;
+
+  double MeanMs(const Histogram& h) const { return h.Mean() / kMillisecond; }
+};
+
+/// One point of the Fig. 4a response-time timeline.
+struct TimelinePoint {
+  double minutes = 0;    // Minutes since measurement start.
+  double mean_ms = 0;
+  std::uint64_t requests = 0;
+};
+
+class ClosedLoopDriver {
+ public:
+  struct Params {
+    std::uint32_t clients = 100;
+    SimTime warmup = 60 * kSecond;
+    SimTime measure = 120 * kSecond;
+    /// Timeline bucket width for the Fig. 4a series.
+    SimTime timeline_bucket = 15 * kSecond;
+    /// Collect timeline during warm-up too (Fig. 4a starts at workload
+    /// shift, which is our measurement start).
+    bool timeline_includes_warmup = false;
+  };
+
+  ClosedLoopDriver(SimECStore* store, WorkloadGenerator* workload, Params params);
+
+  /// Runs warm-up + measurement to completion. Calls Start() on the
+  /// store, drives every client, and stops issuing at the deadline.
+  void Run();
+
+  const PhaseMetrics& metrics() const { return metrics_; }
+  std::vector<TimelinePoint> Timeline() const;
+
+  /// Per-site bytes read during the measurement window only (Fig. 4d).
+  const std::vector<std::uint64_t>& measure_start_bytes() const {
+    return measure_start_bytes_;
+  }
+
+ private:
+  void ClientLoop(std::uint32_t client, Rng rng);
+
+  SimECStore* store_;
+  WorkloadGenerator* workload_;
+  Params params_;
+  PhaseMetrics metrics_;
+  SimTime measure_start_ = 0;
+  SimTime measure_end_ = 0;
+  bool stop_issuing_ = false;
+
+  std::vector<double> timeline_sums_;
+  std::vector<std::uint64_t> timeline_counts_;
+  std::vector<std::uint64_t> measure_start_bytes_;
+};
+
+}  // namespace ecstore

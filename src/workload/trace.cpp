@@ -1,0 +1,95 @@
+#include "workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecstore {
+
+void WriteTrace(const Trace& trace, std::ostream& out) {
+  out << "# ec-store trace v1\n";
+  out << "# " << trace.blocks.size() << " blocks, " << trace.requests.size()
+      << " requests\n";
+  for (const BlockSpec& b : trace.blocks) {
+    out << "B " << b.id << ' ' << b.bytes << '\n';
+  }
+  for (const auto& request : trace.requests) {
+    for (std::size_t i = 0; i < request.size(); ++i) {
+      if (i) out << ' ';
+      out << request[i];
+    }
+    out << '\n';
+  }
+}
+
+Trace ReadTrace(std::istream& in) {
+  Trace trace;
+  std::set<BlockId> known;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    if (line[0] == 'B') {
+      char tag;
+      BlockId id;
+      std::uint64_t bytes;
+      if (!(tokens >> tag >> id >> bytes)) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) +
+                                 ": malformed block declaration");
+      }
+      if (!known.insert(id).second) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) +
+                                 ": duplicate block declaration");
+      }
+      trace.blocks.push_back({id, bytes});
+      continue;
+    }
+    std::vector<BlockId> request;
+    BlockId id;
+    while (tokens >> id) {
+      if (!known.count(id)) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) +
+                                 ": request references undeclared block " +
+                                 std::to_string(id));
+      }
+      request.push_back(id);
+    }
+    if (!tokens.eof()) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": bad token");
+    }
+    if (!request.empty()) trace.requests.push_back(std::move(request));
+  }
+  return trace;
+}
+
+Trace RecordTrace(WorkloadGenerator& generator, Rng& rng, std::size_t count) {
+  Trace trace;
+  trace.blocks = generator.Blocks();
+  trace.requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.requests.push_back(generator.NextRequest(rng));
+  }
+  return trace;
+}
+
+TraceWorkload::TraceWorkload(Trace trace, bool loop)
+    : trace_(std::move(trace)), loop_(loop) {
+  if (trace_.requests.empty()) {
+    throw std::invalid_argument("TraceWorkload: empty trace");
+  }
+}
+
+std::vector<BlockId> TraceWorkload::NextRequest(Rng&) {
+  if (position_ >= trace_.requests.size()) {
+    if (!loop_) throw std::out_of_range("TraceWorkload: trace exhausted");
+    position_ = 0;
+  }
+  return trace_.requests[position_++];
+}
+
+}  // namespace ecstore

@@ -1,0 +1,94 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+namespace ecstore {
+
+YcsbEWorkload::YcsbEWorkload(Params params)
+    : params_(params), zipf_(params.num_blocks, params.zipf_exponent) {}
+
+std::vector<BlockSpec> YcsbEWorkload::Blocks() const {
+  std::vector<BlockSpec> blocks;
+  blocks.reserve(params_.num_blocks);
+  for (std::uint64_t i = 0; i < params_.num_blocks; ++i) {
+    blocks.push_back({i, params_.block_bytes});
+  }
+  return blocks;
+}
+
+std::vector<BlockId> YcsbEWorkload::NextRequest(Rng& rng) {
+  std::uint64_t start;
+  if (!measuring_) {
+    start = rng.NextBounded(params_.num_blocks);
+  } else {
+    // Power-law key choice. Rank 1 = hottest. Scrambling spreads hot
+    // scan ranges across the keyspace (YCSB's hashed-key behaviour)
+    // while keeping each scan contiguous.
+    const std::uint64_t rank = zipf_.Sample(rng) - 1;
+    if (params_.scramble) {
+      // Multiplicative scramble modulo the keyspace (odd multiplier
+      // gives a bijection on [0, 2^64), then reduce).
+      start = (rank * 0x9E3779B97F4A7C15ULL) % params_.num_blocks;
+    } else {
+      start = rank;
+    }
+  }
+  const std::uint32_t len =
+      1 + static_cast<std::uint32_t>(rng.NextBounded(params_.max_scan_length));
+  std::vector<BlockId> request;
+  request.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const std::uint64_t key = start + i;
+    if (key >= params_.num_blocks) break;
+    request.push_back(key);
+  }
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+
+WikipediaWorkload::WikipediaWorkload(Params params)
+    : page_zipf_(params.num_pages, params.page_zipf_exponent) {
+  Rng rng(params.seed);
+  const BoundedParetoSampler images(params.images_alpha, params.images_min,
+                                    params.images_max);
+  const BoundedParetoSampler sizes(params.size_alpha, params.size_min_bytes,
+                                   params.size_max_bytes);
+  pages_.reserve(params.num_pages);
+  BlockId next_id = 0;
+  for (std::uint64_t p = 0; p < params.num_pages; ++p) {
+    const std::uint64_t count = std::max<std::uint64_t>(1, images.SampleInt(rng));
+    std::vector<BlockId> page;
+    page.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t bytes = std::max<std::uint64_t>(1024, sizes.SampleInt(rng));
+      page.push_back(next_id);
+      blocks_.push_back({next_id, bytes});
+      ++next_id;
+    }
+    pages_.push_back(std::move(page));
+  }
+}
+
+std::vector<BlockId> WikipediaWorkload::NextRequest(Rng& rng) {
+  const std::uint64_t page = page_zipf_.Sample(rng) - 1;
+  return pages_[page];
+}
+
+double WikipediaWorkload::MedianImagesPerPage() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(pages_.size());
+  for (const auto& p : pages_) counts.push_back(p.size());
+  std::nth_element(counts.begin(), counts.begin() + counts.size() / 2, counts.end());
+  return static_cast<double>(counts[counts.size() / 2]);
+}
+
+double WikipediaWorkload::MedianImageBytes() const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(blocks_.size());
+  for (const auto& b : blocks_) sizes.push_back(b.bytes);
+  std::nth_element(sizes.begin(), sizes.begin() + sizes.size() / 2, sizes.end());
+  return static_cast<double>(sizes[sizes.size() / 2]);
+}
+
+}  // namespace ecstore

@@ -1,0 +1,112 @@
+// Benchmark workloads (paper Section VI-B):
+//
+//  - YcsbEWorkload: YCSB-E range scans — contiguous key ranges retrieved
+//    together (a message-chain pattern). Keys are chosen uniformly during
+//    warm-up and from a power-law (default exponent 1) afterwards, which
+//    is the workload shift of Fig. 4a.
+//  - WikipediaWorkload: a statistical twin of the Wikipedia image-access
+//    trace [47]: pages requested with Zipf popularity; images-per-page
+//    and image sizes follow power laws with the published medians
+//    (~10 images/page, ~500 KB images).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ecstore {
+
+/// A block to load before the experiment begins.
+struct BlockSpec {
+  BlockId id = 0;
+  std::uint64_t bytes = 0;
+
+  bool operator==(const BlockSpec&) const = default;
+};
+
+/// Source of multi-block read requests.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// The dataset to bulk-load.
+  virtual std::vector<BlockSpec> Blocks() const = 0;
+
+  /// Draws the next multi-block request.
+  virtual std::vector<BlockId> NextRequest(Rng& rng) = 0;
+
+  /// Invoked at the warm-up/measurement boundary; generators that model
+  /// a workload shift switch distributions here.
+  virtual void OnMeasurementStart() {}
+};
+
+/// YCSB workload E: scans of consecutive keys.
+class YcsbEWorkload final : public WorkloadGenerator {
+ public:
+  struct Params {
+    std::uint64_t num_blocks = 100000;
+    std::uint64_t block_bytes = 100 * 1024;
+    /// Scan length is uniform in [1, max_scan_length]; the paper's
+    /// multiget sizes center around 10 blocks [21,31,39].
+    std::uint32_t max_scan_length = 19;
+    /// Power-law exponent for the measurement phase (paper default 1).
+    double zipf_exponent = 1.0;
+    /// When true the measurement phase scans keys by popularity rank via
+    /// a scrambled mapping so hot ranges spread over the keyspace.
+    bool scramble = true;
+  };
+
+  explicit YcsbEWorkload(Params params);
+
+  std::vector<BlockSpec> Blocks() const override;
+  std::vector<BlockId> NextRequest(Rng& rng) override;
+  void OnMeasurementStart() override { measuring_ = true; }
+
+  bool measuring() const { return measuring_; }
+
+ private:
+  Params params_;
+  ZipfSampler zipf_;
+  bool measuring_ = false;
+};
+
+/// Wikipedia image-page trace twin.
+class WikipediaWorkload final : public WorkloadGenerator {
+ public:
+  struct Params {
+    std::uint64_t num_pages = 10000;
+    /// Zipf exponent of page popularity (the trace is Zipf-like [47]).
+    double page_zipf_exponent = 1.0;
+    /// Images per page: bounded power law, median ~10.
+    double images_alpha = 1.0;
+    double images_min = 5;
+    double images_max = 500;
+    /// Image sizes: bounded power law, median ~500 KB.
+    double size_alpha = 1.1;
+    double size_min_bytes = 266 * 1024;
+    double size_max_bytes = 20.0 * 1024 * 1024;
+    std::uint64_t seed = 7;
+  };
+
+  explicit WikipediaWorkload(Params params);
+
+  std::vector<BlockSpec> Blocks() const override { return blocks_; }
+  std::vector<BlockId> NextRequest(Rng& rng) override;
+
+  std::size_t num_pages() const { return pages_.size(); }
+  const std::vector<BlockId>& page(std::size_t i) const { return pages_[i]; }
+
+  /// Dataset statistics, for validating the distributional twin against
+  /// the published medians.
+  double MedianImagesPerPage() const;
+  double MedianImageBytes() const;
+
+ private:
+  std::vector<std::vector<BlockId>> pages_;
+  std::vector<BlockSpec> blocks_;
+  ZipfSampler page_zipf_;
+};
+
+}  // namespace ecstore

@@ -1,0 +1,137 @@
+// Randomized property test for ClusterState: after any sequence of adds,
+// moves, removes, and availability flips, the per-site aggregates must
+// equal what a from-scratch recount gives, and every block must keep
+// exactly k+r chunks on distinct sites.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/state.h"
+#include "common/rng.h"
+
+namespace ecstore {
+namespace {
+
+void CheckInvariants(const ClusterState& state,
+                     const std::map<BlockId, BlockInfo>& shadow) {
+  std::vector<std::uint64_t> chunks(state.num_sites(), 0);
+  std::vector<std::uint64_t> bytes(state.num_sites(), 0);
+  std::uint64_t total = 0;
+
+  for (const auto& [id, expected] : shadow) {
+    ASSERT_TRUE(state.Contains(id));
+    const BlockInfo& info = state.GetBlock(id);
+    ASSERT_EQ(info.locations.size(), expected.k + expected.r);
+    // Distinct sites (fault-tolerance invariant).
+    std::set<SiteId> sites;
+    for (const ChunkLocation& loc : info.locations) {
+      ASSERT_TRUE(sites.insert(loc.site).second);
+      ASSERT_LT(loc.site, state.num_sites());
+      chunks[loc.site] += 1;
+      bytes[loc.site] += info.chunk_bytes;
+      total += info.chunk_bytes;
+    }
+    // Chunk indices are a permutation of [0, k+r).
+    std::set<ChunkIndex> indices;
+    for (const ChunkLocation& loc : info.locations) indices.insert(loc.chunk);
+    ASSERT_EQ(indices.size(), info.locations.size());
+    ASSERT_EQ(*indices.rbegin(), info.locations.size() - 1);
+  }
+
+  EXPECT_EQ(state.site_chunk_counts(), chunks);
+  EXPECT_EQ(state.site_bytes(), bytes);
+  EXPECT_EQ(state.total_bytes(), total);
+  EXPECT_EQ(state.num_blocks(), shadow.size());
+}
+
+TEST(ClusterStateFuzzTest, AggregatesSurviveRandomOperations) {
+  constexpr std::size_t kSites = 12;
+  ClusterState state(kSites);
+  std::map<BlockId, BlockInfo> shadow;
+  Rng rng(2024);
+  BlockId next_id = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t op = rng.NextBounded(10);
+    if (op < 4) {  // Add.
+      const std::uint32_t k = 2;
+      const std::uint32_t r = 1 + static_cast<std::uint32_t>(rng.NextBounded(2));
+      const std::uint64_t bytes = 100 + rng.NextBounded(10000);
+      const auto sites = state.PickRandomSites(rng, k + r);
+      state.AddBlock(next_id, bytes * k, bytes, k, r, sites);
+      BlockInfo info;
+      info.k = k;
+      info.r = r;
+      info.chunk_bytes = bytes;
+      shadow[next_id] = info;
+      ++next_id;
+    } else if (op < 7 && !shadow.empty()) {  // Move.
+      const auto it = std::next(shadow.begin(),
+                                static_cast<std::ptrdiff_t>(
+                                    rng.NextBounded(shadow.size())));
+      const BlockInfo& info = state.GetBlock(it->first);
+      const SiteId from =
+          info.locations[rng.NextBounded(info.locations.size())].site;
+      const SiteId to = static_cast<SiteId>(rng.NextBounded(kSites));
+      // MoveChunk validates; we don't care whether it succeeded, only
+      // that the state stays consistent either way.
+      (void)state.MoveChunk(it->first, from, to);
+    } else if (op < 8 && !shadow.empty()) {  // Remove.
+      const auto it = std::next(shadow.begin(),
+                                static_cast<std::ptrdiff_t>(
+                                    rng.NextBounded(shadow.size())));
+      ASSERT_TRUE(state.RemoveBlock(it->first));
+      shadow.erase(it);
+    } else {  // Availability flip.
+      const SiteId site = static_cast<SiteId>(rng.NextBounded(kSites));
+      state.SetSiteAvailable(site, rng.NextBernoulli(0.7));
+    }
+
+    if (step % 200 == 0) CheckInvariants(state, shadow);
+  }
+  CheckInvariants(state, shadow);
+}
+
+TEST(ClusterStateFuzzTest, AvailableLocationsAlwaysSubset) {
+  ClusterState state(8);
+  Rng rng(7);
+  for (BlockId b = 0; b < 50; ++b) {
+    state.AddBlock(b, 100, 50, 2, 2, state.PickRandomSites(rng, 4));
+  }
+  for (int step = 0; step < 200; ++step) {
+    state.SetSiteAvailable(static_cast<SiteId>(rng.NextBounded(8)),
+                           rng.NextBernoulli(0.5));
+    const BlockId b = rng.NextBounded(50);
+    const auto available = state.AvailableLocations(b);
+    const BlockInfo& info = state.GetBlock(b);
+    EXPECT_LE(available.size(), info.locations.size());
+    for (const ChunkLocation& loc : available) {
+      EXPECT_TRUE(state.IsSiteAvailable(loc.site));
+      EXPECT_TRUE(state.HasChunkAt(b, loc.site));
+    }
+  }
+}
+
+TEST(ClusterStateFuzzTest, BlocksWithChunkAtMatchesScan) {
+  ClusterState state(6);
+  Rng rng(13);
+  for (BlockId b = 0; b < 40; ++b) {
+    state.AddBlock(b, 100, 50, 2, 1, state.PickRandomSites(rng, 3));
+  }
+  for (int step = 0; step < 30; ++step) {
+    (void)state.MoveChunk(rng.NextBounded(40),
+                          static_cast<SiteId>(rng.NextBounded(6)),
+                          static_cast<SiteId>(rng.NextBounded(6)));
+  }
+  for (SiteId site = 0; site < 6; ++site) {
+    const auto listed = state.BlocksWithChunkAt(site);
+    std::vector<BlockId> expected;
+    for (BlockId b = 0; b < 40; ++b) {
+      if (state.HasChunkAt(b, site)) expected.push_back(b);
+    }
+    EXPECT_EQ(listed, expected) << "site " << site;
+  }
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,165 @@
+#include "cluster/state.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ecstore {
+namespace {
+
+constexpr std::uint64_t kBlockBytes = 100 * 1024;
+constexpr std::uint64_t kChunkBytes = 50 * 1024;
+
+ClusterState MakeStateWithBlock() {
+  ClusterState state(8);
+  const std::vector<SiteId> sites = {0, 2, 4, 6};
+  state.AddBlock(1, kBlockBytes, kChunkBytes, 2, 2, sites);
+  return state;
+}
+
+TEST(ClusterStateTest, RejectsZeroSites) {
+  EXPECT_THROW(ClusterState(0), std::invalid_argument);
+}
+
+TEST(ClusterStateTest, AddBlockStoresCatalogEntry) {
+  ClusterState state = MakeStateWithBlock();
+  EXPECT_EQ(state.num_blocks(), 1u);
+  const BlockInfo& info = state.GetBlock(1);
+  EXPECT_EQ(info.k, 2u);
+  EXPECT_EQ(info.r, 2u);
+  EXPECT_EQ(info.block_bytes, kBlockBytes);
+  EXPECT_EQ(info.chunk_bytes, kChunkBytes);
+  ASSERT_EQ(info.locations.size(), 4u);
+  EXPECT_EQ(info.locations[0].site, 0u);
+  EXPECT_EQ(info.locations[0].chunk, 0u);
+  EXPECT_EQ(info.locations[3].site, 6u);
+  EXPECT_EQ(info.locations[3].chunk, 3u);
+}
+
+TEST(ClusterStateTest, AddBlockValidation) {
+  ClusterState state(4);
+  const std::vector<SiteId> ok = {0, 1, 2, 3};
+  state.AddBlock(1, 100, 50, 2, 2, ok);
+  // Duplicate id.
+  EXPECT_THROW(state.AddBlock(1, 100, 50, 2, 2, ok), std::invalid_argument);
+  // Wrong count.
+  const std::vector<SiteId> three = {0, 1, 2};
+  EXPECT_THROW(state.AddBlock(2, 100, 50, 2, 2, three), std::invalid_argument);
+  // Out of range site.
+  const std::vector<SiteId> oob = {0, 1, 2, 9};
+  EXPECT_THROW(state.AddBlock(2, 100, 50, 2, 2, oob), std::invalid_argument);
+  // Duplicate sites violate fault tolerance.
+  const std::vector<SiteId> dup = {0, 1, 2, 2};
+  EXPECT_THROW(state.AddBlock(2, 100, 50, 2, 2, dup), std::invalid_argument);
+}
+
+TEST(ClusterStateTest, SiteAggregatesTrackInventory) {
+  ClusterState state = MakeStateWithBlock();
+  EXPECT_EQ(state.site_chunk_counts()[0], 1u);
+  EXPECT_EQ(state.site_chunk_counts()[1], 0u);
+  EXPECT_EQ(state.site_bytes()[0], kChunkBytes);
+  EXPECT_EQ(state.total_bytes(), 4 * kChunkBytes);
+}
+
+TEST(ClusterStateTest, HasChunkAt) {
+  ClusterState state = MakeStateWithBlock();
+  EXPECT_TRUE(state.HasChunkAt(1, 0));
+  EXPECT_TRUE(state.HasChunkAt(1, 6));
+  EXPECT_FALSE(state.HasChunkAt(1, 1));
+  EXPECT_FALSE(state.HasChunkAt(99, 0));  // Unknown block.
+}
+
+TEST(ClusterStateTest, MoveChunkRelocates) {
+  ClusterState state = MakeStateWithBlock();
+  ASSERT_TRUE(state.MoveChunk(1, 0, 1));
+  EXPECT_FALSE(state.HasChunkAt(1, 0));
+  EXPECT_TRUE(state.HasChunkAt(1, 1));
+  // Chunk index is preserved.
+  const BlockInfo& info = state.GetBlock(1);
+  const auto moved = std::find_if(info.locations.begin(), info.locations.end(),
+                                  [](const ChunkLocation& l) { return l.site == 1; });
+  ASSERT_NE(moved, info.locations.end());
+  EXPECT_EQ(moved->chunk, 0u);
+  // Aggregates follow.
+  EXPECT_EQ(state.site_chunk_counts()[0], 0u);
+  EXPECT_EQ(state.site_chunk_counts()[1], 1u);
+  EXPECT_EQ(state.site_bytes()[1], kChunkBytes);
+}
+
+TEST(ClusterStateTest, MoveChunkRejectsInvalid) {
+  ClusterState state = MakeStateWithBlock();
+  EXPECT_FALSE(state.MoveChunk(1, 1, 3));   // Source holds no chunk.
+  EXPECT_FALSE(state.MoveChunk(1, 0, 2));   // Destination already has one.
+  EXPECT_FALSE(state.MoveChunk(1, 0, 0));   // Self move.
+  EXPECT_FALSE(state.MoveChunk(99, 0, 1));  // Unknown block.
+  EXPECT_FALSE(state.MoveChunk(1, 0, 100)); // Out of range.
+  // State unchanged by all rejections.
+  EXPECT_TRUE(state.HasChunkAt(1, 0));
+  EXPECT_EQ(state.site_chunk_counts()[0], 1u);
+}
+
+TEST(ClusterStateTest, RemoveBlockClearsInventory) {
+  ClusterState state = MakeStateWithBlock();
+  EXPECT_TRUE(state.RemoveBlock(1));
+  EXPECT_FALSE(state.Contains(1));
+  EXPECT_EQ(state.total_bytes(), 0u);
+  EXPECT_EQ(state.site_chunk_counts()[0], 0u);
+  EXPECT_FALSE(state.RemoveBlock(1));  // Idempotent failure.
+}
+
+TEST(ClusterStateTest, GetBlockThrowsForUnknown) {
+  ClusterState state(4);
+  EXPECT_THROW(state.GetBlock(42), std::out_of_range);
+}
+
+TEST(ClusterStateTest, AvailabilityFiltersLocations) {
+  ClusterState state = MakeStateWithBlock();
+  EXPECT_EQ(state.num_available_sites(), 8u);
+  state.SetSiteAvailable(0, false);
+  state.SetSiteAvailable(2, false);
+  EXPECT_EQ(state.num_available_sites(), 6u);
+  const auto locs = state.AvailableLocations(1);
+  ASSERT_EQ(locs.size(), 2u);
+  EXPECT_EQ(locs[0].site, 4u);
+  EXPECT_EQ(locs[1].site, 6u);
+  state.SetSiteAvailable(0, true);
+  EXPECT_EQ(state.AvailableLocations(1).size(), 3u);
+}
+
+TEST(ClusterStateTest, VersionBumpsOnMutation) {
+  ClusterState state(4);
+  const auto v0 = state.version();
+  state.AddBlock(1, 100, 50, 2, 2, std::vector<SiteId>{0, 1, 2, 3});
+  const auto v1 = state.version();
+  EXPECT_GT(v1, v0);
+  state.MoveChunk(1, 0, 0);  // Rejected: no bump.
+  EXPECT_EQ(state.version(), v1);
+  state.SetSiteAvailable(2, false);
+  EXPECT_GT(state.version(), v1);
+}
+
+TEST(ClusterStateTest, PickRandomSitesDistinct) {
+  ClusterState state(10);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sites = state.PickRandomSites(rng, 4);
+    ASSERT_EQ(sites.size(), 4u);
+    std::sort(sites.begin(), sites.end());
+    EXPECT_TRUE(std::adjacent_find(sites.begin(), sites.end()) == sites.end());
+    EXPECT_LT(sites.back(), 10u);
+  }
+  EXPECT_THROW(state.PickRandomSites(rng, 11), std::invalid_argument);
+}
+
+TEST(ClusterStateTest, PickRandomSitesCoversAllSites) {
+  ClusterState state(6);
+  Rng rng(9);
+  std::vector<int> seen(6, 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    for (SiteId s : state.PickRandomSites(rng, 3)) ++seen[s];
+  }
+  for (int count : seen) EXPECT_GT(count, 60);  // Roughly uniform coverage.
+}
+
+}  // namespace
+}  // namespace ecstore

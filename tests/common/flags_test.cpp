@@ -1,0 +1,65 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ecstore {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  Flags f = Make({"--sites=32", "--exponent=1.5", "--name=ycsb"});
+  EXPECT_EQ(f.GetInt("sites", 0), 32);
+  EXPECT_DOUBLE_EQ(f.GetDouble("exponent", 0), 1.5);
+  EXPECT_EQ(f.GetString("name", ""), "ycsb");
+}
+
+TEST(FlagsTest, DefaultsWhenMissing) {
+  Flags f = Make({});
+  EXPECT_EQ(f.GetInt("sites", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("s", "dflt"), "dflt");
+  EXPECT_TRUE(f.GetBool("b", true));
+  EXPECT_FALSE(f.Has("sites"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = Make({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  Flags f = Make({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+  EXPECT_FALSE(f.GetBool("e", true));
+}
+
+TEST(FlagsTest, IgnoresPositionalArgs) {
+  Flags f = Make({"positional", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+  EXPECT_FALSE(f.Has("positional"));
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  Flags f = Make({"--delta=-3", "--w=-0.5"});
+  EXPECT_EQ(f.GetInt("delta", 0), -3);
+  EXPECT_DOUBLE_EQ(f.GetDouble("w", 0), -0.5);
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = Make({"--k=1", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,181 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ecstore {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.Quantile(0.0), 42);
+  EXPECT_EQ(h.Quantile(0.5), 42);
+  EXPECT_EQ(h.Quantile(1.0), 42);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int v = 0; v < 100; ++v) h.Record(v);
+  // Values below the sub-bucket count are recorded exactly. With 100
+  // observations 0..99, the q-quantile is the ceil(q*100)-th smallest.
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Percentile(50), 49);
+  EXPECT_EQ(h.Percentile(99), 98);
+  EXPECT_EQ(h.Percentile(100), 99);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, LargeValuesWithinRelativeError) {
+  Histogram h;
+  const std::int64_t v = 1'000'000;  // 1 second in microseconds.
+  h.Record(v);
+  const std::int64_t got = h.Quantile(0.5);
+  EXPECT_NEAR(static_cast<double>(got), static_cast<double>(v), v * 0.01);
+}
+
+TEST(HistogramTest, QuantilesOrdered) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.Record(static_cast<std::int64_t>(rng.NextBounded(1000000)));
+  std::int64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const std::int64_t v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "quantile " << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, UniformQuantilesAccurate) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.Record(i);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50000.0, 1500.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(95)), 95000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 99000.0, 2000.0);
+}
+
+TEST(HistogramTest, MeanAccumulates) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordManyEquivalentToLoop) {
+  Histogram a, b;
+  a.RecordMany(500, 10);
+  for (int i = 0; i < 10; ++i) b.Record(500);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.Quantile(0.5), b.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) a.Record(100);
+  for (int i = 0; i < 1000; ++i) b.Record(10000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_NEAR(static_cast<double>(a.max()), 10000.0, 0.0);
+  EXPECT_NEAR(a.Mean(), 5050.0, 1.0);
+  // Median should be in the low cluster or at its boundary.
+  EXPECT_LE(a.Quantile(0.49), 110);
+  EXPECT_GE(a.Quantile(0.51), 9900);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a, b;
+  b.Record(7);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.9), 0);
+}
+
+TEST(HistogramTest, CdfReturnsRequestedPoints) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  const auto cdf = h.Cdf({80, 90, 99, 100});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_EQ(cdf[0].first, 80);
+  EXPECT_LE(cdf[0].second, cdf[3].second);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-9);  // Sample variance.
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10;
+    if (i % 2) {
+      a.Add(x);
+    } else {
+      b.Add(x);
+    }
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+}
+
+TEST(RunningStatTest, ConfidenceShrinksWithSamples) {
+  RunningStat small, large;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) small.Add(rng.NextGaussian());
+  for (int i = 0; i < 1000; ++i) large.Add(rng.NextGaussian());
+  EXPECT_GT(small.ConfidenceHalfWidth95(), large.ConfidenceHalfWidth95());
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,260 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace ecstore {
+namespace {
+
+TEST(SplitMix64Test, ProducesKnownSequenceShape) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  SplitMix64 c(43);
+  EXPECT_NE(SplitMix64(42).Next(), c.Next());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBound)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBound, 0.1 * kSamples / kBound);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / 100000, 5.0, 0.15);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedianIsExpMu) {
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(rng.NextLogNormal(1.0, 0.5));
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --- Zipf -----------------------------------------------------------------
+
+TEST(ZipfTest, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, SingleElementAlwaysOne) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfSampler z(1000, 1.0);
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = z.Sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+  }
+}
+
+// The defining property of Zipf: P(rank) proportional to rank^-s.
+TEST(ZipfTest, FrequenciesFollowPowerLaw) {
+  constexpr std::uint64_t kN = 100;
+  constexpr double kS = 1.0;
+  ZipfSampler z(kN, kS);
+  Rng rng(41);
+  std::vector<int> counts(kN + 1, 0);
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) ++counts[z.Sample(rng)];
+
+  double harmonic = 0;
+  for (std::uint64_t r = 1; r <= kN; ++r) harmonic += std::pow(r, -kS);
+  for (std::uint64_t r : {1ull, 2ull, 5ull, 10ull, 50ull}) {
+    const double expected = std::pow(static_cast<double>(r), -kS) / harmonic;
+    const double observed = counts[r] / static_cast<double>(kSamples);
+    EXPECT_NEAR(observed, expected, expected * 0.1) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HigherExponentIsMoreSkewed) {
+  constexpr std::uint64_t kN = 1000;
+  Rng rng(43);
+  ZipfSampler mild(kN, 0.5), steep(kN, 2.0);
+  int mild_top = 0, steep_top = 0;
+  for (int i = 0; i < 20000; ++i) {
+    mild_top += (mild.Sample(rng) == 1);
+    steep_top += (steep.Sample(rng) == 1);
+  }
+  EXPECT_GT(steep_top, mild_top * 2);
+}
+
+TEST(ZipfTest, LargeKeySpaceWorks) {
+  ZipfSampler z(1000000, 1.0);  // Paper-scale 1M keyspace.
+  Rng rng(47);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) max_seen = std::max(max_seen, z.Sample(rng));
+  EXPECT_LE(max_seen, 1000000u);
+  EXPECT_GT(max_seen, 1000u);  // The tail is actually reachable.
+}
+
+// --- Bounded Pareto --------------------------------------------------------
+
+TEST(BoundedParetoTest, RejectsBadParameters) {
+  EXPECT_THROW(BoundedParetoSampler(0.0, 1, 10), std::invalid_argument);
+  EXPECT_THROW(BoundedParetoSampler(1.0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(BoundedParetoSampler(1.0, 10, 10), std::invalid_argument);
+}
+
+TEST(BoundedParetoTest, SamplesWithinBounds) {
+  BoundedParetoSampler p(1.2, 2.0, 5000.0);
+  Rng rng(53);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = p.Sample(rng);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LE(v, 5000.0);
+  }
+}
+
+TEST(BoundedParetoTest, EmpiricalMedianMatchesAnalytic) {
+  BoundedParetoSampler p(1.1, 1.0, 100000.0);
+  Rng rng(59);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(p.Sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], p.Median(), p.Median() * 0.1);
+}
+
+// --- Weighted sampling ------------------------------------------------------
+
+TEST(WeightedSampleTest, ReturnsRequestedCount) {
+  Rng rng(61);
+  std::vector<double> w = {1, 2, 3, 4, 5};
+  EXPECT_EQ(WeightedSampleWithoutReplacement(rng, w, 3).size(), 3u);
+  EXPECT_EQ(WeightedSampleWithoutReplacement(rng, w, 10).size(), 5u);
+  EXPECT_TRUE(WeightedSampleWithoutReplacement(rng, w, 0).empty());
+}
+
+TEST(WeightedSampleTest, NoDuplicates) {
+  Rng rng(67);
+  std::vector<double> w(20, 1.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = WeightedSampleWithoutReplacement(rng, w, 10);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+  }
+}
+
+TEST(WeightedSampleTest, SkipsZeroWeights) {
+  Rng rng(71);
+  std::vector<double> w = {0.0, 1.0, 0.0, 1.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = WeightedSampleWithoutReplacement(rng, w, 2);
+    for (auto i : s) EXPECT_TRUE(i == 1 || i == 3);
+  }
+}
+
+TEST(WeightedSampleTest, HeavierWeightsChosenMoreOften) {
+  Rng rng(73);
+  std::vector<double> w = {1.0, 10.0};
+  int heavy_first = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto s = WeightedSampleWithoutReplacement(rng, w, 1);
+    ASSERT_EQ(s.size(), 1u);
+    heavy_first += (s[0] == 1);
+  }
+  // P(heavy first) = 10/11 ~ 0.909.
+  EXPECT_NEAR(heavy_first / 2000.0, 10.0 / 11.0, 0.05);
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,70 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace ecstore {
+namespace {
+
+TEST(TechniqueTest, NamesRoundTrip) {
+  for (Technique t :
+       {Technique::kReplication, Technique::kEc, Technique::kEcLb,
+        Technique::kEcC, Technique::kEcCM, Technique::kEcCMLb}) {
+    EXPECT_EQ(ParseTechnique(TechniqueName(t)), t);
+  }
+  EXPECT_THROW(ParseTechnique("bogus"), std::invalid_argument);
+}
+
+TEST(TechniqueTest, FeatureFlags) {
+  EXPECT_FALSE(UsesCostModel(Technique::kReplication));
+  EXPECT_FALSE(UsesCostModel(Technique::kEc));
+  EXPECT_FALSE(UsesCostModel(Technique::kEcLb));
+  EXPECT_TRUE(UsesCostModel(Technique::kEcC));
+  EXPECT_TRUE(UsesCostModel(Technique::kEcCM));
+  EXPECT_TRUE(UsesCostModel(Technique::kEcCMLb));
+
+  EXPECT_FALSE(UsesMover(Technique::kEcC));
+  EXPECT_TRUE(UsesMover(Technique::kEcCM));
+  EXPECT_TRUE(UsesMover(Technique::kEcCMLb));
+
+  EXPECT_EQ(LateBindingDelta(Technique::kEc, 1), 0u);
+  EXPECT_EQ(LateBindingDelta(Technique::kEcLb, 1), 1u);
+  EXPECT_EQ(LateBindingDelta(Technique::kEcCM, 1), 0u);
+  EXPECT_EQ(LateBindingDelta(Technique::kEcCMLb, 2), 2u);
+}
+
+TEST(ConfigTest, CodingShape) {
+  ECStoreConfig ec = ECStoreConfig::ForTechnique(Technique::kEc);
+  EXPECT_EQ(ec.ChunksPerBlock(), 4u);   // RS(2,2).
+  EXPECT_EQ(ec.RequiredChunks(), 2u);
+  EXPECT_EQ(ec.ChunkBytes(100), 50u);
+  EXPECT_EQ(ec.ChunkBytes(101), 51u);
+
+  ECStoreConfig rep = ECStoreConfig::ForTechnique(Technique::kReplication);
+  EXPECT_EQ(rep.ChunksPerBlock(), 3u);  // Three copies.
+  EXPECT_EQ(rep.RequiredChunks(), 1u);
+  EXPECT_EQ(rep.ChunkBytes(100), 100u);
+}
+
+TEST(ConfigTest, PaperDefaults) {
+  const ECStoreConfig c;
+  EXPECT_EQ(c.k, 2u);
+  EXPECT_EQ(c.r, 2u);
+  EXPECT_EQ(c.num_sites, 32u);
+  EXPECT_EQ(c.co_access_window, 5000u);
+  EXPECT_DOUBLE_EQ(c.mover_chunks_per_sec, 1.0);
+  EXPECT_DOUBLE_EQ(c.mover.w1, 1.0);
+  EXPECT_DOUBLE_EQ(c.mover.w2, 3.0);
+  EXPECT_EQ(c.repair_wait, 15 * kMinute);
+  EXPECT_EQ(c.stats_report_interval, 5 * kSecond);
+}
+
+TEST(ConfigTest, EffectiveDeltaFollowsTechnique) {
+  ECStoreConfig c = ECStoreConfig::ForTechnique(Technique::kEcLb);
+  c.late_binding_delta = 1;
+  EXPECT_EQ(c.EffectiveDelta(), 1u);
+  c = ECStoreConfig::ForTechnique(Technique::kEcC, c);
+  EXPECT_EQ(c.EffectiveDelta(), 0u);
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,251 @@
+#include "erasure/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ecstore {
+namespace {
+
+std::vector<std::uint8_t> RandomBlock(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> block(n);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  return block;
+}
+
+std::vector<IndexedChunk> Pick(const std::vector<ChunkData>& chunks,
+                               const std::vector<ChunkIndex>& indices) {
+  std::vector<IndexedChunk> out;
+  for (ChunkIndex i : indices) out.push_back({i, chunks[i]});
+  return out;
+}
+
+TEST(ReedSolomonTest, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomonCodec(1, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomonCodec(2, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomonCodec(200, 57), std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, BasicShape) {
+  ReedSolomonCodec codec(2, 2);
+  EXPECT_EQ(codec.RequiredChunks(), 2u);
+  EXPECT_EQ(codec.TotalChunks(), 4u);
+  EXPECT_EQ(codec.FaultTolerance(), 2u);
+  EXPECT_DOUBLE_EQ(codec.StorageOverhead(), 2.0);
+  EXPECT_EQ(codec.ChunkSize(100), 50u);
+  EXPECT_EQ(codec.ChunkSize(101), 51u);  // Rounds up.
+}
+
+TEST(ReedSolomonTest, EncodeProducesEqualSizedChunks) {
+  ReedSolomonCodec codec(3, 2);
+  Rng rng(1);
+  const auto block = RandomBlock(1000, rng);
+  const auto chunks = codec.Encode(block);
+  ASSERT_EQ(chunks.size(), 5u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), codec.ChunkSize(1000));
+}
+
+TEST(ReedSolomonTest, SystematicChunksAreDataSplits) {
+  ReedSolomonCodec codec(2, 1);
+  std::vector<std::uint8_t> block = {1, 2, 3, 4, 5, 6};
+  const auto chunks = codec.Encode(block);
+  EXPECT_EQ(chunks[0], (ChunkData{1, 2, 3}));
+  EXPECT_EQ(chunks[1], (ChunkData{4, 5, 6}));
+}
+
+TEST(ReedSolomonTest, DecodeFromSystematicChunks) {
+  ReedSolomonCodec codec(2, 2);
+  Rng rng(2);
+  const auto block = RandomBlock(100 * 1024, rng);  // Paper's 100 KB default.
+  const auto chunks = codec.Encode(block);
+  EXPECT_EQ(codec.Decode(Pick(chunks, {0, 1}), block.size()), block);
+}
+
+// The MDS property, exhaustively: any k of k+r chunks reconstruct.
+TEST(ReedSolomonTest, AnyKSubsetDecodesRs22) {
+  ReedSolomonCodec codec(2, 2);
+  Rng rng(3);
+  const auto block = RandomBlock(1003, rng);  // Odd size exercises padding.
+  const auto chunks = codec.Encode(block);
+  for (ChunkIndex a = 0; a < 4; ++a) {
+    for (ChunkIndex b = a + 1; b < 4; ++b) {
+      EXPECT_EQ(codec.Decode(Pick(chunks, {a, b}), block.size()), block)
+          << "chunks " << a << "," << b;
+    }
+  }
+}
+
+TEST(ReedSolomonTest, DecodeOrderDoesNotMatter) {
+  ReedSolomonCodec codec(2, 2);
+  Rng rng(4);
+  const auto block = RandomBlock(512, rng);
+  const auto chunks = codec.Encode(block);
+  EXPECT_EQ(codec.Decode(Pick(chunks, {3, 0}), block.size()), block);
+  EXPECT_EQ(codec.Decode(Pick(chunks, {0, 3}), block.size()), block);
+  EXPECT_EQ(codec.Decode(Pick(chunks, {3, 2}), block.size()), block);
+}
+
+TEST(ReedSolomonTest, ExtraChunksIgnored) {
+  ReedSolomonCodec codec(2, 2);
+  Rng rng(5);
+  const auto block = RandomBlock(256, rng);
+  const auto chunks = codec.Encode(block);
+  // Late binding delivers more than k chunks; decode uses the first k.
+  EXPECT_EQ(codec.Decode(Pick(chunks, {1, 2, 3}), block.size()), block);
+  EXPECT_EQ(codec.Decode(Pick(chunks, {0, 1, 2, 3}), block.size()), block);
+}
+
+TEST(ReedSolomonTest, DuplicateChunksRejected) {
+  ReedSolomonCodec codec(2, 2);
+  Rng rng(6);
+  const auto block = RandomBlock(64, rng);
+  const auto chunks = codec.Encode(block);
+  EXPECT_THROW(codec.Decode(Pick(chunks, {1, 1}), block.size()),
+               std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, TooFewChunksRejected) {
+  ReedSolomonCodec codec(3, 2);
+  Rng rng(7);
+  const auto block = RandomBlock(64, rng);
+  const auto chunks = codec.Encode(block);
+  EXPECT_THROW(codec.Decode(Pick(chunks, {0, 1}), block.size()),
+               std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, OutOfRangeIndexRejected) {
+  ReedSolomonCodec codec(2, 1);
+  std::vector<IndexedChunk> bad = {{7, ChunkData(10)}, {0, ChunkData(10)}};
+  EXPECT_THROW(codec.Decode(bad, 20), std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, WrongChunkSizeRejected) {
+  ReedSolomonCodec codec(2, 1);
+  Rng rng(8);
+  const auto block = RandomBlock(100, rng);
+  auto chunks = codec.Encode(block);
+  chunks[0].pop_back();
+  EXPECT_THROW(codec.Decode(Pick(chunks, {0, 1}), block.size()),
+               std::invalid_argument);
+}
+
+TEST(ReedSolomonTest, EmptyBlockRoundTrips) {
+  ReedSolomonCodec codec(2, 2);
+  const std::vector<std::uint8_t> empty;
+  const auto chunks = codec.Encode(empty);
+  EXPECT_EQ(codec.Decode(Pick(chunks, {2, 3}), 0).size(), 0u);
+}
+
+TEST(ReedSolomonTest, OneByteBlockRoundTrips) {
+  ReedSolomonCodec codec(2, 2);
+  const std::vector<std::uint8_t> one = {0xAB};
+  const auto chunks = codec.Encode(one);
+  for (ChunkIndex a = 0; a < 4; ++a) {
+    for (ChunkIndex b = a + 1; b < 4; ++b) {
+      EXPECT_EQ(codec.Decode(Pick(chunks, {a, b}), 1), one);
+    }
+  }
+}
+
+TEST(ReedSolomonTest, IsTrivialDecodeDetectsSystematic) {
+  ReedSolomonCodec codec(2, 2);
+  const std::vector<ChunkIndex> sys = {0, 1};
+  const std::vector<ChunkIndex> mixed = {0, 2};
+  const std::vector<ChunkIndex> parity = {2, 3};
+  EXPECT_TRUE(codec.IsTrivialDecode(sys));
+  EXPECT_FALSE(codec.IsTrivialDecode(mixed));
+  EXPECT_FALSE(codec.IsTrivialDecode(parity));
+}
+
+// Parameterized sweep across (k, r) configurations and block sizes:
+// property-test the MDS guarantee with randomly chosen chunk subsets.
+class RsParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, std::size_t>> {};
+
+TEST_P(RsParamTest, RandomKSubsetsDecode) {
+  const auto [k, r, size] = GetParam();
+  ReedSolomonCodec codec(k, r);
+  Rng rng(1000 + k * 31 + r * 7 + size);
+  const auto block = RandomBlock(size, rng);
+  const auto chunks = codec.Encode(block);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random k-subset of [0, k+r).
+    std::vector<ChunkIndex> all(k + r);
+    std::iota(all.begin(), all.end(), 0u);
+    for (std::size_t i = all.size(); i > 1; --i) {
+      std::swap(all[i - 1], all[rng.NextBounded(i)]);
+    }
+    all.resize(k);
+    EXPECT_EQ(codec.Decode(Pick(chunks, all), block.size()), block);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, RsParamTest,
+    ::testing::Values(
+        std::make_tuple(2u, 1u, 1000u), std::make_tuple(2u, 2u, 1000u),
+        std::make_tuple(3u, 2u, 1000u), std::make_tuple(4u, 2u, 1000u),
+        std::make_tuple(6u, 3u, 1000u), std::make_tuple(10u, 4u, 1000u),
+        std::make_tuple(2u, 2u, 1u), std::make_tuple(2u, 2u, 17u),
+        std::make_tuple(3u, 3u, 100001u), std::make_tuple(5u, 1u, 4097u)));
+
+// --- Replication ------------------------------------------------------------
+
+TEST(ReplicationTest, RejectsZeroFaults) {
+  EXPECT_THROW(ReplicationCodec(0), std::invalid_argument);
+}
+
+TEST(ReplicationTest, Shape) {
+  ReplicationCodec codec(2);
+  EXPECT_EQ(codec.RequiredChunks(), 1u);
+  EXPECT_EQ(codec.TotalChunks(), 3u);  // Paper: three copies.
+  EXPECT_EQ(codec.FaultTolerance(), 2u);
+  EXPECT_DOUBLE_EQ(codec.StorageOverhead(), 3.0);
+  EXPECT_EQ(codec.ChunkSize(12345), 12345u);
+}
+
+TEST(ReplicationTest, EveryReplicaIsTheBlock) {
+  ReplicationCodec codec(2);
+  Rng rng(9);
+  const auto block = RandomBlock(100, rng);
+  const auto copies = codec.Encode(block);
+  ASSERT_EQ(copies.size(), 3u);
+  for (const auto& c : copies) EXPECT_EQ(c, block);
+}
+
+TEST(ReplicationTest, AnySingleReplicaDecodes) {
+  ReplicationCodec codec(2);
+  Rng rng(10);
+  const auto block = RandomBlock(100, rng);
+  const auto copies = codec.Encode(block);
+  for (ChunkIndex i = 0; i < 3; ++i) {
+    EXPECT_EQ(codec.Decode(Pick(copies, {i}), block.size()), block);
+  }
+}
+
+TEST(ReplicationTest, NoChunksRejected) {
+  ReplicationCodec codec(2);
+  std::vector<IndexedChunk> none;
+  EXPECT_THROW(codec.Decode(none, 10), std::invalid_argument);
+}
+
+TEST(ReplicationTest, DecodeIsAlwaysTrivial) {
+  ReplicationCodec codec(2);
+  const std::vector<ChunkIndex> any = {2};
+  EXPECT_TRUE(codec.IsTrivialDecode(any));
+}
+
+// Storage-overhead comparison, the paper's core motivation: replication
+// stores 50% more than RS(2,2) at equal fault tolerance.
+TEST(CodecComparisonTest, PaperStorageOverheadClaim) {
+  ReedSolomonCodec ec(2, 2);
+  ReplicationCodec rep(2);
+  EXPECT_EQ(ec.FaultTolerance(), rep.FaultTolerance());
+  EXPECT_DOUBLE_EQ(rep.StorageOverhead() / ec.StorageOverhead(), 1.5);
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,224 @@
+#include "erasure/linear_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "gf/matrix.h"
+
+namespace ecstore {
+namespace {
+
+std::vector<std::uint8_t> RandomBlock(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> block(n);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  return block;
+}
+
+std::vector<IndexedChunk> Pick(const std::vector<ChunkData>& chunks,
+                               const std::vector<ChunkIndex>& indices) {
+  std::vector<IndexedChunk> out;
+  for (ChunkIndex i : indices) out.push_back({i, chunks[i]});
+  return out;
+}
+
+TEST(LinearCodecTest, RejectsBadGenerators) {
+  EXPECT_THROW(LinearCodec(gf::Matrix(0, 0)), std::invalid_argument);
+  EXPECT_THROW(LinearCodec(gf::Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(LinearCodecTest, MdsGeneratorBehavesLikeReedSolomon) {
+  // A systematic Cauchy generator is exactly our RS code; the general
+  // codec must decode every k-subset.
+  LinearCodec codec(gf::BuildSystematicCauchy(3, 2));
+  Rng rng(1);
+  const auto block = RandomBlock(999, rng);
+  const auto chunks = codec.Encode(block);
+  ASSERT_EQ(chunks.size(), 5u);
+
+  for (ChunkIndex a = 0; a < 5; ++a) {
+    for (ChunkIndex b = a + 1; b < 5; ++b) {
+      for (ChunkIndex c = b + 1; c < 5; ++c) {
+        const auto decoded = codec.TryDecode(Pick(chunks, {a, b, c}), block.size());
+        ASSERT_TRUE(decoded.has_value()) << a << "," << b << "," << c;
+        EXPECT_EQ(*decoded, block);
+      }
+    }
+  }
+}
+
+TEST(LinearCodecTest, InsufficientChunksRejected) {
+  LinearCodec codec(gf::BuildSystematicCauchy(3, 2));
+  Rng rng(2);
+  const auto block = RandomBlock(100, rng);
+  const auto chunks = codec.Encode(block);
+  EXPECT_FALSE(codec.TryDecode(Pick(chunks, {0, 4}), block.size()).has_value());
+  const std::vector<ChunkIndex> two = {0, 4};
+  EXPECT_FALSE(codec.CanDecode(two));
+}
+
+TEST(LinearCodecTest, DuplicateChunksDoNotInflateRank) {
+  LinearCodec codec(gf::BuildSystematicCauchy(2, 1));
+  Rng rng(3);
+  const auto block = RandomBlock(64, rng);
+  const auto chunks = codec.Encode(block);
+  // The same chunk twice has rank 1.
+  const std::vector<IndexedChunk> dup = {{0, chunks[0]}, {0, chunks[0]}};
+  EXPECT_FALSE(codec.TryDecode(dup, block.size()).has_value());
+}
+
+TEST(LinearCodecTest, ReconstructChunkRebuildsAnyRow) {
+  LinearCodec codec(gf::BuildSystematicCauchy(2, 2));
+  Rng rng(4);
+  const auto block = RandomBlock(512, rng);
+  const auto chunks = codec.Encode(block);
+  for (ChunkIndex target = 0; target < 4; ++target) {
+    // Repair `target` from two other chunks.
+    std::vector<ChunkIndex> sources;
+    for (ChunkIndex i = 0; i < 4 && sources.size() < 2; ++i) {
+      if (i != target) sources.push_back(i);
+    }
+    const auto rebuilt =
+        codec.ReconstructChunk(Pick(chunks, sources), target, block.size());
+    ASSERT_TRUE(rebuilt.has_value()) << "target " << target;
+    EXPECT_EQ(*rebuilt, chunks[target]);
+  }
+}
+
+// --- LRC -------------------------------------------------------------------
+
+TEST(LrcTest, RejectsBadParameters) {
+  EXPECT_THROW(LrcCodec(5, 2, 2), std::invalid_argument);  // k % l != 0.
+  EXPECT_THROW(LrcCodec(4, 0, 2), std::invalid_argument);
+  EXPECT_THROW(LrcCodec(4, 2, 0), std::invalid_argument);
+}
+
+TEST(LrcTest, ShapeAndOverhead) {
+  const LrcCodec lrc(12, 2, 2);  // Azure's production parameters.
+  EXPECT_EQ(lrc.TotalChunks(), 16u);
+  EXPECT_EQ(lrc.GroupSize(), 6u);
+  EXPECT_NEAR(lrc.StorageOverhead(), 16.0 / 12.0, 1e-12);
+}
+
+TEST(LrcTest, RoundTripsWithAllChunks) {
+  const LrcCodec lrc(6, 2, 2);
+  Rng rng(5);
+  const auto block = RandomBlock(6000, rng);
+  const auto chunks = lrc.Encode(block);
+  ASSERT_EQ(chunks.size(), 10u);
+  std::vector<ChunkIndex> all(10);
+  std::iota(all.begin(), all.end(), 0u);
+  const auto decoded = lrc.TryDecode(Pick(chunks, all), block.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, block);
+}
+
+TEST(LrcTest, GroupAssignment) {
+  const LrcCodec lrc(6, 2, 2);  // Groups {0,1,2} and {3,4,5}.
+  EXPECT_EQ(lrc.GroupOf(0), 0u);
+  EXPECT_EQ(lrc.GroupOf(2), 0u);
+  EXPECT_EQ(lrc.GroupOf(3), 1u);
+  EXPECT_EQ(lrc.GroupOf(6), 0u);  // First local parity.
+  EXPECT_EQ(lrc.GroupOf(7), 1u);
+  EXPECT_FALSE(lrc.GroupOf(8).has_value());  // Global parity.
+  EXPECT_FALSE(lrc.GroupOf(9).has_value());
+}
+
+TEST(LrcTest, LocalRepairSetIsSmall) {
+  const LrcCodec lrc(12, 2, 2);
+  const auto set = lrc.LocalRepairSet(3);
+  ASSERT_TRUE(set.has_value());
+  // Repair reads GroupSize() chunks (5 data siblings + local parity),
+  // versus k = 12 for an RS code — the entire point of LRC.
+  EXPECT_EQ(set->size(), 6u);
+  EXPECT_FALSE(lrc.LocalRepairSet(15).has_value());  // Global parity.
+}
+
+TEST(LrcTest, SingleFailureRepairsLocally) {
+  const LrcCodec lrc(6, 2, 2);
+  Rng rng(6);
+  const auto block = RandomBlock(3001, rng);
+  const auto chunks = lrc.Encode(block);
+  // Every data chunk and every local parity repairs from its group.
+  for (ChunkIndex failed = 0; failed < 8; ++failed) {
+    const auto set = lrc.LocalRepairSet(failed);
+    ASSERT_TRUE(set.has_value());
+    const auto rebuilt = lrc.RepairLocally(failed, Pick(chunks, *set), block.size());
+    ASSERT_TRUE(rebuilt.has_value()) << "chunk " << failed;
+    EXPECT_EQ(*rebuilt, chunks[failed]) << "chunk " << failed;
+  }
+}
+
+TEST(LrcTest, RepairLocallyRejectsIncompleteGroup) {
+  const LrcCodec lrc(6, 2, 2);
+  Rng rng(7);
+  const auto block = RandomBlock(600, rng);
+  const auto chunks = lrc.Encode(block);
+  auto set = *lrc.LocalRepairSet(0);
+  set.pop_back();  // Drop one required chunk.
+  EXPECT_FALSE(lrc.RepairLocally(0, Pick(chunks, set), block.size()).has_value());
+}
+
+TEST(LrcTest, SurvivesOneFailurePerGroupPlusGlobals) {
+  // Erase one data chunk from each group; the locals + globals cover it.
+  const LrcCodec lrc(6, 2, 2);
+  Rng rng(8);
+  const auto block = RandomBlock(2000, rng);
+  const auto chunks = lrc.Encode(block);
+  // Failed: chunks 0 and 3. Available: everything else.
+  std::vector<ChunkIndex> available = {1, 2, 4, 5, 6, 7, 8, 9};
+  const auto decoded = lrc.TryDecode(Pick(chunks, available), block.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, block);
+}
+
+TEST(LrcTest, SurvivesGlobalParityWorthOfDataFailures) {
+  // LRC(6,2,2) tolerates: both failures in different groups handled
+  // above; two failures in the SAME group need the globals.
+  const LrcCodec lrc(6, 2, 2);
+  Rng rng(9);
+  const auto block = RandomBlock(2000, rng);
+  const auto chunks = lrc.Encode(block);
+  std::vector<ChunkIndex> available = {2, 3, 4, 5, 6, 7, 8, 9};  // Lost 0, 1.
+  const auto decoded = lrc.TryDecode(Pick(chunks, available), block.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, block);
+}
+
+TEST(LrcTest, TooManyFailuresDetected) {
+  // Losing a whole group's data + its parity + a global exceeds the
+  // code's distance; TryDecode must refuse rather than corrupt.
+  const LrcCodec lrc(6, 2, 2);
+  Rng rng(10);
+  const auto block = RandomBlock(2000, rng);
+  const auto chunks = lrc.Encode(block);
+  // Lost 0, 1, 2 (whole group 0) + 6 (its parity): 4 erasures, only 2
+  // globals to help -> unrecoverable.
+  const std::vector<ChunkIndex> available = {3, 4, 5, 7, 8, 9};
+  EXPECT_FALSE(lrc.TryDecode(Pick(chunks, available), block.size()).has_value());
+}
+
+TEST(LrcTest, CanDecodeAgreesWithTryDecode) {
+  const LrcCodec lrc(4, 2, 1);
+  Rng rng(11);
+  const auto block = RandomBlock(444, rng);
+  const auto chunks = lrc.Encode(block);
+  // Sweep all subsets of the 7 chunks; CanDecode and TryDecode agree.
+  for (unsigned mask = 0; mask < (1u << 7); ++mask) {
+    std::vector<ChunkIndex> subset;
+    for (ChunkIndex i = 0; i < 7; ++i) {
+      if (mask & (1u << i)) subset.push_back(i);
+    }
+    const bool can = lrc.codec().CanDecode(subset);
+    const bool did =
+        lrc.TryDecode(Pick(chunks, subset), block.size()).has_value();
+    EXPECT_EQ(can, did) << "mask " << mask;
+    if (did) {
+      EXPECT_EQ(*lrc.TryDecode(Pick(chunks, subset), block.size()), block);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,177 @@
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ecstore::gf {
+namespace {
+
+TEST(Gf256Test, AddIsXor) {
+  EXPECT_EQ(Add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Add(0, 7), 7);
+  EXPECT_EQ(Add(7, 7), 0);  // Characteristic 2: x + x = 0.
+}
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Mul(static_cast<Elem>(a), 1), a);
+    EXPECT_EQ(Mul(1, static_cast<Elem>(a)), a);
+    EXPECT_EQ(Mul(static_cast<Elem>(a), 0), 0);
+    EXPECT_EQ(Mul(0, static_cast<Elem>(a)), 0);
+  }
+}
+
+TEST(Gf256Test, MulCommutative) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Elem a = static_cast<Elem>(rng.NextBounded(256));
+    const Elem b = static_cast<Elem>(rng.NextBounded(256));
+    EXPECT_EQ(Mul(a, b), Mul(b, a));
+  }
+}
+
+TEST(Gf256Test, MulAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const Elem a = static_cast<Elem>(rng.NextBounded(256));
+    const Elem b = static_cast<Elem>(rng.NextBounded(256));
+    const Elem c = static_cast<Elem>(rng.NextBounded(256));
+    EXPECT_EQ(Mul(Mul(a, b), c), Mul(a, Mul(b, c)));
+  }
+}
+
+TEST(Gf256Test, DistributesOverAdd) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Elem a = static_cast<Elem>(rng.NextBounded(256));
+    const Elem b = static_cast<Elem>(rng.NextBounded(256));
+    const Elem c = static_cast<Elem>(rng.NextBounded(256));
+    EXPECT_EQ(Mul(a, Add(b, c)), Add(Mul(a, b), Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, MulMatchesSchoolbook) {
+  // Carry-less polynomial multiply reduced mod 0x11D.
+  const auto schoolbook = [](Elem a, Elem b) -> Elem {
+    unsigned product = 0;
+    unsigned aa = a;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (b & (1 << bit)) product ^= aa << bit;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (product & (1u << bit)) product ^= kPrimitivePoly << (bit - 8);
+    }
+    return static_cast<Elem>(product);
+  };
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(Mul(static_cast<Elem>(a), static_cast<Elem>(b)),
+                schoolbook(static_cast<Elem>(a), static_cast<Elem>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256Test, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const Elem inv = Inverse(static_cast<Elem>(a));
+    EXPECT_EQ(Mul(static_cast<Elem>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, DivIsMulByInverse) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const Elem a = static_cast<Elem>(rng.NextBounded(256));
+    const Elem b = static_cast<Elem>(1 + rng.NextBounded(255));
+    EXPECT_EQ(Div(a, b), Mul(a, Inverse(b)));
+    EXPECT_EQ(Mul(Div(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, PowBasics) {
+  EXPECT_EQ(Pow(0, 0), 1);  // Convention: 0^0 = 1.
+  EXPECT_EQ(Pow(0, 5), 0);
+  EXPECT_EQ(Pow(7, 0), 1);
+  EXPECT_EQ(Pow(7, 1), 7);
+  EXPECT_EQ(Pow(3, 2), Mul(3, 3));
+  EXPECT_EQ(Pow(3, 5), Mul(Mul(Mul(Mul(3, 3), 3), 3), 3));
+}
+
+TEST(Gf256Test, GeneratorHasFullOrder) {
+  // alpha = 2 generates the multiplicative group: alpha^255 = 1 and no
+  // smaller positive power equals 1.
+  Elem x = 1;
+  for (int i = 1; i < 255; ++i) {
+    x = Mul(x, 2);
+    EXPECT_NE(x, 1) << "order divides " << i;
+  }
+  EXPECT_EQ(Mul(x, 2), 1);
+}
+
+TEST(Gf256Test, ExpLogRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(Exp(Log(static_cast<Elem>(a))), a);
+  }
+}
+
+TEST(Gf256Test, MulAddRegionMatchesScalar) {
+  Rng rng(5);
+  std::vector<Elem> src(257), dst(257), expected(257);
+  for (auto& v : src) v = static_cast<Elem>(rng.NextBounded(256));
+  for (auto& v : dst) v = static_cast<Elem>(rng.NextBounded(256));
+  expected = dst;
+  const Elem c = 0x37;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    expected[i] = Add(expected[i], Mul(c, src[i]));
+  }
+  MulAddRegion(c, src, dst);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(Gf256Test, MulAddRegionZeroConstantIsNoop) {
+  std::vector<Elem> src = {1, 2, 3}, dst = {4, 5, 6};
+  MulAddRegion(0, src, dst);
+  EXPECT_EQ(dst, (std::vector<Elem>{4, 5, 6}));
+}
+
+TEST(Gf256Test, MulAddRegionOneConstantIsXor) {
+  std::vector<Elem> src = {1, 2, 3}, dst = {4, 5, 6};
+  MulAddRegion(1, src, dst);
+  EXPECT_EQ(dst, (std::vector<Elem>{5, 7, 5}));
+}
+
+TEST(Gf256Test, MulRegionMatchesScalar) {
+  Rng rng(6);
+  std::vector<Elem> src(100), dst(100);
+  for (auto& v : src) v = static_cast<Elem>(rng.NextBounded(256));
+  const Elem c = 0xAB;
+  MulRegion(c, src, dst);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], Mul(c, src[i]));
+}
+
+TEST(Gf256Test, MulRegionZeroClears) {
+  std::vector<Elem> src = {1, 2, 3}, dst = {9, 9, 9};
+  MulRegion(0, src, dst);
+  EXPECT_EQ(dst, (std::vector<Elem>{0, 0, 0}));
+}
+
+TEST(Gf256Test, AddRegionHandlesOddLengths) {
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 31u, 64u, 100u}) {
+    std::vector<Elem> src(n), dst(n), expected(n);
+    Rng rng(7 + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      src[i] = static_cast<Elem>(rng.NextBounded(256));
+      dst[i] = static_cast<Elem>(rng.NextBounded(256));
+      expected[i] = src[i] ^ dst[i];
+    }
+    AddRegion(src, dst);
+    EXPECT_EQ(dst, expected) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace ecstore::gf

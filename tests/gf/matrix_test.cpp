@@ -1,0 +1,161 @@
+#include "gf/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ecstore::gf {
+namespace {
+
+Matrix RandomMatrix(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m.At(i, j) = static_cast<Elem>(rng.NextBounded(256));
+    }
+  }
+  return m;
+}
+
+TEST(MatrixTest, IdentityTimesAnything) {
+  Rng rng(1);
+  const Matrix m = RandomMatrix(5, rng);
+  const Matrix i = Matrix::Identity(5);
+  EXPECT_EQ(i.Multiply(m), m);
+  EXPECT_EQ(m.Multiply(i), m);
+}
+
+TEST(MatrixTest, MultiplyDimensions) {
+  Matrix a(2, 3), b(3, 4);
+  const Matrix c = a.Multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  // Over GF(2^8): [[1,2],[3,4]] * [[5],[6]].
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  Matrix b(2, 1);
+  b.At(0, 0) = 5;
+  b.At(1, 0) = 6;
+  const Matrix c = a.Multiply(b);
+  EXPECT_EQ(c.At(0, 0), Add(Mul(1, 5), Mul(2, 6)));
+  EXPECT_EQ(c.At(1, 0), Add(Mul(3, 5), Mul(4, 6)));
+}
+
+TEST(MatrixTest, InvertIdentity) {
+  Matrix i = Matrix::Identity(4);
+  ASSERT_TRUE(i.Invert());
+  EXPECT_EQ(i, Matrix::Identity(4));
+}
+
+TEST(MatrixTest, InvertSingularFails) {
+  Matrix m(2, 2);  // All zeros.
+  EXPECT_FALSE(m.Invert());
+
+  Matrix dup(2, 2);  // Duplicate rows.
+  dup.At(0, 0) = 3;
+  dup.At(0, 1) = 5;
+  dup.At(1, 0) = 3;
+  dup.At(1, 1) = 5;
+  EXPECT_FALSE(dup.Invert());
+}
+
+TEST(MatrixTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(2);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u}) {
+    // Random matrices over a field are invertible with high probability;
+    // retry until one is.
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      Matrix m = RandomMatrix(n, rng);
+      Matrix inv = m;
+      if (!inv.Invert()) continue;
+      EXPECT_EQ(inv.Multiply(m), Matrix::Identity(n)) << "n=" << n;
+      EXPECT_EQ(m.Multiply(inv), Matrix::Identity(n)) << "n=" << n;
+      break;
+    }
+  }
+}
+
+TEST(MatrixTest, SelectRowsPicksRows) {
+  Matrix m(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      m.At(i, j) = static_cast<Elem>(10 * i + j);
+    }
+  }
+  const Matrix s = m.SelectRows({2, 0});
+  ASSERT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.At(0, 0), 20);
+  EXPECT_EQ(s.At(0, 1), 21);
+  EXPECT_EQ(s.At(1, 0), 0);
+  EXPECT_EQ(s.At(1, 1), 1);
+}
+
+TEST(CauchyTest, TopIsIdentity) {
+  const Matrix m = BuildSystematicCauchy(4, 2);
+  ASSERT_EQ(m.rows(), 6u);
+  ASSERT_EQ(m.cols(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.At(i, j), i == j ? 1 : 0);
+    }
+  }
+}
+
+TEST(CauchyTest, ParityRowsAreNonZero) {
+  const Matrix m = BuildSystematicCauchy(3, 3);
+  for (std::size_t i = 3; i < 6; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NE(m.At(i, j), 0);
+    }
+  }
+}
+
+// The MDS property: EVERY k-row subset of the coding matrix is invertible.
+TEST(CauchyTest, AllKSubsetsInvertible) {
+  constexpr std::size_t k = 3, r = 3;
+  const Matrix m = BuildSystematicCauchy(k, r);
+  std::vector<std::size_t> rows(k + r);
+  std::iota(rows.begin(), rows.end(), 0u);
+  // Enumerate all C(6,3) = 20 subsets via combinations.
+  std::vector<std::size_t> pick(k);
+  int checked = 0;
+  for (std::size_t a = 0; a < k + r; ++a) {
+    for (std::size_t b = a + 1; b < k + r; ++b) {
+      for (std::size_t c = b + 1; c < k + r; ++c) {
+        Matrix sub = m.SelectRows({a, b, c});
+        EXPECT_TRUE(sub.Invert()) << a << "," << b << "," << c;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, 20);
+}
+
+TEST(CauchyTest, RejectsOversizedField) {
+  EXPECT_THROW(BuildSystematicCauchy(200, 100), std::invalid_argument);
+}
+
+TEST(CauchyTest, PaperDefaultParametersWork) {
+  // RS(2,2), the paper's default (Section V-B3).
+  const Matrix m = BuildSystematicCauchy(2, 2);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 2u);
+  // Every 2-subset of 4 rows invertible.
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      Matrix sub = m.SelectRows({a, b});
+      EXPECT_TRUE(sub.Invert());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecstore::gf

@@ -1,0 +1,171 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace ecstore::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SimplexTest, TrivialEmptyProblem) {
+  LpProblem p;
+  p.AddVariable(1.0);
+  const auto sol = SolveLp(p);
+  EXPECT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, kTol);
+}
+
+TEST(SimplexTest, UnboundedWithoutConstraints) {
+  LpProblem p;
+  p.AddVariable(-1.0);  // min -x, x >= 0 unbounded.
+  EXPECT_EQ(SolveLp(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, SimpleMinimization) {
+  // min x + y  s.t. x + y >= 2, x >= 0, y >= 0 => objective 2.
+  LpProblem p;
+  const auto x = p.AddVariable(1.0);
+  const auto y = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kGreaterEq, 2.0});
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, kTol);
+  EXPECT_NEAR(sol.values[x] + sol.values[y], 2.0, kTol);
+}
+
+TEST(SimplexTest, PrefersCheaperVariable) {
+  // min 3x + y  s.t. x + y >= 5 => y = 5.
+  LpProblem p;
+  const auto x = p.AddVariable(3.0);
+  const auto y = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kGreaterEq, 5.0});
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, kTol);
+  EXPECT_NEAR(sol.values[x], 0.0, kTol);
+  EXPECT_NEAR(sol.values[y], 5.0, kTol);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min 2x + 3y  s.t. x + y == 4, x <= 1 => x = 1, y = 3, obj 11.
+  LpProblem p;
+  const auto x = p.AddVariable(2.0);
+  const auto y = p.AddVariable(3.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, 4.0});
+  p.AddConstraint({{{x, 1.0}}, Relation::kLessEq, 1.0});
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 11.0, kTol);
+  EXPECT_NEAR(sol.values[x], 1.0, kTol);
+  EXPECT_NEAR(sol.values[y], 3.0, kTol);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LpProblem p;
+  const auto x = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}}, Relation::kLessEq, 1.0});
+  p.AddConstraint({{{x, 1.0}}, Relation::kGreaterEq, 2.0});
+  EXPECT_EQ(SolveLp(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, InfeasibleEquality) {
+  // x + y == -1 with x, y >= 0.
+  LpProblem p;
+  const auto x = p.AddVariable(1.0);
+  const auto y = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, -1.0});
+  EXPECT_EQ(SolveLp(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LpProblem p;
+  const auto x = p.AddVariable(1.0);
+  p.AddConstraint({{{x, -1.0}}, Relation::kLessEq, -3.0});
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, kTol);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // min -(3x + 5y) s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => x=2, y=6, obj -36.
+  LpProblem p;
+  const auto x = p.AddVariable(-3.0);
+  const auto y = p.AddVariable(-5.0);
+  p.AddConstraint({{{x, 1.0}}, Relation::kLessEq, 4.0});
+  p.AddConstraint({{{y, 2.0}}, Relation::kLessEq, 12.0});
+  p.AddConstraint({{{x, 3.0}, {y, 2.0}}, Relation::kLessEq, 18.0});
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, kTol);
+  EXPECT_NEAR(sol.values[x], 2.0, kTol);
+  EXPECT_NEAR(sol.values[y], 6.0, kTol);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // A degenerate LP known to cycle without anti-cycling (Beale-like).
+  LpProblem p;
+  const auto x1 = p.AddVariable(-0.75);
+  const auto x2 = p.AddVariable(150.0);
+  const auto x3 = p.AddVariable(-0.02);
+  const auto x4 = p.AddVariable(6.0);
+  p.AddConstraint({{{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Relation::kLessEq, 0.0});
+  p.AddConstraint({{{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Relation::kLessEq, 0.0});
+  p.AddConstraint({{{x3, 1.0}}, Relation::kLessEq, 1.0});
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, kTol);
+}
+
+TEST(SimplexTest, RedundantConstraintsHandled) {
+  LpProblem p;
+  const auto x = p.AddVariable(1.0);
+  p.AddConstraint({{{x, 1.0}}, Relation::kGreaterEq, 1.0});
+  p.AddConstraint({{{x, 1.0}}, Relation::kGreaterEq, 1.0});  // Duplicate.
+  p.AddConstraint({{{x, 2.0}}, Relation::kGreaterEq, 2.0});  // Scaled dup.
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, kTol);
+}
+
+TEST(SimplexTest, EqualityOnlySystem) {
+  // x + y == 3, x - y == 1 => x=2, y=1 (a pure linear solve).
+  LpProblem p;
+  const auto x = p.AddVariable(0.0);
+  const auto y = p.AddVariable(0.0);
+  p.AddConstraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, 3.0});
+  p.AddConstraint({{{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0});
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 2.0, kTol);
+  EXPECT_NEAR(sol.values[y], 1.0, kTol);
+}
+
+TEST(SimplexTest, MediumRandomProblemSolves) {
+  // A structured 30-var covering LP: min sum c_i x_i, groups must sum >= 1.
+  LpProblem p;
+  for (int i = 0; i < 30; ++i) p.AddVariable(1.0 + (i % 7));
+  for (int g = 0; g < 10; ++g) {
+    Constraint c;
+    for (int j = 0; j < 3; ++j) c.terms.push_back({static_cast<std::size_t>(g * 3 + j), 1.0});
+    c.relation = Relation::kGreaterEq;
+    c.rhs = 1.0;
+    p.AddConstraint(std::move(c));
+  }
+  const auto sol = SolveLp(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  // Each group picks its cheapest member: groups of costs {1+0,1+1,1+2} etc.
+  double expected = 0;
+  for (int g = 0; g < 10; ++g) {
+    double best = 1e9;
+    for (int j = 0; j < 3; ++j) best = std::min(best, 1.0 + ((g * 3 + j) % 7));
+    expected += best;
+  }
+  EXPECT_NEAR(sol.objective, expected, kTol);
+}
+
+}  // namespace
+}  // namespace ecstore::lp

@@ -1,0 +1,120 @@
+// Tests for the subset-satisfying cache lookup (paper Section V-B1:
+// "cache and reuse previous access plans that satisfy a new request").
+#include <gtest/gtest.h>
+
+#include "placement/plan_cache.h"
+
+namespace ecstore {
+namespace {
+
+AccessPlan PlanForBlocks(const std::vector<BlockId>& blocks, SiteId base_site) {
+  AccessPlan p;
+  p.optimal = true;
+  for (BlockId b : blocks) {
+    p.reads.push_back({b, base_site, 0});
+    p.reads.push_back({b, static_cast<SiteId>(base_site + 1), 1});
+  }
+  p.estimated_cost_ms = static_cast<double>(blocks.size());
+  return p;
+}
+
+TEST(PlanCacheSubsetTest, ExactMatchStillWorks) {
+  PlanCache cache;
+  const std::vector<BlockId> q = {1, 2, 3};
+  cache.Insert(q, 0, PlanForBlocks(q, 0));
+  const auto hit = cache.LookupSatisfying(q, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reads.size(), 6u);
+  EXPECT_TRUE(hit->optimal);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCacheSubsetTest, SupersetSatisfiesAndRestricts) {
+  PlanCache cache;
+  const std::vector<BlockId> super = {10, 11, 12, 13, 14};
+  cache.Insert(super, 0, PlanForBlocks(super, 0));
+
+  const std::vector<BlockId> sub = {11, 13};
+  const auto hit = cache.LookupSatisfying(sub, 0);
+  ASSERT_TRUE(hit.has_value());
+  // Restricted to the two requested blocks, two reads each.
+  ASSERT_EQ(hit->reads.size(), 4u);
+  for (const ChunkRead& read : hit->reads) {
+    EXPECT_TRUE(read.block == 11 || read.block == 13);
+  }
+  // A restriction of a superset optimum is not guaranteed optimal.
+  EXPECT_FALSE(hit->optimal);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(PlanCacheSubsetTest, ScanPrefixAndSuffixSatisfied) {
+  // The YCSB-E pattern: the cached full range covers shorter scans that
+  // start anywhere within it.
+  PlanCache cache;
+  std::vector<BlockId> range;
+  for (BlockId b = 100; b < 119; ++b) range.push_back(b);
+  cache.Insert(range, 0, PlanForBlocks(range, 2));
+
+  for (BlockId start = 100; start < 115; start += 5) {
+    std::vector<BlockId> scan;
+    for (BlockId b = start; b < start + 4; ++b) scan.push_back(b);
+    const auto hit = cache.LookupSatisfying(scan, 0);
+    ASSERT_TRUE(hit.has_value()) << "scan at " << start;
+    EXPECT_EQ(hit->reads.size(), 8u);
+  }
+}
+
+TEST(PlanCacheSubsetTest, PartialOverlapDoesNotSatisfy) {
+  PlanCache cache;
+  const std::vector<BlockId> cached = {1, 2, 3};
+  cache.Insert(cached, 0, PlanForBlocks(cached, 0));
+  const std::vector<BlockId> wanted = {3, 4};  // 4 not covered.
+  EXPECT_FALSE(cache.LookupSatisfying(wanted, 0).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCacheSubsetTest, DeltaMustMatch) {
+  PlanCache cache;
+  const std::vector<BlockId> super = {1, 2, 3};
+  cache.Insert(super, 1, PlanForBlocks(super, 0));  // Late-binding plan.
+  const std::vector<BlockId> sub = {2};
+  EXPECT_FALSE(cache.LookupSatisfying(sub, 0).has_value());
+  EXPECT_TRUE(cache.LookupSatisfying(sub, 1).has_value());
+}
+
+TEST(PlanCacheSubsetTest, EmptyRequestNeverSatisfied) {
+  PlanCache cache;
+  const std::vector<BlockId> some = {1};
+  cache.Insert(some, 0, PlanForBlocks(some, 0));
+  const std::vector<BlockId> empty;
+  EXPECT_FALSE(cache.LookupSatisfying(empty, 0).has_value());
+}
+
+TEST(PlanCacheSubsetTest, InvalidationRemovesSupersetHits) {
+  PlanCache cache;
+  const std::vector<BlockId> super = {1, 2, 3};
+  cache.Insert(super, 0, PlanForBlocks(super, 0));
+  cache.InvalidateBlock(2);  // A chunk of block 2 moved.
+  const std::vector<BlockId> sub = {1, 3};
+  EXPECT_FALSE(cache.LookupSatisfying(sub, 0).has_value());
+}
+
+TEST(PlanCacheSubsetTest, ManyCachedSetsStillFindCover) {
+  PlanCache cache;
+  // Dozens of sets sharing block 5; only one covers {5, 6, 7}.
+  for (BlockId other = 100; other < 120; ++other) {
+    const std::vector<BlockId> pair = {5, other};
+    cache.Insert(pair, 0, PlanForBlocks(pair, 0));
+  }
+  const std::vector<BlockId> covering = {5, 6, 7, 8};
+  cache.Insert(covering, 0, PlanForBlocks(covering, 4));
+  const std::vector<BlockId> wanted = {5, 6, 7};
+  const auto hit = cache.LookupSatisfying(wanted, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reads.size(), 6u);
+  EXPECT_EQ(hit->reads[0].site, 4u);  // Came from the covering entry.
+}
+
+}  // namespace
+}  // namespace ecstore

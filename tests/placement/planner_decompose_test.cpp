@@ -1,0 +1,115 @@
+// Tests targeting the ILP's connected-component decomposition and the
+// disaggregated Eq. 3 linking constraints.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "placement/planner.h"
+
+namespace ecstore {
+namespace {
+
+TEST(PlannerDecomposeTest, DisjointBlocksSolveIndependently) {
+  // Two blocks with entirely disjoint candidate sites: the combined plan
+  // must equal the union of the individually optimal plans.
+  ClusterState state(8);
+  state.AddBlock(1, 100, 50, 2, 1, std::vector<SiteId>{0, 1, 2});
+  state.AddBlock(2, 100, 50, 2, 1, std::vector<SiteId>{5, 6, 7});
+  CostParams params = CostParams::Homogeneous(8, 5.0, 0.001);
+  params.site_overhead_ms = {1, 9, 9, 5, 5, 9, 1, 9};
+
+  const std::vector<BlockId> both = {1, 2};
+  const DemandResult dr = BuildDemands(state, both, 0);
+  const auto combined = IlpPlan(dr.demands, params);
+  ASSERT_TRUE(combined.has_value());
+
+  double separate_cost = 0;
+  for (BlockId id : both) {
+    const std::vector<BlockId> solo = {id};
+    const DemandResult solo_dr = BuildDemands(state, solo, 0);
+    separate_cost += IlpPlan(solo_dr.demands, params)->estimated_cost_ms;
+  }
+  EXPECT_NEAR(combined->estimated_cost_ms, separate_cost, 1e-9);
+}
+
+TEST(PlannerDecomposeTest, ChainComponentStaysCoupled) {
+  // Blocks 1-2 overlap on site 3, blocks 2-3 overlap on site 5: one
+  // chained component. Verify against exhaustive search.
+  ClusterState state(10);
+  state.AddBlock(1, 100, 50, 2, 1, std::vector<SiteId>{0, 1, 3});
+  state.AddBlock(2, 100, 50, 2, 1, std::vector<SiteId>{3, 4, 5});
+  state.AddBlock(3, 100, 50, 2, 1, std::vector<SiteId>{5, 6, 7});
+  CostParams params = CostParams::Homogeneous(10, 5.0, 0.0001);
+
+  const std::vector<BlockId> q = {1, 2, 3};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  const auto ilp = IlpPlan(dr.demands, params);
+  const AccessPlan brute = ExhaustivePlan(dr.demands, params);
+  ASSERT_TRUE(ilp.has_value());
+  EXPECT_NEAR(ilp->estimated_cost_ms, brute.estimated_cost_ms, 1e-9);
+  // The shared sites 3 and 5 should carry the co-located reads.
+  std::set<SiteId> sites;
+  for (const ChunkRead& read : ilp->reads) sites.insert(read.site);
+  EXPECT_TRUE(sites.count(3));
+  EXPECT_TRUE(sites.count(5));
+}
+
+TEST(PlannerDecomposeTest, ManyIsolatedBlocksScale) {
+  // 24 mutually disjoint single-block components must solve quickly and
+  // exactly (each block alone on its own 3 sites would need 72 sites;
+  // reuse sites across blocks but keep candidate sets disjoint per pair
+  // by construction below).
+  ClusterState state(72);
+  std::vector<BlockId> q;
+  for (BlockId b = 0; b < 24; ++b) {
+    const SiteId s = static_cast<SiteId>(b * 3);
+    state.AddBlock(b, 100, 50, 2, 1,
+                   std::vector<SiteId>{s, static_cast<SiteId>(s + 1),
+                                       static_cast<SiteId>(s + 2)});
+    q.push_back(b);
+  }
+  const DemandResult dr = BuildDemands(state, q, 0);
+  CostParams params = CostParams::Homogeneous(72, 5.0, 0.0001);
+  const auto plan = IlpPlan(dr.demands, params);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->optimal);
+  EXPECT_EQ(plan->reads.size(), 48u);  // 24 blocks x k=2.
+  // Every block reads from exactly 2 of its own 3 sites.
+  EXPECT_NEAR(plan->estimated_cost_ms, 24 * (2 * 5.0 + 2 * 50 * 0.0001), 1e-9);
+}
+
+TEST(PlannerDecomposeTest, DecompositionHandlesMixedDeltas) {
+  // Late binding (delta=1) across two disjoint components.
+  ClusterState state(8);
+  state.AddBlock(1, 100, 50, 2, 2, std::vector<SiteId>{0, 1, 2, 3});
+  state.AddBlock(2, 100, 50, 2, 2, std::vector<SiteId>{4, 5, 6, 7});
+  const std::vector<BlockId> q = {1, 2};
+  const DemandResult dr = BuildDemands(state, q, 1);
+  const auto plan = IlpPlan(dr.demands, CostParams::Homogeneous(8, 5.0, 0.0001));
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->reads.size(), 6u);  // (k + delta) per block.
+}
+
+TEST(PlannerDecomposeTest, SingleUnsatisfiableComponentFailsWhole) {
+  ClusterState state(8);
+  state.AddBlock(1, 100, 50, 2, 1, std::vector<SiteId>{0, 1, 2});
+  state.AddBlock(2, 100, 50, 2, 1, std::vector<SiteId>{5, 6, 7});
+  state.SetSiteAvailable(5, false);
+  state.SetSiteAvailable(6, false);  // Block 2 left with 1 < k chunks.
+  const std::vector<BlockId> q = {1, 2};
+  // BuildDemands filters block 2 out entirely; construct demands manually
+  // to exercise the planner's own failure path.
+  DemandResult dr = BuildDemands(state, q, 0);
+  ASSERT_EQ(dr.demands.size(), 1u);
+  BlockDemand broken;
+  broken.block = 2;
+  broken.needed = 2;
+  broken.chunk_bytes = 50;
+  broken.candidates = {{7, 2}};
+  dr.demands.push_back(broken);
+  EXPECT_FALSE(IlpPlan(dr.demands, CostParams::Homogeneous(8, 5.0, 0.0001))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace ecstore

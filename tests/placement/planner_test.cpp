@@ -1,0 +1,257 @@
+#include "placement/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ecstore {
+namespace {
+
+/// Validates the structural constraints Eq. 2 imposes: every demand gets
+/// exactly `needed` distinct chunks, each from its candidate set.
+void CheckPlanValid(const AccessPlan& plan, std::span<const BlockDemand> demands) {
+  std::map<BlockId, std::vector<ChunkRead>> by_block;
+  for (const ChunkRead& read : plan.reads) by_block[read.block].push_back(read);
+  ASSERT_EQ(by_block.size(), demands.size());
+  for (const BlockDemand& d : demands) {
+    const auto& reads = by_block[d.block];
+    EXPECT_EQ(reads.size(), d.needed) << "block " << d.block;
+    std::set<SiteId> sites;
+    for (const ChunkRead& read : reads) {
+      EXPECT_TRUE(sites.insert(read.site).second) << "duplicate site";
+      const bool is_candidate = std::any_of(
+          d.candidates.begin(), d.candidates.end(), [&](const ChunkLocation& c) {
+            return c.site == read.site && c.chunk == read.chunk;
+          });
+      EXPECT_TRUE(is_candidate) << "read not in candidate set";
+    }
+  }
+}
+
+ClusterState CoLocationState() {
+  // Sites 0..5. Blocks 1 and 2 overlap on sites {2, 3}: co-located access
+  // is possible and the optimal plan should use exactly those two sites.
+  ClusterState state(6);
+  state.AddBlock(1, 100, 50, 2, 2, std::vector<SiteId>{0, 1, 2, 3});
+  state.AddBlock(2, 100, 50, 2, 2, std::vector<SiteId>{2, 3, 4, 5});
+  return state;
+}
+
+TEST(RandomPlanTest, SatisfiesDemands) {
+  const ClusterState state = CoLocationState();
+  const std::vector<BlockId> q = {1, 2};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const AccessPlan plan = RandomPlan(dr.demands, rng);
+    CheckPlanValid(plan, dr.demands);
+  }
+}
+
+TEST(RandomPlanTest, ActuallyRandomizes) {
+  const ClusterState state = CoLocationState();
+  const std::vector<BlockId> q = {1};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  Rng rng(2);
+  std::set<std::pair<SiteId, SiteId>> seen;
+  for (int trial = 0; trial < 100; ++trial) {
+    const AccessPlan plan = RandomPlan(dr.demands, rng);
+    SiteId a = plan.reads[0].site, b = plan.reads[1].site;
+    if (a > b) std::swap(a, b);
+    seen.insert({a, b});
+  }
+  EXPECT_GT(seen.size(), 3u);  // C(4,2) = 6 possibilities; most appear.
+}
+
+TEST(GreedyPlanTest, SatisfiesDemands) {
+  const ClusterState state = CoLocationState();
+  const std::vector<BlockId> q = {1, 2};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  Rng rng(3);
+  const AccessPlan plan = GreedyPlan(dr.demands, CostParams::Homogeneous(6, 5, 0.01), rng);
+  CheckPlanValid(plan, dr.demands);
+  EXPECT_FALSE(plan.optimal);
+}
+
+TEST(GreedyPlanTest, ReusesAccessedSites) {
+  // Once block 1 accesses some sites, block 2 should prefer the overlap
+  // {2, 3} whenever block 1 happened to pick those.
+  const ClusterState state = CoLocationState();
+  const std::vector<BlockId> q = {1, 2};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  const CostParams params = CostParams::Homogeneous(6, 5, 0.01);
+  Rng rng(4);
+  int reused = 0, trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const AccessPlan plan = GreedyPlan(dr.demands, params, rng);
+    std::set<SiteId> sites;
+    for (const auto& read : plan.reads) sites.insert(read.site);
+    if (sites.size() < 4) ++reused;
+  }
+  // Random choice for block 1 picks at least one of {2,3} with
+  // probability 5/6; greedy then reuses it. Expect strong reuse.
+  EXPECT_GT(reused, trials / 2);
+}
+
+TEST(IlpPlanTest, FindsCoLocatedOptimum) {
+  const ClusterState state = CoLocationState();
+  const std::vector<BlockId> q = {1, 2};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  const CostParams params = CostParams::Homogeneous(6, 5, 0.01);
+  const auto plan = IlpPlan(dr.demands, params);
+  ASSERT_TRUE(plan.has_value());
+  CheckPlanValid(*plan, dr.demands);
+  EXPECT_TRUE(plan->optimal);
+  // Optimal: sites {2,3} shared => cost = 2*5 + 4*0.01*50 = 12.
+  EXPECT_NEAR(plan->estimated_cost_ms, 12.0, 1e-9);
+  std::set<SiteId> sites;
+  for (const auto& read : plan->reads) sites.insert(read.site);
+  EXPECT_EQ(sites, (std::set<SiteId>{2, 3}));
+}
+
+TEST(IlpPlanTest, AvoidsExpensiveSite) {
+  const ClusterState state = CoLocationState();
+  const std::vector<BlockId> q = {1};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  CostParams params = CostParams::Homogeneous(6, 5, 0.01);
+  params.site_overhead_ms[2] = 100.0;  // Overloaded site (Fig. 2's S5).
+  const auto plan = IlpPlan(dr.demands, params);
+  ASSERT_TRUE(plan.has_value());
+  for (const auto& read : plan->reads) EXPECT_NE(read.site, 2u);
+}
+
+TEST(IlpPlanTest, MatchesExhaustiveOnRandomInstances) {
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Random state: 8 sites, 3 blocks RS(2,2), random placement.
+    ClusterState state(8);
+    for (BlockId b = 1; b <= 3; ++b) {
+      state.AddBlock(b, 100, 50, 2, 2, state.PickRandomSites(rng, 4));
+    }
+    const std::vector<BlockId> q = {1, 2, 3};
+    const DemandResult dr = BuildDemands(state, q, 0);
+    CostParams params = CostParams::Homogeneous(8, 5, 0.01);
+    // Random per-site overheads to vary the optimum.
+    for (auto& o : params.site_overhead_ms) o = 1.0 + rng.NextDouble() * 9.0;
+
+    const auto ilp = IlpPlan(dr.demands, params);
+    const AccessPlan brute = ExhaustivePlan(dr.demands, params);
+    ASSERT_TRUE(ilp.has_value()) << "trial " << trial;
+    EXPECT_NEAR(ilp->estimated_cost_ms, brute.estimated_cost_ms, 1e-6)
+        << "trial " << trial;
+    CheckPlanValid(*ilp, dr.demands);
+  }
+}
+
+TEST(IlpPlanTest, LateBindingDemandsExtraChunks) {
+  const ClusterState state = CoLocationState();
+  const std::vector<BlockId> q = {1};
+  const DemandResult dr = BuildDemands(state, q, 1);  // delta = 1.
+  const auto plan = IlpPlan(dr.demands, CostParams::Homogeneous(6, 5, 0.01));
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->reads.size(), 3u);  // k + delta.
+}
+
+TEST(IlpPlanTest, InsufficientCandidatesReturnsNull) {
+  std::vector<BlockDemand> demands(1);
+  demands[0].block = 1;
+  demands[0].needed = 3;
+  demands[0].chunk_bytes = 10;
+  demands[0].candidates = {{0, 0}, {1, 1}};  // Only 2 available.
+  EXPECT_FALSE(IlpPlan(demands, CostParams::Homogeneous(2, 5, 0.01)).has_value());
+}
+
+TEST(IlpPlanTest, EmptyQueryYieldsEmptyPlan) {
+  const std::vector<BlockDemand> demands;
+  const auto plan = IlpPlan(demands, CostParams::Homogeneous(2, 5, 0.01));
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->reads.empty());
+  EXPECT_DOUBLE_EQ(plan->estimated_cost_ms, 0.0);
+}
+
+TEST(ExhaustivePlanTest, SingleBlockPicksCheapestSites) {
+  ClusterState state(4);
+  state.AddBlock(1, 100, 50, 2, 1, std::vector<SiteId>{0, 1, 2});
+  const std::vector<BlockId> q = {1};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  CostParams params = CostParams::Homogeneous(4, 5, 0.01);
+  params.site_overhead_ms = {1.0, 10.0, 2.0, 5.0};
+  const AccessPlan plan = ExhaustivePlan(dr.demands, params);
+  std::set<SiteId> sites;
+  for (const auto& read : plan.reads) sites.insert(read.site);
+  EXPECT_EQ(sites, (std::set<SiteId>{0, 2}));
+}
+
+TEST(ExhaustivePlanTest, ReplicationStylePicksOneSite) {
+  // k = 1, three replica sites: optimal = single cheapest site.
+  ClusterState state(4);
+  state.AddBlock(7, 100, 100, 1, 2, std::vector<SiteId>{0, 1, 3});
+  const std::vector<BlockId> q = {7};
+  const DemandResult dr = BuildDemands(state, q, 0);
+  CostParams params = CostParams::Homogeneous(4, 5, 0.01);
+  params.site_overhead_ms[0] = 20;
+  params.site_overhead_ms[1] = 3;
+  const AccessPlan plan = ExhaustivePlan(dr.demands, params);
+  ASSERT_EQ(plan.reads.size(), 1u);
+  EXPECT_EQ(plan.reads[0].site, 1u);
+}
+
+// Parameterized sweep: ILP equals exhaustive across query sizes and
+// deltas (the IV-B1 late-binding variant included).
+class PlannerSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(PlannerSweepTest, IlpMatchesExhaustive) {
+  const auto [num_blocks, delta] = GetParam();
+  Rng rng(100 + num_blocks * 10 + delta);
+  ClusterState state(8);
+  for (BlockId b = 0; b < static_cast<BlockId>(num_blocks); ++b) {
+    state.AddBlock(b, 100, 50, 2, 2, state.PickRandomSites(rng, 4));
+  }
+  std::vector<BlockId> q;
+  for (BlockId b = 0; b < static_cast<BlockId>(num_blocks); ++b) q.push_back(b);
+  const DemandResult dr = BuildDemands(state, q, delta);
+  CostParams params = CostParams::Homogeneous(8, 5, 0.01);
+  for (auto& o : params.site_overhead_ms) o = 1.0 + rng.NextDouble() * 9.0;
+  const auto ilp = IlpPlan(dr.demands, params);
+  const AccessPlan brute = ExhaustivePlan(dr.demands, params);
+  ASSERT_TRUE(ilp.has_value());
+  EXPECT_NEAR(ilp->estimated_cost_ms, brute.estimated_cost_ms, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryShapes, PlannerSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0u, 1u, 2u)));
+
+// Greedy is never better than the ILP optimum, and random is never
+// better than greedy *on average* — the ordering Fig. 4b depends on.
+TEST(PlannerComparisonTest, CostOrderingHolds) {
+  Rng rng(77);
+  double random_total = 0, greedy_total = 0, ilp_total = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    ClusterState state(10);
+    for (BlockId b = 0; b < 4; ++b) {
+      state.AddBlock(b, 100, 50, 2, 2, state.PickRandomSites(rng, 4));
+    }
+    const std::vector<BlockId> q = {0, 1, 2, 3};
+    const DemandResult dr = BuildDemands(state, q, 0);
+    CostParams params = CostParams::Homogeneous(10, 5, 0.01);
+    const AccessPlan random = RandomPlan(dr.demands, rng);
+    const AccessPlan greedy = GreedyPlan(dr.demands, params, rng);
+    const auto ilp = IlpPlan(dr.demands, params);
+    ASSERT_TRUE(ilp.has_value());
+    const double random_cost = PlanCost(random.reads, dr.demands, params);
+    EXPECT_GE(random_cost + 1e-9, ilp->estimated_cost_ms);
+    EXPECT_GE(greedy.estimated_cost_ms + 1e-9, ilp->estimated_cost_ms);
+    random_total += random_cost;
+    greedy_total += greedy.estimated_cost_ms;
+    ilp_total += ilp->estimated_cost_ms;
+  }
+  EXPECT_LT(ilp_total, greedy_total);
+  EXPECT_LT(greedy_total, random_total);
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,103 @@
+// Tests for the batched storage-service request model: one dispatch
+// overhead per site request, per-chunk media work in parallel server
+// slots — the mechanism that makes co-located access cheap (Eq. 1's
+// single o_j per accessed site).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/site.h"
+
+namespace ecstore::sim {
+namespace {
+
+SiteParams FlatParams(std::uint32_t concurrency) {
+  SiteParams p;
+  p.jitter_sigma = 0.0;
+  p.stall_probability = 0.0;
+  p.load_sensitivity = 0.0;
+  p.concurrency = concurrency;
+  return p;
+}
+
+SimTime RunBatch(SiteParams params, const std::vector<std::uint64_t>& sizes) {
+  EventQueue q;
+  SimSite site(0, &q, params, Rng(1));
+  SimTime done = -1;
+  site.SubmitBatchRead(sizes, [&](SimTime t) { done = t; });
+  q.RunAll();
+  return done;
+}
+
+TEST(BatchReadTest, SingleChunkMatchesSubmitRead) {
+  const SiteParams p = FlatParams(4);
+  EventQueue q;
+  SimSite site(0, &q, p, Rng(1));
+  SimTime single = -1;
+  site.SubmitRead(100 * 1024, [&](SimTime t) { single = t; });
+  q.RunAll();
+  const SimTime batch = RunBatch(p, {100 * 1024});
+  EXPECT_EQ(batch, single);
+}
+
+TEST(BatchReadTest, ParallelChunksCostOneOverhead) {
+  // With enough servers, a 4-chunk batch finishes in roughly the time of
+  // one full-overhead chunk — not 4x.
+  const SiteParams p = FlatParams(8);
+  const std::uint64_t chunk = 512 * 1024;
+  const SimTime one = RunBatch(p, {chunk});
+  const SimTime four = RunBatch(p, {chunk, chunk, chunk, chunk});
+  EXPECT_LT(four, 2 * one);
+  EXPECT_GE(four, one);
+}
+
+TEST(BatchReadTest, SerializesWhenServersExhausted) {
+  // One server: the batch's chunks run back-to-back.
+  const SiteParams p = FlatParams(1);
+  const std::uint64_t chunk = 512 * 1024;
+  const SimTime one = RunBatch(p, {chunk});
+  const SimTime three = RunBatch(p, {chunk, chunk, chunk});
+  EXPECT_GT(three, 2 * one);
+}
+
+TEST(BatchReadTest, CompletionIsLastChunk) {
+  // Mixed sizes: the big chunk dominates completion.
+  const SiteParams p = FlatParams(8);
+  const SimTime small_only = RunBatch(p, {10 * 1024});
+  const SimTime mixed = RunBatch(p, {10 * 1024, 8 * 1024 * 1024});
+  EXPECT_GT(mixed, 5 * small_only);
+}
+
+TEST(BatchReadTest, AllBytesCounted) {
+  EventQueue q;
+  SimSite site(0, &q, FlatParams(4), Rng(1));
+  const std::vector<std::uint64_t> sizes = {1000, 2000, 3000};
+  site.SubmitBatchRead(sizes, [](SimTime) {});
+  q.RunAll();
+  EXPECT_EQ(site.total_bytes_read(), 6000u);
+}
+
+TEST(BatchReadTest, OverheadSavingVsSeparateRequests) {
+  // Two chunks in one batch beat two separate full-overhead requests in
+  // total busy time (the co-location saving the cost model captures).
+  const SiteParams p = FlatParams(1);  // Serial: compare total work.
+  const std::uint64_t chunk = 50 * 1024;
+
+  EventQueue q1;
+  SimSite separate(0, &q1, p, Rng(1));
+  SimTime sep_done = 0;
+  separate.SubmitRead(chunk, [](SimTime) {});
+  separate.SubmitRead(chunk, [&](SimTime t) { sep_done = t; });
+  q1.RunAll();
+
+  const SimTime batched = RunBatch(p, {chunk, chunk});
+  EXPECT_LT(batched, sep_done);
+  // The saving is roughly one (request_overhead - per_chunk_overhead).
+  const SimTime saving = sep_done - batched;
+  EXPECT_NEAR(static_cast<double>(saving),
+              static_cast<double>(p.request_overhead - p.per_chunk_overhead),
+              200.0);
+}
+
+}  // namespace
+}  // namespace ecstore::sim

@@ -1,0 +1,97 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ecstore::sim {
+namespace {
+
+TEST(EventQueueTest, StartsAtZero) {
+  EventQueue q;
+  EXPECT_EQ(q.Now(), 0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30);
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(100, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.ScheduleAt(50, [&] {
+    q.ScheduleAfter(25, [&] { fired_at = q.Now(); });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAt(10, [&] { fired_at = q.Now(); });  // In the past.
+  });
+  q.RunAll();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(20, [&] { ++fired; });
+  q.ScheduleAt(30, [&] { ++fired; });
+  q.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.Now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.Now(), 100);  // Clock advances to the deadline.
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 10) q.ScheduleAfter(5, tick);
+  };
+  q.ScheduleAt(0, tick);
+  q.RunAll();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(q.Now(), 45);
+}
+
+TEST(EventQueueTest, StepFiresOne) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1, [&] { ++fired; });
+  q.ScheduleAt(2, [&] { ++fired; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(q.Step());
+}
+
+}  // namespace
+}  // namespace ecstore::sim

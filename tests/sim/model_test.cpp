@@ -1,0 +1,160 @@
+// Statistical checks of the cluster simulation model: the knobs
+// (jitter, stalls, contention, concurrency) must do what their
+// documentation claims, since every experiment's validity rests on them.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/site.h"
+
+namespace ecstore::sim {
+namespace {
+
+/// Serves `n` isolated requests (one at a time) and returns service times.
+std::vector<SimTime> IsolatedServices(SiteParams params, int n,
+                                      std::uint64_t bytes, std::uint64_t seed) {
+  EventQueue q;
+  SimSite site(0, &q, params, Rng(seed));
+  std::vector<SimTime> services;
+  SimTime prev = 0;
+  for (int i = 0; i < n; ++i) {
+    q.RunUntil(q.Now() + kSecond);  // Idle gap: no queueing between them.
+    const SimTime begin = q.Now();
+    (void)begin;
+    SimTime done = 0;
+    site.SubmitRead(bytes, [&](SimTime t) { done = t; });
+    q.RunAll();
+    services.push_back(done - prev - kSecond);
+    prev = done;
+  }
+  return services;
+}
+
+TEST(SimModelTest, StallFrequencyMatchesParameter) {
+  SiteParams p;
+  p.jitter_sigma = 0.05;
+  p.stall_probability = 0.10;
+  p.stall_multiplier = 10.0;
+  p.load_sensitivity = 0;
+  const auto services = IsolatedServices(p, 2000, 100 * 1024, 42);
+
+  // A stalled request takes ~10x; classify by 3x median.
+  std::vector<SimTime> sorted = services;
+  std::sort(sorted.begin(), sorted.end());
+  const SimTime median = sorted[sorted.size() / 2];
+  int stalls = 0;
+  for (SimTime s : services) stalls += (s > 3 * median);
+  EXPECT_NEAR(static_cast<double>(stalls) / services.size(), 0.10, 0.03);
+}
+
+TEST(SimModelTest, JitterSigmaControlsSpread) {
+  SiteParams narrow, wide;
+  narrow.jitter_sigma = 0.1;
+  narrow.stall_probability = 0;
+  narrow.load_sensitivity = 0;
+  wide = narrow;
+  wide.jitter_sigma = 0.8;
+
+  const auto a = IsolatedServices(narrow, 500, 1024 * 1024, 1);
+  const auto b = IsolatedServices(wide, 500, 1024 * 1024, 1);
+  const auto spread = [](const std::vector<SimTime>& v) {
+    std::vector<SimTime> s = v;
+    std::sort(s.begin(), s.end());
+    return static_cast<double>(s[static_cast<std::size_t>(s.size() * 0.95)]) /
+           static_cast<double>(s[s.size() / 2]);
+  };
+  EXPECT_GT(spread(b), spread(a) * 1.3);
+}
+
+TEST(SimModelTest, ContentionSlowsLoadedSite) {
+  SiteParams p;
+  p.jitter_sigma = 0;
+  p.stall_probability = 0;
+  p.concurrency = 8;
+  p.load_sensitivity = 0.5;
+
+  // Isolated request.
+  EventQueue q1;
+  SimSite idle(0, &q1, p, Rng(1));
+  SimTime idle_done = 0;
+  idle.SubmitRead(100 * 1024, [&](SimTime t) { idle_done = t; });
+  q1.RunAll();
+
+  // Same request while 6 others are in flight (servers NOT exhausted:
+  // the slowdown is contention, not queueing).
+  EventQueue q2;
+  SimSite busy(0, &q2, p, Rng(1));
+  for (int i = 0; i < 6; ++i) busy.SubmitRead(8 * 1024 * 1024, [](SimTime) {});
+  SimTime busy_done_at = 0;
+  const SimTime submit_at = q2.Now();
+  busy.SubmitRead(100 * 1024, [&](SimTime t) { busy_done_at = t; });
+  q2.RunAll();
+  EXPECT_GT(busy_done_at - submit_at, idle_done);
+}
+
+TEST(SimModelTest, ConcurrencyBoundsParallelism) {
+  // 12 equal requests on c=4 servers finish in ~3 service times.
+  SiteParams p;
+  p.jitter_sigma = 0;
+  p.stall_probability = 0;
+  p.load_sensitivity = 0;
+  p.concurrency = 4;
+  EventQueue q;
+  SimSite site(0, &q, p, Rng(1));
+  SimTime one_service = 0;
+  site.SubmitRead(1024 * 1024, [&](SimTime t) { one_service = t; });
+  q.RunAll();
+
+  EventQueue q2;
+  SimSite site2(0, &q2, p, Rng(1));
+  SimTime last = 0;
+  for (int i = 0; i < 12; ++i) {
+    site2.SubmitRead(1024 * 1024, [&](SimTime t) { last = std::max(last, t); });
+  }
+  q2.RunAll();
+  EXPECT_NEAR(static_cast<double>(last), 3.0 * static_cast<double>(one_service),
+              0.15 * static_cast<double>(one_service));
+}
+
+TEST(SimModelTest, SiteIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    SiteParams p;  // Full default randomness.
+    EventQueue q;
+    SimSite site(0, &q, p, Rng(seed));
+    std::vector<SimTime> completions;
+    for (int i = 0; i < 100; ++i) {
+      site.SubmitRead(64 * 1024, [&](SimTime t) { completions.push_back(t); });
+    }
+    q.RunAll();
+    return completions;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(SimModelTest, ProbeRespondsToQueueDepthMonotonically) {
+  // Deeper backlogs yield larger probe RTTs — the property o_j relies on.
+  SiteParams p;
+  p.jitter_sigma = 0;
+  p.stall_probability = 0;
+  p.concurrency = 2;
+  double last_rtt = -1;
+  for (int backlog : {0, 4, 8, 16}) {
+    EventQueue q;
+    SimSite site(0, &q, p, Rng(1));
+    for (int i = 0; i < backlog; ++i) {
+      site.SubmitRead(2 * 1024 * 1024, [](SimTime) {});
+    }
+    const SimTime sent = q.Now();
+    SimTime done = 0;
+    site.SubmitProbe([&](SimTime t) { done = t; });
+    q.RunAll();
+    const double rtt = static_cast<double>(done - sent);
+    EXPECT_GT(rtt, last_rtt);
+    last_rtt = rtt;
+  }
+}
+
+}  // namespace
+}  // namespace ecstore::sim

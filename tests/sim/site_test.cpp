@@ -1,0 +1,167 @@
+#include "sim/site.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ecstore::sim {
+namespace {
+
+SiteParams NoJitterParams() {
+  SiteParams p;
+  p.jitter_sigma = 0.0;  // Deterministic service times for exact checks.
+  p.stall_probability = 0.0;
+  p.concurrency = 1;  // Serial service makes queueing arithmetic exact.
+  p.load_sensitivity = 0.0;
+  return p;
+}
+
+TEST(SimSiteTest, SingleReadTakesOverheadPlusTransfer) {
+  EventQueue q;
+  SimSite site(0, &q, NoJitterParams(), Rng(1));
+  SimTime done_at = -1;
+  const std::uint64_t bytes = 50 * 1024;
+  site.SubmitRead(bytes, [&](SimTime t) { done_at = t; });
+  q.RunAll();
+  const SiteParams p = NoJitterParams();
+  const auto expected =
+      p.request_overhead +
+      static_cast<SimTime>((static_cast<double>(bytes) / p.disk_bytes_per_sec +
+                            static_cast<double>(bytes) / p.net_bytes_per_sec) *
+                           kSecond);
+  EXPECT_NEAR(static_cast<double>(done_at), static_cast<double>(expected), 2.0);
+}
+
+TEST(SimSiteTest, RequestsQueueFifo) {
+  EventQueue q;
+  SimSite site(0, &q, NoJitterParams(), Rng(1));
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    site.SubmitRead(100 * 1024, [&](SimTime t) { completions.push_back(t); });
+  }
+  q.RunAll();
+  ASSERT_EQ(completions.size(), 3u);
+  // Each successive request completes one service time after the previous.
+  const SimTime s1 = completions[0];
+  EXPECT_NEAR(static_cast<double>(completions[1]), static_cast<double>(2 * s1), 3.0);
+  EXPECT_NEAR(static_cast<double>(completions[2]), static_cast<double>(3 * s1), 4.0);
+}
+
+TEST(SimSiteTest, QueueingProducesStragglers) {
+  // A site under load serves later requests much more slowly than an
+  // idle site: the straggler mechanism of Section III.
+  EventQueue q;
+  SimSite hot(0, &q, NoJitterParams(), Rng(1));
+  SimSite cold(1, &q, NoJitterParams(), Rng(2));
+  for (int i = 0; i < 20; ++i) {
+    hot.SubmitRead(100 * 1024, [](SimTime) {});
+  }
+  SimTime hot_done = 0, cold_done = 0;
+  hot.SubmitRead(100 * 1024, [&](SimTime t) { hot_done = t; });
+  cold.SubmitRead(100 * 1024, [&](SimTime t) { cold_done = t; });
+  q.RunAll();
+  EXPECT_GT(hot_done, 10 * cold_done);
+}
+
+TEST(SimSiteTest, ProbeMeasuresQueueingDelay) {
+  EventQueue q;
+  SimSite site(0, &q, NoJitterParams(), Rng(1));
+  SimTime idle_probe = 0;
+  site.SubmitProbe([&](SimTime t) { idle_probe = t; });
+  q.RunAll();
+
+  // Load the site, then probe again from t = idle_probe.
+  for (int i = 0; i < 10; ++i) site.SubmitRead(1024 * 1024, [](SimTime) {});
+  SimTime busy_probe_start = q.Now();
+  SimTime busy_probe_done = 0;
+  site.SubmitProbe([&](SimTime t) { busy_probe_done = t; });
+  q.RunAll();
+  EXPECT_GT(busy_probe_done - busy_probe_start, 5 * idle_probe);
+}
+
+TEST(SimSiteTest, JitterVariesServiceTimes) {
+  EventQueue q;
+  SiteParams p;
+  p.jitter_sigma = 0.5;
+  SimSite site(0, &q, p, Rng(42));
+  // Sequential requests, one at a time, measuring isolated service times.
+  std::vector<SimTime> services;
+  SimTime prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    SimTime done = 0;
+    site.SubmitRead(100 * 1024, [&](SimTime t) { done = t; });
+    q.RunAll();
+    services.push_back(done - prev);
+    prev = done;
+  }
+  SimTime min_s = services[0], max_s = services[0];
+  for (SimTime s : services) {
+    min_s = std::min(min_s, s);
+    max_s = std::max(max_s, s);
+  }
+  EXPECT_GT(max_s, min_s);  // Heavy-tailed jitter actually applied.
+}
+
+TEST(SimSiteTest, ReportMeasuresUtilizationAndRate) {
+  EventQueue q;
+  SimSite site(0, &q, NoJitterParams(), Rng(1));
+  // Consume the first (empty) interval.
+  q.RunUntil(kSecond);
+  (void)site.CollectReport();
+
+  // Saturate for more than the whole next interval.
+  for (int i = 0; i < 300; ++i) site.SubmitRead(1024 * 1024, [](SimTime) {});
+  q.RunUntil(q.Now() + kSecond);
+  const LoadReport report = site.CollectReport();
+  EXPECT_GT(report.cpu_utilization, 0.9);
+  EXPECT_GT(report.io_bytes_per_sec, 10.0 * 1024 * 1024);
+
+  // After the queue drains and an idle interval passes, load drops to 0.
+  q.RunAll();
+  (void)site.CollectReport();
+  q.RunUntil(q.Now() + kSecond);
+  const LoadReport idle = site.CollectReport();
+  EXPECT_EQ(idle.cpu_utilization, 0.0);
+  EXPECT_EQ(idle.io_bytes_per_sec, 0.0);
+}
+
+TEST(SimSiteTest, WritesDoNotCountAsReadIo) {
+  EventQueue q;
+  SimSite site(0, &q, NoJitterParams(), Rng(1));
+  site.SubmitWrite(10 * 1024 * 1024, [](SimTime) {});
+  q.RunAll();
+  EXPECT_EQ(site.total_bytes_read(), 0u);
+  site.SubmitRead(1024, [](SimTime) {});
+  q.RunAll();
+  EXPECT_EQ(site.total_bytes_read(), 1024u);
+}
+
+TEST(SimSiteTest, AvailabilityFlag) {
+  EventQueue q;
+  SimSite site(0, &q, NoJitterParams(), Rng(1));
+  EXPECT_TRUE(site.available());
+  site.set_available(false);
+  EXPECT_FALSE(site.available());
+}
+
+TEST(NetworkTest, ResponseDelayScalesWithPayload) {
+  NetworkParams p;
+  p.jitter_sigma = 0.0;
+  Network net(p, Rng(1));
+  const SimTime small = net.ResponseDelay(1024);
+  const SimTime large = net.ResponseDelay(100 * 1024 * 1024);
+  EXPECT_GT(large, small + 50 * kMillisecond / 2);
+}
+
+TEST(NetworkTest, DelaysArePositive) {
+  Network net(NetworkParams{}, Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GT(net.RequestDelay(), 0);
+    EXPECT_GT(net.ResponseDelay(0), 0);
+  }
+}
+
+}  // namespace
+}  // namespace ecstore::sim

@@ -1,0 +1,180 @@
+#include "stats/co_access.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ecstore {
+namespace {
+
+TEST(CoAccessTest, EmptyTracker) {
+  CoAccessTracker t(10);
+  EXPECT_EQ(t.Count(1), 0u);
+  EXPECT_EQ(t.Lambda(1, 2), 0.0);
+  EXPECT_TRUE(t.Partners(1).empty());
+  EXPECT_EQ(t.AccessFrequency(1), 0.0);
+  EXPECT_EQ(t.requests_in_window(), 0u);
+}
+
+TEST(CoAccessTest, CountsBlocks) {
+  CoAccessTracker t(10);
+  t.RecordRequest(std::vector<BlockId>{1, 2});
+  t.RecordRequest(std::vector<BlockId>{1, 3});
+  EXPECT_EQ(t.Count(1), 2u);
+  EXPECT_EQ(t.Count(2), 1u);
+  EXPECT_EQ(t.Count(3), 1u);
+  EXPECT_EQ(t.Count(4), 0u);
+  EXPECT_EQ(t.distinct_blocks_tracked(), 3u);
+}
+
+TEST(CoAccessTest, LambdaIsConditionalProbability) {
+  CoAccessTracker t(100);
+  // 1 appears 4 times; {1,2} together twice => lambda(1,2) = 0.5.
+  t.RecordRequest(std::vector<BlockId>{1, 2});
+  t.RecordRequest(std::vector<BlockId>{1, 2});
+  t.RecordRequest(std::vector<BlockId>{1, 3});
+  t.RecordRequest(std::vector<BlockId>{1});
+  EXPECT_DOUBLE_EQ(t.Lambda(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(t.Lambda(1, 3), 0.25);
+  // Asymmetry: 2 appears twice, both with 1 => lambda(2,1) = 1.
+  EXPECT_DOUBLE_EQ(t.Lambda(2, 1), 1.0);
+}
+
+TEST(CoAccessTest, DuplicatesWithinRequestCollapse) {
+  CoAccessTracker t(10);
+  t.RecordRequest(std::vector<BlockId>{5, 5, 5, 7});
+  EXPECT_EQ(t.Count(5), 1u);
+  EXPECT_DOUBLE_EQ(t.Lambda(5, 7), 1.0);
+}
+
+TEST(CoAccessTest, EmptyRequestIgnored) {
+  CoAccessTracker t(10);
+  t.RecordRequest(std::vector<BlockId>{});
+  EXPECT_EQ(t.requests_in_window(), 0u);
+}
+
+TEST(CoAccessTest, WindowEvictsOldRequests) {
+  CoAccessTracker t(3);
+  t.RecordRequest(std::vector<BlockId>{1, 2});
+  t.RecordRequest(std::vector<BlockId>{3});
+  t.RecordRequest(std::vector<BlockId>{4});
+  EXPECT_EQ(t.Count(1), 1u);
+  t.RecordRequest(std::vector<BlockId>{5});  // Evicts {1,2}.
+  EXPECT_EQ(t.Count(1), 0u);
+  EXPECT_EQ(t.Lambda(1, 2), 0.0);
+  EXPECT_EQ(t.requests_in_window(), 3u);
+  EXPECT_EQ(t.distinct_blocks_tracked(), 3u);  // 3, 4, 5.
+}
+
+TEST(CoAccessTest, WorkloadShiftChangesStatistics) {
+  // The paper's Fig. 4a depends on stats adapting after workload change.
+  CoAccessTracker t(10);
+  for (int i = 0; i < 10; ++i) t.RecordRequest(std::vector<BlockId>{1, 2});
+  EXPECT_DOUBLE_EQ(t.Lambda(1, 2), 1.0);
+  for (int i = 0; i < 10; ++i) t.RecordRequest(std::vector<BlockId>{1, 3});
+  EXPECT_DOUBLE_EQ(t.Lambda(1, 2), 0.0);  // Old pattern fully aged out.
+  EXPECT_DOUBLE_EQ(t.Lambda(1, 3), 1.0);
+}
+
+TEST(CoAccessTest, PartnersSortedByLambda) {
+  CoAccessTracker t(100);
+  t.RecordRequest(std::vector<BlockId>{1, 2, 3});
+  t.RecordRequest(std::vector<BlockId>{1, 2});
+  t.RecordRequest(std::vector<BlockId>{1, 4});
+  const auto partners = t.Partners(1);
+  ASSERT_EQ(partners.size(), 3u);
+  EXPECT_EQ(partners[0].block, 2u);
+  EXPECT_NEAR(partners[0].lambda, 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(partners[1].lambda >= partners[2].lambda);
+}
+
+TEST(CoAccessTest, PartnersRespectsCap) {
+  CoAccessTracker t(100);
+  std::vector<BlockId> big;
+  for (BlockId i = 0; i < 50; ++i) big.push_back(i);
+  t.RecordRequest(big);
+  EXPECT_EQ(t.Partners(0, 5).size(), 5u);
+}
+
+TEST(CoAccessTest, AccessFrequency) {
+  CoAccessTracker t(10);
+  t.RecordRequest(std::vector<BlockId>{1});
+  t.RecordRequest(std::vector<BlockId>{1});
+  t.RecordRequest(std::vector<BlockId>{2});
+  t.RecordRequest(std::vector<BlockId>{3});
+  EXPECT_DOUBLE_EQ(t.AccessFrequency(1), 0.5);
+  EXPECT_DOUBLE_EQ(t.AccessFrequency(2), 0.25);
+}
+
+TEST(CoAccessTest, SampleCandidatesFavorsFrequent) {
+  CoAccessTracker t(1000);
+  for (int i = 0; i < 100; ++i) t.RecordRequest(std::vector<BlockId>{1});
+  for (int i = 0; i < 2; ++i) t.RecordRequest(std::vector<BlockId>{2});
+  Rng rng(3);
+  int ones_first = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = t.SampleCandidateBlocks(rng, 1);
+    ASSERT_EQ(sample.size(), 1u);
+    ones_first += (sample[0] == 1);
+  }
+  EXPECT_GT(ones_first, 150);  // 100:2 weighting dominates.
+}
+
+TEST(CoAccessTest, SampleCandidatesDistinct) {
+  CoAccessTracker t(100);
+  for (BlockId b = 0; b < 20; ++b) t.RecordRequest(std::vector<BlockId>{b});
+  Rng rng(4);
+  auto sample = t.SampleCandidateBlocks(rng, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) == sample.end());
+}
+
+TEST(CoAccessTest, SampleMoreThanTrackedReturnsAll) {
+  CoAccessTracker t(100);
+  t.RecordRequest(std::vector<BlockId>{1, 2});
+  Rng rng(5);
+  EXPECT_EQ(t.SampleCandidateBlocks(rng, 50).size(), 2u);
+}
+
+TEST(CoAccessTest, MemoryGrowsAndShrinksWithWindow) {
+  CoAccessTracker t(5);
+  const std::size_t empty = t.ApproxMemoryBytes();
+  for (BlockId b = 0; b < 100; b += 2) {
+    t.RecordRequest(std::vector<BlockId>{b, b + 1});
+  }
+  const std::size_t full = t.ApproxMemoryBytes();
+  EXPECT_GT(full, empty);
+  // Window is 5, so only ~5 requests' worth of state remains even after
+  // 50 recorded requests (bounded memory, Section VI-C5).
+  EXPECT_EQ(t.requests_in_window(), 5u);
+  EXPECT_EQ(t.distinct_blocks_tracked(), 10u);
+}
+
+TEST(CoAccessTest, LongRunStaysConsistent) {
+  // Property: after any sequence, Count(b) equals the number of windowed
+  // requests containing b.
+  CoAccessTracker t(50);
+  Rng rng(6);
+  std::deque<std::vector<BlockId>> shadow;
+  for (int step = 0; step < 500; ++step) {
+    std::vector<BlockId> q;
+    const int n = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int i = 0; i < n; ++i) q.push_back(rng.NextBounded(20));
+    t.RecordRequest(q);
+    std::sort(q.begin(), q.end());
+    q.erase(std::unique(q.begin(), q.end()), q.end());
+    if (!q.empty()) shadow.push_back(q);
+    if (shadow.size() > 50) shadow.pop_front();
+  }
+  for (BlockId b = 0; b < 20; ++b) {
+    std::uint64_t expected = 0;
+    for (const auto& q : shadow) {
+      expected += std::binary_search(q.begin(), q.end(), b) ? 1 : 0;
+    }
+    EXPECT_EQ(t.Count(b), expected) << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace ecstore

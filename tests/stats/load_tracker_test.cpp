@@ -1,0 +1,96 @@
+#include "stats/load_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace ecstore {
+namespace {
+
+TEST(LoadTrackerTest, RejectsZeroSites) {
+  EXPECT_THROW(LoadTracker(0), std::invalid_argument);
+}
+
+TEST(LoadTrackerTest, StartsIdleWithDefaultOverhead) {
+  LoadTracker t(4);
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(t.Omega(s), 0.0);
+    EXPECT_DOUBLE_EQ(t.OverheadMs(s), 5.0);
+  }
+  EXPECT_EQ(t.MeanOmega(), 0.0);
+  EXPECT_EQ(t.BalanceFactor(0), 0.0);  // Idle system: no imbalance.
+}
+
+TEST(LoadTrackerTest, ReportRaisesOmega) {
+  LoadTrackerParams p;
+  p.load_alpha = 1.0;  // No smoothing: direct readout.
+  LoadTracker t(2, p);
+  t.RecordReport(0, 0.8, 0.0, 10);
+  EXPECT_DOUBLE_EQ(t.Omega(0), 0.8);
+  EXPECT_EQ(t.chunk_count(0), 10u);
+  t.RecordReport(0, 0.5, p.reference_io_bytes_per_sec, 10);
+  EXPECT_DOUBLE_EQ(t.Omega(0), 1.5);  // cpu + normalized io.
+}
+
+TEST(LoadTrackerTest, EwmaSmoothsReports) {
+  LoadTrackerParams p;
+  p.load_alpha = 0.5;
+  LoadTracker t(1, p);
+  t.RecordReport(0, 1.0, 0.0, 0);
+  EXPECT_DOUBLE_EQ(t.Omega(0), 0.5);
+  t.RecordReport(0, 1.0, 0.0, 0);
+  EXPECT_DOUBLE_EQ(t.Omega(0), 0.75);
+  t.RecordReport(0, 0.0, 0.0, 0);
+  EXPECT_DOUBLE_EQ(t.Omega(0), 0.375);  // Decays when load stops.
+}
+
+TEST(LoadTrackerTest, BalanceFactorMatchesPaperDefinition) {
+  LoadTrackerParams p;
+  p.load_alpha = 1.0;
+  LoadTracker t(4, p);
+  // Loads: 2, 1, 1, 0 => mean 1.
+  t.RecordReport(0, 2.0, 0, 0);
+  t.RecordReport(1, 1.0, 0, 0);
+  t.RecordReport(2, 1.0, 0, 0);
+  t.RecordReport(3, 0.0, 0, 0);
+  EXPECT_DOUBLE_EQ(t.MeanOmega(), 1.0);
+  EXPECT_DOUBLE_EQ(t.BalanceFactor(0), 1.0);  // |1 - 2/1|
+  EXPECT_DOUBLE_EQ(t.BalanceFactor(1), 0.0);  // Exactly average.
+  EXPECT_DOUBLE_EQ(t.BalanceFactor(3), 1.0);  // |1 - 0/1|
+}
+
+TEST(LoadTrackerTest, FirstProbeSetsOverheadDirectly) {
+  LoadTracker t(2);
+  t.RecordProbe(0, 12.0);
+  EXPECT_DOUBLE_EQ(t.OverheadMs(0), 12.0);
+  EXPECT_DOUBLE_EQ(t.OverheadMs(1), 5.0);  // Untouched default.
+}
+
+TEST(LoadTrackerTest, ProbeEwmaTracksLoadChanges) {
+  LoadTrackerParams p;
+  p.probe_alpha = 0.5;
+  LoadTracker t(1, p);
+  t.RecordProbe(0, 10.0);
+  t.RecordProbe(0, 20.0);
+  EXPECT_DOUBLE_EQ(t.OverheadMs(0), 15.0);
+  // Sustained lower RTT converges downward: the feedback loop of
+  // Section VI-C2.
+  for (int i = 0; i < 20; ++i) t.RecordProbe(0, 2.0);
+  EXPECT_NEAR(t.OverheadMs(0), 2.0, 0.1);
+}
+
+TEST(LoadTrackerTest, MeanOverhead) {
+  LoadTracker t(2);
+  t.RecordProbe(0, 4.0);
+  t.RecordProbe(1, 8.0);
+  EXPECT_DOUBLE_EQ(t.MeanOverheadMs(), 6.0);
+}
+
+TEST(LoadTrackerTest, NegativeInputsClamped) {
+  LoadTrackerParams p;
+  p.load_alpha = 1.0;
+  LoadTracker t(1, p);
+  t.RecordReport(0, -1.0, -100.0, 0);
+  EXPECT_DOUBLE_EQ(t.Omega(0), 0.0);
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,126 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+namespace ecstore {
+namespace {
+
+ECStoreConfig TinyConfig(Technique t) {
+  ECStoreConfig c = ECStoreConfig::ForTechnique(t);
+  c.num_sites = 8;
+  c.seed = 11;
+  return c;
+}
+
+YcsbEWorkload::Params TinyYcsb() {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 500;
+  p.block_bytes = 100 * 1024;
+  return p;
+}
+
+TEST(DriverTest, CollectsMetricsOverMeasurementWindow) {
+  SimECStore store(TinyConfig(Technique::kEc));
+  YcsbEWorkload workload(TinyYcsb());
+  for (const BlockSpec& b : workload.Blocks()) store.LoadBlock(b.id, b.bytes);
+
+  ClosedLoopDriver::Params dp;
+  dp.clients = 10;
+  dp.warmup = 5 * kSecond;
+  dp.measure = 10 * kSecond;
+  ClosedLoopDriver driver(&store, &workload, dp);
+  driver.Run();
+
+  const PhaseMetrics& m = driver.metrics();
+  EXPECT_GT(m.requests, 100u);
+  EXPECT_EQ(m.failures, 0u);
+  EXPECT_EQ(m.total.count(), m.requests);
+  EXPECT_GT(m.total.Mean(), 0.0);
+  // Breakdown parts sum to no more than the total on average.
+  EXPECT_LE(m.metadata.Mean() + m.planning.Mean() + m.retrieval.Mean() +
+                m.decode.Mean(),
+            m.total.Mean() * 1.001);
+}
+
+TEST(DriverTest, WorkloadShiftHappensAtMeasurementStart) {
+  SimECStore store(TinyConfig(Technique::kEc));
+  YcsbEWorkload workload(TinyYcsb());
+  for (const BlockSpec& b : workload.Blocks()) store.LoadBlock(b.id, b.bytes);
+  ClosedLoopDriver::Params dp;
+  dp.clients = 4;
+  dp.warmup = 2 * kSecond;
+  dp.measure = 2 * kSecond;
+  ClosedLoopDriver driver(&store, &workload, dp);
+  EXPECT_FALSE(workload.measuring());
+  driver.Run();
+  EXPECT_TRUE(workload.measuring());
+}
+
+TEST(DriverTest, TimelineCoversMeasurement) {
+  SimECStore store(TinyConfig(Technique::kEc));
+  YcsbEWorkload workload(TinyYcsb());
+  for (const BlockSpec& b : workload.Blocks()) store.LoadBlock(b.id, b.bytes);
+  ClosedLoopDriver::Params dp;
+  dp.clients = 10;
+  dp.warmup = 2 * kSecond;
+  dp.measure = 30 * kSecond;
+  dp.timeline_bucket = 10 * kSecond;
+  ClosedLoopDriver driver(&store, &workload, dp);
+  driver.Run();
+
+  const auto timeline = driver.Timeline();
+  ASSERT_EQ(timeline.size(), 3u);
+  for (const auto& point : timeline) {
+    EXPECT_GT(point.requests, 0u);
+    EXPECT_GT(point.mean_ms, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(timeline[0].minutes, 0.0);
+  EXPECT_NEAR(timeline[1].minutes, 10.0 / 60.0, 1e-9);
+}
+
+TEST(DriverTest, MeasureStartBytesSnapshotTaken) {
+  SimECStore store(TinyConfig(Technique::kEc));
+  YcsbEWorkload workload(TinyYcsb());
+  for (const BlockSpec& b : workload.Blocks()) store.LoadBlock(b.id, b.bytes);
+  ClosedLoopDriver::Params dp;
+  dp.clients = 5;
+  dp.warmup = 3 * kSecond;
+  dp.measure = 3 * kSecond;
+  ClosedLoopDriver driver(&store, &workload, dp);
+  driver.Run();
+  // Warm-up traffic happened before the snapshot: baseline is non-zero,
+  // and strictly less than the final counters.
+  const auto& baseline = driver.measure_start_bytes();
+  ASSERT_EQ(baseline.size(), 8u);
+  std::uint64_t base_total = 0, final_total = 0;
+  const auto final_bytes = store.SiteBytesRead();
+  for (std::size_t j = 0; j < 8; ++j) {
+    base_total += baseline[j];
+    final_total += final_bytes[j];
+  }
+  EXPECT_GT(base_total, 0u);
+  EXPECT_GT(final_total, base_total);
+}
+
+TEST(DriverTest, CacheHitRateHighForRepeatedScans) {
+  // EC+C on a small keyspace: the same scans recur, so after the warmup
+  // the plan cache should serve most requests (paper: ~90%).
+  SimECStore store(TinyConfig(Technique::kEcC));
+  YcsbEWorkload::Params wp = TinyYcsb();
+  wp.num_blocks = 50;
+  wp.max_scan_length = 4;
+  YcsbEWorkload workload(wp);
+  for (const BlockSpec& b : workload.Blocks()) store.LoadBlock(b.id, b.bytes);
+  ClosedLoopDriver::Params dp;
+  dp.clients = 8;
+  dp.warmup = 20 * kSecond;
+  dp.measure = 20 * kSecond;
+  ClosedLoopDriver driver(&store, &workload, dp);
+  driver.Run();
+  const PhaseMetrics& m = driver.metrics();
+  ASSERT_GT(m.cache_lookups, 0u);
+  EXPECT_GT(static_cast<double>(m.cache_hits) / m.cache_lookups, 0.5);
+}
+
+}  // namespace
+}  // namespace ecstore

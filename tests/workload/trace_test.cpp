@@ -1,0 +1,123 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ecstore {
+namespace {
+
+Trace SampleTrace() {
+  Trace t;
+  t.blocks = {{1, 100}, {2, 200}, {7, 50}};
+  t.requests = {{1, 2}, {7}, {2, 7, 1}};
+  return t;
+}
+
+TEST(TraceIoTest, RoundTrips) {
+  const Trace original = SampleTrace();
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  const Trace parsed = ReadTrace(buffer);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# header\n"
+      "\n"
+      "B 1 100\n"
+      "# a comment between sections\n"
+      "1\n");
+  const Trace t = ReadTrace(in);
+  ASSERT_EQ(t.blocks.size(), 1u);
+  ASSERT_EQ(t.requests.size(), 1u);
+  EXPECT_EQ(t.requests[0], (std::vector<BlockId>{1}));
+}
+
+TEST(TraceIoTest, RejectsUndeclaredBlock) {
+  std::stringstream in("B 1 100\n1 2\n");
+  EXPECT_THROW(ReadTrace(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsDuplicateDeclaration) {
+  std::stringstream in("B 1 100\nB 1 200\n");
+  EXPECT_THROW(ReadTrace(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsMalformedDeclaration) {
+  std::stringstream in("B oops\n");
+  EXPECT_THROW(ReadTrace(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsBadToken) {
+  std::stringstream in("B 1 100\n1 xyz\n");
+  EXPECT_THROW(ReadTrace(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, EmptyTraceParses) {
+  std::stringstream in("# nothing\n");
+  const Trace t = ReadTrace(in);
+  EXPECT_TRUE(t.blocks.empty());
+  EXPECT_TRUE(t.requests.empty());
+}
+
+TEST(RecordTraceTest, CapturesGeneratorStream) {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 100;
+  YcsbEWorkload workload(p);
+  Rng rng(1);
+  const Trace t = RecordTrace(workload, rng, 25);
+  EXPECT_EQ(t.blocks.size(), 100u);
+  EXPECT_EQ(t.requests.size(), 25u);
+  for (const auto& request : t.requests) {
+    EXPECT_FALSE(request.empty());
+    for (BlockId b : request) EXPECT_LT(b, 100u);
+  }
+}
+
+TEST(TraceWorkloadTest, ReplaysInOrder) {
+  TraceWorkload replay(SampleTrace(), /*loop=*/false);
+  Rng rng(1);
+  EXPECT_EQ(replay.NextRequest(rng), (std::vector<BlockId>{1, 2}));
+  EXPECT_EQ(replay.NextRequest(rng), (std::vector<BlockId>{7}));
+  EXPECT_EQ(replay.NextRequest(rng), (std::vector<BlockId>{2, 7, 1}));
+  EXPECT_TRUE(replay.exhausted());
+  EXPECT_THROW(replay.NextRequest(rng), std::out_of_range);
+}
+
+TEST(TraceWorkloadTest, LoopsByDefault) {
+  TraceWorkload replay(SampleTrace());
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto request = replay.NextRequest(rng);
+    EXPECT_FALSE(request.empty());
+  }
+  EXPECT_FALSE(replay.exhausted());
+}
+
+TEST(TraceWorkloadTest, RejectsEmptyTrace) {
+  Trace empty;
+  empty.blocks = {{1, 10}};
+  EXPECT_THROW(TraceWorkload{empty}, std::invalid_argument);
+}
+
+TEST(TraceWorkloadTest, RecordedReplayMatchesSource) {
+  // Replaying a recorded trace reproduces the exact request stream.
+  YcsbEWorkload::Params p;
+  p.num_blocks = 50;
+  YcsbEWorkload original(p);
+  Rng record_rng(9);
+  const Trace t = RecordTrace(original, record_rng, 10);
+
+  YcsbEWorkload fresh(p);
+  Rng replay_src_rng(9);
+  TraceWorkload replay(t, /*loop=*/false);
+  Rng unused(0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(replay.NextRequest(unused), fresh.NextRequest(replay_src_rng));
+  }
+}
+
+}  // namespace
+}  // namespace ecstore

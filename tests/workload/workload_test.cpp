@@ -1,0 +1,167 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ecstore {
+namespace {
+
+TEST(YcsbETest, BlocksAreUniformFixedSize) {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 100;
+  p.block_bytes = 100 * 1024;
+  YcsbEWorkload w(p);
+  const auto blocks = w.Blocks();
+  ASSERT_EQ(blocks.size(), 100u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].id, i);
+    EXPECT_EQ(blocks[i].bytes, 100u * 1024);
+  }
+}
+
+TEST(YcsbETest, ScansAreContiguous) {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 1000;
+  YcsbEWorkload w(p);
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto req = w.NextRequest(rng);
+    ASSERT_FALSE(req.empty());
+    ASSERT_LE(req.size(), 20u);
+    for (std::size_t i = 1; i < req.size(); ++i) {
+      EXPECT_EQ(req[i], req[i - 1] + 1);
+    }
+    EXPECT_LT(req.back(), 1000u);
+  }
+}
+
+TEST(YcsbETest, WarmupIsUniform) {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 10;
+  p.max_scan_length = 1;
+  YcsbEWorkload w(p);
+  Rng rng(2);
+  std::map<BlockId, int> counts;
+  for (int trial = 0; trial < 10000; ++trial) ++counts[w.NextRequest(rng)[0]];
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count, 1000, 150) << "key " << id;
+  }
+}
+
+TEST(YcsbETest, MeasurementPhaseIsSkewed) {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 10000;
+  p.max_scan_length = 1;
+  p.scramble = false;
+  YcsbEWorkload w(p);
+  w.OnMeasurementStart();
+  EXPECT_TRUE(w.measuring());
+  Rng rng(3);
+  int hottest = 0;
+  for (int trial = 0; trial < 10000; ++trial) {
+    hottest += (w.NextRequest(rng)[0] == 0);  // Rank 1 key.
+  }
+  // Zipf(1) over 10k keys gives the top key ~10% of mass.
+  EXPECT_GT(hottest, 500);
+}
+
+TEST(YcsbETest, ScrambleSpreadsHotKeys) {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 10000;
+  p.max_scan_length = 1;
+  p.scramble = true;
+  YcsbEWorkload w(p);
+  w.OnMeasurementStart();
+  Rng rng(4);
+  std::set<BlockId> hot_keys;
+  for (int trial = 0; trial < 1000; ++trial) hot_keys.insert(w.NextRequest(rng)[0]);
+  // The hottest scrambled keys should not all be near key 0.
+  bool any_far = false;
+  for (BlockId k : hot_keys) {
+    if (k > 5000) any_far = true;
+  }
+  EXPECT_TRUE(any_far);
+}
+
+TEST(YcsbETest, ScanTruncatesAtKeyspaceEnd) {
+  YcsbEWorkload::Params p;
+  p.num_blocks = 5;
+  p.max_scan_length = 19;
+  YcsbEWorkload w(p);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto req = w.NextRequest(rng);
+    EXPECT_LE(req.size(), 5u);
+    EXPECT_LT(req.back(), 5u);
+  }
+}
+
+TEST(WikipediaTest, MediansMatchPublishedTrace) {
+  WikipediaWorkload::Params p;
+  p.num_pages = 5000;
+  WikipediaWorkload w(p);
+  // Paper Section VI-B: median page ~10 images, median image ~500 KB.
+  EXPECT_NEAR(w.MedianImagesPerPage(), 10.0, 3.0);
+  EXPECT_NEAR(w.MedianImageBytes(), 500.0 * 1024, 150.0 * 1024);
+}
+
+TEST(WikipediaTest, PagesPartitionTheBlocks) {
+  WikipediaWorkload::Params p;
+  p.num_pages = 200;
+  WikipediaWorkload w(p);
+  std::set<BlockId> seen;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < w.num_pages(); ++i) {
+    for (BlockId b : w.page(i)) {
+      EXPECT_TRUE(seen.insert(b).second) << "image on two pages";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, w.Blocks().size());
+}
+
+TEST(WikipediaTest, RequestsReturnWholePages) {
+  WikipediaWorkload::Params p;
+  p.num_pages = 100;
+  WikipediaWorkload w(p);
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto req = w.NextRequest(rng);
+    // Every request equals some page exactly.
+    bool found = false;
+    for (std::size_t i = 0; i < w.num_pages() && !found; ++i) {
+      found = (w.page(i) == req);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(WikipediaTest, PopularityIsSkewed) {
+  WikipediaWorkload::Params p;
+  p.num_pages = 1000;
+  WikipediaWorkload w(p);
+  Rng rng(7);
+  std::map<BlockId, int> first_block_count;
+  for (int trial = 0; trial < 5000; ++trial) {
+    ++first_block_count[w.NextRequest(rng)[0]];
+  }
+  // Zipf: the most popular page is requested far more than 1/1000 of the time.
+  int max_count = 0;
+  for (const auto& [id, count] : first_block_count) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 200);
+}
+
+TEST(WikipediaTest, DeterministicForSeed) {
+  WikipediaWorkload::Params p;
+  p.num_pages = 50;
+  WikipediaWorkload a(p), b(p);
+  EXPECT_EQ(a.Blocks().size(), b.Blocks().size());
+  for (std::size_t i = 0; i < a.num_pages(); ++i) {
+    EXPECT_EQ(a.page(i), b.page(i));
+  }
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Renders the RESULTS section of EXPERIMENTS.md from bench_output.txt.
+
+Usage: tools/summarize_results.py bench_output.txt EXPERIMENTS.md
+
+Copies each benchmark's printed tables verbatim (they are already the
+paper-comparable artifact) under per-experiment headings, between the
+RESULTS:BEGIN / RESULTS:END markers.
+"""
+import re
+import sys
+
+
+TITLES = {
+    "bench_fig1_breakdown": "Fig. 1 — R vs EC breakdown under skew",
+    "bench_fig4a_timeline": "Fig. 4a — response time over time",
+    "bench_fig4b_ycsb100k": "Fig. 4b — YCSB-E breakdown, 100 KB blocks",
+    "bench_fig4c_tail": "Fig. 4c — tail latency CDF (YCSB-E 100 KB)",
+    "bench_fig4d_site_io": "Fig. 4d — per-site read I/O",
+    "bench_fig4e_ycsb1mb": "Fig. 4e — YCSB-E breakdown, large blocks",
+    "bench_fig4f_failures": "Fig. 4f — response time with failed sites",
+    "bench_fig4g_wikipedia": "Fig. 4g — Wikipedia trace breakdown",
+    "bench_fig4h_wiki_tail": "Fig. 4h — Wikipedia tail latency CDF",
+    "bench_table2_imbalance": "Table II — I/O load-imbalance lambda",
+    "bench_table3_resources": "Table III — control-plane resource usage",
+    "bench_ablation": "Ablation sweeps",
+    "bench_micro_erasure": "Micro: GF(2^8) + Reed-Solomon throughput",
+    "bench_micro_planner": "Micro: access-plan generation",
+    "bench_micro_stats": "Micro: statistics service",
+}
+
+
+def main() -> None:
+    bench_path, doc_path = sys.argv[1], sys.argv[2]
+    with open(bench_path) as f:
+        text = f.read()
+
+    sections = []
+    for raw in text.split("##### ")[1:]:
+        header, _, body = raw.partition("\n")
+        name = header.strip().split("/")[-1].split()[0]
+        title = TITLES.get(name, name)
+        extra = header.strip().split(" ", 1)[1] if " " in header.strip() else ""
+        body = body.strip()
+        if not body or name == "SUITE":
+            continue
+        sections.append(f"### {title}\n\n" +
+                        (f"`{extra}`\n\n" if extra else "") +
+                        "```\n" + body + "\n```\n")
+
+    rendered = "\n".join(sections)
+    with open(doc_path) as f:
+        doc = f.read()
+    doc = re.sub(
+        r"<!-- RESULTS:BEGIN -->.*<!-- RESULTS:END -->",
+        "<!-- RESULTS:BEGIN -->\n" + rendered + "<!-- RESULTS:END -->",
+        doc,
+        flags=re.S,
+    )
+    with open(doc_path, "w") as f:
+        f.write(doc)
+    print(f"wrote {len(sections)} result sections into {doc_path}")
+
+
+if __name__ == "__main__":
+    main()
