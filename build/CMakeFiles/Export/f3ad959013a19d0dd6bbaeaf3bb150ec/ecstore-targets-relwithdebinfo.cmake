@@ -1,0 +1,109 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "ecstore::ec_common" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_common )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_common "${_IMPORT_PREFIX}/lib/libec_common.a" )
+
+# Import target "ecstore::ec_gf" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_gf APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_gf PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_gf.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_gf )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_gf "${_IMPORT_PREFIX}/lib/libec_gf.a" )
+
+# Import target "ecstore::ec_erasure" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_erasure APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_erasure PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_erasure.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_erasure )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_erasure "${_IMPORT_PREFIX}/lib/libec_erasure.a" )
+
+# Import target "ecstore::ec_lp" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_lp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_lp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_lp.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_lp )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_lp "${_IMPORT_PREFIX}/lib/libec_lp.a" )
+
+# Import target "ecstore::ec_sim" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_sim )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_sim "${_IMPORT_PREFIX}/lib/libec_sim.a" )
+
+# Import target "ecstore::ec_cluster" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_cluster APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_cluster PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_cluster.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_cluster )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_cluster "${_IMPORT_PREFIX}/lib/libec_cluster.a" )
+
+# Import target "ecstore::ec_stats" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_stats )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_stats "${_IMPORT_PREFIX}/lib/libec_stats.a" )
+
+# Import target "ecstore::ec_placement" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_placement APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_placement PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_placement.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_placement )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_placement "${_IMPORT_PREFIX}/lib/libec_placement.a" )
+
+# Import target "ecstore::ec_core" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_core )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_core "${_IMPORT_PREFIX}/lib/libec_core.a" )
+
+# Import target "ecstore::ec_workload" for configuration "RelWithDebInfo"
+set_property(TARGET ecstore::ec_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(ecstore::ec_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libec_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets ecstore::ec_workload )
+list(APPEND _cmake_import_check_files_for_ecstore::ec_workload "${_IMPORT_PREFIX}/lib/libec_workload.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

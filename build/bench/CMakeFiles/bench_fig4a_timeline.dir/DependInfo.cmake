@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4a_timeline.cpp" "bench/CMakeFiles/bench_fig4a_timeline.dir/bench_fig4a_timeline.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4a_timeline.dir/bench_fig4a_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ec_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/ec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/ec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ec_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

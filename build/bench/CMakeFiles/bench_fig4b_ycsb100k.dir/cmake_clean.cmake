@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_ycsb100k.dir/bench_fig4b_ycsb100k.cpp.o"
+  "CMakeFiles/bench_fig4b_ycsb100k.dir/bench_fig4b_ycsb100k.cpp.o.d"
+  "bench_fig4b_ycsb100k"
+  "bench_fig4b_ycsb100k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_ycsb100k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

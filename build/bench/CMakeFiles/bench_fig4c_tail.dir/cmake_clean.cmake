@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_tail.dir/bench_fig4c_tail.cpp.o"
+  "CMakeFiles/bench_fig4c_tail.dir/bench_fig4c_tail.cpp.o.d"
+  "bench_fig4c_tail"
+  "bench_fig4c_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

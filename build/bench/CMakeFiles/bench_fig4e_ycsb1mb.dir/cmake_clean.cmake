@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4e_ycsb1mb.dir/bench_fig4e_ycsb1mb.cpp.o"
+  "CMakeFiles/bench_fig4e_ycsb1mb.dir/bench_fig4e_ycsb1mb.cpp.o.d"
+  "bench_fig4e_ycsb1mb"
+  "bench_fig4e_ycsb1mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4e_ycsb1mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

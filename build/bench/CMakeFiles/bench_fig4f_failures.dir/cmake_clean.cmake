@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4f_failures.dir/bench_fig4f_failures.cpp.o"
+  "CMakeFiles/bench_fig4f_failures.dir/bench_fig4f_failures.cpp.o.d"
+  "bench_fig4f_failures"
+  "bench_fig4f_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4f_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4g_wikipedia.dir/bench_fig4g_wikipedia.cpp.o"
+  "CMakeFiles/bench_fig4g_wikipedia.dir/bench_fig4g_wikipedia.cpp.o.d"
+  "bench_fig4g_wikipedia"
+  "bench_fig4g_wikipedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4g_wikipedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_imbalance.dir/bench_table2_imbalance.cpp.o"
+  "CMakeFiles/bench_table2_imbalance.dir/bench_table2_imbalance.cpp.o.d"
+  "bench_table2_imbalance"
+  "bench_table2_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

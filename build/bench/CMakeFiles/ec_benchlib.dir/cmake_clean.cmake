@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_benchlib.dir/harness.cpp.o"
+  "CMakeFiles/ec_benchlib.dir/harness.cpp.o.d"
+  "libec_benchlib.a"
+  "libec_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecstore_cli.dir/ecstore_cli.cpp.o"
+  "CMakeFiles/ecstore_cli.dir/ecstore_cli.cpp.o.d"
+  "ecstore_cli"
+  "ecstore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecstore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

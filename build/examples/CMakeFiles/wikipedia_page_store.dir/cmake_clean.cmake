@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikipedia_page_store.dir/wikipedia_page_store.cpp.o"
+  "CMakeFiles/wikipedia_page_store.dir/wikipedia_page_store.cpp.o.d"
+  "wikipedia_page_store"
+  "wikipedia_page_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikipedia_page_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

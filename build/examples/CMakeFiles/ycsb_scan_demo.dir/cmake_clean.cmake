@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_scan_demo.dir/ycsb_scan_demo.cpp.o"
+  "CMakeFiles/ycsb_scan_demo.dir/ycsb_scan_demo.cpp.o.d"
+  "ycsb_scan_demo"
+  "ycsb_scan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_scan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_cluster.dir/state.cpp.o"
+  "CMakeFiles/ec_cluster.dir/state.cpp.o.d"
+  "libec_cluster.a"
+  "libec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

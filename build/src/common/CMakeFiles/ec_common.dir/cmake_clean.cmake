@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_common.dir/flags.cpp.o"
+  "CMakeFiles/ec_common.dir/flags.cpp.o.d"
+  "CMakeFiles/ec_common.dir/histogram.cpp.o"
+  "CMakeFiles/ec_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/ec_common.dir/rng.cpp.o"
+  "CMakeFiles/ec_common.dir/rng.cpp.o.d"
+  "libec_common.a"
+  "libec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/ec_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/ec_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/local_store.cpp" "src/core/CMakeFiles/ec_core.dir/local_store.cpp.o" "gcc" "src/core/CMakeFiles/ec_core.dir/local_store.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/ec_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/ec_core.dir/repair.cpp.o.d"
+  "/root/repo/src/core/sim_store.cpp" "src/core/CMakeFiles/ec_core.dir/sim_store.cpp.o" "gcc" "src/core/CMakeFiles/ec_core.dir/sim_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/ec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/ec_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ec_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ec_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_core.dir/config.cpp.o"
+  "CMakeFiles/ec_core.dir/config.cpp.o.d"
+  "CMakeFiles/ec_core.dir/local_store.cpp.o"
+  "CMakeFiles/ec_core.dir/local_store.cpp.o.d"
+  "CMakeFiles/ec_core.dir/repair.cpp.o"
+  "CMakeFiles/ec_core.dir/repair.cpp.o.d"
+  "CMakeFiles/ec_core.dir/sim_store.cpp.o"
+  "CMakeFiles/ec_core.dir/sim_store.cpp.o.d"
+  "libec_core.a"
+  "libec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_erasure.dir/linear_codec.cpp.o"
+  "CMakeFiles/ec_erasure.dir/linear_codec.cpp.o.d"
+  "CMakeFiles/ec_erasure.dir/reed_solomon.cpp.o"
+  "CMakeFiles/ec_erasure.dir/reed_solomon.cpp.o.d"
+  "libec_erasure.a"
+  "libec_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

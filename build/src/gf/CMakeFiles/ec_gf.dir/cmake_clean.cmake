@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_gf.dir/gf256.cpp.o"
+  "CMakeFiles/ec_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/ec_gf.dir/matrix.cpp.o"
+  "CMakeFiles/ec_gf.dir/matrix.cpp.o.d"
+  "libec_gf.a"
+  "libec_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

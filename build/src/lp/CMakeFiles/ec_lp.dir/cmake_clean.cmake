@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_lp.dir/ilp.cpp.o"
+  "CMakeFiles/ec_lp.dir/ilp.cpp.o.d"
+  "CMakeFiles/ec_lp.dir/simplex.cpp.o"
+  "CMakeFiles/ec_lp.dir/simplex.cpp.o.d"
+  "libec_lp.a"
+  "libec_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

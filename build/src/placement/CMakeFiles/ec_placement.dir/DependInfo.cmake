@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/cost_model.cpp" "src/placement/CMakeFiles/ec_placement.dir/cost_model.cpp.o" "gcc" "src/placement/CMakeFiles/ec_placement.dir/cost_model.cpp.o.d"
+  "/root/repo/src/placement/mover.cpp" "src/placement/CMakeFiles/ec_placement.dir/mover.cpp.o" "gcc" "src/placement/CMakeFiles/ec_placement.dir/mover.cpp.o.d"
+  "/root/repo/src/placement/plan_cache.cpp" "src/placement/CMakeFiles/ec_placement.dir/plan_cache.cpp.o" "gcc" "src/placement/CMakeFiles/ec_placement.dir/plan_cache.cpp.o.d"
+  "/root/repo/src/placement/planner.cpp" "src/placement/CMakeFiles/ec_placement.dir/planner.cpp.o" "gcc" "src/placement/CMakeFiles/ec_placement.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ec_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_placement.dir/cost_model.cpp.o"
+  "CMakeFiles/ec_placement.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ec_placement.dir/mover.cpp.o"
+  "CMakeFiles/ec_placement.dir/mover.cpp.o.d"
+  "CMakeFiles/ec_placement.dir/plan_cache.cpp.o"
+  "CMakeFiles/ec_placement.dir/plan_cache.cpp.o.d"
+  "CMakeFiles/ec_placement.dir/planner.cpp.o"
+  "CMakeFiles/ec_placement.dir/planner.cpp.o.d"
+  "libec_placement.a"
+  "libec_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ec_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ec_sim.dir/network.cpp.o"
+  "CMakeFiles/ec_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ec_sim.dir/site.cpp.o"
+  "CMakeFiles/ec_sim.dir/site.cpp.o.d"
+  "libec_sim.a"
+  "libec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_stats.dir/co_access.cpp.o"
+  "CMakeFiles/ec_stats.dir/co_access.cpp.o.d"
+  "CMakeFiles/ec_stats.dir/load_tracker.cpp.o"
+  "CMakeFiles/ec_stats.dir/load_tracker.cpp.o.d"
+  "libec_stats.a"
+  "libec_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

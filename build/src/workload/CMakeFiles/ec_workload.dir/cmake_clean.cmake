@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_workload.dir/driver.cpp.o"
+  "CMakeFiles/ec_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/ec_workload.dir/trace.cpp.o"
+  "CMakeFiles/ec_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/ec_workload.dir/workload.cpp.o"
+  "CMakeFiles/ec_workload.dir/workload.cpp.o.d"
+  "libec_workload.a"
+  "libec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

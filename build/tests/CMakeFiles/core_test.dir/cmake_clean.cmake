@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/coding_params_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/coding_params_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/config_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/local_store_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/local_store_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/put_delete_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/put_delete_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sim_store_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sim_store_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_test.dir/gf/gf256_test.cpp.o"
+  "CMakeFiles/gf_test.dir/gf/gf256_test.cpp.o.d"
+  "CMakeFiles/gf_test.dir/gf/matrix_test.cpp.o"
+  "CMakeFiles/gf_test.dir/gf/matrix_test.cpp.o.d"
+  "gf_test"
+  "gf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

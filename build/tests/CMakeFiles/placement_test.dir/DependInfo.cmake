@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/placement/cost_model_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/cost_model_test.cpp.o.d"
+  "/root/repo/tests/placement/mover_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/mover_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/mover_test.cpp.o.d"
+  "/root/repo/tests/placement/plan_cache_subset_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/plan_cache_subset_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/plan_cache_subset_test.cpp.o.d"
+  "/root/repo/tests/placement/plan_cache_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/plan_cache_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/plan_cache_test.cpp.o.d"
+  "/root/repo/tests/placement/planner_decompose_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/planner_decompose_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/planner_decompose_test.cpp.o.d"
+  "/root/repo/tests/placement/planner_test.cpp" "tests/CMakeFiles/placement_test.dir/placement/planner_test.cpp.o" "gcc" "tests/CMakeFiles/placement_test.dir/placement/planner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/ec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ec_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ec_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

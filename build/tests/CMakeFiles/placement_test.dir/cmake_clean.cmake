@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_test.dir/placement/cost_model_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/cost_model_test.cpp.o.d"
+  "CMakeFiles/placement_test.dir/placement/mover_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/mover_test.cpp.o.d"
+  "CMakeFiles/placement_test.dir/placement/plan_cache_subset_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/plan_cache_subset_test.cpp.o.d"
+  "CMakeFiles/placement_test.dir/placement/plan_cache_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/plan_cache_test.cpp.o.d"
+  "CMakeFiles/placement_test.dir/placement/planner_decompose_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/planner_decompose_test.cpp.o.d"
+  "CMakeFiles/placement_test.dir/placement/planner_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement/planner_test.cpp.o.d"
+  "placement_test"
+  "placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

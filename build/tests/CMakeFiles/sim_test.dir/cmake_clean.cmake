@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/batch_read_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/batch_read_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/model_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/model_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/site_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/site_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

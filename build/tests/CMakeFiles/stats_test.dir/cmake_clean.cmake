@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/co_access_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/co_access_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/load_tracker_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/load_tracker_test.cpp.o.d"
+  "stats_test"
+  "stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gf_test "/root/repo/build/tests/gf_test")
+set_tests_properties(gf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(erasure_test "/root/repo/build/tests/erasure_test")
+set_tests_properties(erasure_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lp_test "/root/repo/build/tests/lp_test")
+set_tests_properties(lp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;27;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;33;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cluster_test "/root/repo/build/tests/cluster_test")
+set_tests_properties(cluster_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;41;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build/tests/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;47;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(placement_test "/root/repo/build/tests/placement_test")
+set_tests_properties(placement_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;53;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;63;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;72;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;79;ec_add_test;/root/repo/tests/CMakeLists.txt;0;")
