@@ -2,7 +2,7 @@
 // LocalECStore — handy for poking at encoding, placement, movement,
 // failure, and repair behaviour without writing code.
 //
-//   ./build/examples/ecstore_cli [--sites=8] [--technique=EC+C+M]
+//   ./build/examples/ecstore_cli [--sites=8] [--technique=EC+C+M] [--calibrate]
 //
 // Commands (also via stdin pipes for scripting):
 //   put <id> <text...>     store a block
@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "core/calibrate.h"
 #include "core/local_store.h"
 
 namespace {
@@ -76,6 +77,16 @@ int main(int argc, char** argv) {
       ParseTechnique(flags.GetString("technique", "EC+C+M")));
   config.num_sites = static_cast<std::size_t>(flags.GetInt("sites", 8));
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  if (flags.GetBool("calibrate", false)) {
+    // Replace the canned simulator decode-cost constants with throughput
+    // measured on this machine's GF kernels.
+    const CodingCalibration cal = CalibrateCodingCosts(config);
+    std::printf(
+        "calibrated coding costs (kernel=%s): encode %.3g B/ms, "
+        "decode %.3g B/ms, reassemble %.3g B/ms\n",
+        cal.kernel.c_str(), cal.encode_bytes_per_ms, cal.decode_bytes_per_ms,
+        cal.reassemble_bytes_per_ms);
+  }
   LocalECStore store(config);
 
   std::printf("ec-store cli — %s over %zu sites (RS(%u,%u)); 'help' for "

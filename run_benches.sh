@@ -1,5 +1,66 @@
 #!/bin/bash
 # Runs every benchmark binary, recording combined output.
+#
+# Erasure micro-benchmark JSON snapshots (for before/after kernel work):
+#   ./run_benches.sh erasure-json [label]   # writes bench_results/erasure_<label>.json
+#   ./run_benches.sh erasure-compare A B    # prints bytes/s ratios of two snapshots
+# The label defaults to the current git short SHA (plus -dirty when the
+# tree has uncommitted changes). Pin a GF kernel path for a snapshot with
+# ECSTORE_GF_KERNEL=scalar|ssse3|avx2.
+set -u
+
+erasure_json() {
+  local label="${1:-}"
+  if [ -z "$label" ]; then
+    label="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then label="${label}-dirty"; fi
+  fi
+  mkdir -p bench_results
+  local out="bench_results/erasure_${label}.json"
+  build/bench/bench_micro_erasure \
+    --benchmark_format=json --benchmark_out="$out" \
+    --benchmark_min_time=0.2 >/dev/null
+  echo "wrote $out"
+}
+
+erasure_compare() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+before, after = load(sys.argv[1]), load(sys.argv[2])
+print(f"{'benchmark':44s} {'before':>12s} {'after':>12s} {'speedup':>8s}")
+for name in before:
+    if name not in after:
+        continue
+    b = before[name].get("bytes_per_second")
+    a = after[name].get("bytes_per_second")
+    if not b or not a:
+        continue
+    print(f"{name:44s} {b/1e9:9.2f}G/s {a/1e9:9.2f}G/s {a/b:7.2f}x")
+EOF
+}
+
+case "${1:-}" in
+  erasure-json)
+    erasure_json "${2:-}"
+    exit $?
+    ;;
+  erasure-compare)
+    if [ $# -lt 3 ]; then
+      echo "usage: $0 erasure-compare <before.json> <after.json>" >&2
+      exit 2
+    fi
+    erasure_compare "$2" "$3"
+    exit $?
+    ;;
+esac
+
 for b in build/bench/bench_*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     echo "##### $b"

@@ -1,0 +1,22 @@
+#!/bin/bash
+# ASan + UBSan build and test run, exercising every GF kernel dispatch
+# path via the ECSTORE_GF_KERNEL override. The SIMD paths run the same
+# ctest suites as the scalar path; unsupported paths are skipped.
+#
+#   ./run_sanitizers.sh [ctest -R regex, default: GF/erasure/core suites]
+set -eu
+
+REGEX="${1:-gf_test|erasure_test|core_test}"
+BUILD=build-asan
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_SANITIZE=ON
+cmake --build "$BUILD" -j"$(nproc)"
+
+status=0
+for path in scalar ssse3 avx2; do
+  echo "##### ECSTORE_GF_KERNEL=$path ctest -R '$REGEX'"
+  if ! (cd "$BUILD" && ECSTORE_GF_KERNEL="$path" ctest --output-on-failure -R "$REGEX"); then
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,39 @@
+// Decode-cost calibration: re-derives the discrete-event simulator's
+// client-side coding-throughput constants (ECStoreConfig::
+// {encode,decode,reassemble}_bytes_per_ms) by timing the real GF(2^8)
+// kernels on this machine, instead of trusting the hard-coded defaults
+// that were measured on some other host. The same numbers are what
+// bench_micro_erasure reports; this is the programmatic loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+
+namespace ecstore {
+
+/// Measured client-side coding throughput, in the units the simulator
+/// consumes (bytes per millisecond).
+struct CodingCalibration {
+  double encode_bytes_per_ms = 0;
+  double decode_bytes_per_ms = 0;      // decode involving parity chunks
+  double reassemble_bytes_per_ms = 0;  // all-systematic reassembly
+  std::string kernel;                  // active GF kernel path name
+};
+
+/// Times RS(k, r) encode, parity-involving decode, and systematic
+/// reassembly on `block_bytes` blocks with the currently dispatched GF
+/// kernels. Each phase runs for at least `min_measure_ms` wall-clock
+/// milliseconds (and at least three iterations).
+CodingCalibration MeasureCodingThroughput(std::uint32_t k, std::uint32_t r,
+                                          std::size_t block_bytes = 1 << 20,
+                                          double min_measure_ms = 20.0);
+
+/// Measures with config.k / config.r and overwrites the config's three
+/// throughput constants with the results. Returns the measurement.
+CodingCalibration CalibrateCodingCosts(ECStoreConfig& config,
+                                       std::size_t block_bytes = 1 << 20);
+
+}  // namespace ecstore

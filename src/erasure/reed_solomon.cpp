@@ -1,15 +1,21 @@
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <stdexcept>
 
 #include "erasure/codec.h"
 #include "gf/gf256.h"
+#include "gf/gf256_kernels.h"
 #include "gf/matrix.h"
 
 namespace ecstore {
 
 struct ReedSolomonCodec::Impl {
   gf::Matrix coding;  // (k+r) x k systematic Cauchy matrix.
+  // Split-nibble product tables for the r x k parity block of the coding
+  // matrix, precomputed once per codec instead of once per Encode call.
+  // parity_tabs[p * k + j] holds the tables for coding(k + p, j).
+  std::vector<gf::MulTable> parity_tabs;
 };
 
 ReedSolomonCodec::ReedSolomonCodec(std::uint32_t k, std::uint32_t r)
@@ -18,6 +24,13 @@ ReedSolomonCodec::ReedSolomonCodec(std::uint32_t k, std::uint32_t r)
   if (r < 1) throw std::invalid_argument("ReedSolomonCodec: r must be >= 1");
   if (k + r > 256) throw std::invalid_argument("ReedSolomonCodec: k + r must be <= 256");
   impl_->coding = gf::BuildSystematicCauchy(k, r);
+  impl_->parity_tabs.resize(static_cast<std::size_t>(r) * k);
+  for (std::uint32_t p = 0; p < r; ++p) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      gf::BuildMulTable(impl_->coding.At(k + p, j),
+                        impl_->parity_tabs[static_cast<std::size_t>(p) * k + j]);
+    }
+  }
 }
 
 ReedSolomonCodec::~ReedSolomonCodec() = default;
@@ -32,21 +45,31 @@ std::vector<ChunkData> ReedSolomonCodec::Encode(
   std::vector<ChunkData> chunks(k_ + r_);
 
   // Systematic chunks: a straight split of the block, zero-padded at the
-  // tail so every chunk is exactly chunk_size bytes.
+  // tail so every chunk is exactly chunk_size bytes. Copy-construct from
+  // the block range (one pass) instead of zero-filling then overwriting.
   for (std::uint32_t i = 0; i < k_; ++i) {
-    chunks[i].assign(chunk_size, 0);
-    const std::size_t offset = static_cast<std::size_t>(i) * chunk_size;
-    if (offset < block.size()) {
-      const std::size_t n = std::min(chunk_size, block.size() - offset);
-      std::memcpy(chunks[i].data(), block.data() + offset, n);
-    }
+    const std::size_t offset =
+        std::min(static_cast<std::size_t>(i) * chunk_size, block.size());
+    const std::size_t n = std::min(chunk_size, block.size() - offset);
+    chunks[i].reserve(chunk_size);
+    chunks[i].assign(block.begin() + offset, block.begin() + offset + n);
+    chunks[i].resize(chunk_size, 0);
   }
-  // Parity chunks: row (k + p) of the coding matrix applied to the data.
+  // Parity chunks: row (k + p) of the coding matrix applied to the data,
+  // as one fused pass over all k sources per parity output. The kernel
+  // overwrites its destination (accumulate=false), so the parity buffer
+  // is never read; computing cache-sized strips into an L1-resident
+  // scratch buffer and appending them also avoids the zero-fill pass a
+  // full-size vector resize would cost.
+  std::vector<const gf::Elem*> srcs(k_);
+  for (std::uint32_t j = 0; j < k_; ++j) srcs[j] = chunks[j].data();
+  const auto& kernels = gf::ActiveKernels();
   for (std::uint32_t p = 0; p < r_; ++p) {
-    chunks[k_ + p].assign(chunk_size, 0);
-    for (std::uint32_t j = 0; j < k_; ++j) {
-      gf::MulAddRegion(impl_->coding.At(k_ + p, j), chunks[j], chunks[k_ + p]);
-    }
+    chunks[k_ + p].resize(chunk_size);
+    kernels.mul_add_multi(
+        impl_->parity_tabs.data() + static_cast<std::size_t>(p) * k_,
+        srcs.data(), k_, chunks[k_ + p].data(), chunk_size,
+        /*accumulate=*/false);
   }
   return chunks;
 }
@@ -58,17 +81,19 @@ std::vector<std::uint8_t> ReedSolomonCodec::Decode(
   }
   const std::size_t chunk_size = ChunkSize(block_size);
 
-  // Use the first k distinct chunk indices.
+  // Use the first k distinct chunk indices. A 256-bit seen-bitmap makes
+  // duplicate detection O(1) per chunk (indices are < k + r <= 256).
+  std::array<std::uint64_t, 4> seen{};
   std::vector<const IndexedChunk*> use;
   use.reserve(k_);
   for (const auto& c : chunks) {
     if (c.index >= k_ + r_) {
       throw std::invalid_argument("ReedSolomonCodec::Decode: chunk index out of range");
     }
-    const bool dup = std::any_of(use.begin(), use.end(), [&](const IndexedChunk* u) {
-      return u->index == c.index;
-    });
-    if (dup) continue;
+    std::uint64_t& word = seen[c.index >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (c.index & 63);
+    if (word & bit) continue;
+    word |= bit;
     if (c.data.size() != chunk_size) {
       throw std::invalid_argument("ReedSolomonCodec::Decode: chunk size mismatch");
     }
@@ -105,16 +130,30 @@ std::vector<std::uint8_t> ReedSolomonCodec::Decode(
     throw std::runtime_error("ReedSolomonCodec::Decode: singular decode matrix");
   }
 
+  // Product tables for the inverse, built once per decode (not once per
+  // matrix cell application), then one fused pass per recovered row.
+  std::vector<gf::MulTable> tabs(static_cast<std::size_t>(k_) * k_);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      gf::BuildMulTable(sub.At(i, j), tabs[static_cast<std::size_t>(i) * k_ + j]);
+    }
+  }
+  std::vector<const gf::Elem*> srcs(k_);
+  for (std::uint32_t j = 0; j < k_; ++j) srcs[j] = use[j]->data.data();
+  const auto& kernels = gf::ActiveKernels();
+
   std::vector<std::uint8_t> recovered(chunk_size);
   for (std::uint32_t data_row = 0; data_row < k_; ++data_row) {
     const std::size_t offset = static_cast<std::size_t>(data_row) * chunk_size;
     if (offset >= block_size) continue;
-    std::fill(recovered.begin(), recovered.end(), 0);
-    for (std::uint32_t j = 0; j < k_; ++j) {
-      gf::MulAddRegion(sub.At(data_row, j), use[j]->data, recovered);
-    }
     const std::size_t n = std::min(chunk_size, block_size - offset);
-    std::memcpy(block.data() + offset, recovered.data(), n);
+    // Rows that fit entirely inside the block decode straight into it;
+    // only a truncated tail row needs the bounce buffer.
+    std::uint8_t* out = (n == chunk_size) ? block.data() + offset : recovered.data();
+    kernels.mul_add_multi(tabs.data() + static_cast<std::size_t>(data_row) * k_,
+                          srcs.data(), k_, out, chunk_size,
+                          /*accumulate=*/false);
+    if (n != chunk_size) std::memcpy(block.data() + offset, recovered.data(), n);
   }
   return block;
 }

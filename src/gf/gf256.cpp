@@ -2,6 +2,10 @@
 
 #include <array>
 #include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "gf/gf256_kernels.h"
 
 namespace ecstore::gf {
 
@@ -72,49 +76,40 @@ void MulAddRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst) {
     AddRegion(src, dst);
     return;
   }
-  // Build a product table for this constant: one multiply per distinct
-  // byte value instead of one per data byte.
-  const auto& t = T();
-  const unsigned log_c = t.log_[c];
-  std::array<Elem, 256> prod;
-  prod[0] = 0;
-  for (unsigned v = 1; v < 256; ++v) prod[v] = t.exp_[t.log_[v] + log_c];
-  const std::size_t n = src.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= prod[src[i]];
+  MulTable t;
+  BuildMulTable(c, t);
+  ActiveKernels().mul_add(t, src.data(), dst.data(), src.size());
 }
 
 void MulRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst) {
   assert(dst.size() >= src.size());
   const std::size_t n = src.size();
   if (c == 0) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    std::memset(dst.data(), 0, n);
     return;
   }
   if (c == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+    std::memcpy(dst.data(), src.data(), n);
     return;
   }
-  const auto& t = T();
-  const unsigned log_c = t.log_[c];
-  std::array<Elem, 256> prod;
-  prod[0] = 0;
-  for (unsigned v = 1; v < 256; ++v) prod[v] = t.exp_[t.log_[v] + log_c];
-  for (std::size_t i = 0; i < n; ++i) dst[i] = prod[src[i]];
+  MulTable t;
+  BuildMulTable(c, t);
+  ActiveKernels().mul(t, src.data(), dst.data(), n);
 }
 
 void AddRegion(std::span<const Elem> src, std::span<Elem> dst) {
   assert(dst.size() >= src.size());
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  // XOR eight bytes at a time; the compiler vectorizes the remainder.
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t a, b;
-    __builtin_memcpy(&a, src.data() + i, 8);
-    __builtin_memcpy(&b, dst.data() + i, 8);
-    b ^= a;
-    __builtin_memcpy(dst.data() + i, &b, 8);
+  ActiveKernels().add(src.data(), dst.data(), src.size());
+}
+
+void MulAddRegionMulti(std::span<const Elem> consts, const Elem* const* srcs,
+                       std::span<Elem> dst, bool accumulate) {
+  std::vector<MulTable> tabs(consts.size());
+  for (std::size_t j = 0; j < consts.size(); ++j) {
+    BuildMulTable(consts[j], tabs[j]);
   }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  ActiveKernels().mul_add_multi(tabs.data(), srcs, consts.size(), dst.data(),
+                                dst.size(), accumulate);
 }
 
 }  // namespace ecstore::gf

@@ -40,8 +40,9 @@ Elem Exp(unsigned n);
 unsigned Log(Elem a);
 
 /// dst[i] ^= c * src[i] for i in [0, n). The core inner loop of
-/// Reed–Solomon encode/decode; uses a per-constant 256-entry product
-/// table so the hot loop is a single lookup + XOR per byte.
+/// Reed–Solomon encode/decode. Dispatches to the widest SIMD kernel the
+/// CPU supports (see gf256_kernels.h); repeated use of the same constant
+/// is faster through a precomputed MulTable + ActiveKernels().
 void MulAddRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst);
 
 /// dst[i] = c * src[i] for i in [0, n).
@@ -49,5 +50,13 @@ void MulRegion(Elem c, std::span<const Elem> src, std::span<Elem> dst);
 
 /// dst[i] ^= src[i] for i in [0, n).
 void AddRegion(std::span<const Elem> src, std::span<Elem> dst);
+
+/// Fused multi-source accumulate over one destination region:
+///   dst[i] = (accumulate ? dst[i] : 0) ^ XOR_j consts[j] * srcs[j][i]
+/// for i in [0, dst.size()). `srcs` holds consts.size() pointers, each to
+/// at least dst.size() readable bytes; sources must not alias dst. One
+/// fused pass replaces consts.size() full-region MulAddRegion passes.
+void MulAddRegionMulti(std::span<const Elem> consts, const Elem* const* srcs,
+                       std::span<Elem> dst, bool accumulate = true);
 
 }  // namespace ecstore::gf

@@ -1,0 +1,94 @@
+// Vectorized GF(2^8) region kernels with runtime CPU dispatch.
+//
+// The hot loops of Reed–Solomon coding are region operations of the form
+// dst[i] ^= c * src[i]. This layer provides three implementations of those
+// loops — a portable 64-bit scalar path, an SSSE3 path, and an AVX2 path —
+// selected once at startup via CPUID, plus fused multi-source variants
+// (dst = Σ_j c_j * src_j) that walk all k sources per output strip so the
+// destination stays in registers / L1 instead of being re-streamed k times.
+//
+// The SIMD paths use the split-nibble technique of GF-Complete / ISA-L:
+// for a constant c, precompute two 16-entry tables
+//   lo[x] = c * x         (x in 0..15, the low nibble)
+//   hi[x] = c * (x << 4)  (x in 0..15, the high nibble)
+// so that c * v = lo[v & 15] ^ hi[v >> 4] by distributivity. A 16-lane
+// byte shuffle (PSHUFB / VPSHUFB) then evaluates 16 (or 32) products per
+// instruction. All paths are bit-exact with the scalar reference.
+//
+// Path selection: ActiveKernels() picks the widest supported path. The
+// environment variable ECSTORE_GF_KERNEL=scalar|ssse3|avx2 overrides the
+// choice (for testing and for pinning benchmark runs); ForceKernelPath()
+// does the same programmatically for in-process tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/gf256.h"
+
+namespace ecstore::gf {
+
+/// Precomputed product tables for one constant. `lo`/`hi` are the
+/// split-nibble tables consumed by the SIMD shuffles; `full` is the flat
+/// 256-entry table used by the scalar path and by SIMD tail handling.
+struct MulTable {
+  alignas(16) Elem lo[16];
+  alignas(16) Elem hi[16];
+  Elem full[256];
+  Elem c = 0;
+};
+
+/// Fills `t` with the product tables for constant `c` (any value,
+/// including 0 and 1).
+void BuildMulTable(Elem c, MulTable& t);
+
+/// The dispatchable implementations, narrowest first.
+enum class KernelPath { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+
+/// Human-readable path name ("scalar", "ssse3", "avx2").
+const char* KernelPathName(KernelPath p);
+
+/// One dispatch table of region kernels. `src` and `dst` must not alias
+/// (all callers operate on distinct chunks).
+struct Kernels {
+  KernelPath path;
+  const char* name;
+
+  /// dst[i] ^= t.c * src[i] for i in [0, n).
+  void (*mul_add)(const MulTable& t, const Elem* src, Elem* dst, std::size_t n);
+  /// dst[i] = t.c * src[i] for i in [0, n).
+  void (*mul)(const MulTable& t, const Elem* src, Elem* dst, std::size_t n);
+  /// dst[i] ^= src[i] for i in [0, n).
+  void (*add)(const Elem* src, Elem* dst, std::size_t n);
+  /// Fused multi-source accumulate:
+  ///   dst[i] = (accumulate ? dst[i] : 0) ^ XOR_j tabs[j].c * srcs[j][i]
+  /// for i in [0, n). With accumulate=false the destination is written
+  /// without ever being read, so a fresh parity buffer costs one pass.
+  /// nsrc may be 0 (clears dst when accumulate=false, no-op otherwise).
+  void (*mul_add_multi)(const MulTable* tabs, const Elem* const* srcs,
+                        std::size_t nsrc, Elem* dst, std::size_t n,
+                        bool accumulate);
+};
+
+/// True when the running CPU can execute the given path. kScalar is
+/// always true; SIMD paths additionally require being compiled in
+/// (x86 builds only).
+bool CpuSupports(KernelPath p);
+
+/// The dispatch table for a path, or nullptr when unsupported on this
+/// CPU / not compiled into this binary.
+const Kernels* KernelsFor(KernelPath p);
+
+/// The active dispatch table: widest supported path, unless overridden by
+/// ECSTORE_GF_KERNEL or ForceKernelPath(). Resolved once; subsequent
+/// calls are a single atomic load.
+const Kernels& ActiveKernels();
+
+/// Forces the active path (tests/benchmarks). Returns false — leaving the
+/// active path unchanged — when the path is unsupported here.
+bool ForceKernelPath(KernelPath p);
+
+/// Reverts ForceKernelPath(): back to CPUID detection + env override.
+void ResetKernelPath();
+
+}  // namespace ecstore::gf

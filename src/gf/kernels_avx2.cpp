@@ -1,0 +1,136 @@
+// AVX2 GF(2^8) region kernels: the split-nibble tables are broadcast to
+// both 128-bit lanes so VPSHUFB evaluates 32 products per shuffle.
+// Compiled with -mavx2; only reachable through the dispatcher after a
+// CPUID check.
+#include "gf/gf256_kernels.h"
+#include "gf/kernels_internal.h"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+namespace ecstore::gf::internal {
+namespace {
+
+inline __m256i Broadcast16(const Elem* table16) {
+  return _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(table16)));
+}
+
+// c * v for 32 bytes. VPSHUFB shuffles within each 128-bit lane, which is
+// exactly right: both lanes hold the same 16-entry table.
+inline __m256i MulBlock(__m256i lo, __m256i hi, __m256i mask, __m256i v) {
+  const __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+  const __m256i h =
+      _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+  return _mm256_xor_si256(l, h);
+}
+
+void MulAddAvx2(const MulTable& t, const Elem* src, Elem* dst, std::size_t n) {
+  const __m256i lo = Broadcast16(t.lo);
+  const __m256i hi = Broadcast16(t.hi);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    __m256i d1 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i + 32));
+    d0 = _mm256_xor_si256(d0, MulBlock(lo, hi, mask, v0));
+    d1 = _mm256_xor_si256(d1, MulBlock(lo, hi, mask, v1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), d1);
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    d = _mm256_xor_si256(d, MulBlock(lo, hi, mask, v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  if (i < n) MulAddScalar(t, src + i, dst + i, n - i);
+}
+
+void MulAvx2(const MulTable& t, const Elem* src, Elem* dst, std::size_t n) {
+  const __m256i lo = Broadcast16(t.lo);
+  const __m256i hi = Broadcast16(t.hi);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        MulBlock(lo, hi, mask, v));
+  }
+  if (i < n) MulScalar(t, src + i, dst + i, n - i);
+}
+
+void AddAvx2(const Elem* src, Elem* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, s1));
+  }
+  if (i < n) AddScalar(src + i, dst + i, n - i);
+}
+
+void MulAddMultiAvx2(const MulTable* tabs, const Elem* const* srcs,
+                     std::size_t nsrc, Elem* dst, std::size_t n,
+                     bool accumulate) {
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  // 64-byte accumulator kept in registers across all k sources: the
+  // destination is loaded/stored once per block, not once per source.
+  for (; i + 64 <= n; i += 64) {
+    __m256i acc0, acc1;
+    if (accumulate) {
+      acc0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+      acc1 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i + 32));
+    } else {
+      acc0 = _mm256_setzero_si256();
+      acc1 = _mm256_setzero_si256();
+    }
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      const __m256i lo = Broadcast16(tabs[j].lo);
+      const __m256i hi = Broadcast16(tabs[j].hi);
+      const Elem* s = srcs[j] + i;
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 32));
+      acc0 = _mm256_xor_si256(acc0, MulBlock(lo, hi, mask, v0));
+      acc1 = _mm256_xor_si256(acc1, MulBlock(lo, hi, mask, v1));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), acc1);
+  }
+  for (; i < n; ++i) {
+    Elem x = accumulate ? dst[i] : 0;
+    for (std::size_t j = 0; j < nsrc; ++j) x ^= tabs[j].full[srcs[j][i]];
+    dst[i] = x;
+  }
+}
+
+}  // namespace
+
+const Kernels& Avx2Kernels() {
+  static const Kernels k = {KernelPath::kAvx2, "avx2",  &MulAddAvx2,
+                            &MulAvx2,          &AddAvx2, &MulAddMultiAvx2};
+  return k;
+}
+
+}  // namespace ecstore::gf::internal
+
+#endif  // __AVX2__

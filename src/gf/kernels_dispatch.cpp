@@ -1,0 +1,115 @@
+// Runtime kernel selection: pick the widest path the CPU supports, once,
+// with an ECSTORE_GF_KERNEL env override and a programmatic override for
+// tests. ECSTORE_HAVE_SSSE3 / ECSTORE_HAVE_AVX2 are defined by the build
+// when the matching translation unit is compiled in.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "gf/gf256_kernels.h"
+#include "gf/kernels_internal.h"
+
+namespace ecstore::gf {
+
+namespace {
+
+bool CpuHas(const char* feature) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (std::strcmp(feature, "ssse3") == 0) return __builtin_cpu_supports("ssse3");
+  if (std::strcmp(feature, "avx2") == 0) return __builtin_cpu_supports("avx2");
+  return false;
+#else
+  (void)feature;
+  return false;
+#endif
+}
+
+std::optional<KernelPath> ParsePathName(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return KernelPath::kScalar;
+  if (std::strcmp(name, "ssse3") == 0) return KernelPath::kSsse3;
+  if (std::strcmp(name, "avx2") == 0) return KernelPath::kAvx2;
+  return std::nullopt;
+}
+
+const Kernels* Detect() {
+  if (const char* env = std::getenv("ECSTORE_GF_KERNEL")) {
+    const auto path = ParsePathName(env);
+    const Kernels* k = path ? KernelsFor(*path) : nullptr;
+    if (k) return k;
+    std::fprintf(stderr,
+                 "ecstore: ECSTORE_GF_KERNEL=%s is unknown or unsupported "
+                 "on this CPU; auto-detecting\n",
+                 env);
+  }
+  if (const Kernels* k = KernelsFor(KernelPath::kAvx2)) return k;
+  if (const Kernels* k = KernelsFor(KernelPath::kSsse3)) return k;
+  return &internal::ScalarKernels();
+}
+
+std::atomic<const Kernels*> g_forced{nullptr};
+std::atomic<const Kernels*> g_detected{nullptr};
+
+}  // namespace
+
+bool CpuSupports(KernelPath p) {
+  switch (p) {
+    case KernelPath::kScalar:
+      return true;
+    case KernelPath::kSsse3:
+#ifdef ECSTORE_HAVE_SSSE3
+      return CpuHas("ssse3");
+#else
+      return false;
+#endif
+    case KernelPath::kAvx2:
+#ifdef ECSTORE_HAVE_AVX2
+      return CpuHas("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels* KernelsFor(KernelPath p) {
+  if (!CpuSupports(p)) return nullptr;
+  switch (p) {
+    case KernelPath::kScalar:
+      return &internal::ScalarKernels();
+#ifdef ECSTORE_HAVE_SSSE3
+    case KernelPath::kSsse3:
+      return &internal::Ssse3Kernels();
+#endif
+#ifdef ECSTORE_HAVE_AVX2
+    case KernelPath::kAvx2:
+      return &internal::Avx2Kernels();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+const Kernels& ActiveKernels() {
+  if (const Kernels* forced = g_forced.load(std::memory_order_acquire)) {
+    return *forced;
+  }
+  const Kernels* k = g_detected.load(std::memory_order_acquire);
+  if (!k) {
+    k = Detect();
+    g_detected.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+bool ForceKernelPath(KernelPath p) {
+  const Kernels* k = KernelsFor(p);
+  if (!k) return false;
+  g_forced.store(k, std::memory_order_release);
+  return true;
+}
+
+void ResetKernelPath() { g_forced.store(nullptr, std::memory_order_release); }
+
+}  // namespace ecstore::gf

@@ -1,0 +1,26 @@
+// Internal sharing between the per-ISA kernel translation units and the
+// dispatcher. Not installed; include only from src/gf/*.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "gf/gf256_kernels.h"
+
+namespace ecstore::gf::internal {
+
+// Portable scalar kernels (also used by the SIMD paths for short tails).
+void MulAddScalar(const MulTable& t, const Elem* src, Elem* dst, std::size_t n);
+void MulScalar(const MulTable& t, const Elem* src, Elem* dst, std::size_t n);
+void AddScalar(const Elem* src, Elem* dst, std::size_t n);
+void MulAddMultiScalar(const MulTable* tabs, const Elem* const* srcs,
+                       std::size_t nsrc, Elem* dst, std::size_t n,
+                       bool accumulate);
+
+// Per-ISA dispatch tables. Defined only in builds where the matching
+// translation unit is compiled (x86 with the flag available); the
+// dispatcher references them behind ECSTORE_HAVE_* guards.
+const Kernels& ScalarKernels();
+const Kernels& Ssse3Kernels();
+const Kernels& Avx2Kernels();
+
+}  // namespace ecstore::gf::internal

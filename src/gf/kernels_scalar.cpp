@@ -1,0 +1,111 @@
+// Portable scalar GF(2^8) region kernels: one table lookup + XOR per
+// byte, with the per-constant table precomputed by the caller (the seed
+// implementation rebuilt it on every call). Bit-exact reference for the
+// SIMD paths, and the fallback on non-x86 hardware.
+#include <algorithm>
+#include <cstring>
+
+#include "gf/gf256.h"
+#include "gf/gf256_kernels.h"
+#include "gf/kernels_internal.h"
+
+namespace ecstore::gf {
+
+void BuildMulTable(Elem c, MulTable& t) {
+  t.c = c;
+  for (unsigned x = 0; x < 16; ++x) {
+    t.lo[x] = Mul(c, static_cast<Elem>(x));
+    t.hi[x] = Mul(c, static_cast<Elem>(x << 4));
+  }
+  // c*(a ^ b) = c*a ^ c*b, so the full table is the nibble tables' sum.
+  for (unsigned v = 0; v < 256; ++v) {
+    t.full[v] = static_cast<Elem>(t.lo[v & 0x0f] ^ t.hi[v >> 4]);
+  }
+}
+
+namespace internal {
+
+void MulAddScalar(const MulTable& t, const Elem* src, Elem* dst,
+                  std::size_t n) {
+  const Elem* table = t.full;
+  std::size_t i = 0;
+  // Unroll by four so the address arithmetic overlaps the loads.
+  for (; i + 4 <= n; i += 4) {
+    dst[i] ^= table[src[i]];
+    dst[i + 1] ^= table[src[i + 1]];
+    dst[i + 2] ^= table[src[i + 2]];
+    dst[i + 3] ^= table[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] ^= table[src[i]];
+}
+
+void MulScalar(const MulTable& t, const Elem* src, Elem* dst, std::size_t n) {
+  const Elem* table = t.full;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    dst[i] = table[src[i]];
+    dst[i + 1] = table[src[i + 1]];
+    dst[i + 2] = table[src[i + 2]];
+    dst[i + 3] = table[src[i + 3]];
+  }
+  for (; i < n; ++i) dst[i] = table[src[i]];
+}
+
+void AddScalar(const Elem* src, Elem* dst, std::size_t n) {
+  std::size_t i = 0;
+  // XOR eight bytes at a time through 64-bit registers.
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, src + i, 8);
+    std::memcpy(&b, dst + i, 8);
+    b ^= a;
+    std::memcpy(dst + i, &b, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void MulAddMultiScalar(const MulTable* tabs, const Elem* const* srcs,
+                       std::size_t nsrc, Elem* dst, std::size_t n,
+                       bool accumulate) {
+  // Cache-blocked: walk an L1-sized strip of every source before moving
+  // on, so the destination strip is written once per source from cache
+  // instead of being re-streamed from memory k times.
+  constexpr std::size_t kStrip = 8 * 1024;
+  for (std::size_t base = 0; base < n; base += kStrip) {
+    const std::size_t len = std::min(kStrip, n - base);
+    Elem* d = dst + base;
+    std::size_t j = 0;
+    if (!accumulate) {
+      if (nsrc == 0) {
+        std::memset(d, 0, len);
+        continue;
+      }
+      // First source overwrites: the fresh destination is never read.
+      MulScalar(tabs[0], srcs[0] + base, d, len);
+      j = 1;
+    }
+    for (; j < nsrc; ++j) MulAddScalar(tabs[j], srcs[j] + base, d, len);
+  }
+}
+
+const Kernels& ScalarKernels() {
+  static const Kernels k = {KernelPath::kScalar, "scalar", &MulAddScalar,
+                            &MulScalar,          &AddScalar, &MulAddMultiScalar};
+  return k;
+}
+
+}  // namespace internal
+
+const char* KernelPathName(KernelPath p) {
+  switch (p) {
+    case KernelPath::kScalar:
+      return "scalar";
+    case KernelPath::kSsse3:
+      return "ssse3";
+    case KernelPath::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace ecstore::gf

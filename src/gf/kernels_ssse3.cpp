@@ -1,0 +1,133 @@
+// SSSE3 GF(2^8) region kernels: split-nibble tables evaluated with
+// PSHUFB, 16 products per shuffle (two shuffles per 16-byte block).
+// Compiled with -mssse3; only reachable through the dispatcher after a
+// CPUID check.
+#include "gf/gf256_kernels.h"
+#include "gf/kernels_internal.h"
+
+#ifdef __SSSE3__
+
+#include <tmmintrin.h>
+
+namespace ecstore::gf::internal {
+namespace {
+
+// c * v for 16 bytes: lo-table shuffled by the low nibbles XOR hi-table
+// shuffled by the high nibbles.
+inline __m128i MulBlock(__m128i lo, __m128i hi, __m128i mask, __m128i v) {
+  const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+  const __m128i h =
+      _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+  return _mm_xor_si128(l, h);
+}
+
+void MulAddSsse3(const MulTable& t, const Elem* src, Elem* dst,
+                 std::size_t n) {
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    __m128i d0 = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    __m128i d1 = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i + 16));
+    d0 = _mm_xor_si128(d0, MulBlock(lo, hi, mask, v0));
+    d1 = _mm_xor_si128(d1, MulBlock(lo, hi, mask, v1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), d1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    d = _mm_xor_si128(d, MulBlock(lo, hi, mask, v));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  if (i < n) MulAddScalar(t, src + i, dst + i, n - i);
+}
+
+void MulSsse3(const MulTable& t, const Elem* src, Elem* dst, std::size_t n) {
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     MulBlock(lo, hi, mask, v));
+  }
+  if (i < n) MulScalar(t, src + i, dst + i, n - i);
+}
+
+void AddSsse3(const Elem* src, Elem* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i s0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    const __m128i d0 = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    const __m128i d1 =
+        _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d0, s0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
+                     _mm_xor_si128(d1, s1));
+  }
+  if (i < n) AddScalar(src + i, dst + i, n - i);
+}
+
+void MulAddMultiSsse3(const MulTable* tabs, const Elem* const* srcs,
+                      std::size_t nsrc, Elem* dst, std::size_t n,
+                      bool accumulate) {
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  // The accumulator lives in registers across all sources: one
+  // destination load/store per 32-byte block total, instead of one per
+  // source.
+  for (; i + 32 <= n; i += 32) {
+    __m128i acc0, acc1;
+    if (accumulate) {
+      acc0 = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+      acc1 = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i + 16));
+    } else {
+      acc0 = _mm_setzero_si128();
+      acc1 = _mm_setzero_si128();
+    }
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      const __m128i lo =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tabs[j].lo));
+      const __m128i hi =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(tabs[j].hi));
+      const Elem* s = srcs[j] + i;
+      const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s));
+      const __m128i v1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 16));
+      acc0 = _mm_xor_si128(acc0, MulBlock(lo, hi, mask, v0));
+      acc1 = _mm_xor_si128(acc1, MulBlock(lo, hi, mask, v1));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), acc1);
+  }
+  for (; i < n; ++i) {
+    Elem x = accumulate ? dst[i] : 0;
+    for (std::size_t j = 0; j < nsrc; ++j) x ^= tabs[j].full[srcs[j][i]];
+    dst[i] = x;
+  }
+}
+
+}  // namespace
+
+const Kernels& Ssse3Kernels() {
+  static const Kernels k = {KernelPath::kSsse3, "ssse3",  &MulAddSsse3,
+                            &MulSsse3,          &AddSsse3, &MulAddMultiSsse3};
+  return k;
+}
+
+}  // namespace ecstore::gf::internal
+
+#endif  // __SSSE3__

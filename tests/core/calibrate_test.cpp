@@ -1,0 +1,37 @@
+#include "core/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256_kernels.h"
+
+namespace ecstore {
+namespace {
+
+TEST(CalibrateTest, MeasuresPositiveThroughput) {
+  // Small block + short window keeps this a smoke test, not a benchmark.
+  const CodingCalibration cal =
+      MeasureCodingThroughput(2, 2, 64 * 1024, /*min_measure_ms=*/2.0);
+  EXPECT_GT(cal.encode_bytes_per_ms, 0);
+  EXPECT_GT(cal.decode_bytes_per_ms, 0);
+  EXPECT_GT(cal.reassemble_bytes_per_ms, 0);
+  EXPECT_EQ(cal.kernel, gf::ActiveKernels().name);
+}
+
+TEST(CalibrateTest, OverwritesConfigConstants) {
+  ECStoreConfig config;
+  config.encode_bytes_per_ms = -1;
+  config.decode_bytes_per_ms = -1;
+  config.reassemble_bytes_per_ms = -1;
+  const CodingCalibration cal = CalibrateCodingCosts(config, 64 * 1024);
+  EXPECT_EQ(config.encode_bytes_per_ms, cal.encode_bytes_per_ms);
+  EXPECT_EQ(config.decode_bytes_per_ms, cal.decode_bytes_per_ms);
+  EXPECT_EQ(config.reassemble_bytes_per_ms, cal.reassemble_bytes_per_ms);
+  EXPECT_GT(config.decode_bytes_per_ms, 0);
+}
+
+TEST(CalibrateTest, RejectsZeroBlock) {
+  EXPECT_THROW(MeasureCodingThroughput(2, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecstore

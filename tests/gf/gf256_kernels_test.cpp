@@ -1,0 +1,217 @@
+// Bit-exactness tests for the dispatched GF(2^8) kernels: every path the
+// CPU supports (scalar, ssse3, avx2) must produce byte-identical output
+// to an independent scalar reference built on gf::Mul, on random and
+// adversarial buffers — unaligned offsets, every length in [0, 64], and
+// megabyte regions that exercise the wide inner loops plus their tails.
+#include "gf/gf256_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "gf/gf256.h"
+
+namespace ecstore::gf {
+namespace {
+
+std::vector<KernelPath> SupportedPaths() {
+  std::vector<KernelPath> paths;
+  for (KernelPath p :
+       {KernelPath::kScalar, KernelPath::kSsse3, KernelPath::kAvx2}) {
+    if (CpuSupports(p)) paths.push_back(p);
+  }
+  return paths;
+}
+
+std::vector<Elem> RandomBytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Elem> v(n);
+  for (auto& b : v) b = static_cast<Elem>(rng.NextBounded(256));
+  return v;
+}
+
+// Constants that stress every kernel special case: 0 (annihilator),
+// 1 (pure XOR), 2 (generator), high-bit values, and arbitrary ones.
+const Elem kConstants[] = {0, 1, 2, 3, 0x1D, 0x57, 0x80, 0xFE, 0xFF};
+
+class KernelPathTest : public ::testing::TestWithParam<KernelPath> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ForceKernelPath(GetParam()))
+        << "path " << KernelPathName(GetParam()) << " unsupported";
+    kernels_ = KernelsFor(GetParam());
+    ASSERT_NE(kernels_, nullptr);
+  }
+  void TearDown() override { ResetKernelPath(); }
+
+  const Kernels* kernels_ = nullptr;
+};
+
+TEST_P(KernelPathTest, MulTableMatchesFieldMul) {
+  for (Elem c : kConstants) {
+    MulTable t;
+    BuildMulTable(c, t);
+    EXPECT_EQ(t.c, c);
+    for (unsigned v = 0; v < 256; ++v) {
+      EXPECT_EQ(t.full[v], Mul(c, static_cast<Elem>(v))) << "c=" << int(c);
+      EXPECT_EQ(t.full[v], static_cast<Elem>(t.lo[v & 0x0f] ^ t.hi[v >> 4]));
+    }
+  }
+}
+
+TEST_P(KernelPathTest, MulAddBitExactOnShortUnalignedBuffers) {
+  // Backing stores are oversized so every (offset, length) pair fits;
+  // offsets 0..15 cover every SIMD lane alignment.
+  const auto src_store = RandomBytes(256, 1);
+  const auto dst_store = RandomBytes(256, 2);
+  for (std::size_t offset = 0; offset < 16; ++offset) {
+    for (std::size_t len = 0; len <= 64; ++len) {
+      for (Elem c : {Elem{0x57}, Elem{2}, Elem{0xFF}}) {
+        MulTable t;
+        BuildMulTable(c, t);
+        std::vector<Elem> dst(dst_store.begin() + offset,
+                              dst_store.begin() + offset + len);
+        std::vector<Elem> expected = dst;
+        for (std::size_t i = 0; i < len; ++i) {
+          expected[i] ^= Mul(c, src_store[offset + i]);
+        }
+        kernels_->mul_add(t, src_store.data() + offset, dst.data(), len);
+        EXPECT_EQ(dst, expected)
+            << "offset=" << offset << " len=" << len << " c=" << int(c);
+      }
+    }
+  }
+}
+
+TEST_P(KernelPathTest, MulAndMulAddBitExactOnMegabyteBuffer) {
+  // 1 MB + 21: an odd tail after every vector width.
+  const std::size_t n = (1u << 20) + 21;
+  const auto src = RandomBytes(n, 3);
+  for (Elem c : kConstants) {
+    MulTable t;
+    BuildMulTable(c, t);
+
+    auto dst = RandomBytes(n, 4);
+    std::vector<Elem> expected(n);
+    for (std::size_t i = 0; i < n; ++i) expected[i] = dst[i] ^ Mul(c, src[i]);
+    kernels_->mul_add(t, src.data(), dst.data(), n);
+    ASSERT_EQ(dst, expected) << "mul_add c=" << int(c);
+
+    std::vector<Elem> out(n, 0xAA);
+    for (std::size_t i = 0; i < n; ++i) expected[i] = Mul(c, src[i]);
+    kernels_->mul(t, src.data(), out.data(), n);
+    ASSERT_EQ(out, expected) << "mul c=" << int(c);
+  }
+}
+
+TEST_P(KernelPathTest, AddBitExact) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{17},
+                        std::size_t{64}, std::size_t{100000}}) {
+    const auto src = RandomBytes(n, 5);
+    auto dst = RandomBytes(n, 6);
+    std::vector<Elem> expected(n);
+    for (std::size_t i = 0; i < n; ++i) expected[i] = dst[i] ^ src[i];
+    kernels_->add(src.data(), dst.data(), n);
+    EXPECT_EQ(dst, expected) << "n=" << n;
+  }
+}
+
+TEST_P(KernelPathTest, MulAddMultiBitExact) {
+  for (std::size_t nsrc : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                           std::size_t{5}, std::size_t{10}}) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                          std::size_t{64}, std::size_t{12345}}) {
+      std::vector<std::vector<Elem>> bufs;
+      std::vector<const Elem*> srcs;
+      std::vector<MulTable> tabs(nsrc);
+      for (std::size_t j = 0; j < nsrc; ++j) {
+        bufs.push_back(RandomBytes(n, 100 + j));
+        srcs.push_back(bufs.back().data());
+        BuildMulTable(static_cast<Elem>(5 + 11 * j), tabs[j]);
+      }
+      for (bool accumulate : {false, true}) {
+        auto dst = RandomBytes(n, 7);
+        std::vector<Elem> expected(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          Elem x = accumulate ? dst[i] : 0;
+          for (std::size_t j = 0; j < nsrc; ++j) {
+            x ^= Mul(tabs[j].c, bufs[j][i]);
+          }
+          expected[i] = x;
+        }
+        kernels_->mul_add_multi(tabs.data(), srcs.data(), nsrc, dst.data(), n,
+                                accumulate);
+        EXPECT_EQ(dst, expected)
+            << "nsrc=" << nsrc << " n=" << n << " accumulate=" << accumulate;
+      }
+    }
+  }
+}
+
+TEST_P(KernelPathTest, PublicRegionApiUsesForcedPath) {
+  // The span-level API must behave identically regardless of path.
+  const std::size_t n = 4097;
+  const auto src = RandomBytes(n, 8);
+  auto dst = RandomBytes(n, 9);
+  std::vector<Elem> expected = dst;
+  for (std::size_t i = 0; i < n; ++i) expected[i] ^= Mul(0x6B, src[i]);
+  MulAddRegion(0x6B, src, dst);
+  EXPECT_EQ(dst, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupportedPaths, KernelPathTest, ::testing::ValuesIn(SupportedPaths()),
+    [](const ::testing::TestParamInfo<KernelPath>& info) {
+      return KernelPathName(info.param);
+    });
+
+TEST(KernelDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(CpuSupports(KernelPath::kScalar));
+  EXPECT_NE(KernelsFor(KernelPath::kScalar), nullptr);
+}
+
+TEST(KernelDispatchTest, ActiveKernelsIsSupported) {
+  const Kernels& k = ActiveKernels();
+  EXPECT_TRUE(CpuSupports(k.path));
+  EXPECT_STREQ(k.name, KernelPathName(k.path));
+}
+
+TEST(KernelDispatchTest, KernelsForUnsupportedPathIsNull) {
+  for (KernelPath p : {KernelPath::kSsse3, KernelPath::kAvx2}) {
+    if (!CpuSupports(p)) {
+      EXPECT_EQ(KernelsFor(p), nullptr);
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ForceAndResetRoundTrip) {
+  const KernelPath original = ActiveKernels().path;
+  ASSERT_TRUE(ForceKernelPath(KernelPath::kScalar));
+  EXPECT_EQ(ActiveKernels().path, KernelPath::kScalar);
+  ResetKernelPath();
+  EXPECT_EQ(ActiveKernels().path, original);
+}
+
+TEST(KernelDispatchTest, AllPathsAgreeOnRandomRegions) {
+  const auto paths = SupportedPaths();
+  const std::size_t n = 65536 + 13;
+  const auto src = RandomBytes(n, 10);
+  const auto dst0 = RandomBytes(n, 11);
+  MulTable t;
+  BuildMulTable(0xC3, t);
+  std::vector<std::vector<Elem>> results;
+  for (KernelPath p : paths) {
+    auto dst = dst0;
+    KernelsFor(p)->mul_add(t, src.data(), dst.data(), n);
+    results.push_back(std::move(dst));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0])
+        << KernelPathName(paths[i]) << " vs " << KernelPathName(paths[0]);
+  }
+}
+
+}  // namespace
+}  // namespace ecstore::gf
