@@ -8,6 +8,7 @@
 
 #include "cluster/state.h"
 #include "common/rng.h"
+#include "core/control_plane.h"
 #include "placement/plan_cache.h"
 #include "placement/planner.h"
 
@@ -85,6 +86,69 @@ void BM_PlanCacheHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlanCacheHit)->Unit(benchmark::kMicrosecond);
+
+/// The full shared request-path decision (ControlPlane::SelectAccessPlan)
+/// when the cache is warm: superset lookup + validation against the live
+/// state. This is what every embodiment pays per request at steady state.
+void BM_ControlPlaneCacheHit(benchmark::State& state) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  config.num_sites = 32;
+  ClusterState cluster(config.num_sites);
+  Rng rng(10);
+  std::vector<BlockId> query;
+  for (BlockId b = 0; b < 10; ++b) {
+    cluster.AddBlock(b, 100 * 1024, 50 * 1024, 2, 2,
+                     cluster.PickRandomSites(rng, 4));
+    query.push_back(b);
+  }
+  std::deque<ControlPlane::Deferred> deferred;
+  ControlPlane cp(&config, &cluster, &rng,
+                  [&](ControlPlane::Deferred w) { deferred.push_back(std::move(w)); });
+  DemandResult dr = BuildDemands(cluster, query, config.EffectiveDelta());
+  // Warm: two misses queue the background solve, draining installs it.
+  (void)cp.SelectAccessPlan(query, dr.demands);
+  (void)cp.SelectAccessPlan(query, dr.demands);
+  while (!deferred.empty()) {
+    auto work = std::move(deferred.front());
+    deferred.pop_front();
+    work();
+  }
+  for (auto _ : state) {
+    auto decision = cp.SelectAccessPlan(query, dr.demands);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.counters["hit_rate"] = cp.plan_cache().HitRate();
+}
+BENCHMARK(BM_ControlPlaneCacheHit)->Unit(benchmark::kMicrosecond);
+
+/// The miss path: greedy fallback + background-ILP enqueue bookkeeping
+/// (every query set is fresh, so nothing ever hits).
+void BM_ControlPlaneGreedyMiss(benchmark::State& state) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  config.num_sites = 32;
+  ClusterState cluster(config.num_sites);
+  Rng rng(11);
+  const std::size_t kBlocks = 4096;
+  for (BlockId b = 0; b < kBlocks; ++b) {
+    cluster.AddBlock(b, 100 * 1024, 50 * 1024, 2, 2,
+                     cluster.PickRandomSites(rng, 4));
+  }
+  std::deque<ControlPlane::Deferred> deferred;
+  ControlPlane cp(&config, &cluster, &rng,
+                  [&](ControlPlane::Deferred w) { deferred.push_back(std::move(w)); });
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::vector<BlockId> query = {i % kBlocks, (i + 1) % kBlocks};
+    DemandResult dr = BuildDemands(cluster, query, config.EffectiveDelta());
+    auto decision = cp.SelectAccessPlan(query, dr.demands);
+    benchmark::DoNotOptimize(decision);
+    i += 2;
+  }
+  // The queued solves are deliberately not drained: the miss path cost
+  // must exclude ILP work, which is the whole point of the design.
+  state.counters["hit_rate"] = cp.plan_cache().HitRate();
+}
+BENCHMARK(BM_ControlPlaneGreedyMiss)->Unit(benchmark::kMicrosecond);
 
 void BM_PlanCacheInsertInvalidate(benchmark::State& state) {
   Scenario s(32, 10, 8);

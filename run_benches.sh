@@ -4,6 +4,10 @@
 # Erasure micro-benchmark JSON snapshots (for before/after kernel work):
 #   ./run_benches.sh erasure-json [label]   # writes bench_results/erasure_<label>.json
 #   ./run_benches.sh erasure-compare A B    # prints bytes/s ratios of two snapshots
+# Planner micro-benchmark snapshots (for before/after plan-path work —
+# greedy/ILP/plan-cache latency):
+#   ./run_benches.sh planner-json [label]   # writes bench_results/planner_<label>.json
+#   ./run_benches.sh planner-compare A B    # prints time-per-op ratios
 # The label defaults to the current git short SHA (plus -dirty when the
 # tree has uncommitted changes). Pin a GF kernel path for a snapshot with
 # ECSTORE_GF_KERNEL=scalar|ssse3|avx2.
@@ -46,6 +50,57 @@ for name in before:
 EOF
 }
 
+planner_json() {
+  local label="${1:-}"
+  if [ -z "$label" ]; then
+    label="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then label="${label}-dirty"; fi
+  fi
+  mkdir -p bench_results
+  local out="bench_results/planner_${label}.json"
+  build/bench/bench_micro_planner \
+    --benchmark_format=json --benchmark_out="$out" \
+    --benchmark_min_time=0.2 >/dev/null
+  echo "wrote $out"
+}
+
+planner_compare() {
+  # Planner benches report latency, not throughput: compare real_time
+  # per op (lower is better; ratio < 1 means the plan path got faster).
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def time_ns(bench):
+    t = bench.get("real_time")
+    return None if t is None else t * NS.get(bench.get("time_unit", "ns"), 1.0)
+
+def fmt(ns):
+    if ns >= 1e6:
+        return f"{ns/1e6:9.2f}ms"
+    if ns >= 1e3:
+        return f"{ns/1e3:9.2f}us"
+    return f"{ns:9.1f}ns"
+
+before, after = load(sys.argv[1]), load(sys.argv[2])
+print(f"{'benchmark':52s} {'before':>11s} {'after':>11s} {'after/before':>13s}")
+for name in before:
+    if name not in after:
+        continue
+    b, a = time_ns(before[name]), time_ns(after[name])
+    if not b or not a:
+        continue
+    print(f"{name:52s} {fmt(b)} {fmt(a)} {a/b:12.2f}x")
+EOF
+}
+
 case "${1:-}" in
   erasure-json)
     erasure_json "${2:-}"
@@ -57,6 +112,18 @@ case "${1:-}" in
       exit 2
     fi
     erasure_compare "$2" "$3"
+    exit $?
+    ;;
+  planner-json)
+    planner_json "${2:-}"
+    exit $?
+    ;;
+  planner-compare)
+    if [ $# -lt 3 ]; then
+      echo "usage: $0 planner-compare <before.json> <after.json>" >&2
+      exit 2
+    fi
+    planner_compare "$2" "$3"
     exit $?
     ;;
 esac

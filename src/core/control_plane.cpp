@@ -1,0 +1,273 @@
+#include "core/control_plane.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecstore {
+
+namespace {
+
+/// Per-site media read cost in milliseconds per byte, from the site model.
+double MediaMsPerByte(const sim::SiteParams& site) {
+  return 1000.0 / site.disk_bytes_per_sec;
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(const ECStoreConfig* config, ClusterState* state,
+                           Rng* rng, Executor defer_solve,
+                           LoadTrackerParams load_params)
+    : config_(config),
+      state_(state),
+      rng_(rng),
+      defer_solve_(std::move(defer_solve)),
+      co_access_(config->co_access_window),
+      load_tracker_(config->num_sites, load_params),
+      plan_cache_(config->plan_cache_capacity) {}
+
+void ControlPlane::RecordRequest(std::span<const BlockId> blocks) {
+  co_access_.RecordRequest(blocks);
+}
+
+void ControlPlane::RecordLoadReport(SiteId site, double cpu_utilization,
+                                    double io_bytes_per_sec,
+                                    std::uint64_t chunk_count,
+                                    std::size_t msg_bytes) {
+  load_tracker_.RecordReport(site, cpu_utilization, io_bytes_per_sec,
+                             chunk_count);
+  stats_network_bytes_ += msg_bytes;
+}
+
+void ControlPlane::RecordProbe(SiteId site, double rtt_ms,
+                               std::size_t msg_bytes) {
+  load_tracker_.RecordProbe(site, rtt_ms);
+  stats_network_bytes_ += msg_bytes;
+}
+
+void ControlPlane::ReloadPlansOnDrift() {
+  // Reload cached plans when the cost landscape shifted materially
+  // (Section V-B1 "dynamically reload solutions"). The trigger is the
+  // largest per-site drift of o_j since the last epoch, relative to the
+  // mean — a single site going hot or cold is exactly what invalidates
+  // plans, even though the cluster-wide mean barely moves.
+  const auto& overheads = load_tracker_.OverheadVector();
+  if (overheads_at_epoch_.empty()) {
+    overheads_at_epoch_ = overheads;
+    return;
+  }
+  const double mean_o = std::max(load_tracker_.MeanOverheadMs(), 1e-9);
+  double max_drift = 0;
+  for (std::size_t j = 0; j < overheads.size(); ++j) {
+    max_drift = std::max(
+        max_drift, std::abs(overheads[j] - overheads_at_epoch_[j]) / mean_o);
+  }
+  if (max_drift > config_->epoch_bump_threshold) {
+    plan_cache_.BumpEpoch();
+    overheads_at_epoch_ = overheads;
+  }
+}
+
+CostParams ControlPlane::CurrentCostParams() const {
+  CostParams params;
+  params.site_overhead_ms = load_tracker_.OverheadVector();
+  params.media_ms_per_byte.assign(config_->num_sites,
+                                  MediaMsPerByte(config_->site));
+  return params;
+}
+
+CostParams ControlPlane::PlanningCostParams() {
+  // Near-equal o_j values would otherwise be tie-broken identically by
+  // every solve (always the lowest-indexed site), herding load. A small
+  // per-call perturbation spreads equal-cost choices across sites while
+  // leaving genuine load differences decisive.
+  CostParams params = CurrentCostParams();
+  const double mean = load_tracker_.MeanOverheadMs();
+  for (double& o : params.site_overhead_ms) {
+    o += rng_->NextDouble() * config_->cost_tiebreak_noise * mean;
+  }
+  return params;
+}
+
+PlanDecision ControlPlane::SelectAccessPlan(
+    std::span<const BlockId> blocks, std::span<const BlockDemand> demands) {
+  PlanDecision decision;
+  if (!config_->CostModelEnabled()) {
+    decision.plan = RandomPlan(demands, *rng_);
+    decision.source = PlanSource::kRandom;
+    if (plan_observer_) plan_observer_(blocks, decision);
+    return decision;
+  }
+
+  const std::uint32_t delta = config_->EffectiveDelta();
+  if (auto cached = plan_cache_.LookupSatisfying(blocks, delta)) {
+    if (ValidatePlan(*cached)) {
+      decision.plan = std::move(*cached);
+      decision.source = PlanSource::kCacheHit;
+      if (plan_observer_) plan_observer_(blocks, decision);
+      return decision;
+    }
+    // Stale entry (site failed since caching): drop and fall through.
+    for (BlockId b : blocks) plan_cache_.InvalidateBlock(b);
+  }
+  decision.plan = GreedyPlan(demands, PlanningCostParams(), *rng_);
+  decision.source = PlanSource::kGreedy;
+  ScheduleBackgroundIlp(blocks);
+  if (plan_observer_) plan_observer_(blocks, decision);
+  return decision;
+}
+
+bool ControlPlane::ValidatePlan(const AccessPlan& plan) const {
+  for (const ChunkRead& read : plan.reads) {
+    if (!state_->IsSiteAvailable(read.site)) return false;
+    if (!state_->HasChunkAt(read.block, read.site)) return false;
+  }
+  return !plan.reads.empty();
+}
+
+void ControlPlane::ScheduleBackgroundIlp(std::span<const BlockId> blocks) {
+  // The single background worker solves queued ILPs off the request path
+  // and installs solutions for future requests (Section V-B1). The queue
+  // is deduplicated and bounded: under a miss storm extra solve requests
+  // are dropped — the greedy plan already served the client.
+  constexpr std::size_t kMaxQueue = 64;
+  constexpr std::size_t kMaxMissedOnce = 100000;
+  // Very large multigets (the Wikipedia trace's tail pages) are served by
+  // the greedy plan permanently: their exact sets rarely recur, and their
+  // ILPs are the most expensive -- bounded optimization, as in any
+  // production solver deployment.
+  constexpr std::size_t kMaxIlpBlocks = 16;
+  std::vector<BlockId> key = PlanCache::CanonicalKey(blocks);
+  if (key.size() > kMaxIlpBlocks) return;
+  if (ilp_pending_.count(key)) return;
+  // First miss only registers the set; a solve is queued when it recurs,
+  // since only recurring sets can ever profit from a cached plan.
+  if (missed_once_.insert(key).second) {
+    if (missed_once_.size() > kMaxMissedOnce) missed_once_.clear();
+    return;
+  }
+  if (ilp_queue_.size() >= kMaxQueue) return;
+  ilp_pending_.insert(key);
+  ilp_queue_.push_back(std::move(key));
+  if (!ilp_worker_busy_) {
+    ilp_worker_busy_ = true;
+    PumpIlpWorker();
+  }
+}
+
+void ControlPlane::PumpIlpWorker() {
+  if (ilp_queue_.empty()) {
+    ilp_worker_busy_ = false;
+    return;
+  }
+  std::vector<BlockId> blocks = std::move(ilp_queue_.front());
+  ilp_queue_.pop_front();
+  defer_solve_([this, blocks = std::move(blocks)] {
+    ilp_pending_.erase(blocks);
+    DemandResult dr = BuildDemands(*state_, blocks, config_->EffectiveDelta());
+    const bool readable =
+        std::find(dr.readable.begin(), dr.readable.end(), false) ==
+        dr.readable.end();
+    if (readable) {
+      const auto plan = IlpPlan(dr.demands, PlanningCostParams());
+      ++ilp_solves_;
+      if (plan) plan_cache_.Insert(blocks, config_->EffectiveDelta(), *plan);
+    }
+    PumpIlpWorker();
+  });
+}
+
+std::vector<SiteId> ControlPlane::SelectWriteSites(std::uint32_t count) {
+  std::vector<SiteId> available;
+  for (SiteId j = 0; j < state_->num_sites(); ++j) {
+    if (state_->IsSiteAvailable(j)) available.push_back(j);
+  }
+  if (available.size() < count) return {};
+
+  if (!config_->CostModelEnabled()) {
+    // Baseline: random distinct placement [38].
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng_->NextBounded(available.size() - i));
+      std::swap(available[i], available[j]);
+    }
+    available.resize(count);
+    return available;
+  }
+
+  // Load-aware placement: spread new chunks over the least-loaded sites,
+  // with the same tie-break perturbation planning uses so concurrent
+  // writers do not all pick the same set.
+  const CostParams params = PlanningCostParams();
+  std::stable_sort(available.begin(), available.end(), [&](SiteId a, SiteId b) {
+    return params.site_overhead_ms[a] < params.site_overhead_ms[b];
+  });
+  available.resize(count);
+  return available;
+}
+
+void ControlPlane::InvalidateBlock(BlockId block) {
+  plan_cache_.InvalidateBlock(block);
+}
+
+void ControlPlane::OnSiteFailed(SiteId /*site*/) {
+  plan_cache_.BumpEpoch();  // Any cached plan may reference the dead site.
+}
+
+std::optional<MovementPlan> ControlPlane::SelectMovement(
+    double request_rate_per_sec) {
+  const CostParams params = CurrentCostParams();
+  MoverContext ctx;
+  ctx.state = state_;
+  ctx.co_access = &co_access_;
+  ctx.load = &load_tracker_;
+  ctx.cost_params = &params;
+  ctx.request_rate_per_sec = request_rate_per_sec;
+  return SelectMovementPlan(ctx, config_->mover, *rng_);
+}
+
+void ControlPlane::RecordMoveExecuted(BlockId block, std::uint64_t chunk_bytes) {
+  plan_cache_.InvalidateBlock(block);
+  ++moves_executed_;
+  mover_network_bytes_ += chunk_bytes;
+}
+
+SiteId ControlPlane::SelectRepairDestination(BlockId block) const {
+  // The least-loaded available site holding no chunk of this block — the
+  // data-movement strategy's load awareness (Section V-C).
+  SiteId best = kInvalidSite;
+  double best_load = 0;
+  for (SiteId j = 0; j < state_->num_sites(); ++j) {
+    if (!state_->IsSiteAvailable(j)) continue;
+    if (state_->HasChunkAt(block, j)) continue;
+    if (best == kInvalidSite || load_tracker_.Omega(j) < best_load) {
+      best = j;
+      best_load = load_tracker_.Omega(j);
+    }
+  }
+  return best;
+}
+
+void ControlPlane::RecordRepair(BlockId block) {
+  // The reconstructed chunk lives at a new site; plans for the block are
+  // stale (they either reference the dead site or miss the cheaper new
+  // location).
+  plan_cache_.InvalidateBlock(block);
+}
+
+ControlPlaneUsage ControlPlane::Usage() const {
+  ControlPlaneUsage u;
+  u.stats_memory_bytes = co_access_.ApproxMemoryBytes();
+  u.optimizer_memory_bytes = plan_cache_.ApproxMemoryBytes();
+  // The mover's working set: candidate demand vectors + partner lists; a
+  // small multiple of the per-evaluation state.
+  u.mover_memory_bytes =
+      config_->mover.max_evaluations *
+      (sizeof(BlockDemand) + 8 * sizeof(ChunkLocation) + sizeof(MovementPlan));
+  u.stats_network_bytes = stats_network_bytes_;
+  u.mover_network_bytes = mover_network_bytes_;
+  u.ilp_solves = ilp_solves_;
+  u.moves_executed = moves_executed_;
+  return u;
+}
+
+}  // namespace ecstore

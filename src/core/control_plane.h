@@ -1,0 +1,219 @@
+// ControlPlane: the embodiment-agnostic control plane of EC-Store
+// (Fig. 3's statistics service + chunk placement service + the policy
+// half of the repair service).
+//
+// Both embodiments — the discrete-event SimECStore and the real-bytes
+// LocalECStore — drive this one component for every policy decision:
+// cost-parameter snapshots (o_j/m_j), access-plan selection (plan-cache
+// lookup with superset satisfaction -> validation -> greedy fallback ->
+// deduplicated/bounded/recurrence-gated background ILP refinement),
+// plan invalidation (chunk move, block delete, site failure, o_j drift),
+// write-site placement, mover-context assembly for Algorithm 1, repair
+// destinations, and the Table III resource accounting. Only *when*
+// deferred work runs differs per embodiment, expressed through the
+// executor seam below: the DES schedules the ILP solve on its event
+// queue after the modeled solve latency; LocalECStore queues it and
+// drains synchronously off the request path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "cluster/state.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "placement/mover.h"
+#include "placement/plan_cache.h"
+#include "placement/planner.h"
+#include "stats/co_access.h"
+#include "stats/load_tracker.h"
+
+namespace ecstore {
+
+/// Control-plane resource usage counters (Table III).
+struct ControlPlaneUsage {
+  std::size_t stats_memory_bytes = 0;
+  std::size_t optimizer_memory_bytes = 0;
+  std::size_t mover_memory_bytes = 0;
+  std::uint64_t stats_network_bytes = 0;    // reports + probes
+  std::uint64_t mover_network_bytes = 0;    // chunk copies
+  std::uint64_t ilp_solves = 0;
+  std::uint64_t moves_executed = 0;
+};
+
+/// How an access plan was produced (the R2 decision of Fig. 3).
+enum class PlanSource {
+  kCacheHit,  // validated cached ILP solution (or superset restriction)
+  kGreedy,    // cache miss: greedy fallback, ILP queued in background
+  kRandom,    // cost model disabled (R / EC / EC+LB techniques)
+};
+
+/// The outcome of one plan selection.
+struct PlanDecision {
+  AccessPlan plan;
+  PlanSource source = PlanSource::kRandom;
+
+  bool cache_hit() const { return source == PlanSource::kCacheHit; }
+};
+
+/// The shared planning/stats/mover/repair path. Owns the statistics
+/// trackers and the plan cache; borrows the cluster state, config, and
+/// RNG stream from the embodiment (so a DES run remains bit-reproducible
+/// against the embodiment's single seeded stream).
+///
+/// Not thread-safe: embodiments serialize calls (the DES is
+/// single-threaded; LocalECStore is synchronous).
+class ControlPlane {
+ public:
+  using Deferred = std::function<void()>;
+  /// Executor seam: receives the next unit of deferred background work
+  /// (one ILP solve + worker continuation). SimECStore schedules it on
+  /// the DES event queue after the modeled solve latency; LocalECStore
+  /// appends it to a queue drained off the request path.
+  using Executor = std::function<void(Deferred)>;
+  /// Test/diagnostics hook: observes every SelectAccessPlan decision.
+  using PlanObserver =
+      std::function<void(std::span<const BlockId>, const PlanDecision&)>;
+
+  ControlPlane(const ECStoreConfig* config, ClusterState* state, Rng* rng,
+               Executor defer_solve, LoadTrackerParams load_params = {});
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  // --- Statistics service (Section V-A) -------------------------------
+  CoAccessTracker& co_access() { return co_access_; }
+  const CoAccessTracker& co_access() const { return co_access_; }
+  LoadTracker& load_tracker() { return load_tracker_; }
+  const LoadTracker& load_tracker() const { return load_tracker_; }
+
+  /// Samples one multiget into the co-access window.
+  void RecordRequest(std::span<const BlockId> blocks);
+
+  /// Ingests one periodic load report; `msg_bytes` is charged to the
+  /// stats-network Table III counter (0 for in-process embodiments).
+  void RecordLoadReport(SiteId site, double cpu_utilization,
+                        double io_bytes_per_sec, std::uint64_t chunk_count,
+                        std::size_t msg_bytes);
+
+  /// Ingests one o_j probe round trip.
+  void RecordProbe(SiteId site, double rtt_ms, std::size_t msg_bytes);
+
+  /// Charges stats-service message bytes (Table III) without touching the
+  /// load estimates — for probes whose RTT is reported later.
+  void ChargeStatsNetwork(std::size_t msg_bytes) {
+    stats_network_bytes_ += msg_bytes;
+  }
+
+  /// Reloads (drops) every cached plan when the largest per-site o_j
+  /// drift since the last epoch exceeds the configured threshold
+  /// (Section V-B1 "dynamically reload solutions"). Call after each
+  /// batch of load reports.
+  void ReloadPlansOnDrift();
+
+  /// Current cost parameters (o_j from the load tracker, m_j from the
+  /// media model).
+  CostParams CurrentCostParams() const;
+
+  /// Cost parameters for one planning decision: CurrentCostParams plus
+  /// the per-call anti-herding tie-break perturbation (see
+  /// ECStoreConfig::cost_tiebreak_noise).
+  CostParams PlanningCostParams();
+
+  // --- Chunk read optimizer (Section V-B1) ----------------------------
+  /// Selects the access plan for a multiget: cached plan (validated
+  /// against the live state) when the cost model is on, greedy fallback
+  /// on a miss (queuing a deduplicated background ILP refinement), or
+  /// the random baseline plan otherwise. Never solves an ILP inline.
+  PlanDecision SelectAccessPlan(std::span<const BlockId> blocks,
+                                std::span<const BlockDemand> demands);
+
+  /// True when every read in the plan targets an available site that
+  /// still holds the chunk.
+  bool ValidatePlan(const AccessPlan& plan) const;
+
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+
+  void set_plan_observer(PlanObserver observer) {
+    plan_observer_ = std::move(observer);
+  }
+
+  // --- Chunk placement: writes (W1 of Fig. 3) -------------------------
+  /// `count` distinct available sites for a new block's chunks: the
+  /// least-loaded ones under the cost model, random otherwise. Empty
+  /// when fewer than `count` sites are available.
+  std::vector<SiteId> SelectWriteSites(std::uint32_t count);
+
+  // --- Plan invalidation ----------------------------------------------
+  /// A chunk of `block` moved, or the block was deleted: its plans die.
+  void InvalidateBlock(BlockId block);
+
+  /// A site failed: any cached plan may reference it.
+  void OnSiteFailed(SiteId site);
+
+  // --- Chunk mover (Algorithm 1, Section V-B2) ------------------------
+  /// Assembles the mover context from the live statistics and runs
+  /// Algorithm 1. The embodiment executes the returned copy and commits
+  /// via RecordMoveExecuted.
+  std::optional<MovementPlan> SelectMovement(double request_rate_per_sec);
+
+  /// A movement committed: invalidate the block's plans and charge the
+  /// Table III mover counters.
+  void RecordMoveExecuted(BlockId block, std::uint64_t chunk_bytes);
+
+  // --- Repair service policy (Section V-C) ----------------------------
+  /// Destination for reconstructing a lost chunk of `block`: the
+  /// least-loaded available site holding no chunk of the block, or
+  /// kInvalidSite when none exists.
+  SiteId SelectRepairDestination(BlockId block) const;
+
+  /// A chunk of `block` was reconstructed at a new site.
+  void RecordRepair(BlockId block);
+
+  // --- Table III accounting -------------------------------------------
+  ControlPlaneUsage Usage() const;
+
+  std::uint64_t ilp_solves() const { return ilp_solves_; }
+  std::uint64_t moves_executed() const { return moves_executed_; }
+  std::size_t ilp_queue_depth() const { return ilp_queue_.size(); }
+  bool ilp_worker_busy() const { return ilp_worker_busy_; }
+
+ private:
+  void ScheduleBackgroundIlp(std::span<const BlockId> blocks);
+  void PumpIlpWorker();
+
+  const ECStoreConfig* config_;
+  ClusterState* state_;
+  Rng* rng_;
+  Executor defer_solve_;
+
+  CoAccessTracker co_access_;
+  LoadTracker load_tracker_;
+  PlanCache plan_cache_;
+  PlanObserver plan_observer_;
+
+  // ONE background ILP worker (Section V-B1); misses queue up
+  // (deduplicated, bounded) rather than spawning unbounded solver work.
+  std::deque<std::vector<BlockId>> ilp_queue_;
+  std::set<std::vector<BlockId>> ilp_pending_;
+  // Query sets that missed once: a set is only worth an ILP solve if it
+  // recurs (one-off scans can never hit the cache afterwards).
+  std::set<std::vector<BlockId>> missed_once_;
+  bool ilp_worker_busy_ = false;
+
+  std::vector<double> overheads_at_epoch_;
+
+  // Resource counters (Table III).
+  std::uint64_t stats_network_bytes_ = 0;
+  std::uint64_t mover_network_bytes_ = 0;
+  std::uint64_t ilp_solves_ = 0;
+  std::uint64_t moves_executed_ = 0;
+};
+
+}  // namespace ecstore

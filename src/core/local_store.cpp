@@ -1,6 +1,7 @@
 #include "core/local_store.h"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 namespace ecstore {
@@ -44,8 +45,14 @@ LocalECStore::LocalECStore(ECStoreConfig config)
     : config_(config),
       rng_(config.seed),
       state_(config.num_sites),
-      co_access_(config.co_access_window),
-      load_tracker_(config.num_sites),
+      control_plane_(
+          &config_, &state_, &rng_,
+          // Executor seam: deferred ILP solves queue up and run
+          // synchronously once the request has been answered — never on
+          // the MultiGet fast path.
+          [this](ControlPlane::Deferred work) {
+            deferred_.push_back(std::move(work));
+          }),
       reads_at_last_refresh_(config.num_sites, 0) {
   if (config_.IsReplication()) {
     codec_ = std::make_unique<ReplicationCodec>(config_.r);
@@ -58,15 +65,33 @@ LocalECStore::LocalECStore(ECStoreConfig config)
   }
 }
 
-void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data) {
+void LocalECStore::StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
+                                std::span<const SiteId> sites) {
   std::vector<ChunkData> chunks = codec_->Encode(data);
-  const std::vector<SiteId> sites = state_.PickRandomSites(rng_, chunks.size());
+  if (sites.size() != chunks.size()) {
+    throw std::runtime_error("LocalECStore::Put: wrong site count");
+  }
   state_.AddBlock(id, data.size(), codec_->ChunkSize(data.size()),
                   codec_->RequiredChunks(),
                   codec_->TotalChunks() - codec_->RequiredChunks(), sites);
   for (std::size_t i = 0; i < chunks.size(); ++i) {
-    nodes_[sites[i]]->PutChunk(id, static_cast<ChunkIndex>(i), std::move(chunks[i]));
+    nodes_[sites[i]]->PutChunk(id, static_cast<ChunkIndex>(i),
+                               std::move(chunks[i]));
   }
+}
+
+void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data) {
+  const std::vector<SiteId> sites = control_plane_.SelectWriteSites(
+      static_cast<std::uint32_t>(codec_->TotalChunks()));
+  if (sites.empty()) {
+    throw std::runtime_error("LocalECStore::Put: not enough available sites");
+  }
+  StoreEncoded(id, data, sites);
+}
+
+void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data,
+                       std::span<const SiteId> sites) {
+  StoreEncoded(id, data, sites);
 }
 
 std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
@@ -74,9 +99,48 @@ std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
   return std::move(MultiGet(one)[0]);
 }
 
+std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
+    const AccessPlan& plan, std::span<const BlockDemand> demands) {
+  std::map<BlockId, std::vector<IndexedChunk>> fetched;
+  for (const ChunkRead& read : plan.reads) {
+    StorageNode& n = *nodes_[read.site];
+    // A site can die (or a chunk move) between planning and fetch; skip
+    // the unreachable read here and let the degraded pass below make up
+    // the shortfall — the client-side rerouting of Section VI-C4.
+    if (!n.available() || !n.HasChunk(read.block, read.chunk)) continue;
+    fetched[read.block].push_back({read.chunk, *n.GetChunk(read.block, read.chunk)});
+  }
+
+  for (const BlockDemand& demand : demands) {
+    auto& got = fetched[demand.block];
+    const BlockInfo& info = state_.GetBlock(demand.block);
+    if (got.size() >= info.k) continue;
+
+    // Degraded read: the plan could not deliver k chunks. Its cached form
+    // is stale, and any k reachable chunks will do.
+    control_plane_.InvalidateBlock(demand.block);
+    std::set<ChunkIndex> have;
+    for (const IndexedChunk& c : got) have.insert(c.index);
+    for (const ChunkLocation& loc : info.locations) {
+      if (got.size() >= info.k) break;
+      if (have.count(loc.chunk)) continue;
+      if (!state_.IsSiteAvailable(loc.site)) continue;
+      StorageNode& n = *nodes_[loc.site];
+      if (!n.available() || !n.HasChunk(demand.block, loc.chunk)) continue;
+      got.push_back({loc.chunk, *n.GetChunk(demand.block, loc.chunk)});
+      have.insert(loc.chunk);
+    }
+    if (got.size() < info.k) {
+      throw std::runtime_error(
+          "LocalECStore::MultiGet: block unreadable after degraded replan");
+    }
+  }
+  return fetched;
+}
+
 std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
     std::span<const BlockId> ids) {
-  co_access_.RecordRequest(ids);
+  control_plane_.RecordRequest(ids);
   ++gets_since_refresh_;
   if (gets_since_refresh_ % 64 == 0) RefreshLoadFromCounters();
 
@@ -87,24 +151,15 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
     }
   }
 
-  AccessPlan plan;
-  if (config_.CostModelEnabled()) {
-    const auto ilp = IlpPlan(dr.demands, CurrentCostParams());
-    plan = ilp ? *ilp : GreedyPlan(dr.demands, CurrentCostParams(), rng_);
-  } else {
-    plan = RandomPlan(dr.demands, rng_);
-  }
+  // R2: one shared plan decision — cached plan, greedy fallback, or the
+  // random baseline. Never an inline ILP solve.
+  const PlanDecision decision =
+      control_plane_.SelectAccessPlan(ids, dr.demands);
 
   // Fetch chunks per block; a late-binding plan may fetch extras, decode
   // uses the first k.
-  std::map<BlockId, std::vector<IndexedChunk>> fetched;
-  for (const ChunkRead& read : plan.reads) {
-    const ChunkData* data = nodes_[read.site]->GetChunk(read.block, read.chunk);
-    if (data == nullptr) {
-      throw std::runtime_error("LocalECStore::MultiGet: chunk missing at planned site");
-    }
-    fetched[read.block].push_back({read.chunk, *data});
-  }
+  std::map<BlockId, std::vector<IndexedChunk>> fetched =
+      FetchChunks(decision.plan, dr.demands);
 
   std::vector<std::vector<std::uint8_t>> out;
   out.reserve(ids.size());
@@ -112,11 +167,26 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
     const BlockInfo& info = state_.GetBlock(id);
     out.push_back(codec_->Decode(fetched.at(id), info.block_bytes));
   }
+
+  // The response is assembled; now run any queued background refinement
+  // (the synchronous embodiment's "off the request path").
+  DrainBackgroundWork();
   return out;
+}
+
+void LocalECStore::DrainBackgroundWork() {
+  // Each unit can enqueue its successor (the worker pump), so loop until
+  // the queue is truly empty.
+  while (!deferred_.empty()) {
+    ControlPlane::Deferred work = std::move(deferred_.front());
+    deferred_.pop_front();
+    work();
+  }
 }
 
 bool LocalECStore::Remove(BlockId id) {
   if (!state_.Contains(id)) return false;
+  control_plane_.InvalidateBlock(id);
   const BlockInfo info = state_.GetBlock(id);
   for (const ChunkLocation& loc : info.locations) {
     nodes_[loc.site]->DeleteChunk(id, loc.chunk);
@@ -127,6 +197,7 @@ bool LocalECStore::Remove(BlockId id) {
 void LocalECStore::FailSite(SiteId site) {
   state_.SetSiteAvailable(site, false);
   nodes_[site]->set_available(false);
+  control_plane_.OnSiteFailed(site);
 }
 
 void LocalECStore::RecoverSite(SiteId site) {
@@ -160,18 +231,11 @@ std::uint64_t LocalECStore::RepairSite(SiteId site) {
         codec_->Decode(gathered, info.block_bytes);
     std::vector<ChunkData> re_encoded = codec_->Encode(decoded);
 
-    // Destination: least-loaded available site without a chunk of this block.
-    SiteId best = kInvalidSite;
-    for (SiteId j = 0; j < state_.num_sites(); ++j) {
-      if (!state_.IsSiteAvailable(j) || state_.HasChunkAt(block, j)) continue;
-      if (best == kInvalidSite ||
-          nodes_[j]->chunk_count() < nodes_[best]->chunk_count()) {
-        best = j;
-      }
-    }
+    const SiteId best = control_plane_.SelectRepairDestination(block);
     if (best == kInvalidSite) continue;
     nodes_[best]->PutChunk(block, lost_index, std::move(re_encoded[lost_index]));
     state_.MoveChunk(block, site, best);
+    control_plane_.RecordRepair(block);
     nodes_[site]->DeleteChunk(block, lost_index);  // No-op while failed data kept.
     ++rebuilt;
   }
@@ -180,15 +244,8 @@ std::uint64_t LocalECStore::RepairSite(SiteId site) {
 
 std::optional<MovementPlan> LocalECStore::RunMovementRound() {
   RefreshLoadFromCounters();
-  const CostParams params = CurrentCostParams();
-  MoverContext ctx;
-  ctx.state = &state_;
-  ctx.co_access = &co_access_;
-  ctx.load = &load_tracker_;
-  ctx.cost_params = &params;
-  ctx.request_rate_per_sec = static_cast<double>(co_access_.requests_in_window());
-
-  const auto plan = SelectMovementPlan(ctx, config_.mover, rng_);
+  const auto plan = control_plane_.SelectMovement(
+      static_cast<double>(co_access().requests_in_window()));
   if (!plan) return std::nullopt;
 
   // Execute with a real data copy: read at source, write at destination,
@@ -201,11 +258,13 @@ std::optional<MovementPlan> LocalECStore::RunMovementRound() {
   const ChunkIndex chunk = loc->chunk;
   const ChunkData* data = nodes_[plan->source]->GetChunk(plan->block, chunk);
   if (data == nullptr) return std::nullopt;
+  const std::uint64_t chunk_bytes = data->size();
   nodes_[plan->destination]->PutChunk(plan->block, chunk, *data);
   if (!state_.MoveChunk(plan->block, plan->source, plan->destination)) {
     nodes_[plan->destination]->DeleteChunk(plan->block, chunk);
     return std::nullopt;
   }
+  control_plane_.RecordMoveExecuted(plan->block, chunk_bytes);
   nodes_[plan->source]->DeleteChunk(plan->block, chunk);
   return plan;
 }
@@ -214,14 +273,6 @@ std::uint64_t LocalECStore::TotalStoredBytes() const {
   std::uint64_t total = 0;
   for (const auto& node : nodes_) total += node->bytes_stored();
   return total;
-}
-
-CostParams LocalECStore::CurrentCostParams() const {
-  CostParams params;
-  params.site_overhead_ms = load_tracker_.OverheadVector();
-  params.media_ms_per_byte.assign(config_.num_sites,
-                                  1000.0 / config_.site.disk_bytes_per_sec);
-  return params;
 }
 
 void LocalECStore::RefreshLoadFromCounters() {
@@ -238,13 +289,15 @@ void LocalECStore::RefreshLoadFromCounters() {
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
     const double util =
         static_cast<double>(deltas[j]) / static_cast<double>(total);
-    load_tracker_.RecordReport(static_cast<SiteId>(j), util, 0,
-                               nodes_[j]->chunk_count());
+    control_plane_.RecordLoadReport(static_cast<SiteId>(j), util, 0,
+                                    nodes_[j]->chunk_count(), /*msg_bytes=*/0);
     // Overhead estimate proportional to relative load: busy nodes answer
     // probes slower. The swing is kept moderate (1-5 ms) so that load
     // awareness tempers, rather than dominates, co-location decisions.
-    load_tracker_.RecordProbe(static_cast<SiteId>(j), 1.0 + util * 4.0);
+    control_plane_.RecordProbe(static_cast<SiteId>(j), 1.0 + util * 4.0,
+                               /*msg_bytes=*/0);
   }
+  control_plane_.ReloadPlansOnDrift();
   gets_since_refresh_ = 0;
 }
 

@@ -2,14 +2,17 @@
 //
 // Where SimECStore models timing, LocalECStore moves actual data: blocks
 // are Reed–Solomon encoded into real chunks stored on in-process storage
-// nodes, reads execute genuine access plans (ILP or random) against those
-// nodes, decoding runs the GF(2^8) arithmetic, chunk movement copies real
-// bytes, and repair reconstructs lost chunks from k survivors. Examples
-// and integration tests use this class to prove the full code path works
-// — not just the timing model.
+// nodes, reads execute genuine access plans against those nodes, decoding
+// runs the GF(2^8) arithmetic, chunk movement copies real bytes, and
+// repair reconstructs lost chunks from k survivors. Every policy decision
+// (access plans, write placement, movement, repair destinations) comes
+// from the same shared ControlPlane the simulator drives — this class
+// contributes only the data plane. Examples and integration tests use it
+// to prove the full code path works, not just the timing model.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -19,6 +22,7 @@
 #include "cluster/state.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "core/control_plane.h"
 #include "erasure/codec.h"
 #include "placement/mover.h"
 #include "placement/planner.h"
@@ -60,18 +64,43 @@ class LocalECStore {
   const ECStoreConfig& config() const { return config_; }
   ClusterState& state() { return state_; }
   const ClusterState& state() const { return state_; }
-  const CoAccessTracker& co_access() const { return co_access_; }
   StorageNode& node(SiteId site) { return *nodes_[site]; }
 
-  /// Stores a block: encode, place chunks on random distinct sites.
+  /// The shared planning/stats/mover/repair path (exposed for parity
+  /// tests and benches).
+  ControlPlane& control_plane() { return control_plane_; }
+  const ControlPlane& control_plane() const { return control_plane_; }
+
+  // Introspection forwarded to the shared control plane.
+  const CoAccessTracker& co_access() const { return control_plane_.co_access(); }
+  const LoadTracker& load_tracker() const {
+    return control_plane_.load_tracker();
+  }
+  const PlanCache& plan_cache() const { return control_plane_.plan_cache(); }
+  ControlPlaneUsage Usage() const { return control_plane_.Usage(); }
+
+  /// The embodiment's seeded RNG stream. Exposed so parity tests can
+  /// align both embodiments' planning draws from a known state.
+  Rng& rng() { return rng_; }
+
+  /// Stores a block: encode, place chunks on control-plane-chosen sites
+  /// (least-loaded under the cost model, random otherwise).
   void Put(BlockId id, std::span<const std::uint8_t> data);
+
+  /// Stores a block at explicit sites (chunk i at sites[i]): used to
+  /// reproduce one embodiment's placement in the other for parity tests.
+  void Put(BlockId id, std::span<const std::uint8_t> data,
+           std::span<const SiteId> sites);
 
   /// Reads and reconstructs one block. Throws std::runtime_error when
   /// fewer than k chunks are reachable.
   std::vector<std::uint8_t> Get(BlockId id);
 
   /// Multi-block read through one shared access plan — the co-located
-  /// access path the paper optimizes. Results align with `ids`.
+  /// access path the paper optimizes. Served by the cached/greedy fast
+  /// path; ILP refinement runs in the background queue, drained off the
+  /// request path after the response is assembled. Results align with
+  /// `ids`.
   std::vector<std::vector<std::uint8_t>> MultiGet(std::span<const BlockId> ids);
 
   /// Deletes a block's chunks everywhere.
@@ -92,21 +121,37 @@ class LocalECStore {
   /// executed plan, if any.
   std::optional<MovementPlan> RunMovementRound();
 
+  /// Runs every piece of queued background work (ILP refinements) to
+  /// completion. MultiGet calls this after responding; tests call it to
+  /// reach a quiescent control-plane state.
+  void DrainBackgroundWork();
+
   /// Total bytes held by every node (storage-overhead accounting).
   std::uint64_t TotalStoredBytes() const;
 
+  CostParams CurrentCostParams() const {
+    return control_plane_.CurrentCostParams();
+  }
+
  private:
-  const Codec& CodecFor() const { return *codec_; }
-  CostParams CurrentCostParams() const;
   void RefreshLoadFromCounters();
+  void StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
+                    std::span<const SiteId> sites);
+  /// Fetches every reachable chunk the plan names, then tops up any block
+  /// still short of k from whatever reachable chunks remain (the
+  /// degraded-read path). Throws when a block stays short of k.
+  std::map<BlockId, std::vector<IndexedChunk>> FetchChunks(
+      const AccessPlan& plan, std::span<const BlockDemand> demands);
 
   ECStoreConfig config_;
   Rng rng_;
   std::unique_ptr<Codec> codec_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   ClusterState state_;
-  CoAccessTracker co_access_;
-  LoadTracker load_tracker_;
+  ControlPlane control_plane_;
+  // Deferred control-plane work (background ILP solves). The executor
+  // seam appends here; DrainBackgroundWork runs it off the request path.
+  std::deque<ControlPlane::Deferred> deferred_;
   std::vector<std::uint64_t> reads_at_last_refresh_;
   std::uint64_t gets_since_refresh_ = 0;
 };

@@ -45,7 +45,7 @@ void RepairService::PollTick() {
 
 std::uint64_t RepairService::ReconstructSite(SiteId site) {
   ClusterState& state = store_->state();
-  const LoadTracker& load = store_->load_tracker();
+  ControlPlane& cp = store_->control_plane();
   std::uint64_t rebuilt = 0;
 
   for (BlockId block : state.BlocksWithChunkAt(site)) {
@@ -53,20 +53,10 @@ std::uint64_t RepairService::ReconstructSite(SiteId site) {
     // Reconstruction needs k surviving chunks.
     if (state.AvailableLocations(block).size() < info.k) continue;
 
-    // Destination: the least-loaded available site holding no chunk of
-    // this block — the data-movement strategy's load awareness.
-    SiteId best = kInvalidSite;
-    double best_load = 0;
-    for (SiteId j = 0; j < state.num_sites(); ++j) {
-      if (!state.IsSiteAvailable(j)) continue;
-      if (state.HasChunkAt(block, j)) continue;
-      if (best == kInvalidSite || load.Omega(j) < best_load) {
-        best = j;
-        best_load = load.Omega(j);
-      }
-    }
+    const SiteId best = cp.SelectRepairDestination(block);
     if (best == kInvalidSite) continue;
     if (state.MoveChunk(block, site, best)) {
+      cp.RecordRepair(block);
       ++rebuilt;
     }
   }

@@ -2,17 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <set>
+#include <map>
 
 namespace ecstore {
 
 namespace {
-
-/// Per-site media read cost in milliseconds per byte, from the site model.
-double MediaMsPerByte(const sim::SiteParams& site) {
-  return 1000.0 / site.disk_bytes_per_sec;
-}
 
 constexpr std::size_t kStatsReportMsgBytes = 64;
 constexpr std::size_t kProbeMsgBytes = 32;
@@ -48,14 +42,20 @@ SimECStore::SimECStore(ECStoreConfig config)
       rng_(config.seed),
       net_(config.net, Rng(config.seed ^ 0x6E65745F726E67ULL)),
       state_(config.num_sites),
-      co_access_(config.co_access_window),
-      load_tracker_(config.num_sites,
-                    [&] {
-                      LoadTrackerParams p;
-                      p.reference_io_bytes_per_sec = config.site.disk_bytes_per_sec;
-                      return p;
-                    }()),
-      plan_cache_(config.plan_cache_capacity) {
+      control_plane_(
+          &config_, &state_, &rng_,
+          // Executor seam: deferred ILP solves run on the DES event
+          // queue after the modeled solve latency (Section V-B1 "order
+          // of tens of milliseconds"), preserving simulated-time
+          // semantics for every background refinement.
+          [this](ControlPlane::Deferred work) {
+            queue_.ScheduleAfter(config_.ilp_solve_latency, std::move(work));
+          },
+          [&] {
+            LoadTrackerParams p;
+            p.reference_io_bytes_per_sec = config.site.disk_bytes_per_sec;
+            return p;
+          }()) {
   sites_.reserve(config.num_sites);
   for (std::size_t j = 0; j < config.num_sites; ++j) {
     sim::SiteParams site_params = config.site;
@@ -74,9 +74,15 @@ SimECStore::SimECStore(ECStoreConfig config)
 SimECStore::~SimECStore() = default;
 
 void SimECStore::LoadBlock(BlockId id, std::uint64_t block_bytes) {
+  const std::vector<SiteId> sites =
+      state_.PickRandomSites(rng_, config_.ChunksPerBlock());
+  LoadBlockAt(id, block_bytes, sites);
+}
+
+void SimECStore::LoadBlockAt(BlockId id, std::uint64_t block_bytes,
+                             std::span<const SiteId> sites) {
   const std::uint32_t total = config_.ChunksPerBlock();
   const std::uint64_t chunk_bytes = config_.ChunkBytes(block_bytes);
-  const std::vector<SiteId> sites = state_.PickRandomSites(rng_, total);
   state_.AddBlock(id, block_bytes, chunk_bytes, config_.RequiredChunks(),
                   total - config_.RequiredChunks(), sites);
   for (SiteId s : sites) {
@@ -99,26 +105,6 @@ void SimECStore::Start() {
   }
 }
 
-CostParams SimECStore::CurrentCostParams() const {
-  CostParams params;
-  params.site_overhead_ms = load_tracker_.OverheadVector();
-  params.media_ms_per_byte.assign(config_.num_sites, MediaMsPerByte(config_.site));
-  return params;
-}
-
-CostParams SimECStore::PlanningCostParams() {
-  // Near-equal o_j values would otherwise be tie-broken identically by
-  // every solve (always the lowest-indexed site), herding load. A small
-  // per-call perturbation spreads equal-cost choices across sites while
-  // leaving genuine load differences decisive.
-  CostParams params = CurrentCostParams();
-  const double mean = load_tracker_.MeanOverheadMs();
-  for (double& o : params.site_overhead_ms) {
-    o += rng_.NextDouble() * config_.cost_tiebreak_noise * mean;
-  }
-  return params;
-}
-
 void SimECStore::Get(std::vector<BlockId> blocks, GetCallback done) {
   auto req = std::make_shared<PendingRequest>();
   req->blocks = std::move(blocks);
@@ -126,7 +112,7 @@ void SimECStore::Get(std::vector<BlockId> blocks, GetCallback done) {
   req->start = queue_.Now();
 
   // Statistics service samples the request stream (Section V-A).
-  co_access_.RecordRequest(req->blocks);
+  control_plane_.RecordRequest(req->blocks);
 
   // R1: metadata access — a control-plane round trip plus lookup work.
   req->metadata = net_.RoundTrip() + config_.metadata_base_latency +
@@ -143,99 +129,29 @@ void SimECStore::PlanPhase(std::shared_ptr<PendingRequest> req) {
   }
   req->demands = std::move(dr.demands);
 
-  // R2: the chunk read optimizer decides the access strategy.
-  AccessPlan plan;
+  // R2: the chunk read optimizer decides the access strategy. The shared
+  // control plane never solves an ILP inline — a miss is served by the
+  // greedy fallback while the refinement runs on this embodiment's
+  // event-queue executor.
+  PlanDecision decision =
+      control_plane_.SelectAccessPlan(req->blocks, req->demands);
+  req->cache_hit = decision.cache_hit();
   SimTime planning_cost = 0;
-  if (config_.CostModelEnabled()) {
-    bool hit = false;
-    plan = PlanWithCostModel(req->blocks, req->demands, &hit);
-    req->cache_hit = hit;
-    planning_cost = hit ? config_.plan_lookup_cost : config_.greedy_plan_cost;
-  } else {
-    plan = RandomPlan(req->demands, rng_);
-    planning_cost = config_.random_plan_cost;
+  switch (decision.source) {
+    case PlanSource::kCacheHit:
+      planning_cost = config_.plan_lookup_cost;
+      break;
+    case PlanSource::kGreedy:
+      planning_cost = config_.greedy_plan_cost;
+      break;
+    case PlanSource::kRandom:
+      planning_cost = config_.random_plan_cost;
+      break;
   }
   req->planning = planning_cost;
-  queue_.ScheduleAfter(planning_cost,
-                       [this, req, plan = std::move(plan)] { IssueReads(req, plan); });
-}
-
-AccessPlan SimECStore::PlanWithCostModel(const std::vector<BlockId>& blocks,
-                                         const std::vector<BlockDemand>& demands,
-                                         bool* cache_hit) {
-  const std::uint32_t delta = config_.EffectiveDelta();
-  if (auto cached = plan_cache_.LookupSatisfying(blocks, delta)) {
-    if (ValidatePlan(*cached)) {
-      *cache_hit = true;
-      return *cached;
-    }
-    // Stale entry (site failed since caching): drop and fall through.
-    for (BlockId b : blocks) plan_cache_.InvalidateBlock(b);
-  }
-  *cache_hit = false;
-  AccessPlan plan = GreedyPlan(demands, PlanningCostParams(), rng_);
-  ScheduleBackgroundIlp(blocks);
-  return plan;
-}
-
-void SimECStore::ScheduleBackgroundIlp(const std::vector<BlockId>& blocks) {
-  // One background worker solves queued ILPs off the request path and
-  // installs solutions for future requests (Section V-B1). The queue is
-  // deduplicated and bounded: under a miss storm extra solve requests are
-  // dropped — the greedy plan already served the client.
-  constexpr std::size_t kMaxQueue = 64;
-  constexpr std::size_t kMaxMissedOnce = 100000;
-  // Very large multigets (the Wikipedia trace's tail pages) are served by
-  // the greedy plan permanently: their exact sets rarely recur, and their
-  // ILPs are the most expensive -- bounded optimization, as in any
-  // production solver deployment.
-  constexpr std::size_t kMaxIlpBlocks = 16;
-  std::vector<BlockId> key = PlanCache::CanonicalKey(blocks);
-  if (key.size() > kMaxIlpBlocks) return;
-  if (ilp_pending_.count(key)) return;
-  // First miss only registers the set; a solve is queued when it recurs,
-  // since only recurring sets can ever profit from a cached plan.
-  if (missed_once_.insert(key).second) {
-    if (missed_once_.size() > kMaxMissedOnce) missed_once_.clear();
-    return;
-  }
-  if (ilp_queue_.size() >= kMaxQueue) return;
-  ilp_pending_.insert(key);
-  ilp_queue_.push_back(std::move(key));
-  if (!ilp_worker_busy_) {
-    ilp_worker_busy_ = true;
-    RunIlpWorker();
-  }
-}
-
-void SimECStore::RunIlpWorker() {
-  if (ilp_queue_.empty()) {
-    ilp_worker_busy_ = false;
-    return;
-  }
-  std::vector<BlockId> blocks = std::move(ilp_queue_.front());
-  ilp_queue_.pop_front();
-  queue_.ScheduleAfter(config_.ilp_solve_latency, [this, blocks = std::move(blocks)] {
-    ilp_pending_.erase(blocks);
-    DemandResult dr = BuildDemands(state_, blocks, config_.EffectiveDelta());
-    const bool readable =
-        std::find(dr.readable.begin(), dr.readable.end(), false) ==
-        dr.readable.end();
-    if (readable) {
-      const auto plan = IlpPlan(dr.demands, PlanningCostParams());
-      ++ilp_solves_;
-      if (plan) plan_cache_.Insert(blocks, config_.EffectiveDelta(), *plan);
-    }
-    RunIlpWorker();
+  queue_.ScheduleAfter(planning_cost, [this, req, plan = std::move(decision.plan)] {
+    IssueReads(req, plan);
   });
-}
-
-bool SimECStore::ValidatePlan(const AccessPlan& plan) const {
-  for (const ChunkRead& read : plan.reads) {
-    if (!state_.IsSiteAvailable(read.site)) return false;
-    if (!state_.HasChunkAt(read.block, read.site)) return false;
-  }
-  return !plan.reads.empty();
 }
 
 void SimECStore::IssueReads(std::shared_ptr<PendingRequest> req,
@@ -374,32 +290,7 @@ void SimECStore::Complete(const std::shared_ptr<PendingRequest>& req, bool ok) {
 }
 
 std::vector<SiteId> SimECStore::ChooseWriteSites(std::uint32_t count) {
-  std::vector<SiteId> available;
-  for (SiteId j = 0; j < state_.num_sites(); ++j) {
-    if (state_.IsSiteAvailable(j)) available.push_back(j);
-  }
-  if (available.size() < count) return {};
-
-  if (!config_.CostModelEnabled()) {
-    // Baseline: random distinct placement [38].
-    for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t j =
-          i + static_cast<std::size_t>(rng_.NextBounded(available.size() - i));
-      std::swap(available[i], available[j]);
-    }
-    available.resize(count);
-    return available;
-  }
-
-  // Load-aware placement: spread new chunks over the least-loaded sites,
-  // with the same tie-break perturbation planning uses so concurrent
-  // writers do not all pick the same set.
-  const CostParams params = PlanningCostParams();
-  std::stable_sort(available.begin(), available.end(), [&](SiteId a, SiteId b) {
-    return params.site_overhead_ms[a] < params.site_overhead_ms[b];
-  });
-  available.resize(count);
-  return available;
+  return control_plane_.SelectWriteSites(count);
 }
 
 void SimECStore::Put(BlockId id, std::uint64_t block_bytes, PutCallback done) {
@@ -496,7 +387,7 @@ void SimECStore::Delete(BlockId id, PutCallback done) {
     PutResult result;
     result.ok = state_.Contains(id);
     if (result.ok) {
-      plan_cache_.InvalidateBlock(id);
+      control_plane_.InvalidateBlock(id);
       const BlockInfo info = state_.GetBlock(id);
       state_.RemoveBlock(id);
       for (const ChunkLocation& loc : info.locations) {
@@ -511,7 +402,7 @@ void SimECStore::Delete(BlockId id, PutCallback done) {
 void SimECStore::FailSite(SiteId site) {
   state_.SetSiteAvailable(site, false);
   sites_[site]->set_available(false);
-  plan_cache_.BumpEpoch();  // Any plan may reference the dead site.
+  control_plane_.OnSiteFailed(site);
 }
 
 void SimECStore::RecoverSite(SiteId site) {
@@ -542,28 +433,12 @@ double SimECStore::ImbalanceLambda(const std::vector<std::uint64_t>& baseline) c
   return (max_load - avg) / avg * 100.0;
 }
 
-ControlPlaneUsage SimECStore::Usage() const {
-  ControlPlaneUsage u;
-  u.stats_memory_bytes = co_access_.ApproxMemoryBytes();
-  u.optimizer_memory_bytes = plan_cache_.ApproxMemoryBytes();
-  // The mover's working set: candidate demand vectors + partner lists; a
-  // small multiple of the per-evaluation state.
-  u.mover_memory_bytes =
-      config_.mover.max_evaluations *
-      (sizeof(BlockDemand) + 8 * sizeof(ChunkLocation) + sizeof(MovementPlan));
-  u.stats_network_bytes = stats_network_bytes_;
-  u.mover_network_bytes = mover_network_bytes_;
-  u.ilp_solves = ilp_solves_;
-  u.moves_executed = moves_executed_;
-  return u;
-}
-
 void SimECStore::StatsTick() {
   for (auto& site : sites_) {
     const sim::LoadReport report = site->CollectReport();
-    load_tracker_.RecordReport(report.site, report.cpu_utilization,
-                               report.io_bytes_per_sec, report.chunk_count);
-    stats_network_bytes_ += kStatsReportMsgBytes;
+    control_plane_.RecordLoadReport(report.site, report.cpu_utilization,
+                                    report.io_bytes_per_sec, report.chunk_count,
+                                    kStatsReportMsgBytes);
   }
   // Request-rate estimate for the mover's load-shift model.
   const double interval_s =
@@ -573,26 +448,7 @@ void SimECStore::StatsTick() {
       interval_s;
   completed_at_last_stats_tick_ = requests_completed_;
 
-  // Reload cached plans when the cost landscape shifted materially
-  // (Section V-B1 "dynamically reload solutions"). The trigger is the
-  // largest per-site drift of o_j since the last epoch, relative to the
-  // mean — a single site going hot or cold is exactly what invalidates
-  // plans, even though the cluster-wide mean barely moves.
-  const auto& overheads = load_tracker_.OverheadVector();
-  if (overheads_at_epoch_.empty()) {
-    overheads_at_epoch_ = overheads;
-  } else {
-    const double mean_o = std::max(load_tracker_.MeanOverheadMs(), 1e-9);
-    double max_drift = 0;
-    for (std::size_t j = 0; j < overheads.size(); ++j) {
-      max_drift = std::max(
-          max_drift, std::abs(overheads[j] - overheads_at_epoch_[j]) / mean_o);
-    }
-    if (max_drift > config_.epoch_bump_threshold) {
-      plan_cache_.BumpEpoch();
-      overheads_at_epoch_ = overheads;
-    }
-  }
+  control_plane_.ReloadPlansOnDrift();
 
   queue_.ScheduleAfter(config_.stats_report_interval, [this] { StatsTick(); });
 }
@@ -605,9 +461,10 @@ void SimECStore::ProbeTick() {
     const SimTime rtt_net = net_.RoundTrip();
     site.SubmitProbe([this, j, sent, rtt_net](SimTime done_at) {
       const SimTime rtt = (done_at - sent) + rtt_net;
-      load_tracker_.RecordProbe(static_cast<SiteId>(j), ToMillis(rtt));
+      control_plane_.RecordProbe(static_cast<SiteId>(j), ToMillis(rtt),
+                                 /*msg_bytes=*/0);
     });
-    stats_network_bytes_ += kProbeMsgBytes;
+    control_plane_.ChargeStatsNetwork(kProbeMsgBytes);
   }
   queue_.ScheduleAfter(config_.probe_interval, [this] { ProbeTick(); });
 }
@@ -620,15 +477,7 @@ void SimECStore::MoverTick() {
   queue_.ScheduleAfter(MoverPeriod(), [this] { MoverTick(); });
   if (mover_busy_) return;  // Throttle: one in-flight movement at a time.
 
-  const CostParams params = CurrentCostParams();
-  MoverContext ctx;
-  ctx.state = &state_;
-  ctx.co_access = &co_access_;
-  ctx.load = &load_tracker_;
-  ctx.cost_params = &params;
-  ctx.request_rate_per_sec = request_rate_per_sec_;
-
-  const auto plan = SelectMovementPlan(ctx, config_.mover, rng_);
+  const auto plan = control_plane_.SelectMovement(request_rate_per_sec_);
   if (!plan) return;
 
   mover_busy_ = true;
@@ -647,13 +496,11 @@ void SimECStore::MoverTick() {
       sites_[plan.destination]->SubmitWrite(chunk_bytes, [this, plan,
                                                           chunk_bytes](SimTime) {
         if (state_.MoveChunk(plan.block, plan.source, plan.destination)) {
-          plan_cache_.InvalidateBlock(plan.block);
+          control_plane_.RecordMoveExecuted(plan.block, chunk_bytes);
           sites_[plan.source]->set_chunk_count(
               state_.site_chunk_counts()[plan.source]);
           sites_[plan.destination]->set_chunk_count(
               state_.site_chunk_counts()[plan.destination]);
-          ++moves_executed_;
-          mover_network_bytes_ += chunk_bytes;
         }
         mover_busy_ = false;
       });

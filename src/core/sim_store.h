@@ -2,32 +2,28 @@
 // planes) running against the discrete-event cluster simulator.
 //
 // The data plane is a set of SimSite FIFO servers; the control plane is
-// the metadata service (ClusterState + modeled lookup latency), the
-// statistics service (CoAccessTracker + LoadTracker fed by periodic
-// reports and probes), and the chunk placement service (plan cache +
-// greedy/ILP chunk read optimizer + throttled chunk mover). All six of
+// the shared ControlPlane component (statistics service, chunk read
+// optimizer with plan cache + background ILP worker, chunk mover and
+// repair policy) plus the metadata service (ClusterState + modeled
+// lookup latency). This embodiment contributes only the timing model:
+// message latencies, site queueing, and the event-queue executor that
+// runs deferred ILP solves after the modeled solve latency. All six of
 // the paper's techniques (R, EC, EC+LB, EC+C, EC+C+M, EC+C+M+LB) are
 // configurations of this one system, exactly as in Section VI-A.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "cluster/state.h"
 #include "common/rng.h"
 #include "core/config.h"
-#include "placement/mover.h"
-#include "placement/plan_cache.h"
-#include "placement/planner.h"
+#include "core/control_plane.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/site.h"
-#include "stats/co_access.h"
-#include "stats/load_tracker.h"
 
 namespace ecstore {
 
@@ -42,17 +38,6 @@ struct RequestBreakdown {
   bool ok = true;            // false when a block was unreadable
   bool plan_cache_hit = false;
   std::uint32_t sites_accessed = 0;  // distinct sites in the access plan
-};
-
-/// Control-plane resource usage counters (Table III).
-struct ControlPlaneUsage {
-  std::size_t stats_memory_bytes = 0;
-  std::size_t optimizer_memory_bytes = 0;
-  std::size_t mover_memory_bytes = 0;
-  std::uint64_t stats_network_bytes = 0;    // reports + probes
-  std::uint64_t mover_network_bytes = 0;    // chunk copies
-  std::uint64_t ilp_solves = 0;
-  std::uint64_t moves_executed = 0;
 };
 
 /// The simulated EC-Store deployment.
@@ -71,9 +56,19 @@ class SimECStore {
   ClusterState& state() { return state_; }
   const ClusterState& state() const { return state_; }
 
+  /// The shared planning/stats/mover/repair path (exposed for the repair
+  /// service, parity tests, and benches).
+  ControlPlane& control_plane() { return control_plane_; }
+  const ControlPlane& control_plane() const { return control_plane_; }
+
   /// Bulk-loads a block with random chunk placement (the paper's load
   /// phase). Costs no simulated time.
   void LoadBlock(BlockId id, std::uint64_t block_bytes);
+
+  /// Bulk-loads a block at explicit sites (chunk i at sites[i]): used to
+  /// reproduce one embodiment's placement in the other for parity tests.
+  void LoadBlockAt(BlockId id, std::uint64_t block_bytes,
+                   std::span<const SiteId> sites);
 
   /// Loads `count` blocks with ids [first, first + count).
   void LoadBlocks(BlockId first, std::uint64_t count, std::uint64_t block_bytes);
@@ -112,11 +107,16 @@ class SimECStore {
   void FailSite(SiteId site);
   void RecoverSite(SiteId site);
 
-  // --- Introspection for benches and tests.
-  const PlanCache& plan_cache() const { return plan_cache_; }
-  const CoAccessTracker& co_access() const { return co_access_; }
-  const LoadTracker& load_tracker() const { return load_tracker_; }
+  // --- Introspection for benches and tests (forwarded to the shared
+  // control plane).
+  const PlanCache& plan_cache() const { return control_plane_.plan_cache(); }
+  const CoAccessTracker& co_access() const { return control_plane_.co_access(); }
+  const LoadTracker& load_tracker() const { return control_plane_.load_tracker(); }
   std::uint64_t requests_completed() const { return requests_completed_; }
+
+  /// The embodiment's seeded RNG stream. Exposed so parity tests can
+  /// align both embodiments' planning draws from a known state.
+  Rng& rng() { return rng_; }
 
   /// Cumulative bytes served by reads, per site (Fig. 4d).
   std::vector<std::uint64_t> SiteBytesRead() const;
@@ -126,14 +126,16 @@ class SimECStore {
   /// the `baseline` snapshot. Only available sites participate.
   double ImbalanceLambda(const std::vector<std::uint64_t>& baseline) const;
 
-  ControlPlaneUsage Usage() const;
+  ControlPlaneUsage Usage() const { return control_plane_.Usage(); }
 
   /// Current cost parameters (o_j from probes, m_j from media model).
-  CostParams CurrentCostParams() const;
+  CostParams CurrentCostParams() const {
+    return control_plane_.CurrentCostParams();
+  }
 
   /// Cost parameters for a planning decision: CurrentCostParams() plus a
   /// small random tie-break perturbation (see ECStoreConfig).
-  CostParams PlanningCostParams();
+  CostParams PlanningCostParams() { return control_plane_.PlanningCostParams(); }
 
   /// Estimated request arrival rate (requests/second), as the statistics
   /// service sees it.
@@ -150,12 +152,6 @@ class SimECStore {
                          std::uint32_t generation);
   void FinishRetrieval(const std::shared_ptr<PendingRequest>& req);
   void Complete(const std::shared_ptr<PendingRequest>& req, bool ok);
-  bool ValidatePlan(const AccessPlan& plan) const;
-  AccessPlan PlanWithCostModel(const std::vector<BlockId>& blocks,
-                               const std::vector<BlockDemand>& demands,
-                               bool* cache_hit);
-  void ScheduleBackgroundIlp(const std::vector<BlockId>& blocks);
-  void RunIlpWorker();
 
   void StatsTick();
   void ProbeTick();
@@ -168,33 +164,14 @@ class SimECStore {
   std::vector<std::unique_ptr<sim::SimSite>> sites_;
   sim::Network net_;
   ClusterState state_;
-  CoAccessTracker co_access_;
-  LoadTracker load_tracker_;
-  PlanCache plan_cache_;
+  ControlPlane control_plane_;
 
   bool started_ = false;
   bool mover_busy_ = false;
 
-  // The chunk placement service runs ONE background ILP worker (as in
-  // Section V-B1); misses queue up (deduplicated, bounded) rather than
-  // spawning unbounded solver work.
-  std::deque<std::vector<BlockId>> ilp_queue_;
-  std::set<std::vector<BlockId>> ilp_pending_;
-  // Query sets that missed once: a set is only worth an ILP solve if it
-  // recurs (one-off scans can never hit the cache afterwards).
-  std::set<std::vector<BlockId>> missed_once_;
-  bool ilp_worker_busy_ = false;
-
   std::uint64_t requests_completed_ = 0;
   std::uint64_t completed_at_last_stats_tick_ = 0;
   double request_rate_per_sec_ = 0;
-  std::vector<double> overheads_at_epoch_;
-
-  // Resource counters (Table III).
-  std::uint64_t stats_network_bytes_ = 0;
-  std::uint64_t mover_network_bytes_ = 0;
-  std::uint64_t ilp_solves_ = 0;
-  std::uint64_t moves_executed_ = 0;
 };
 
 }  // namespace ecstore

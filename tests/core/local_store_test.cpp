@@ -227,6 +227,92 @@ TEST(LocalStoreTest, MovementImprovesCoLocation) {
   EXPECT_GE(shared_sites(), 2);
 }
 
+TEST(LocalStoreTest, SiteFailingMidMultiGetFallsBackToSurvivors) {
+  // Regression: a node that dies after planning (metadata still lists it
+  // as available) used to make MultiGet throw "chunk missing at planned
+  // site". The fetch loop must replan around the dead node instead.
+  LocalECStore store(SmallConfig(Technique::kEcC));
+  Rng rng(12);
+  const auto block = RandomBlock(4096, rng);
+  store.Put(1, block);
+
+  // Kill the node only — no FailSite — so the cluster state (and any
+  // plan derived from it) still points at the dead site.
+  const BlockInfo& info = store.state().GetBlock(1);
+  store.node(info.locations[0].site).set_available(false);
+  EXPECT_EQ(store.Get(1), block);
+
+  // A second undetected failure still leaves k = 2 reachable chunks.
+  store.node(info.locations[1].site).set_available(false);
+  EXPECT_EQ(store.Get(1), block);
+
+  // A third leaves fewer than k: the degraded replan must give up loudly.
+  store.node(info.locations[2].site).set_available(false);
+  EXPECT_THROW(store.Get(1), std::runtime_error);
+}
+
+TEST(LocalStoreTest, CachedPlanSurvivesNodeFailure) {
+  // Warm the plan cache for a block set, then fail a planned-at node
+  // without updating metadata: the cached plan validates against the
+  // (stale) state, the fetch falls back, and data still comes back right.
+  LocalECStore store(SmallConfig(Technique::kEcC));
+  Rng rng(13);
+  std::vector<std::vector<std::uint8_t>> blocks;
+  for (BlockId id = 0; id < 3; ++id) {
+    blocks.push_back(RandomBlock(2000 + id, rng));
+    store.Put(id, blocks.back());
+  }
+  const std::vector<BlockId> ids = {0, 1, 2};
+  // Miss -> registered; miss -> ILP queued and drained; third is a hit.
+  (void)store.MultiGet(ids);
+  (void)store.MultiGet(ids);
+  (void)store.MultiGet(ids);
+  ASSERT_GT(store.plan_cache().hits(), 0u);
+
+  const BlockInfo& info = store.state().GetBlock(0);
+  store.node(info.locations[0].site).set_available(false);
+  const auto result = store.MultiGet(ids);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(result[i], blocks[ids[i]]);
+  }
+}
+
+TEST(LocalStoreTest, IlpRunsOnlyInBackground) {
+  // The request path serves cache hits and greedy fallbacks; ILP solves
+  // happen in the drained background queue, gated on a set recurring.
+  LocalECStore store(SmallConfig(Technique::kEcC));
+  Rng rng(14);
+  for (BlockId id = 0; id < 4; ++id) store.Put(id, RandomBlock(1024, rng));
+
+  const std::vector<BlockId> ids = {0, 1, 2, 3};
+  (void)store.MultiGet(ids);  // First miss: set registered, no solve.
+  EXPECT_EQ(store.Usage().ilp_solves, 0u);
+  (void)store.MultiGet(ids);  // Recurrence: solve queued, drained after.
+  EXPECT_EQ(store.Usage().ilp_solves, 1u);
+  (void)store.MultiGet(ids);  // Served from the cache.
+  EXPECT_GT(store.plan_cache().hits(), 0u);
+  EXPECT_EQ(store.Usage().ilp_solves, 1u);
+}
+
+TEST(LocalStoreTest, UsageExposesSharedAccounting) {
+  LocalECStore store(SmallConfig(Technique::kEcCM));
+  Rng rng(15);
+  for (BlockId id = 0; id < 8; ++id) store.Put(id, RandomBlock(1024, rng));
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<BlockId> pair = {0, 1};
+    (void)store.MultiGet(pair);
+  }
+  std::uint64_t moved = 0;
+  for (int round = 0; round < 10; ++round) {
+    if (store.RunMovementRound()) ++moved;
+  }
+  const ControlPlaneUsage usage = store.Usage();
+  EXPECT_GT(usage.stats_memory_bytes, 0u);
+  EXPECT_GT(usage.mover_memory_bytes, 0u);
+  EXPECT_EQ(usage.moves_executed, moved);
+  if (moved > 0) EXPECT_GT(usage.mover_network_bytes, 0u);
+}
+
 TEST(LocalStoreTest, LateBindingStillDecodes) {
   ECStoreConfig config = SmallConfig(Technique::kEcCMLb);
   config.late_binding_delta = 1;

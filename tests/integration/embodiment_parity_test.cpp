@@ -1,0 +1,185 @@
+// The executable form of DESIGN.md's "cannot diverge" claim: both
+// embodiments drive the one shared ControlPlane, so the same seeded
+// request trace must produce identical access-plan decisions, identical
+// plan-cache hit/miss sequences, and identical mover choices whether the
+// data plane is the discrete-event simulator or real bytes on in-process
+// nodes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/local_store.h"
+#include "core/sim_store.h"
+
+namespace ecstore {
+namespace {
+
+/// One observed plan decision, flattened for comparison.
+struct LoggedDecision {
+  std::vector<BlockId> blocks;  // canonical (sorted, deduped)
+  PlanSource source = PlanSource::kRandom;
+  std::vector<std::tuple<BlockId, ChunkIndex, SiteId>> reads;
+
+  bool operator==(const LoggedDecision&) const = default;
+};
+
+ControlPlane::PlanObserver MakeLogger(std::vector<LoggedDecision>* log) {
+  return [log](std::span<const BlockId> blocks, const PlanDecision& decision) {
+    LoggedDecision entry;
+    entry.blocks = PlanCache::CanonicalKey(blocks);
+    entry.source = decision.source;
+    for (const ChunkRead& read : decision.plan.reads) {
+      entry.reads.emplace_back(read.block, read.chunk, read.site);
+    }
+    log->push_back(std::move(entry));
+  };
+}
+
+class EmbodimentParityTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kBlocks = 16;
+  static constexpr std::uint64_t kBlockBytes = 4096;
+  static constexpr std::uint64_t kRngSeed = 0x5EED5EEDULL;
+
+  ECStoreConfig Config() const {
+    ECStoreConfig c = ECStoreConfig::ForTechnique(Technique::kEcCM);
+    c.num_sites = 8;
+    c.seed = 42;
+    return c;
+  }
+
+  /// `chunks` distinct sites per block, from a dedicated placement stream
+  /// (partial Fisher–Yates over all sites).
+  std::vector<std::vector<SiteId>> MakePlacements(const ECStoreConfig& config) {
+    Rng place_rng(0xFACEULL);
+    std::vector<std::vector<SiteId>> placements;
+    const std::uint32_t chunks = config.ChunksPerBlock();
+    for (std::uint64_t b = 0; b < kBlocks; ++b) {
+      std::vector<SiteId> sites;
+      for (SiteId j = 0; j < static_cast<SiteId>(config.num_sites); ++j) {
+        sites.push_back(j);
+      }
+      for (std::uint32_t i = 0; i < chunks; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(place_rng.NextBounded(sites.size() - i));
+        std::swap(sites[i], sites[j]);
+      }
+      sites.resize(chunks);
+      placements.push_back(std::move(sites));
+    }
+    return placements;
+  }
+
+  /// The same seeded multiget trace for both embodiments: distinct block
+  /// sets drawn from a small universe so sets recur (exercising the
+  /// miss -> register, miss -> background-ILP, hit progression). Kept
+  /// under 64 requests so LocalECStore's load refresh never fires — the
+  /// simulator, run without Start(), has no stats ticks either, so both
+  /// control planes see identical o_j throughout.
+  std::vector<std::vector<BlockId>> MakeTrace() {
+    Rng trace_rng(0x7ACEULL);
+    std::vector<std::vector<BlockId>> trace;
+    for (int i = 0; i < 48; ++i) {
+      const std::size_t size = 1 + trace_rng.NextBounded(3);
+      std::vector<BlockId> blocks;
+      while (blocks.size() < size) {
+        const BlockId b = trace_rng.NextBounded(kBlocks / 2);  // hot half
+        if (std::find(blocks.begin(), blocks.end(), b) == blocks.end()) {
+          blocks.push_back(b);
+        }
+      }
+      trace.push_back(std::move(blocks));
+    }
+    return trace;
+  }
+
+  std::vector<std::uint8_t> BlockData(BlockId id) const {
+    Rng data_rng(0xDA7AULL + id);
+    std::vector<std::uint8_t> data(kBlockBytes);
+    for (auto& b : data) b = static_cast<std::uint8_t>(data_rng.NextBounded(256));
+    return data;
+  }
+};
+
+TEST_F(EmbodimentParityTest, SameTraceSameDecisions) {
+  const ECStoreConfig config = Config();
+  const auto placements = MakePlacements(config);
+  const auto trace = MakeTrace();
+
+  // --- Simulator embodiment. Start() is deliberately not called: the
+  // periodic services would consume simulated time, but planning parity
+  // needs both control planes fed the exact same inputs.
+  SimECStore sim(config);
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    sim.LoadBlockAt(b, kBlockBytes, placements[b]);
+  }
+  sim.rng() = Rng(kRngSeed);  // Align draws after differing load paths.
+  std::vector<LoggedDecision> sim_log;
+  sim.control_plane().set_plan_observer(MakeLogger(&sim_log));
+
+  std::vector<bool> sim_hits;
+  for (const auto& blocks : trace) {
+    sim.Get(blocks, [&](const RequestBreakdown& r) {
+      ASSERT_TRUE(r.ok);
+      sim_hits.push_back(r.plan_cache_hit);
+    });
+    // Run the request AND its deferred background solve to completion
+    // before the next request, mirroring the synchronous embodiment.
+    sim.queue().RunAll();
+  }
+
+  // --- Real-bytes embodiment, identical placements and trace.
+  LocalECStore local(config);
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    local.Put(b, BlockData(b), placements[b]);
+  }
+  local.rng() = Rng(kRngSeed);
+  std::vector<LoggedDecision> local_log;
+  local.control_plane().set_plan_observer(MakeLogger(&local_log));
+
+  std::vector<bool> local_hits;
+  for (const auto& blocks : trace) {
+    const auto result = local.MultiGet(blocks);
+    // While at it: the bytes are right.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      ASSERT_EQ(result[i], BlockData(blocks[i]));
+    }
+    local_hits.push_back(local_log.back().source == PlanSource::kCacheHit);
+  }
+
+  // --- Identical decision sequences: same sets, same cache-hit/greedy
+  // classification, same chunk-for-chunk access plans.
+  ASSERT_EQ(sim_log.size(), trace.size());
+  ASSERT_EQ(local_log.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(sim_log[i].blocks, local_log[i].blocks) << "request " << i;
+    EXPECT_EQ(sim_log[i].source, local_log[i].source) << "request " << i;
+    EXPECT_EQ(sim_log[i].reads, local_log[i].reads) << "request " << i;
+  }
+  EXPECT_EQ(sim_hits, local_hits);
+
+  // The trace recurs, so the shared path must actually exercise all three
+  // stages somewhere in the run.
+  EXPECT_GT(sim.plan_cache().hits(), 0u);
+  EXPECT_GT(sim.Usage().ilp_solves, 0u);
+
+  // --- Identical plan-cache hit/miss counters and ILP accounting.
+  EXPECT_EQ(sim.plan_cache().hits(), local.plan_cache().hits());
+  EXPECT_EQ(sim.plan_cache().misses(), local.plan_cache().misses());
+  EXPECT_EQ(sim.Usage().ilp_solves, local.Usage().ilp_solves);
+
+  // --- Identical mover choice from the identical statistics (Algorithm 1
+  // with the same co-access window, load estimates, and RNG position).
+  const auto sim_move = sim.control_plane().SelectMovement(100.0);
+  const auto local_move = local.control_plane().SelectMovement(100.0);
+  ASSERT_EQ(sim_move.has_value(), local_move.has_value());
+  if (sim_move) {
+    EXPECT_EQ(sim_move->block, local_move->block);
+    EXPECT_EQ(sim_move->source, local_move->source);
+    EXPECT_EQ(sim_move->destination, local_move->destination);
+  }
+}
+
+}  // namespace
+}  // namespace ecstore
