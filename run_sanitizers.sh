@@ -1,22 +1,53 @@
 #!/bin/bash
-# ASan + UBSan build and test run, exercising every GF kernel dispatch
-# path via the ECSTORE_GF_KERNEL override. The SIMD paths run the same
-# ctest suites as the scalar path; unsupported paths are skipped.
+# Sanitizer builds and test runs.
 #
-#   ./run_sanitizers.sh [ctest -R regex, default: GF/erasure/core suites]
+# ASan/UBSan stage: exercises every GF kernel dispatch path via the
+# ECSTORE_GF_KERNEL override; the SIMD paths run the same ctest suites as
+# the scalar path, unsupported paths are skipped.
+#
+# TSan stage: separate build (sanitizers don't compose) running the
+# thread-racing suites against the concurrent LocalECStore data plane.
+#
+#   ./run_sanitizers.sh [asan|tsan|all] [ctest -R regex override]
 set -eu
 
-REGEX="${1:-gf_test|erasure_test|core_test}"
-BUILD=build-asan
-
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_SANITIZE=ON
-cmake --build "$BUILD" -j"$(nproc)"
-
+STAGE="${1:-all}"
 status=0
-for path in scalar ssse3 avx2; do
-  echo "##### ECSTORE_GF_KERNEL=$path ctest -R '$REGEX'"
-  if ! (cd "$BUILD" && ECSTORE_GF_KERNEL="$path" ctest --output-on-failure -R "$REGEX"); then
+
+run_asan() {
+  local regex="${1:-gf_test|erasure_test|core_test}"
+  local build=build-asan
+  cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_SANITIZE=ON
+  cmake --build "$build" -j"$(nproc)"
+  for path in scalar ssse3 avx2; do
+    echo "##### ECSTORE_GF_KERNEL=$path ctest -R '$regex'"
+    if ! (cd "$build" && ECSTORE_GF_KERNEL="$path" ctest --output-on-failure -R "$regex"); then
+      status=1
+    fi
+  done
+}
+
+run_tsan() {
+  local regex="${1:-concurrency_test|core_test}"
+  local build=build-tsan
+  cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_TSAN=ON
+  cmake --build "$build" -j"$(nproc)"
+  echo "##### TSan ctest -R '$regex'"
+  if ! (cd "$build" && ctest --output-on-failure -R "$regex"); then
     status=1
   fi
-done
+}
+
+case "$STAGE" in
+  asan) run_asan "${2:-}" ;;
+  tsan) run_tsan "${2:-}" ;;
+  all)
+    run_asan "${2:-}"
+    run_tsan "${2:-}"
+    ;;
+  *)
+    # Back-compat: a bare regex as $1 means "asan with this regex".
+    run_asan "$STAGE"
+    ;;
+esac
 exit $status

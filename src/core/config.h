@@ -38,6 +38,36 @@ bool UsesMover(Technique t);
 /// Late-binding delta for the technique (0 or the configured delta).
 std::uint32_t LateBindingDelta(Technique t, std::uint32_t delta);
 
+/// Concurrent data plane of the real-bytes embodiment (LocalECStore,
+/// DESIGN.md §8): a per-site worker pool that executes chunk fetches in
+/// parallel, with configurable injected service latency so stragglers are
+/// reproducible on real bytes (the testbed's heavy-tailed service times,
+/// without the testbed).
+struct DataPlaneParams {
+  /// Worker threads per storage site (the site's service concurrency).
+  std::size_t workers_per_site = 2;
+  /// Injected base service latency per fetch, in milliseconds (0 = none).
+  double base_latency_ms = 0.0;
+  /// Uniform extra latency in [0, jitter_ms) added per fetch.
+  double jitter_ms = 0.0;
+  /// Additive per-site latency: site j pays site_extra_latency_ms[j] extra
+  /// when j < size(). Models persistently slow sites (aging disks).
+  std::vector<double> site_extra_latency_ms;
+  /// Probability that a fetch straggles; a straggler's injected latency is
+  /// multiplied by straggler_factor (the "tail at scale" knob).
+  double straggler_probability = 0.0;
+  double straggler_factor = 10.0;
+  /// Per-fetch deadline in milliseconds: when > 0 and a block is still
+  /// short of k when it expires, the store hedges one retry round against
+  /// the block's untried chunks before falling into the degraded-read
+  /// path. 0 disables deadlines.
+  double fetch_deadline_ms = 0.0;
+  /// Seed for the data plane's latency draws. Deliberately independent of
+  /// ECStoreConfig::seed so planning parity with the simulator embodiment
+  /// is unaffected by fetch timing.
+  std::uint64_t seed = 1;
+};
+
 /// Full system configuration with the paper's defaults.
 struct ECStoreConfig {
   Technique technique = Technique::kEcCM;
@@ -100,6 +130,10 @@ struct ECStoreConfig {
   /// dynamic o_j estimation discovers them; static baselines cannot.
   std::vector<SiteId> slow_sites;
   double slow_factor = 3.0;
+
+  // --- Real-bytes data plane (LocalECStore only; the DES models its own
+  // service times through sim::SiteParams above).
+  DataPlaneParams data_plane;
 
   // --- Repair service (Section V-C: mark dead, wait 15 min, rebuild).
   SimTime repair_poll_interval = 5 * kSecond;

@@ -66,8 +66,11 @@ struct PlanDecision {
 /// RNG stream from the embodiment (so a DES run remains bit-reproducible
 /// against the embodiment's single seeded stream).
 ///
-/// Not thread-safe: embodiments serialize calls (the DES is
-/// single-threaded; LocalECStore is synchronous).
+/// Not thread-safe by contract: embodiments serialize every call (the
+/// DES is single-threaded; LocalECStore holds its metadata mutex across
+/// each control-plane touch — see core/local_store.h for the lock order).
+/// The executor seam may be invoked while that serialization is in
+/// effect, so executors must not re-enter the control plane inline.
 class ControlPlane {
  public:
   using Deferred = std::function<void()>;

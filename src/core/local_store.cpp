@@ -1,43 +1,40 @@
 #include "core/local_store.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <set>
 #include <stdexcept>
 
 namespace ecstore {
 
-void StorageNode::PutChunk(BlockId block, ChunkIndex chunk, ChunkData data) {
-  auto key = std::make_pair(block, chunk);
-  const auto it = chunks_.find(key);
-  if (it != chunks_.end()) {
-    bytes_stored_ -= it->second.size();
-    it->second = std::move(data);
-    bytes_stored_ += it->second.size();
-    return;
-  }
-  bytes_stored_ += data.size();
-  chunks_.emplace(key, std::move(data));
-}
+namespace {
 
-const ChunkData* StorageNode::GetChunk(BlockId block, ChunkIndex chunk) const {
-  if (!available_) throw std::runtime_error("StorageNode: node is failed");
-  const auto it = chunks_.find({block, chunk});
-  if (it == chunks_.end()) return nullptr;
-  ++reads_served_;
-  return &it->second;
-}
+/// Per-block progress of one parallel fetch round.
+struct BlockGather {
+  std::uint32_t k = 0;              // completion threshold (first k win)
+  std::vector<IndexedChunk> got;    // delivered chunks, capped at k
+  std::set<ChunkIndex> have;        // chunk indices present in `got`
+  std::set<ChunkIndex> tried;       // chunk indices ever issued
+  bool retried = false;             // deadline hedge already spent
+};
 
-bool StorageNode::DeleteChunk(BlockId block, ChunkIndex chunk) {
-  const auto it = chunks_.find({block, chunk});
-  if (it == chunks_.end()) return false;
-  bytes_stored_ -= it->second.size();
-  chunks_.erase(it);
-  return true;
-}
+/// Shared between the requesting thread and the fetch workers. Jobs hold
+/// a shared_ptr so the context (and its mutex) outlives an abandoned
+/// request with stragglers still queued.
+struct FetchContext {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<BlockId, BlockGather> blocks;
+  std::size_t unsatisfied = 0;  // blocks still short of k
+  std::size_t outstanding = 0;  // fetches not yet completed
+  bool harvested = false;       // results collected; late arrivals dropped
+  DataPlane::CancelToken cancel =
+      std::make_shared<std::atomic<bool>>(false);
+};
 
-bool StorageNode::HasChunk(BlockId block, ChunkIndex chunk) const {
-  return chunks_.count({block, chunk}) > 0;
-}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 
@@ -47,10 +44,12 @@ LocalECStore::LocalECStore(ECStoreConfig config)
       state_(config.num_sites),
       control_plane_(
           &config_, &state_, &rng_,
-          // Executor seam: deferred ILP solves queue up and run
-          // synchronously once the request has been answered — never on
-          // the MultiGet fast path.
+          // Executor seam: deferred ILP solves queue up and run once the
+          // request has been answered — never on the MultiGet fast path.
+          // Fires from inside control-plane calls made under meta_mu_, so
+          // it takes only defer_mu_ (lock order meta_mu_ -> defer_mu_).
           [this](ControlPlane::Deferred work) {
+            std::lock_guard<std::mutex> lock(defer_mu_);
             deferred_.push_back(std::move(work));
           }),
       reads_at_last_refresh_(config.num_sites, 0) {
@@ -63,6 +62,8 @@ LocalECStore::LocalECStore(ECStoreConfig config)
   for (std::size_t j = 0; j < config_.num_sites; ++j) {
     nodes_.push_back(std::make_unique<StorageNode>());
   }
+  data_plane_ =
+      std::make_unique<DataPlane>(config_.num_sites, config_.data_plane);
 }
 
 void LocalECStore::StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
@@ -81,6 +82,7 @@ void LocalECStore::StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
 }
 
 void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   const std::vector<SiteId> sites = control_plane_.SelectWriteSites(
       static_cast<std::uint32_t>(codec_->TotalChunks()));
   if (sites.empty()) {
@@ -91,6 +93,7 @@ void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data) {
 
 void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data,
                        std::span<const SiteId> sites) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   StoreEncoded(id, data, sites);
 }
 
@@ -100,24 +103,116 @@ std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
 }
 
 std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
-    const AccessPlan& plan, std::span<const BlockDemand> demands) {
-  std::map<BlockId, std::vector<IndexedChunk>> fetched;
-  for (const ChunkRead& read : plan.reads) {
-    StorageNode& n = *nodes_[read.site];
-    // A site can die (or a chunk move) between planning and fetch; skip
-    // the unreachable read here and let the degraded pass below make up
-    // the shortfall — the client-side rerouting of Section VI-C4.
-    if (!n.available() || !n.HasChunk(read.block, read.chunk)) continue;
-    fetched[read.block].push_back({read.chunk, *n.GetChunk(read.block, read.chunk)});
+    const AccessPlan& plan, std::span<const BlockDemand> demands,
+    const std::map<BlockId, BlockMeta>& meta) {
+  auto ctx = std::make_shared<FetchContext>();
+
+  // Enqueue one data-plane job per fetch. The caller must hold ctx->mu
+  // and have bumped `outstanding` / recorded `tried` beforehand. Workers
+  // touch only the context, the node, and their own queue — never the
+  // store's metadata lock.
+  const auto issue = [this, &ctx](BlockId block, ChunkIndex chunk,
+                                  SiteId site) {
+    StorageNode* node = nodes_[site].get();
+    data_plane_->Submit(
+        site,
+        [ctx, node, block, chunk](bool cancelled) {
+          std::shared_ptr<const ChunkData> data;
+          if (!cancelled) {
+            bool skip;  // Block already complete: ignore the straggler.
+            {
+              std::lock_guard<std::mutex> lock(ctx->mu);
+              const BlockGather& g = ctx->blocks.at(block);
+              skip = ctx->harvested || g.got.size() >= g.k;
+            }
+            // A failed node or a moved/deleted chunk answers nullptr — a
+            // miss, routed into the degraded top-up below, not an error.
+            if (!skip) data = node->GetChunk(block, chunk);
+          }
+          std::lock_guard<std::mutex> lock(ctx->mu);
+          BlockGather& g = ctx->blocks.at(block);
+          if (data != nullptr && !ctx->harvested && g.got.size() < g.k &&
+              !g.have.count(chunk)) {
+            g.have.insert(chunk);
+            g.got.push_back({chunk, *data});
+            if (g.got.size() == g.k && --ctx->unsatisfied == 0) {
+              // Every block is complete: still-queued fetches are
+              // stragglers — cancel them at the queue.
+              ctx->cancel->store(true, std::memory_order_release);
+            }
+          }
+          --ctx->outstanding;
+          ctx->cv.notify_all();
+        },
+        ctx->cancel);
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    for (const BlockDemand& demand : demands) {
+      ctx->blocks[demand.block].k = meta.at(demand.block).k;
+    }
+    ctx->unsatisfied = ctx->blocks.size();
+    for (const ChunkRead& read : plan.reads) {
+      BlockGather& g = ctx->blocks.at(read.block);
+      g.tried.insert(read.chunk);
+      ++ctx->outstanding;
+      issue(read.block, read.chunk, read.site);
+    }
   }
 
+  // Wait for the race to settle: every block complete, or no fetch left
+  // in flight. With a deadline configured, a block still short of k when
+  // it expires gets one hedged retry round against its untried chunks.
+  const double deadline_ms = config_.data_plane.fetch_deadline_ms;
+  std::unique_lock<std::mutex> lock(ctx->mu);
+  const auto settled = [&ctx] {
+    return ctx->unsatisfied == 0 || ctx->outstanding == 0;
+  };
+  if (deadline_ms > 0 &&
+      !ctx->cv.wait_for(lock,
+                        std::chrono::duration<double, std::milli>(deadline_ms),
+                        settled)) {
+    for (auto& [block, g] : ctx->blocks) {
+      if (g.got.size() >= g.k || g.retried) continue;
+      g.retried = true;
+      for (const ChunkLocation& loc : meta.at(block).locations) {
+        if (g.tried.count(loc.chunk)) continue;
+        g.tried.insert(loc.chunk);
+        ++ctx->outstanding;
+        issue(block, loc.chunk, loc.site);
+      }
+    }
+  }
+  ctx->cv.wait(lock, settled);
+
+  ctx->harvested = true;
+  ctx->cancel->store(true, std::memory_order_release);
+  std::map<BlockId, std::vector<IndexedChunk>> fetched;
+  for (auto& [block, g] : ctx->blocks) fetched[block] = std::move(g.got);
+  lock.unlock();
+
+  bool short_of_k = false;
+  for (const BlockDemand& demand : demands) {
+    if (fetched[demand.block].size() < meta.at(demand.block).k) {
+      short_of_k = true;
+      break;
+    }
+  }
+  if (!short_of_k) return fetched;
+
+  // Degraded read: the plan could not deliver k chunks for some block.
+  // Its cached form is stale, and any k reachable chunks will do — the
+  // client-side rerouting of Section VI-C4. Runs under the metadata lock
+  // so the catalog, site availability, and node contents are consistent
+  // (no mover/repair can commit mid-scan); the direct node reads bypass
+  // injected data-plane latency, keeping the fallback deterministic.
+  std::lock_guard<std::mutex> meta_lock(meta_mu_);
   for (const BlockDemand& demand : demands) {
     auto& got = fetched[demand.block];
     const BlockInfo& info = state_.GetBlock(demand.block);
     if (got.size() >= info.k) continue;
 
-    // Degraded read: the plan could not deliver k chunks. Its cached form
-    // is stale, and any k reachable chunks will do.
     control_plane_.InvalidateBlock(demand.block);
     std::set<ChunkIndex> have;
     for (const IndexedChunk& c : got) have.insert(c.index);
@@ -125,9 +220,9 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
       if (got.size() >= info.k) break;
       if (have.count(loc.chunk)) continue;
       if (!state_.IsSiteAvailable(loc.site)) continue;
-      StorageNode& n = *nodes_[loc.site];
-      if (!n.available() || !n.HasChunk(demand.block, loc.chunk)) continue;
-      got.push_back({loc.chunk, *n.GetChunk(demand.block, loc.chunk)});
+      const auto data = nodes_[loc.site]->GetChunk(demand.block, loc.chunk);
+      if (data == nullptr) continue;
+      got.push_back({loc.chunk, *data});
       have.insert(loc.chunk);
     }
     if (got.size() < info.k) {
@@ -140,51 +235,86 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
 
 std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
     std::span<const BlockId> ids) {
-  control_plane_.RecordRequest(ids);
-  ++gets_since_refresh_;
-  if (gets_since_refresh_ % 64 == 0) RefreshLoadFromCounters();
+  DemandResult dr;
+  PlanDecision decision;
+  std::map<BlockId, BlockMeta> meta;
+  {
+    // Planning: one serialized control-plane decision plus a catalog
+    // snapshot, so the parallel fetch phase never touches mutable state.
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    control_plane_.RecordRequest(ids);
+    ++gets_since_refresh_;
+    if (gets_since_refresh_ % 64 == 0) RefreshLoadFromCounters();
 
-  DemandResult dr = BuildDemands(state_, ids, config_.EffectiveDelta());
-  for (std::size_t i = 0; i < dr.readable.size(); ++i) {
-    if (!dr.readable[i]) {
-      throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
+    dr = BuildDemands(state_, ids, config_.EffectiveDelta());
+    for (std::size_t i = 0; i < dr.readable.size(); ++i) {
+      if (!dr.readable[i]) {
+        throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
+      }
+    }
+
+    // R2: one shared plan decision — cached plan, greedy fallback, or the
+    // random baseline. Never an inline ILP solve.
+    decision = control_plane_.SelectAccessPlan(ids, dr.demands);
+
+    for (BlockId id : ids) {
+      if (meta.count(id)) continue;
+      const BlockInfo& info = state_.GetBlock(id);
+      meta.emplace(id, BlockMeta{info.k, info.block_bytes, info.locations});
     }
   }
 
-  // R2: one shared plan decision — cached plan, greedy fallback, or the
-  // random baseline. Never an inline ILP solve.
-  const PlanDecision decision =
-      control_plane_.SelectAccessPlan(ids, dr.demands);
-
-  // Fetch chunks per block; a late-binding plan may fetch extras, decode
-  // uses the first k.
+  // Fetch chunks per block in parallel; a late-binding plan fetches
+  // extras and each block completes on its first k arrivals.
   std::map<BlockId, std::vector<IndexedChunk>> fetched =
-      FetchChunks(decision.plan, dr.demands);
+      FetchChunks(decision.plan, dr.demands, meta);
 
   std::vector<std::vector<std::uint8_t>> out;
   out.reserve(ids.size());
   for (BlockId id : ids) {
-    const BlockInfo& info = state_.GetBlock(id);
-    out.push_back(codec_->Decode(fetched.at(id), info.block_bytes));
+    out.push_back(codec_->Decode(fetched.at(id), meta.at(id).block_bytes));
   }
 
   // The response is assembled; now run any queued background refinement
-  // (the synchronous embodiment's "off the request path").
+  // off the request's critical path.
   DrainBackgroundWork();
   return out;
 }
 
 void LocalECStore::DrainBackgroundWork() {
   // Each unit can enqueue its successor (the worker pump), so loop until
-  // the queue is truly empty.
-  while (!deferred_.empty()) {
-    ControlPlane::Deferred work = std::move(deferred_.front());
-    deferred_.pop_front();
+  // the queue is truly empty. Units run under the metadata lock: deferred
+  // solves touch the plan cache, cluster state, and RNG.
+  for (;;) {
+    ControlPlane::Deferred work;
+    {
+      std::lock_guard<std::mutex> lock(defer_mu_);
+      if (deferred_.empty()) return;
+      work = std::move(deferred_.front());
+      deferred_.pop_front();
+    }
+    std::lock_guard<std::mutex> lock(meta_mu_);
     work();
   }
 }
 
+bool LocalECStore::Contains(BlockId id) const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return state_.Contains(id);
+}
+
+ControlPlaneUsage LocalECStore::Usage() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return control_plane_.Usage();
+}
+
+CostParams LocalECStore::CurrentCostParams() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return control_plane_.CurrentCostParams();
+}
+
 bool LocalECStore::Remove(BlockId id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   if (!state_.Contains(id)) return false;
   control_plane_.InvalidateBlock(id);
   const BlockInfo info = state_.GetBlock(id);
@@ -195,17 +325,20 @@ bool LocalECStore::Remove(BlockId id) {
 }
 
 void LocalECStore::FailSite(SiteId site) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   state_.SetSiteAvailable(site, false);
   nodes_[site]->set_available(false);
   control_plane_.OnSiteFailed(site);
 }
 
 void LocalECStore::RecoverSite(SiteId site) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   state_.SetSiteAvailable(site, true);
   nodes_[site]->set_available(true);
 }
 
 std::uint64_t LocalECStore::RepairSite(SiteId site) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   std::uint64_t rebuilt = 0;
   for (BlockId block : state_.BlocksWithChunkAt(site)) {
     const BlockInfo& info = state_.GetBlock(block);
@@ -223,7 +356,7 @@ std::uint64_t LocalECStore::RepairSite(SiteId site) {
     std::vector<IndexedChunk> gathered;
     for (std::size_t i = 0; i < info.k; ++i) {
       const ChunkLocation& loc = survivors[i];
-      const ChunkData* data = nodes_[loc.site]->GetChunk(block, loc.chunk);
+      const auto data = nodes_[loc.site]->GetChunk(block, loc.chunk);
       if (data == nullptr) throw std::runtime_error("RepairSite: catalog/node mismatch");
       gathered.push_back({loc.chunk, *data});
     }
@@ -243,20 +376,23 @@ std::uint64_t LocalECStore::RepairSite(SiteId site) {
 }
 
 std::optional<MovementPlan> LocalECStore::RunMovementRound() {
+  std::lock_guard<std::mutex> lock(meta_mu_);
   RefreshLoadFromCounters();
   const auto plan = control_plane_.SelectMovement(
-      static_cast<double>(co_access().requests_in_window()));
+      static_cast<double>(control_plane_.co_access().requests_in_window()));
   if (!plan) return std::nullopt;
 
   // Execute with a real data copy: read at source, write at destination,
-  // commit metadata, delete the old copy.
+  // commit metadata, delete the old copy. All under the metadata lock, so
+  // a concurrent fetch either sees the chunk at its old site (until the
+  // delete) or replans against the committed new location.
   const BlockInfo& info = state_.GetBlock(plan->block);
   const auto loc = std::find_if(
       info.locations.begin(), info.locations.end(),
       [&](const ChunkLocation& l) { return l.site == plan->source; });
   if (loc == info.locations.end()) return std::nullopt;
   const ChunkIndex chunk = loc->chunk;
-  const ChunkData* data = nodes_[plan->source]->GetChunk(plan->block, chunk);
+  const auto data = nodes_[plan->source]->GetChunk(plan->block, chunk);
   if (data == nullptr) return std::nullopt;
   const std::uint64_t chunk_bytes = data->size();
   nodes_[plan->destination]->PutChunk(plan->block, chunk, *data);
@@ -277,7 +413,9 @@ std::uint64_t LocalECStore::TotalStoredBytes() const {
 
 void LocalECStore::RefreshLoadFromCounters() {
   // Derive site load from reads served since the last refresh: the
-  // in-process analogue of the periodic load reports.
+  // in-process analogue of the periodic load reports. Counters are
+  // atomics bumped by fetch workers; meta_mu_ (held by the caller)
+  // serializes the refresh itself.
   std::uint64_t total = 0;
   std::vector<std::uint64_t> deltas(nodes_.size(), 0);
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
@@ -285,16 +423,27 @@ void LocalECStore::RefreshLoadFromCounters() {
     reads_at_last_refresh_[j] = nodes_[j]->reads_served();
     total += deltas[j];
   }
-  if (total == 0) return;
+  // An idle window still records reports and probes (with zero
+  // utilization, decaying o_j toward the idle baseline) so drift
+  // detection sees recovery instead of freezing at the last busy epoch.
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
     const double util =
-        static_cast<double>(deltas[j]) / static_cast<double>(total);
+        total == 0 ? 0.0
+                   : static_cast<double>(deltas[j]) / static_cast<double>(total);
     control_plane_.RecordLoadReport(static_cast<SiteId>(j), util, 0,
                                     nodes_[j]->chunk_count(), /*msg_bytes=*/0);
-    // Overhead estimate proportional to relative load: busy nodes answer
-    // probes slower. The swing is kept moderate (1-5 ms) so that load
-    // awareness tempers, rather than dominates, co-location decisions.
-    control_plane_.RecordProbe(static_cast<SiteId>(j), 1.0 + util * 4.0,
+    // Probe overhead estimate. When the data plane injects real latency,
+    // the measured per-fetch service time IS the probe signal — the cost
+    // model then discovers genuinely slow sites. Otherwise fall back to a
+    // synthetic load-proportional estimate: busy nodes answer probes
+    // slower, with a moderate swing (1-5 ms) so load awareness tempers,
+    // rather than dominates, co-location decisions.
+    double rtt_ms = 1.0 + util * 4.0;
+    if (data_plane_->InjectsLatency()) {
+      const auto measured = data_plane_->HarvestLatency(static_cast<SiteId>(j));
+      if (measured.samples > 0) rtt_ms = measured.MeanMs();
+    }
+    control_plane_.RecordProbe(static_cast<SiteId>(j), rtt_ms,
                                /*msg_bytes=*/0);
   }
   control_plane_.ReloadPlansOnDrift();

@@ -7,14 +7,30 @@
 // repair reconstructs lost chunks from k survivors. Every policy decision
 // (access plans, write placement, movement, repair destinations) comes
 // from the same shared ControlPlane the simulator drives — this class
-// contributes only the data plane. Examples and integration tests use it
-// to prove the full code path works, not just the timing model.
+// contributes only the data plane.
+//
+// The data plane is concurrent (DESIGN.md §8): FetchChunks fans every
+// planned chunk read out to a per-site worker pool (core/data_plane.h)
+// and, for late-binding plans, completes each block on the first k
+// arrivals — stragglers are cancelled or ignored, which is the paper's
+// EC+LB technique running on real bytes. Configurable per-fetch deadlines
+// hedge one retry round against a block's untried chunks before the
+// degraded-read path takes over.
+//
+// Thread-safety: MultiGet/Put/Remove/FailSite/RecoverSite/RepairSite/
+// RunMovementRound may be called from multiple threads. One metadata
+// mutex serializes every ClusterState / ControlPlane / RNG touch (the
+// control plane itself stays single-threaded by contract); chunk fetches
+// run outside that lock against internally synchronized StorageNodes.
+// Lock order: metadata mutex -> deferred-work mutex; fetch workers take
+// only per-fetch-context and per-node locks, never the metadata mutex.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -23,6 +39,8 @@
 #include "common/rng.h"
 #include "core/config.h"
 #include "core/control_plane.h"
+#include "core/data_plane.h"
+#include "core/storage_node.h"
 #include "erasure/codec.h"
 #include "placement/mover.h"
 #include "placement/planner.h"
@@ -31,45 +49,25 @@
 
 namespace ecstore {
 
-/// One in-process storage node: a keyed chunk store with an availability
-/// switch (a "site" of the data plane).
-class StorageNode {
- public:
-  bool available() const { return available_; }
-  void set_available(bool a) { available_ = a; }
-
-  void PutChunk(BlockId block, ChunkIndex chunk, ChunkData data);
-  /// Returns nullptr when missing; throws std::runtime_error when the
-  /// node is failed (callers should consult availability first).
-  const ChunkData* GetChunk(BlockId block, ChunkIndex chunk) const;
-  bool DeleteChunk(BlockId block, ChunkIndex chunk);
-  bool HasChunk(BlockId block, ChunkIndex chunk) const;
-
-  std::uint64_t bytes_stored() const { return bytes_stored_; }
-  std::uint64_t chunk_count() const { return chunks_.size(); }
-  std::uint64_t reads_served() const { return reads_served_; }
-
- private:
-  std::map<std::pair<BlockId, ChunkIndex>, ChunkData> chunks_;
-  std::uint64_t bytes_stored_ = 0;
-  mutable std::uint64_t reads_served_ = 0;
-  bool available_ = true;
-};
-
-/// Synchronous, single-threaded EC-Store over in-process nodes.
+/// Concurrent EC-Store over in-process nodes.
 class LocalECStore {
  public:
   explicit LocalECStore(ECStoreConfig config);
 
   const ECStoreConfig& config() const { return config_; }
+  /// Direct cluster-state access for tests. Not synchronized: use only
+  /// while no concurrent store operations are running.
   ClusterState& state() { return state_; }
   const ClusterState& state() const { return state_; }
   StorageNode& node(SiteId site) { return *nodes_[site]; }
 
   /// The shared planning/stats/mover/repair path (exposed for parity
-  /// tests and benches).
+  /// tests and benches). Calls into it must not race store operations.
   ControlPlane& control_plane() { return control_plane_; }
   const ControlPlane& control_plane() const { return control_plane_; }
+
+  /// The concurrent fetch engine (exposed for tests and benches).
+  const DataPlane& data_plane() const { return *data_plane_; }
 
   // Introspection forwarded to the shared control plane.
   const CoAccessTracker& co_access() const { return control_plane_.co_access(); }
@@ -77,7 +75,7 @@ class LocalECStore {
     return control_plane_.load_tracker();
   }
   const PlanCache& plan_cache() const { return control_plane_.plan_cache(); }
-  ControlPlaneUsage Usage() const { return control_plane_.Usage(); }
+  ControlPlaneUsage Usage() const;
 
   /// The embodiment's seeded RNG stream. Exposed so parity tests can
   /// align both embodiments' planning draws from a known state.
@@ -97,16 +95,17 @@ class LocalECStore {
   std::vector<std::uint8_t> Get(BlockId id);
 
   /// Multi-block read through one shared access plan — the co-located
-  /// access path the paper optimizes. Served by the cached/greedy fast
-  /// path; ILP refinement runs in the background queue, drained off the
-  /// request path after the response is assembled. Results align with
-  /// `ids`.
+  /// access path the paper optimizes. Planning runs under the metadata
+  /// lock; the chunk fetches fan out in parallel (first k of k+delta win
+  /// under late binding); ILP refinement runs in the background queue,
+  /// drained off the request path after the response is assembled.
+  /// Results align with `ids`. Safe to call from multiple threads.
   std::vector<std::vector<std::uint8_t>> MultiGet(std::span<const BlockId> ids);
 
   /// Deletes a block's chunks everywhere.
   bool Remove(BlockId id);
 
-  bool Contains(BlockId id) const { return state_.Contains(id); }
+  bool Contains(BlockId id) const;
 
   /// Fails / recovers a site. Chunks survive on disk across recovery.
   void FailSite(SiteId site);
@@ -129,19 +128,31 @@ class LocalECStore {
   /// Total bytes held by every node (storage-overhead accounting).
   std::uint64_t TotalStoredBytes() const;
 
-  CostParams CurrentCostParams() const {
-    return control_plane_.CurrentCostParams();
-  }
+  CostParams CurrentCostParams() const;
 
  private:
+  /// Per-block catalog snapshot taken under the metadata lock at planning
+  /// time, so the lock-free fetch phase never reads mutable state.
+  struct BlockMeta {
+    std::uint32_t k = 0;
+    std::uint64_t block_bytes = 0;
+    std::vector<ChunkLocation> locations;
+  };
+
+  /// Requires meta_mu_ held.
   void RefreshLoadFromCounters();
   void StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
                     std::span<const SiteId> sites);
-  /// Fetches every reachable chunk the plan names, then tops up any block
-  /// still short of k from whatever reachable chunks remain (the
-  /// degraded-read path). Throws when a block stays short of k.
+  /// Fans every planned chunk read out to the data plane, completes each
+  /// block on its first k arrivals (cancelling/ignoring late-binding
+  /// stragglers), hedges one retry round against untried chunks when the
+  /// configured fetch deadline expires, then tops up any block still
+  /// short of k from whatever reachable chunks remain (the degraded-read
+  /// path, under the metadata lock). Throws when a block stays short of
+  /// k. Called WITHOUT meta_mu_ held.
   std::map<BlockId, std::vector<IndexedChunk>> FetchChunks(
-      const AccessPlan& plan, std::span<const BlockDemand> demands);
+      const AccessPlan& plan, std::span<const BlockDemand> demands,
+      const std::map<BlockId, BlockMeta>& meta);
 
   ECStoreConfig config_;
   Rng rng_;
@@ -149,11 +160,25 @@ class LocalECStore {
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   ClusterState state_;
   ControlPlane control_plane_;
+
+  /// Serializes every ClusterState / ControlPlane / RNG / refresh-counter
+  /// touch. Never held across the parallel fetch wait.
+  mutable std::mutex meta_mu_;
+
   // Deferred control-plane work (background ILP solves). The executor
-  // seam appends here; DrainBackgroundWork runs it off the request path.
+  // seam appends here under defer_mu_; DrainBackgroundWork pops under
+  // defer_mu_ and runs each unit under meta_mu_ (lock order: meta_mu_
+  // before defer_mu_ — the executor fires from inside control-plane calls
+  // that already hold meta_mu_).
+  std::mutex defer_mu_;
   std::deque<ControlPlane::Deferred> deferred_;
+
   std::vector<std::uint64_t> reads_at_last_refresh_;
   std::uint64_t gets_since_refresh_ = 0;
+
+  // Declared last: its destructor joins the workers, whose queued jobs
+  // reference the nodes above, before anything else is torn down.
+  std::unique_ptr<DataPlane> data_plane_;
 };
 
 }  // namespace ecstore

@@ -1,0 +1,49 @@
+#include "core/storage_node.h"
+
+namespace ecstore {
+
+void StorageNode::PutChunk(BlockId block, ChunkIndex chunk, ChunkData data) {
+  auto key = std::make_pair(block, chunk);
+  auto holder = std::make_shared<const ChunkData>(std::move(data));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find(key);
+  if (it != chunks_.end()) {
+    bytes_stored_ -= it->second->size();
+    bytes_stored_ += holder->size();
+    it->second = std::move(holder);
+    return;
+  }
+  bytes_stored_ += holder->size();
+  chunks_.emplace(std::move(key), std::move(holder));
+}
+
+std::shared_ptr<const ChunkData> StorageNode::GetChunk(BlockId block,
+                                                       ChunkIndex chunk) const {
+  if (!available()) return nullptr;  // Failed node: a miss, not an error.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find({block, chunk});
+  if (it == chunks_.end()) return nullptr;
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool StorageNode::DeleteChunk(BlockId block, ChunkIndex chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find({block, chunk});
+  if (it == chunks_.end()) return false;
+  bytes_stored_ -= it->second->size();
+  chunks_.erase(it);
+  return true;
+}
+
+bool StorageNode::HasChunk(BlockId block, ChunkIndex chunk) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.count({block, chunk}) > 0;
+}
+
+std::uint64_t StorageNode::chunk_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.size();
+}
+
+}  // namespace ecstore

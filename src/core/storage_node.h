@@ -1,0 +1,59 @@
+// StorageNode: one in-process storage site of the real-bytes data plane —
+// a keyed chunk store with an availability switch.
+//
+// Thread-safe: the concurrent data plane (core/data_plane.h) reads chunks
+// from pool workers while writers (Put, movement, repair) and the
+// failure-injection API run on other threads. The chunk map is guarded by
+// a per-node mutex; the hot counters are atomics so concurrent GetChunk
+// calls never corrupt the load-refresh deltas derived from them. Chunks
+// are handed out as shared_ptrs, so a reader keeps its bytes alive even
+// when the chunk is concurrently deleted or overwritten.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/types.h"
+#include "erasure/codec.h"
+
+namespace ecstore {
+
+class StorageNode {
+ public:
+  bool available() const { return available_.load(std::memory_order_acquire); }
+  void set_available(bool a) { available_.store(a, std::memory_order_release); }
+
+  void PutChunk(BlockId block, ChunkIndex chunk, ChunkData data);
+
+  /// Returns the chunk bytes, or nullptr when the chunk is missing — or
+  /// when the node is failed. A failed node answering nullptr (a miss)
+  /// instead of throwing matters under concurrency: FailSite can land
+  /// between planning and fetch, and a miss routes the read into the
+  /// degraded top-up path where an exception would escape FetchChunks.
+  std::shared_ptr<const ChunkData> GetChunk(BlockId block,
+                                            ChunkIndex chunk) const;
+  bool DeleteChunk(BlockId block, ChunkIndex chunk);
+  bool HasChunk(BlockId block, ChunkIndex chunk) const;
+
+  std::uint64_t bytes_stored() const {
+    return bytes_stored_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t chunk_count() const;
+  std::uint64_t reads_served() const {
+    return reads_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;  // guards chunks_
+  std::map<std::pair<BlockId, ChunkIndex>, std::shared_ptr<const ChunkData>>
+      chunks_;
+  std::atomic<std::uint64_t> bytes_stored_{0};
+  mutable std::atomic<std::uint64_t> reads_served_{0};
+  std::atomic<bool> available_{true};
+};
+
+}  // namespace ecstore

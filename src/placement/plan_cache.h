@@ -8,6 +8,7 @@
 // change epoch (o_j re-estimation).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -20,7 +21,10 @@
 namespace ecstore {
 
 /// LRU cache keyed by the canonical (sorted) block-id set of a request
-/// plus the late-binding delta. Not thread-safe; callers serialize.
+/// plus the late-binding delta. Mutations are not thread-safe; callers
+/// serialize them (the DES is single-threaded, LocalECStore holds its
+/// metadata mutex). The hit/miss counters are atomics so diagnostic reads
+/// from tests and benches can race ongoing lookups without UB.
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 100000);
@@ -51,8 +55,10 @@ class PlanCache {
   void BumpEpoch();
 
   std::size_t size() const { return entries_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
   double HitRate() const;
 
   /// Approximate heap usage for the Table III resource report.
@@ -77,8 +83,8 @@ class PlanCache {
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  // Front = most recent.
   std::multimap<BlockId, Key> block_index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace ecstore

@@ -25,9 +25,9 @@ struct LoadTrackerParams {
   double initial_overhead_ms = 5.0;
 };
 
-/// Tracks per-site load. Single-writer; readers see consistent snapshots
-/// (the simulated cluster is single-threaded; LocalCluster wraps this in
-/// its own lock).
+/// Tracks per-site load. Not internally synchronized: the simulated
+/// cluster is single-threaded, and LocalECStore serializes every access
+/// under its metadata mutex (see core/local_store.h).
 class LoadTracker {
  public:
   LoadTracker(std::size_t num_sites, LoadTrackerParams params = {});

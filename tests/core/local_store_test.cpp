@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "common/rng.h"
 
 namespace ecstore {
@@ -25,7 +28,7 @@ TEST(StorageNodeTest, PutGetDelete) {
   node.PutChunk(1, 0, {1, 2, 3});
   EXPECT_TRUE(node.HasChunk(1, 0));
   EXPECT_EQ(node.bytes_stored(), 3u);
-  const ChunkData* got = node.GetChunk(1, 0);
+  const std::shared_ptr<const ChunkData> got = node.GetChunk(1, 0);
   ASSERT_NE(got, nullptr);
   EXPECT_EQ(*got, (ChunkData{1, 2, 3}));
   EXPECT_EQ(node.GetChunk(1, 1), nullptr);
@@ -42,11 +45,27 @@ TEST(StorageNodeTest, OverwriteAdjustsBytes) {
   EXPECT_EQ(node.chunk_count(), 1u);
 }
 
-TEST(StorageNodeTest, FailedNodeThrowsOnRead) {
+TEST(StorageNodeTest, FailedNodeReadsAsMiss) {
+  // A failed node answers nullptr, not an exception: under concurrency a
+  // site can fail between planning and fetch, and the miss must route the
+  // read into the degraded path rather than unwind the fetch worker.
   StorageNode node;
   node.PutChunk(1, 0, {1});
   node.set_available(false);
-  EXPECT_THROW(node.GetChunk(1, 0), std::runtime_error);
+  EXPECT_EQ(node.GetChunk(1, 0), nullptr);
+  node.set_available(true);
+  ASSERT_NE(node.GetChunk(1, 0), nullptr);  // Data survived the outage.
+}
+
+TEST(StorageNodeTest, ChunkHandleOutlivesDelete) {
+  // Readers hold chunks by shared_ptr: a concurrent delete (movement,
+  // Remove) must not invalidate bytes already handed out.
+  StorageNode node;
+  node.PutChunk(1, 0, {7, 8, 9});
+  const std::shared_ptr<const ChunkData> got = node.GetChunk(1, 0);
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(node.DeleteChunk(1, 0));
+  EXPECT_EQ(*got, (ChunkData{7, 8, 9}));
 }
 
 class LocalStoreRoundTrip : public ::testing::TestWithParam<Technique> {};
@@ -311,6 +330,38 @@ TEST(LocalStoreTest, UsageExposesSharedAccounting) {
   EXPECT_GT(usage.mover_memory_bytes, 0u);
   EXPECT_EQ(usage.moves_executed, moved);
   if (moved > 0) EXPECT_GT(usage.mover_network_bytes, 0u);
+}
+
+TEST(LocalStoreTest, IdleRefreshStillRecordsProbes) {
+  // Regression: RefreshLoadFromCounters used to early-return when no
+  // reads happened since the last refresh, freezing o_j at the last busy
+  // epoch — drift detection could never see a hot site recover. An idle
+  // refresh must still record probes that decay o_j toward the baseline.
+  LocalECStore store(SmallConfig(Technique::kEcCM));
+  Rng rng(16);
+  for (BlockId id = 0; id < 8; ++id) store.Put(id, RandomBlock(1024, rng));
+
+  // Busy phase: concentrate reads so refresh sees skewed utilization and
+  // probes push some o_j above others.
+  for (int round = 0; round < 130; ++round) {
+    const std::vector<BlockId> pair = {0, 1};
+    (void)store.MultiGet(pair);
+  }
+  double max_overhead = 0;
+  for (SiteId j = 0; j < store.state().num_sites(); ++j) {
+    max_overhead = std::max(max_overhead, store.load_tracker().OverheadMs(j));
+  }
+  ASSERT_GT(max_overhead, 1.0);  // Some site looked busy.
+
+  // Idle phase: movement rounds refresh with zero reads in the window.
+  for (int round = 0; round < 10; ++round) (void)store.RunMovementRound();
+  double max_after = 0;
+  for (SiteId j = 0; j < store.state().num_sites(); ++j) {
+    max_after = std::max(max_after, store.load_tracker().OverheadMs(j));
+  }
+  // Idle probes report the 1 ms baseline, so every o_j decays toward it.
+  EXPECT_LT(max_after, max_overhead);
+  EXPECT_LT(max_after, 1.5);
 }
 
 TEST(LocalStoreTest, LateBindingStillDecodes) {
