@@ -1,8 +1,11 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/repair.h"
 
 namespace ecstore::bench {
 
@@ -37,6 +40,8 @@ ExperimentParams ExperimentParams::FromFlags(const Flags& flags) {
   p.r = static_cast<std::uint32_t>(flags.GetInt("r", p.r));
   p.slow_sites = static_cast<std::uint32_t>(flags.GetInt("slow-sites", p.slow_sites));
   p.slow_factor = flags.GetDouble("slow-factor", p.slow_factor);
+  p.enable_repair = flags.GetBool("repair", p.enable_repair);
+  p.repair_wait_s = flags.GetDouble("repair-wait", p.repair_wait_s);
   return p;
 }
 
@@ -94,12 +99,19 @@ RunResult RunOnce(Technique technique, const ExperimentParams& params,
     config.slow_sites.push_back(static_cast<SiteId>(s * 5 % params.num_sites));
   }
   config.slow_factor = params.slow_factor;
+  if (params.enable_repair) config.repair_wait = FromSeconds(params.repair_wait_s);
 
   SimECStore store(config);
   auto workload = MakeWorkload(params, seed);
   for (const BlockSpec& b : workload->Blocks()) store.LoadBlock(b.id, b.bytes);
 
   if (setup) setup(store);
+
+  std::unique_ptr<RepairService> repair;
+  if (params.enable_repair) {
+    repair = std::make_unique<RepairService>(&store);
+    repair->Start();
+  }
 
   ClosedLoopDriver::Params dp;
   dp.clients = params.clients;
@@ -138,8 +150,12 @@ std::vector<RunResult> RunSeedsRaw(Technique technique,
 
 AggregateBreakdown RunSeeds(Technique technique, const ExperimentParams& params,
                             const StoreSetupHook& setup) {
+  return Aggregate(RunSeedsRaw(technique, params, setup));
+}
+
+AggregateBreakdown Aggregate(const std::vector<RunResult>& runs) {
   AggregateBreakdown agg;
-  for (const RunResult& r : RunSeedsRaw(technique, params, setup)) {
+  for (const RunResult& r : runs) {
     agg.total.Add(r.metrics.total.Mean() / kMillisecond);
     agg.metadata.Add(r.metrics.metadata.Mean() / kMillisecond);
     agg.planning.Add(r.metrics.planning.Mean() / kMillisecond);
@@ -151,6 +167,52 @@ AggregateBreakdown RunSeeds(Technique technique, const ExperimentParams& params,
     agg.sites_per_request.Add(r.metrics.sites_per_request.Mean());
   }
   return agg;
+}
+
+ControlPlaneUsage SumUsage(const std::vector<RunResult>& runs) {
+  ControlPlaneUsage sum;
+  for (const RunResult& r : runs) {
+    sum.degraded_reads += r.usage.degraded_reads;
+    sum.retried_fetches += r.usage.retried_fetches;
+    sum.cancelled_fetch_jobs += r.usage.cancelled_fetch_jobs;
+    sum.checksum_failures += r.usage.checksum_failures;
+    sum.chunks_scrubbed += r.usage.chunks_scrubbed;
+    sum.chunks_repaired += r.usage.chunks_repaired;
+    sum.sites_marked_dead += r.usage.sites_marked_dead;
+  }
+  return sum;
+}
+
+std::string UsageJson(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, ControlPlaneUsage>>& rows) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench << "\",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ControlPlaneUsage& u = rows[i].second;
+    if (i) os << ",";
+    os << "{\"label\":\"" << rows[i].first << "\""
+       << ",\"degraded_reads\":" << u.degraded_reads
+       << ",\"retried_fetches\":" << u.retried_fetches
+       << ",\"cancelled_fetch_jobs\":" << u.cancelled_fetch_jobs
+       << ",\"checksum_failures\":" << u.checksum_failures
+       << ",\"chunks_scrubbed\":" << u.chunks_scrubbed
+       << ",\"chunks_repaired\":" << u.chunks_repaired
+       << ",\"sites_marked_dead\":" << u.sites_marked_dead << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+void MaybeWriteUsageJson(
+    const Flags& flags, const std::string& bench,
+    const std::vector<std::pair<std::string, ControlPlaneUsage>>& rows) {
+  const std::string path = flags.GetString("usage-json", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write --usage-json=" + path);
+  out << UsageJson(bench, rows);
+  std::printf("robustness counters -> %s\n", path.c_str());
 }
 
 std::vector<Technique> AllTechniques() {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -67,6 +68,12 @@ struct ExperimentParams {
   /// Number of artificially slowed sites (heterogeneity ablation).
   std::uint32_t slow_sites = 0;
   double slow_factor = 3.0;
+  /// Starts the RepairService so failed sites are reconstructed online
+  /// (--repair; the paper's failure runs leave this off, Section VI-C4).
+  bool enable_repair = false;
+  /// Grace period before a dead site is rebuilt (--repair-wait, seconds).
+  /// The paper waited 15 min; scaled runs compress it like the mover rate.
+  double repair_wait_s = 15 * 60.0;
 
   /// Reads overrides: --sites, --blocks, --block-bytes, --clients,
   /// --warmup, --measure, --zipf, --runs, --seed, --workload, --pages.
@@ -105,6 +112,25 @@ RunResult RunOnce(Technique technique, const ExperimentParams& params,
 /// Runs `params.runs` seeds and aggregates.
 AggregateBreakdown RunSeeds(Technique technique, const ExperimentParams& params,
                             const StoreSetupHook& setup = {});
+
+/// Folds raw per-seed results into the mean ± CI aggregate.
+AggregateBreakdown Aggregate(const std::vector<RunResult>& runs);
+
+/// Sums the robustness counters (the DESIGN.md §9 block of
+/// ControlPlaneUsage) across runs.
+ControlPlaneUsage SumUsage(const std::vector<RunResult>& runs);
+
+/// Renders labelled robustness-counter rows as one JSON object, e.g.
+/// {"bench":"fig4f","rows":[{"label":"EC+C+M+LB/failures=1",
+///  "degraded_reads":12,...}]} — the artifact run_benches.sh trends.
+std::string UsageJson(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, ControlPlaneUsage>>& rows);
+
+/// Writes UsageJson to --usage-json=PATH; no-op when the flag is unset.
+void MaybeWriteUsageJson(
+    const Flags& flags, const std::string& bench,
+    const std::vector<std::pair<std::string, ControlPlaneUsage>>& rows);
 
 /// Collects per-seed results (for CDFs and timelines that need raw data).
 std::vector<RunResult> RunSeedsRaw(Technique technique,

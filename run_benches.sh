@@ -8,6 +8,10 @@
 # greedy/ILP/plan-cache latency):
 #   ./run_benches.sh planner-json [label]   # writes bench_results/planner_<label>.json
 #   ./run_benches.sh planner-compare A B    # prints time-per-op ratios
+# Failure bench with online repair (off in the default suite, matching the
+# paper) plus robustness counters for trending:
+#   ./run_benches.sh failures-repair [label]
+#     # writes bench_results/failures_repair_<label>.json
 # The label defaults to the current git short SHA (plus -dirty when the
 # tree has uncommitted changes). Pin a GF kernel path for a snapshot with
 # ECSTORE_GF_KERNEL=scalar|ssse3|avx2.
@@ -101,7 +105,22 @@ for name in before:
 EOF
 }
 
+failures_repair() {
+  local label="${1:-}"
+  if [ -z "$label" ]; then
+    label="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then label="${label}-dirty"; fi
+  fi
+  mkdir -p bench_results
+  local out="bench_results/failures_repair_${label}.json"
+  build/bench/bench_fig4f_failures --repair --usage-json="$out"
+}
+
 case "${1:-}" in
+  failures-repair)
+    failures_repair "${2:-}"
+    exit $?
+    ;;
   erasure-json)
     erasure_json "${2:-}"
     exit $?

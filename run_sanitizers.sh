@@ -8,6 +8,10 @@
 # TSan stage: separate build (sanitizers don't compose) running the
 # thread-racing suites against the concurrent LocalECStore data plane.
 #
+# Both stages include the chaos smoke (chaos_test): a seeded fault
+# schedule that crashes/flaps/corrupts under concurrent MultiGet/Put and
+# asserts zero data loss (DESIGN.md §9).
+#
 #   ./run_sanitizers.sh [asan|tsan|all] [ctest -R regex override]
 set -eu
 
@@ -15,7 +19,7 @@ STAGE="${1:-all}"
 status=0
 
 run_asan() {
-  local regex="${1:-gf_test|erasure_test|core_test}"
+  local regex="${1:-gf_test|erasure_test|core_test|fault_test|chaos_test}"
   local build=build-asan
   cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_SANITIZE=ON
   cmake --build "$build" -j"$(nproc)"
@@ -28,7 +32,7 @@ run_asan() {
 }
 
 run_tsan() {
-  local regex="${1:-concurrency_test|core_test}"
+  local regex="${1:-concurrency_test|core_test|fault_test|chaos_test}"
   local build=build-tsan
   cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_TSAN=ON
   cmake --build "$build" -j"$(nproc)"

@@ -1,0 +1,62 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace ecstore {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  // table[s][b]: CRC of byte b advanced through s+1 zero bytes — the
+  // standard slice-by-8 construction.
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][b] = crc;
+    }
+    for (std::size_t s = 1; s < 8; ++s) {
+      for (std::uint32_t b = 0; b < 256; ++b) {
+        t[s][b] = (t[s - 1][b] >> 8) ^ t[0][t[s - 1][b] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;  // thread-safe magic-static init
+  return kTables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+
+  // Process 8 bytes per step via slice-by-8.
+  while (len >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^ tb.t[3][p[4]] ^
+          tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len--) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace ecstore

@@ -1,0 +1,19 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// end-to-end chunk checksum of the robustness layer (DESIGN.md §9).
+//
+// Every chunk is checksummed at encode/Put time and verified on every
+// fetch; a mismatch converts the chunk into an erasure so silent media
+// corruption can never reach a client. Software slice-by-8 implementation
+// (~1 byte/cycle), table-initialized at first use, thread-safe after that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecstore {
+
+/// CRC32C of `data[0, len)`, continuing from `seed` (pass 0 for a fresh
+/// checksum; chain calls by passing the previous return value).
+std::uint32_t Crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace ecstore

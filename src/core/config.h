@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/retry.h"
 #include "placement/mover.h"
 #include "sim/network.h"
 #include "sim/site.h"
@@ -58,10 +59,14 @@ struct DataPlaneParams {
   double straggler_probability = 0.0;
   double straggler_factor = 10.0;
   /// Per-fetch deadline in milliseconds: when > 0 and a block is still
-  /// short of k when it expires, the store hedges one retry round against
-  /// the block's untried chunks before falling into the degraded-read
-  /// path. 0 disables deadlines.
+  /// short of k when it expires, the store runs bounded retry rounds (see
+  /// `retry`) against the block's unfetched chunks before falling into
+  /// the degraded-read path. 0 disables deadlines.
   double fetch_deadline_ms = 0.0;
+  /// Bounded retry policy for those rounds (DESIGN.md §9): exponential
+  /// backoff + jitter under a per-request deadline budget. The defaults
+  /// (one immediate retry round) reproduce the original one-shot hedge.
+  RetryParams retry;
   /// Seed for the data plane's latency draws. Deliberately independent of
   /// ECStoreConfig::seed so planning parity with the simulator embodiment
   /// is unaffected by fetch timing.
@@ -138,6 +143,19 @@ struct ECStoreConfig {
   // --- Repair service (Section V-C: mark dead, wait 15 min, rebuild).
   SimTime repair_poll_interval = 5 * kSecond;
   SimTime repair_wait = 15 * kMinute;
+
+  // --- Failure detection (DESIGN.md §9): a site silent for this long is
+  // suspected / declared dead by the ControlPlane's detector. 0 derives
+  // the thresholds from stats_report_interval (~2.5 and ~4.5 missed
+  // reporting windows respectively).
+  SimTime detector_suspect_after = 0;
+  SimTime detector_dead_after = 0;
+
+  // --- Real-bytes maintenance loop (LocalECStore::StartMaintenance):
+  // wall-clock tick driving heartbeats, failure checks, and repair polls;
+  // the scrubber runs every scrub_every_ticks ticks (0 disables it).
+  double maintenance_tick_ms = 50.0;
+  std::size_t scrub_every_ticks = 5;
 
   std::uint64_t seed = 1;
 

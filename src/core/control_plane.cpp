@@ -12,6 +12,20 @@ double MediaMsPerByte(const sim::SiteParams& site) {
   return 1000.0 / site.disk_bytes_per_sec;
 }
 
+/// Detector thresholds: explicit when configured, else derived from the
+/// stats reporting interval. The half-window slack keeps a heartbeat that
+/// lands exactly on its interval boundary from tripping the detector.
+FailureDetectorParams EffectiveDetectorParams(const ECStoreConfig& c) {
+  FailureDetectorParams p;
+  p.suspect_after_ms = c.detector_suspect_after > 0
+                           ? ToMillis(c.detector_suspect_after)
+                           : 2.5 * ToMillis(c.stats_report_interval);
+  p.dead_after_ms = c.detector_dead_after > 0
+                        ? ToMillis(c.detector_dead_after)
+                        : 4.5 * ToMillis(c.stats_report_interval);
+  return p;
+}
+
 }  // namespace
 
 ControlPlane::ControlPlane(const ECStoreConfig* config, ClusterState* state,
@@ -23,7 +37,8 @@ ControlPlane::ControlPlane(const ECStoreConfig* config, ClusterState* state,
       defer_solve_(std::move(defer_solve)),
       co_access_(config->co_access_window),
       load_tracker_(config->num_sites, load_params),
-      plan_cache_(config->plan_cache_capacity) {}
+      plan_cache_(config->plan_cache_capacity),
+      detector_(EffectiveDetectorParams(*config)) {}
 
 void ControlPlane::RecordRequest(std::span<const BlockId> blocks) {
   co_access_.RecordRequest(blocks);
@@ -231,6 +246,36 @@ void ControlPlane::RecordMoveExecuted(BlockId block, std::uint64_t chunk_bytes) 
   mover_network_bytes_ += chunk_bytes;
 }
 
+void ControlPlane::NoteHeartbeat(SiteId site, double now_ms) {
+  const bool revived = detector_.Heartbeat(site, now_ms);
+  if (revived && !state_->IsSiteAvailable(site)) {
+    // A site the detector wrote off reported in again (a flap healing):
+    // restore belief. Its chunks are still cataloged, so redundancy
+    // returns with it; cached plans need no invalidation — validation
+    // only ever rejects *unavailable* sites.
+    state_->SetSiteAvailable(site, true);
+  }
+}
+
+std::vector<SiteId> ControlPlane::CheckFailures(double now_ms) {
+  // Baseline sites the detector has never heard from, so silence is
+  // measured from first observation — not from time zero, which would
+  // declare a quiet cluster dead on the first check.
+  for (SiteId j = 0; j < state_->num_sites(); ++j) {
+    if (!detector_.Tracks(j)) detector_.Baseline(j, now_ms);
+  }
+  std::vector<SiteId> died;
+  for (const HealthTransition& t : detector_.Tick(now_ms)) {
+    if (t.to != SiteHealth::kDead) continue;
+    if (!state_->IsSiteAvailable(t.site)) continue;  // Already failed manually.
+    state_->SetSiteAvailable(t.site, false);
+    OnSiteFailed(t.site);
+    ++sites_marked_dead_;
+    died.push_back(t.site);
+  }
+  return died;
+}
+
 SiteId ControlPlane::SelectRepairDestination(BlockId block) const {
   // The least-loaded available site holding no chunk of this block — the
   // data-movement strategy's load awareness (Section V-C).
@@ -252,6 +297,7 @@ void ControlPlane::RecordRepair(BlockId block) {
   // stale (they either reference the dead site or miss the cheaper new
   // location).
   plan_cache_.InvalidateBlock(block);
+  ++chunks_repaired_;
 }
 
 ControlPlaneUsage ControlPlane::Usage() const {
@@ -267,6 +313,8 @@ ControlPlaneUsage ControlPlane::Usage() const {
   u.mover_network_bytes = mover_network_bytes_;
   u.ilp_solves = ilp_solves_;
   u.moves_executed = moves_executed_;
+  u.chunks_repaired = chunks_repaired_;
+  u.sites_marked_dead = sites_marked_dead_;
   return u;
 }
 

@@ -27,6 +27,7 @@
 #include "cluster/state.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "fault/detector.h"
 #include "placement/mover.h"
 #include "placement/plan_cache.h"
 #include "placement/planner.h"
@@ -35,7 +36,11 @@
 
 namespace ecstore {
 
-/// Control-plane resource usage counters (Table III).
+/// Control-plane resource usage counters (Table III), extended with the
+/// robustness counters of DESIGN.md §9. The control plane fills what it
+/// owns (repair/detector); embodiments overlay their data-plane counters
+/// (degraded reads, retries, cancellations, checksums, scrub) in their
+/// own Usage() accessors.
 struct ControlPlaneUsage {
   std::size_t stats_memory_bytes = 0;
   std::size_t optimizer_memory_bytes = 0;
@@ -44,6 +49,15 @@ struct ControlPlaneUsage {
   std::uint64_t mover_network_bytes = 0;    // chunk copies
   std::uint64_t ilp_solves = 0;
   std::uint64_t moves_executed = 0;
+
+  // --- Robustness counters (DESIGN.md §9).
+  std::uint64_t degraded_reads = 0;       // blocks topped up off-plan
+  std::uint64_t retried_fetches = 0;      // re-issued fetches / replans
+  std::uint64_t cancelled_fetch_jobs = 0; // late-binding stragglers dropped
+  std::uint64_t checksum_failures = 0;    // CRC mismatches caught on reads
+  std::uint64_t chunks_scrubbed = 0;      // bad/missing chunks rewritten
+  std::uint64_t chunks_repaired = 0;      // chunks rebuilt by repair
+  std::uint64_t sites_marked_dead = 0;    // detector-driven dead verdicts
 };
 
 /// How an access plan was produced (the R2 decision of Fig. 3).
@@ -170,6 +184,22 @@ class ControlPlane {
   /// Table III mover counters.
   void RecordMoveExecuted(BlockId block, std::uint64_t chunk_bytes);
 
+  // --- Failure detection (DESIGN.md §9) -------------------------------
+  /// Evidence of life: each periodic stats report / probe / load refresh
+  /// an embodiment ingests doubles as a heartbeat. When the heartbeat
+  /// revives a site the detector had marked suspect/dead, its
+  /// availability is restored in the cluster state (belief, not ground
+  /// truth — the embodiment's node simply reported in again).
+  void NoteHeartbeat(SiteId site, double now_ms);
+
+  /// Advances the detector to `now_ms`. Sites newly declared dead are
+  /// marked unavailable in the cluster state (invalidating their cached
+  /// plans) and returned; the repair service's `repair_wait` grace period
+  /// takes over from there. Sites already failed manually are skipped.
+  std::vector<SiteId> CheckFailures(double now_ms);
+
+  const FailureDetector& failure_detector() const { return detector_; }
+
   // --- Repair service policy (Section V-C) ----------------------------
   /// Destination for reconstructing a lost chunk of `block`: the
   /// least-loaded available site holding no chunk of the block, or
@@ -184,6 +214,8 @@ class ControlPlane {
 
   std::uint64_t ilp_solves() const { return ilp_solves_; }
   std::uint64_t moves_executed() const { return moves_executed_; }
+  std::uint64_t chunks_repaired() const { return chunks_repaired_; }
+  std::uint64_t sites_marked_dead() const { return sites_marked_dead_; }
   std::size_t ilp_queue_depth() const { return ilp_queue_.size(); }
   bool ilp_worker_busy() const { return ilp_worker_busy_; }
 
@@ -200,6 +232,7 @@ class ControlPlane {
   LoadTracker load_tracker_;
   PlanCache plan_cache_;
   PlanObserver plan_observer_;
+  FailureDetector detector_;
 
   // ONE background ILP worker (Section V-B1); misses queue up
   // (deduplicated, bounded) rather than spawning unbounded solver work.
@@ -217,6 +250,8 @@ class ControlPlane {
   std::uint64_t mover_network_bytes_ = 0;
   std::uint64_t ilp_solves_ = 0;
   std::uint64_t moves_executed_ = 0;
+  std::uint64_t chunks_repaired_ = 0;
+  std::uint64_t sites_marked_dead_ = 0;
 };
 
 }  // namespace ecstore

@@ -55,6 +55,14 @@ void DataPlane::Submit(SiteId site, Job job, CancelToken cancel) {
   q.cv.notify_one();
 }
 
+void DataPlane::SetSiteExtraLatency(SiteId site, double ms) {
+  queues_[site]->fault_extra_ms.store(ms, std::memory_order_relaxed);
+}
+
+double DataPlane::SiteExtraLatency(SiteId site) const {
+  return queues_[site]->fault_extra_ms.load(std::memory_order_relaxed);
+}
+
 DataPlane::LatencySample DataPlane::HarvestLatency(SiteId site) {
   SiteQueue& q = *queues_[site];
   LatencySample s;
@@ -70,6 +78,7 @@ double DataPlane::DrawLatencyMs(SiteId site, Rng& rng) const {
   if (site < params_.site_extra_latency_ms.size()) {
     ms += params_.site_extra_latency_ms[site];
   }
+  ms += queues_[site]->fault_extra_ms.load(std::memory_order_relaxed);
   if (params_.jitter_ms > 0) ms += rng.NextDouble() * params_.jitter_ms;
   if (params_.straggler_probability > 0 &&
       rng.NextBernoulli(params_.straggler_probability)) {

@@ -59,6 +59,12 @@ class DataPlane {
   /// service times carry real signal for the o_j probe path.
   bool InjectsLatency() const { return injects_latency_; }
 
+  /// Dynamic slow-site fault (DESIGN.md §9): adds `ms` of injected
+  /// latency to every fetch at `site` from now on (0 heals it). Safe to
+  /// call concurrently with fetches.
+  void SetSiteExtraLatency(SiteId site, double ms);
+  double SiteExtraLatency(SiteId site) const;
+
   /// Measured per-site service time (injected latency + real chunk read)
   /// accumulated since the last harvest; harvesting resets the window.
   struct LatencySample {
@@ -90,6 +96,8 @@ class DataPlane {
     // load-refresh path into o_j probes.
     std::atomic<std::uint64_t> latency_us{0};
     std::atomic<std::uint64_t> samples{0};
+    // Fault-injected extra latency (slow-site degradation).
+    std::atomic<double> fault_extra_ms{0.0};
   };
 
   void WorkerLoop(SiteId site, std::uint64_t worker, SiteQueue* queue);

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 namespace ecstore {
 
@@ -17,7 +18,6 @@ struct BlockGather {
   std::vector<IndexedChunk> got;    // delivered chunks, capped at k
   std::set<ChunkIndex> have;        // chunk indices present in `got`
   std::set<ChunkIndex> tried;       // chunk indices ever issued
-  bool retried = false;             // deadline hedge already spent
 };
 
 /// Shared between the requesting thread and the fetch workers. Jobs hold
@@ -62,9 +62,16 @@ LocalECStore::LocalECStore(ECStoreConfig config)
   for (std::size_t j = 0; j < config_.num_sites; ++j) {
     nodes_.push_back(std::make_unique<StorageNode>());
   }
+  // The maintenance tick polls this under meta_mu_; its reconstructor
+  // rebuilds real bytes through the same logic RepairSite exposes.
+  repair_ = std::make_unique<RepairService>(
+      &config_, &state_, &control_plane_,
+      [this](SiteId site) { return RepairSiteLocked(site); });
   data_plane_ =
       std::make_unique<DataPlane>(config_.num_sites, config_.data_plane);
 }
+
+LocalECStore::~LocalECStore() { StopMaintenance(); }
 
 void LocalECStore::StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
                                 std::span<const SiteId> sites) {
@@ -76,6 +83,9 @@ void LocalECStore::StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
                   codec_->RequiredChunks(),
                   codec_->TotalChunks() - codec_->RequiredChunks(), sites);
   for (std::size_t i = 0; i < chunks.size(); ++i) {
+    // A node that crashed after planning drops the write (returns false):
+    // the block is committed with a redundancy hole at that site, which
+    // the scrubber or repair service heals once the failure is detected.
     nodes_[sites[i]]->PutChunk(id, static_cast<ChunkIndex>(i),
                                std::move(chunks[i]));
   }
@@ -110,7 +120,9 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
   // Enqueue one data-plane job per fetch. The caller must hold ctx->mu
   // and have bumped `outstanding` / recorded `tried` beforehand. Workers
   // touch only the context, the node, and their own queue — never the
-  // store's metadata lock.
+  // store's metadata lock. The node read goes through FetchChunk: the
+  // error-injected, checksum-verified data path, where a corrupt chunk or
+  // a transient I/O error surfaces as a miss.
   const auto issue = [this, &ctx](BlockId block, ChunkIndex chunk,
                                   SiteId site) {
     StorageNode* node = nodes_[site].get();
@@ -125,9 +137,10 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
               const BlockGather& g = ctx->blocks.at(block);
               skip = ctx->harvested || g.got.size() >= g.k;
             }
-            // A failed node or a moved/deleted chunk answers nullptr — a
-            // miss, routed into the degraded top-up below, not an error.
-            if (!skip) data = node->GetChunk(block, chunk);
+            // A failed node, a moved/deleted chunk, a checksum mismatch,
+            // or an injected I/O error answers nullptr — a miss, routed
+            // into the retry rounds / degraded top-up, not an error.
+            if (!skip) data = node->FetchChunk(block, chunk);
           }
           std::lock_guard<std::mutex> lock(ctx->mu);
           BlockGather& g = ctx->blocks.at(block);
@@ -161,30 +174,63 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     }
   }
 
-  // Wait for the race to settle: every block complete, or no fetch left
-  // in flight. With a deadline configured, a block still short of k when
-  // it expires gets one hedged retry round against its untried chunks.
+  // Wait for the race to settle, then run bounded retry rounds for blocks
+  // still short of k (DESIGN.md §9). Round 1 is the hedge: it fires when
+  // the per-fetch deadline expires (or when every fetch already finished
+  // short) and issues each short block's *untried* chunks. Later rounds —
+  // enabled by raising retry.max_retries — wait a jittered exponential
+  // backoff and re-issue everything undelivered, re-rolling transient
+  // errors, until the rounds or the request's deadline budget run out.
   const double deadline_ms = config_.data_plane.fetch_deadline_ms;
+  RetrySchedule schedule(config_.data_plane.retry, config_.data_plane.seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&t0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
   std::unique_lock<std::mutex> lock(ctx->mu);
   const auto settled = [&ctx] {
     return ctx->unsatisfied == 0 || ctx->outstanding == 0;
   };
-  if (deadline_ms > 0 &&
-      !ctx->cv.wait_for(lock,
-                        std::chrono::duration<double, std::milli>(deadline_ms),
-                        settled)) {
+  for (int round = 1;; ++round) {
+    if (deadline_ms > 0) {
+      ctx->cv.wait_for(
+          lock, std::chrono::duration<double, std::milli>(deadline_ms),
+          settled);
+    } else {
+      ctx->cv.wait(lock, settled);
+    }
+    if (ctx->unsatisfied == 0) break;
+    if (!schedule.ShouldRetry(round, elapsed_ms())) {
+      // Budget spent: let whatever is still in flight finish, then fall
+      // through to the degraded path for the blocks that stayed short.
+      ctx->cv.wait(lock, settled);
+      break;
+    }
+    const double backoff = schedule.WaitMs(round);
+    if (backoff > 0) {
+      ctx->cv.wait_for(lock,
+                       std::chrono::duration<double, std::milli>(backoff),
+                       [&ctx] { return ctx->unsatisfied == 0; });
+      if (ctx->unsatisfied == 0) break;
+    }
+    std::size_t reissued = 0;
     for (auto& [block, g] : ctx->blocks) {
-      if (g.got.size() >= g.k || g.retried) continue;
-      g.retried = true;
+      if (g.got.size() >= g.k) continue;
       for (const ChunkLocation& loc : meta.at(block).locations) {
-        if (g.tried.count(loc.chunk)) continue;
+        if (g.have.count(loc.chunk)) continue;
+        if (round == 1 && g.tried.count(loc.chunk)) continue;
         g.tried.insert(loc.chunk);
         ++ctx->outstanding;
+        ++reissued;
         issue(block, loc.chunk, loc.site);
       }
     }
+    retried_fetches_.fetch_add(reissued, std::memory_order_relaxed);
+    if (reissued == 0 && ctx->outstanding == 0) break;  // Nothing left to try.
   }
-  ctx->cv.wait(lock, settled);
 
   ctx->harvested = true;
   ctx->cancel->store(true, std::memory_order_release);
@@ -205,14 +251,16 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
   // Its cached form is stale, and any k reachable chunks will do — the
   // client-side rerouting of Section VI-C4. Runs under the metadata lock
   // so the catalog, site availability, and node contents are consistent
-  // (no mover/repair can commit mid-scan); the direct node reads bypass
-  // injected data-plane latency, keeping the fallback deterministic.
+  // (no mover/repair can commit mid-scan); the direct GetChunk reads
+  // bypass injected data-plane latency and error injection (they are
+  // still checksum-verified), keeping the fallback deterministic.
   std::lock_guard<std::mutex> meta_lock(meta_mu_);
   for (const BlockDemand& demand : demands) {
     auto& got = fetched[demand.block];
     const BlockInfo& info = state_.GetBlock(demand.block);
     if (got.size() >= info.k) continue;
 
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
     control_plane_.InvalidateBlock(demand.block);
     std::set<ChunkIndex> have;
     for (const IndexedChunk& c : got) have.insert(c.index);
@@ -305,7 +353,13 @@ bool LocalECStore::Contains(BlockId id) const {
 
 ControlPlaneUsage LocalECStore::Usage() const {
   std::lock_guard<std::mutex> lock(meta_mu_);
-  return control_plane_.Usage();
+  ControlPlaneUsage u = control_plane_.Usage();
+  u.degraded_reads = degraded_reads_.load(std::memory_order_relaxed);
+  u.retried_fetches = retried_fetches_.load(std::memory_order_relaxed);
+  u.cancelled_fetch_jobs = data_plane_->jobs_cancelled();
+  u.chunks_scrubbed = chunks_scrubbed_;
+  for (const auto& node : nodes_) u.checksum_failures += node->checksum_failures();
+  return u;
 }
 
 CostParams LocalECStore::CurrentCostParams() const {
@@ -337,13 +391,91 @@ void LocalECStore::RecoverSite(SiteId site) {
   nodes_[site]->set_available(true);
 }
 
+void LocalECStore::CrashNode(SiteId site) {
+  // Ground truth only: the cluster state still believes the site is up
+  // until the failure detector notices the missed heartbeats.
+  nodes_[site]->set_available(false);
+}
+
+void LocalECStore::HealNode(SiteId site) {
+  // Belief recovers at the node's next heartbeat (NoteHeartbeat revival).
+  nodes_[site]->set_available(true);
+}
+
+std::uint64_t LocalECStore::CorruptSiteChunks(SiteId site, double fraction,
+                                              std::uint64_t seed) {
+  StorageNode& n = *nodes_[site];
+  std::uint64_t corrupted = 0;
+  std::uint64_t i = 0;
+  for (const auto& [block, chunk] : n.ChunkKeys()) {
+    const std::uint64_t h = SplitMix64(seed + i++).Next();
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < fraction &&
+        n.CorruptChunk(block, chunk)) {
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+FaultActions LocalECStore::MakeFaultActions() {
+  FaultActions actions;
+  actions.crash = [this](SiteId site) { CrashNode(site); };
+  actions.heal = [this](SiteId site) { HealNode(site); };
+  // A degraded site serves every fetch `factor` times slower. The data
+  // plane realizes that as extra injected latency on top of the
+  // configured base (with no base configured, a nominal 1 ms stands in
+  // for the healthy service time).
+  actions.degrade = [this](SiteId site, double factor) {
+    const double base = config_.data_plane.base_latency_ms > 0
+                            ? config_.data_plane.base_latency_ms
+                            : 1.0;
+    data_plane_->SetSiteExtraLatency(site,
+                                     factor > 1.0 ? base * (factor - 1.0) : 0.0);
+  };
+  actions.set_fetch_error = [this](SiteId site, double p) {
+    nodes_[site]->set_fetch_error(p, config_.seed ^ (site + 1));
+  };
+  actions.corrupt = [this](SiteId site, double fraction) {
+    CorruptSiteChunks(site, fraction, config_.seed ^ (0xC0F000ull + site));
+  };
+  return actions;
+}
+
+std::optional<ChunkData> LocalECStore::RebuildChunk(BlockId block,
+                                                    const BlockInfo& info,
+                                                    ChunkIndex target,
+                                                    SiteId exclude_site) {
+  // Gather k *valid* survivor chunks: verified GetChunk skips corrupt or
+  // missing copies (they are erasures too), so reconstruction never
+  // launders bad bytes back into the cluster.
+  std::vector<IndexedChunk> gathered;
+  std::set<ChunkIndex> seen;
+  for (const ChunkLocation& loc : info.locations) {
+    if (gathered.size() >= info.k) break;
+    if (loc.site == exclude_site || loc.chunk == target) continue;
+    if (!state_.IsSiteAvailable(loc.site)) continue;
+    if (seen.count(loc.chunk)) continue;
+    const auto data = nodes_[loc.site]->GetChunk(block, loc.chunk);
+    if (data == nullptr) continue;
+    gathered.push_back({loc.chunk, *data});
+    seen.insert(loc.chunk);
+  }
+  if (gathered.size() < info.k) return std::nullopt;
+  const std::vector<std::uint8_t> decoded =
+      codec_->Decode(gathered, info.block_bytes);
+  std::vector<ChunkData> re_encoded = codec_->Encode(decoded);
+  return std::move(re_encoded[target]);
+}
+
 std::uint64_t LocalECStore::RepairSite(SiteId site) {
   std::lock_guard<std::mutex> lock(meta_mu_);
+  return RepairSiteLocked(site);
+}
+
+std::uint64_t LocalECStore::RepairSiteLocked(SiteId site) {
   std::uint64_t rebuilt = 0;
   for (BlockId block : state_.BlocksWithChunkAt(site)) {
     const BlockInfo& info = state_.GetBlock(block);
-    const auto survivors = state_.AvailableLocations(block);
-    if (survivors.size() < info.k) continue;  // Data loss: cannot rebuild.
 
     // The lost chunk's index is recorded in the catalog.
     const auto lost = std::find_if(
@@ -351,28 +483,108 @@ std::uint64_t LocalECStore::RepairSite(SiteId site) {
         [site](const ChunkLocation& l) { return l.site == site; });
     const ChunkIndex lost_index = lost->chunk;
 
-    // Reconstruct the block from k survivors, re-encode, extract the
-    // lost chunk's content.
-    std::vector<IndexedChunk> gathered;
-    for (std::size_t i = 0; i < info.k; ++i) {
-      const ChunkLocation& loc = survivors[i];
-      const auto data = nodes_[loc.site]->GetChunk(block, loc.chunk);
-      if (data == nullptr) throw std::runtime_error("RepairSite: catalog/node mismatch");
-      gathered.push_back({loc.chunk, *data});
-    }
-    const std::vector<std::uint8_t> decoded =
-        codec_->Decode(gathered, info.block_bytes);
-    std::vector<ChunkData> re_encoded = codec_->Encode(decoded);
+    // Fewer than k valid survivors reachable right now (concurrent
+    // outages, corruption): skip — a later pass can still heal the block.
+    auto chunk = RebuildChunk(block, info, lost_index, site);
+    if (!chunk) continue;
 
     const SiteId best = control_plane_.SelectRepairDestination(block);
     if (best == kInvalidSite) continue;
-    nodes_[best]->PutChunk(block, lost_index, std::move(re_encoded[lost_index]));
+    if (!nodes_[best]->PutChunk(block, lost_index, std::move(*chunk))) {
+      continue;  // Destination crashed since planning; try again later.
+    }
     state_.MoveChunk(block, site, best);
     control_plane_.RecordRepair(block);
-    nodes_[site]->DeleteChunk(block, lost_index);  // No-op while failed data kept.
+    nodes_[site]->DeleteChunk(block, lost_index);
     ++rebuilt;
   }
   return rebuilt;
+}
+
+std::uint64_t LocalECStore::ScrubOnce() {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  const std::uint64_t fixed = ScrubLocked();
+  chunks_scrubbed_ += fixed;
+  return fixed;
+}
+
+std::uint64_t LocalECStore::ScrubLocked() {
+  // Walk the catalog site by site, checksum-probing each chunk where the
+  // catalog says it lives. A chunk that is corrupt — or missing entirely
+  // (a write raced a crash) — is rebuilt from k valid survivors and
+  // rewritten in place, restoring full redundancy without moving it.
+  std::uint64_t fixed = 0;
+  for (SiteId j = 0; j < state_.num_sites(); ++j) {
+    if (!state_.IsSiteAvailable(j)) continue;
+    if (!nodes_[j]->available()) continue;  // Silently crashed: repair's job.
+    for (BlockId block : state_.BlocksWithChunkAt(j)) {
+      const BlockInfo& info = state_.GetBlock(block);
+      const auto loc = std::find_if(
+          info.locations.begin(), info.locations.end(),
+          [j](const ChunkLocation& l) { return l.site == j; });
+      if (loc == info.locations.end()) continue;
+      if (nodes_[j]->HasValidChunk(block, loc->chunk)) continue;
+
+      auto chunk = RebuildChunk(block, info, loc->chunk, kInvalidSite);
+      if (!chunk) continue;  // Not enough valid survivors right now.
+      if (nodes_[j]->PutChunk(block, loc->chunk, std::move(*chunk))) ++fixed;
+    }
+  }
+  return fixed;
+}
+
+void LocalECStore::StartMaintenance() {
+  std::lock_guard<std::mutex> lock(maint_mu_);
+  if (maint_thread_.joinable()) return;
+  maint_stop_ = false;
+  maint_thread_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void LocalECStore::StopMaintenance() {
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    if (!maint_thread_.joinable()) return;
+    maint_stop_ = true;
+  }
+  maint_cv_.notify_all();
+  maint_thread_.join();
+  maint_thread_ = std::thread();
+}
+
+double LocalECStore::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void LocalECStore::MaintenanceLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(maint_mu_);
+      maint_cv_.wait_for(
+          lock,
+          std::chrono::duration<double, std::milli>(config_.maintenance_tick_ms),
+          [this] { return maint_stop_; });
+      if (maint_stop_) return;
+      ++maint_ticks_;
+    }
+    const bool scrub_tick =
+        config_.scrub_every_ticks > 0 &&
+        maint_ticks_ % config_.scrub_every_ticks == 0;
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      const double now_ms = NowMs();
+      // Heartbeats (live nodes' load reports) feed the failure detector;
+      // silent sites transition suspect -> dead and enter repair's grace.
+      RefreshLoadFromCounters();
+      control_plane_.CheckFailures(now_ms);
+      repair_->Poll(FromMillis(now_ms));
+      if (scrub_tick) chunks_scrubbed_ += ScrubLocked();
+    }
+    // Deferred control-plane work queued by the tick (plan reloads after
+    // drift) runs outside the tick's critical section.
+    DrainBackgroundWork();
+  }
 }
 
 std::optional<MovementPlan> LocalECStore::RunMovementRound() {
@@ -395,7 +607,9 @@ std::optional<MovementPlan> LocalECStore::RunMovementRound() {
   const auto data = nodes_[plan->source]->GetChunk(plan->block, chunk);
   if (data == nullptr) return std::nullopt;
   const std::uint64_t chunk_bytes = data->size();
-  nodes_[plan->destination]->PutChunk(plan->block, chunk, *data);
+  if (!nodes_[plan->destination]->PutChunk(plan->block, chunk, *data)) {
+    return std::nullopt;  // Destination crashed since the plan was chosen.
+  }
   if (!state_.MoveChunk(plan->block, plan->source, plan->destination)) {
     nodes_[plan->destination]->DeleteChunk(plan->block, chunk);
     return std::nullopt;
@@ -415,7 +629,9 @@ void LocalECStore::RefreshLoadFromCounters() {
   // Derive site load from reads served since the last refresh: the
   // in-process analogue of the periodic load reports. Counters are
   // atomics bumped by fetch workers; meta_mu_ (held by the caller)
-  // serializes the refresh itself.
+  // serializes the refresh itself. Crashed nodes produce no report — and
+  // therefore no heartbeat, which is exactly how the failure detector
+  // learns of an unannounced crash.
   std::uint64_t total = 0;
   std::vector<std::uint64_t> deltas(nodes_.size(), 0);
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
@@ -423,10 +639,13 @@ void LocalECStore::RefreshLoadFromCounters() {
     reads_at_last_refresh_[j] = nodes_[j]->reads_served();
     total += deltas[j];
   }
+  const double now_ms = NowMs();
   // An idle window still records reports and probes (with zero
   // utilization, decaying o_j toward the idle baseline) so drift
   // detection sees recovery instead of freezing at the last busy epoch.
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    if (!nodes_[j]->available()) continue;  // Crashed: silent.
+    control_plane_.NoteHeartbeat(static_cast<SiteId>(j), now_ms);
     const double util =
         total == 0 ? 0.0
                    : static_cast<double>(deltas[j]) / static_cast<double>(total);

@@ -13,9 +13,21 @@
 // planned chunk read out to a per-site worker pool (core/data_plane.h)
 // and, for late-binding plans, completes each block on the first k
 // arrivals — stragglers are cancelled or ignored, which is the paper's
-// EC+LB technique running on real bytes. Configurable per-fetch deadlines
-// hedge one retry round against a block's untried chunks before the
-// degraded-read path takes over.
+// EC+LB technique running on real bytes. When a block is still short of
+// k (a deadline expired, or fetches came back as misses — failed nodes,
+// corrupt chunks, injected I/O errors), a bounded-retry policy
+// (DataPlaneParams::retry: exponential backoff + jitter under a
+// per-request deadline budget) re-issues the block's undelivered chunks
+// before the degraded-read path takes over.
+//
+// Robustness (DESIGN.md §9): every chunk read is CRC32C-verified at the
+// node, so corruption surfaces as an erasure and is decoded around; an
+// optional maintenance thread (StartMaintenance) drives heartbeats into
+// the ControlPlane's failure detector, polls the generalized
+// RepairService (rebuilding real bytes through RepairSite's logic), and
+// periodically scrubs nodes, rewriting chunks whose bytes no longer match
+// their checksum. CrashNode/HealNode and MakeFaultActions expose the
+// silent ground-truth fault hooks the fault/ scheduler drives.
 //
 // Thread-safety: MultiGet/Put/Remove/FailSite/RecoverSite/RepairSite/
 // RunMovementRound may be called from multiple threads. One metadata
@@ -26,6 +38,9 @@
 // only per-fetch-context and per-node locks, never the metadata mutex.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -33,6 +48,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "cluster/state.h"
@@ -40,8 +56,10 @@
 #include "core/config.h"
 #include "core/control_plane.h"
 #include "core/data_plane.h"
+#include "core/repair.h"
 #include "core/storage_node.h"
 #include "erasure/codec.h"
+#include "fault/injector.h"
 #include "placement/mover.h"
 #include "placement/planner.h"
 #include "stats/co_access.h"
@@ -53,6 +71,7 @@ namespace ecstore {
 class LocalECStore {
  public:
   explicit LocalECStore(ECStoreConfig config);
+  ~LocalECStore();  // Stops the maintenance thread before teardown.
 
   const ECStoreConfig& config() const { return config_; }
   /// Direct cluster-state access for tests. Not synchronized: use only
@@ -69,12 +88,19 @@ class LocalECStore {
   /// The concurrent fetch engine (exposed for tests and benches).
   const DataPlane& data_plane() const { return *data_plane_; }
 
+  /// The repair service polled by the maintenance thread (exposed so
+  /// tests can Poll it directly and read chunks_rebuilt()).
+  RepairService& repair_service() { return *repair_; }
+
   // Introspection forwarded to the shared control plane.
   const CoAccessTracker& co_access() const { return control_plane_.co_access(); }
   const LoadTracker& load_tracker() const {
     return control_plane_.load_tracker();
   }
   const PlanCache& plan_cache() const { return control_plane_.plan_cache(); }
+  /// Control-plane usage overlaid with this embodiment's robustness
+  /// counters (degraded reads, retried fetches, cancelled fetch jobs,
+  /// checksum failures, chunks scrubbed).
   ControlPlaneUsage Usage() const;
 
   /// The embodiment's seeded RNG stream. Exposed so parity tests can
@@ -108,12 +134,51 @@ class LocalECStore {
   bool Contains(BlockId id) const;
 
   /// Fails / recovers a site. Chunks survive on disk across recovery.
+  /// This is the *manual* path: belief (cluster state) and ground truth
+  /// (the node) flip together.
   void FailSite(SiteId site);
   void RecoverSite(SiteId site);
 
+  /// Silent crash/heal (DESIGN.md §9): flips only the node's ground
+  /// truth. Planning still routes reads there — they come back as misses
+  /// and retry/degrade — until the failure detector notices the missed
+  /// heartbeats and marks the site dead; HealNode lets the next heartbeat
+  /// revive the belief.
+  void CrashNode(SiteId site);
+  void HealNode(SiteId site);
+
+  /// Silently corrupts ~`fraction` of the chunks stored at `site`
+  /// (deterministically from `seed`). Returns chunks corrupted.
+  std::uint64_t CorruptSiteChunks(SiteId site, double fraction,
+                                  std::uint64_t seed);
+
+  /// Injection hooks for fault/injector.h: crash/heal flip node ground
+  /// truth, degrade adds injected fetch latency, fetch errors and chunk
+  /// corruption hit the named node. Drive them with an InjectionThread.
+  FaultActions MakeFaultActions();
+
   /// Rebuilds every chunk the failed `site` held, from k surviving
-  /// chunks, onto load-chosen destinations. Returns chunks rebuilt.
+  /// CRC-valid chunks, onto load-chosen destinations. Blocks without k
+  /// valid survivors right now are skipped (a later pass can still heal
+  /// them). Returns chunks rebuilt.
   std::uint64_t RepairSite(SiteId site);
+
+  /// One scrubber pass (DESIGN.md §9): every available node's chunks are
+  /// checksum-probed; chunks that are corrupt — or missing although the
+  /// catalog places them there — are rebuilt from k valid survivors and
+  /// rewritten in place. Returns chunks rewritten.
+  std::uint64_t ScrubOnce();
+
+  /// Starts/stops the background maintenance thread: every
+  /// config.maintenance_tick_ms it refreshes load, heartbeats live nodes
+  /// into the failure detector, marks silent sites dead, polls the repair
+  /// service, and (every scrub_every_ticks ticks) scrubs. Idempotent.
+  void StartMaintenance();
+  void StopMaintenance();
+
+  /// Milliseconds of wall clock since construction: the store's timeline
+  /// for the failure detector and repair grace periods.
+  double NowMs() const;
 
   /// Runs one chunk-mover round: select the best movement plan from the
   /// live statistics and execute it with a real data copy. Returns the
@@ -143,13 +208,26 @@ class LocalECStore {
   void RefreshLoadFromCounters();
   void StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
                     std::span<const SiteId> sites);
+  /// RepairSite/ScrubOnce bodies; require meta_mu_ held (the maintenance
+  /// tick and the RepairService reconstructor call them under the lock).
+  std::uint64_t RepairSiteLocked(SiteId site);
+  std::uint64_t ScrubLocked();
+  /// Rebuilds one lost/corrupt chunk of `block` from k valid survivors
+  /// read via verified GetChunk (never the error-injected fetch path).
+  /// Returns the re-encoded chunk, or nullopt when fewer than k valid
+  /// survivor chunks are reachable right now. Requires meta_mu_ held.
+  std::optional<ChunkData> RebuildChunk(BlockId block, const BlockInfo& info,
+                                        ChunkIndex target,
+                                        SiteId exclude_site);
+  void MaintenanceLoop();
   /// Fans every planned chunk read out to the data plane, completes each
   /// block on its first k arrivals (cancelling/ignoring late-binding
-  /// stragglers), hedges one retry round against untried chunks when the
-  /// configured fetch deadline expires, then tops up any block still
-  /// short of k from whatever reachable chunks remain (the degraded-read
-  /// path, under the metadata lock). Throws when a block stays short of
-  /// k. Called WITHOUT meta_mu_ held.
+  /// stragglers), runs bounded retry rounds (config.data_plane.retry)
+  /// against blocks still short of k — the first round hedges the block's
+  /// untried chunks, later rounds re-issue everything undelivered — then
+  /// tops up any block still short from whatever reachable chunks remain
+  /// (the degraded-read path, under the metadata lock). Throws when a
+  /// block stays short of k. Called WITHOUT meta_mu_ held.
   std::map<BlockId, std::vector<IndexedChunk>> FetchChunks(
       const AccessPlan& plan, std::span<const BlockDemand> demands,
       const std::map<BlockId, BlockMeta>& meta);
@@ -160,6 +238,7 @@ class LocalECStore {
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   ClusterState state_;
   ControlPlane control_plane_;
+  std::unique_ptr<RepairService> repair_;
 
   /// Serializes every ClusterState / ControlPlane / RNG / refresh-counter
   /// touch. Never held across the parallel fetch wait.
@@ -175,6 +254,24 @@ class LocalECStore {
 
   std::vector<std::uint64_t> reads_at_last_refresh_;
   std::uint64_t gets_since_refresh_ = 0;
+
+  // Robustness counters (DESIGN.md §9). The fetch path bumps these
+  // outside meta_mu_, hence atomics; chunks_scrubbed_ only moves under
+  // meta_mu_.
+  std::atomic<std::uint64_t> degraded_reads_{0};
+  std::atomic<std::uint64_t> retried_fetches_{0};
+  std::uint64_t chunks_scrubbed_ = 0;
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  // Maintenance thread (StartMaintenance). Joined by StopMaintenance /
+  // the destructor before the nodes and data plane go away.
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
+  std::uint64_t maint_ticks_ = 0;
+  std::thread maint_thread_;
 
   // Declared last: its destructor joins the workers, whose queued jobs
   // reference the nodes above, before anything else is torn down.

@@ -1,62 +1,93 @@
 #include "core/repair.h"
 
-#include <algorithm>
+#include <utility>
+
+#include "core/sim_store.h"
 
 namespace ecstore {
 
-RepairService::RepairService(SimECStore* store, RepairCallback on_repair)
-    : store_(store),
+RepairService::RepairService(const ECStoreConfig* config, ClusterState* state,
+                             ControlPlane* control_plane,
+                             Reconstructor reconstruct, RepairCallback on_repair)
+    : config_(config),
+      state_(state),
+      control_plane_(control_plane),
+      reconstruct_(std::move(reconstruct)),
       on_repair_(std::move(on_repair)),
-      pending_(store->config().num_sites, false),
-      repaired_(store->config().num_sites, false) {}
+      down_since_(config->num_sites, kSiteUp),
+      repaired_(config->num_sites, false) {}
 
-void RepairService::Start() {
-  store_->queue().ScheduleAfter(store_->config().repair_poll_interval,
-                                [this] { PollTick(); });
+RepairService::RepairService(SimECStore* store, RepairCallback on_repair)
+    : RepairService(&store->config(), &store->state(), &store->control_plane(),
+                    /*reconstruct=*/{}, std::move(on_repair)) {
+  clock_ = [store] { return store->queue().Now(); };
+  scheduler_ = [store](SimTime delay, std::function<void()> fn) {
+    store->queue().ScheduleAfter(delay, std::move(fn));
+  };
 }
 
-void RepairService::PollTick() {
-  const ClusterState& state = store_->state();
-  for (SiteId j = 0; j < state.num_sites(); ++j) {
-    if (state.IsSiteAvailable(j)) {
-      pending_[j] = false;
+void RepairService::Start() {
+  // Requires the SimECStore constructor (which binds clock_/scheduler_).
+  ScheduleNext();
+}
+
+void RepairService::Start(Clock clock, Scheduler scheduler) {
+  clock_ = std::move(clock);
+  scheduler_ = std::move(scheduler);
+  ScheduleNext();
+}
+
+void RepairService::ScheduleNext() {
+  scheduler_(config_->repair_poll_interval, [this] {
+    Poll(clock_());
+    ScheduleNext();
+  });
+}
+
+void RepairService::Poll(SimTime now) {
+  const std::size_t n = state_->num_sites();
+  if (down_since_.size() < n) {
+    down_since_.resize(n, kSiteUp);
+    repaired_.resize(n, false);
+  }
+  for (SiteId j = 0; j < n; ++j) {
+    if (state_->IsSiteAvailable(j)) {
+      down_since_[j] = kSiteUp;
       repaired_[j] = false;
       continue;
     }
-    if (pending_[j] || repaired_[j]) continue;
-    pending_[j] = true;
-    // Wait before rebuilding, in case the outage is transient
-    // (Section V-C: 15 minutes, as in GFS).
-    store_->queue().ScheduleAfter(store_->config().repair_wait, [this, j] {
-      if (!pending_[j]) return;  // Site came back during the grace period.
-      if (store_->state().IsSiteAvailable(j)) {
-        pending_[j] = false;
-        return;
-      }
-      const std::uint64_t rebuilt = ReconstructSite(j);
-      pending_[j] = false;
-      repaired_[j] = true;
-      if (on_repair_) on_repair_(j, rebuilt);
-    });
+    if (repaired_[j]) continue;  // Rebuilt once already this outage.
+    if (down_since_[j] == kSiteUp) {
+      // Newly seen down: start the grace clock, in case the outage is
+      // transient (Section V-C: 15 minutes, as in GFS).
+      down_since_[j] = now;
+      continue;
+    }
+    if (now - down_since_[j] < config_->repair_wait) continue;
+
+    std::uint64_t rebuilt;
+    if (reconstruct_) {
+      rebuilt = reconstruct_(j);
+      chunks_rebuilt_ += rebuilt;
+    } else {
+      rebuilt = ReconstructSite(j);  // Accumulates chunks_rebuilt_ itself.
+    }
+    repaired_[j] = true;
+    if (on_repair_) on_repair_(j, rebuilt);
   }
-  store_->queue().ScheduleAfter(store_->config().repair_poll_interval,
-                                [this] { PollTick(); });
 }
 
 std::uint64_t RepairService::ReconstructSite(SiteId site) {
-  ClusterState& state = store_->state();
-  ControlPlane& cp = store_->control_plane();
   std::uint64_t rebuilt = 0;
-
-  for (BlockId block : state.BlocksWithChunkAt(site)) {
-    const BlockInfo& info = state.GetBlock(block);
+  for (BlockId block : state_->BlocksWithChunkAt(site)) {
+    const BlockInfo& info = state_->GetBlock(block);
     // Reconstruction needs k surviving chunks.
-    if (state.AvailableLocations(block).size() < info.k) continue;
+    if (state_->AvailableLocations(block).size() < info.k) continue;
 
-    const SiteId best = cp.SelectRepairDestination(block);
+    const SiteId best = control_plane_->SelectRepairDestination(block);
     if (best == kInvalidSite) continue;
-    if (state.MoveChunk(block, site, best)) {
-      cp.RecordRepair(block);
+    if (state_->MoveChunk(block, site, best)) {
+      control_plane_->RecordRepair(block);
       ++rebuilt;
     }
   }

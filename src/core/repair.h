@@ -1,50 +1,93 @@
-// Repair service (paper Section V-C): polls each site's storage service,
-// marks unresponsive sites unavailable, waits a grace period (15 minutes,
-// following GFS) in case the outage is transient, then reconstructs the
-// lost chunks elsewhere, choosing destinations with the data-movement
-// strategy's load awareness.
+// Repair service (paper Section V-C): polls each site's availability,
+// waits a grace period (15 minutes, following GFS) in case the outage is
+// transient, then reconstructs the lost chunks elsewhere, choosing
+// destinations with the data-movement strategy's load awareness.
+//
+// Embodiment-agnostic: the service talks only to the shared ClusterState
+// + ControlPlane seam. The DES drives it with a Clock/Scheduler bound to
+// its event queue (the SimECStore convenience constructor wires this);
+// LocalECStore's maintenance thread simply calls Poll(now) under its
+// metadata lock with a Reconstructor that rebuilds real bytes. Failed
+// sites reach the poll either through a manual FailSite or through the
+// ControlPlane's failure detector — the grace period applies identically.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "cluster/state.h"
 #include "common/types.h"
-#include "core/sim_store.h"
+#include "core/config.h"
+#include "core/control_plane.h"
 
 namespace ecstore {
 
-/// Watches a SimECStore for failed sites and re-creates lost chunks.
+class SimECStore;  // Convenience constructor only; defined in repair.cpp.
+
+/// Watches the cluster state for failed sites and re-creates lost chunks.
 ///
 /// The paper's fault-tolerance experiment (Fig. 4f) deliberately leaves
-/// reconstruction off; this service is exercised by its own tests and the
-/// failure_recovery example.
+/// reconstruction off; this service is exercised by its own tests, the
+/// failure_recovery example, bench_fig4f_failures --repair, and the
+/// real-bytes maintenance loop.
 class RepairService {
  public:
   /// `on_repair(site, chunks_rebuilt)` fires after a site's chunks have
   /// been reconstructed (optional).
   using RepairCallback = std::function<void(SiteId, std::uint64_t)>;
+  /// Embodiment hook that rebuilds every chunk lost at a site and returns
+  /// how many it rebuilt. When empty, the metadata-level ReconstructSite
+  /// below is used (sufficient for the DES, which carries no bytes).
+  using Reconstructor = std::function<std::uint64_t(SiteId)>;
+  using Clock = std::function<SimTime()>;
+  /// Schedules a callback after a delay on the embodiment's timeline.
+  using Scheduler = std::function<void(SimTime, std::function<void()>)>;
 
+  /// Embodiment-agnostic form: poll with Poll(now), or self-schedule with
+  /// Start(clock, scheduler).
+  RepairService(const ECStoreConfig* config, ClusterState* state,
+                ControlPlane* control_plane, Reconstructor reconstruct = {},
+                RepairCallback on_repair = {});
+
+  /// Convenience: watches a SimECStore, polling on its event queue.
   RepairService(SimECStore* store, RepairCallback on_repair = {});
 
-  /// Starts the polling loop on the store's event queue.
+  /// Starts the polling loop (SimECStore-constructed services only).
   void Start();
+  /// Starts the polling loop on an explicit clock/scheduler pair.
+  void Start(Clock clock, Scheduler scheduler);
+
+  /// One poll at `now`: starts the grace clock for sites newly seen down,
+  /// reconstructs sites down longer than `repair_wait` (exactly once per
+  /// outage), and resets the bookkeeping for sites that came back.
+  /// LocalECStore calls this from its maintenance tick under meta_mu_.
+  void Poll(SimTime now);
 
   /// How many chunks were reconstructed in total.
   std::uint64_t chunks_rebuilt() const { return chunks_rebuilt_; }
 
   /// Immediately reconstructs every chunk whose only copy-bearing site is
-  /// `site`, relocating them to the least-loaded sites that do not
-  /// already hold a chunk of the affected block. Exposed for tests.
+  /// `site`, relocating them (in the catalog) to the least-loaded sites
+  /// that do not already hold a chunk of the affected block. Exposed for
+  /// tests; the default Reconstructor.
   std::uint64_t ReconstructSite(SiteId site);
 
  private:
-  void PollTick();
+  void ScheduleNext();
 
-  SimECStore* store_;
+  static constexpr SimTime kSiteUp = -1;
+
+  const ECStoreConfig* config_;
+  ClusterState* state_;
+  ControlPlane* control_plane_;
+  Reconstructor reconstruct_;
   RepairCallback on_repair_;
-  std::vector<bool> pending_;   // repair scheduled for this site
-  std::vector<bool> repaired_;  // already reconstructed
+  Clock clock_;
+  Scheduler scheduler_;
+
+  std::vector<SimTime> down_since_;  // kSiteUp while available
+  std::vector<bool> repaired_;       // this outage already reconstructed
   std::uint64_t chunks_rebuilt_ = 0;
 };
 

@@ -228,6 +228,7 @@ void SimECStore::RetryAfterFailure(const std::shared_ptr<PendingRequest>& req,
                                    std::uint32_t generation) {
   if (req->finished || req->generation != generation) return;
   ++req->generation;  // Poison outstanding chunk events immediately.
+  ++retried_fetches_;
   queue_.ScheduleAfter(config_.metadata_base_latency, [this, req] {
     if (req->finished) return;
     PlanPhase(req);
@@ -410,6 +411,30 @@ void SimECStore::RecoverSite(SiteId site) {
   sites_[site]->set_available(true);
 }
 
+void SimECStore::CrashSite(SiteId site) {
+  // Ground truth only: belief (cluster state) catches up when the failure
+  // detector notices the missed stats windows.
+  sites_[site]->set_available(false);
+}
+
+void SimECStore::HealSite(SiteId site) {
+  sites_[site]->set_available(true);
+  // Belief recovers at the next stats heartbeat the site produces.
+}
+
+void SimECStore::SetSiteDegrade(SiteId site, double factor) {
+  sites_[site]->set_degrade(factor);
+}
+
+FaultActions SimECStore::MakeFaultActions() {
+  FaultActions actions;
+  actions.crash = [this](SiteId s) { CrashSite(s); };
+  actions.heal = [this](SiteId s) { HealSite(s); };
+  actions.degrade = [this](SiteId s, double f) { SetSiteDegrade(s, f); };
+  // No fetch-error / corruption hooks: the DES carries no chunk bytes.
+  return actions;
+}
+
 std::vector<std::uint64_t> SimECStore::SiteBytesRead() const {
   std::vector<std::uint64_t> out;
   out.reserve(sites_.size());
@@ -435,11 +460,16 @@ double SimECStore::ImbalanceLambda(const std::vector<std::uint64_t>& baseline) c
 
 void SimECStore::StatsTick() {
   for (auto& site : sites_) {
+    // A crashed site produces no report: its silence is what the failure
+    // detector converts into a suspect -> dead transition below.
+    if (!site->available()) continue;
     const sim::LoadReport report = site->CollectReport();
     control_plane_.RecordLoadReport(report.site, report.cpu_utilization,
                                     report.io_bytes_per_sec, report.chunk_count,
                                     kStatsReportMsgBytes);
+    control_plane_.NoteHeartbeat(report.site, ToMillis(queue_.Now()));
   }
+  control_plane_.CheckFailures(ToMillis(queue_.Now()));
   // Request-rate estimate for the mover's load-shift model.
   const double interval_s =
       static_cast<double>(config_.stats_report_interval) / kSecond;

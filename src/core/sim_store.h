@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "core/config.h"
 #include "core/control_plane.h"
+#include "fault/injector.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/site.h"
@@ -103,9 +104,27 @@ class SimECStore {
   std::vector<SiteId> ChooseWriteSites(std::uint32_t count);
 
   /// Fails/recovers a site (Section VI-C4). Failed sites finish queued
-  /// work but receive no new requests.
+  /// work but receive no new requests. FailSite is the *manual* path: it
+  /// updates belief (cluster state) and ground truth together.
   void FailSite(SiteId site);
   void RecoverSite(SiteId site);
+
+  /// Silent crash/heal (DESIGN.md §9): flips only the simulated site's
+  /// ground truth. The cluster state still believes the site is up until
+  /// the failure detector notices the missed stats windows — requests
+  /// routed there meanwhile bounce and re-plan, exactly as against a real
+  /// unannounced crash.
+  void CrashSite(SiteId site);
+  void HealSite(SiteId site);
+
+  /// Slow-site fault: service times at `site` multiplied by `factor`.
+  void SetSiteDegrade(SiteId site, double factor);
+
+  /// Injection hooks for fault/injector.h: crash/heal/degrade are wired
+  /// (the DES has no real bytes, so fetch-error and corruption hooks are
+  /// left empty). Schedule the expanded actions on queue() at
+  /// FromMillis(action.at_ms).
+  FaultActions MakeFaultActions();
 
   // --- Introspection for benches and tests (forwarded to the shared
   // control plane).
@@ -126,7 +145,13 @@ class SimECStore {
   /// the `baseline` snapshot. Only available sites participate.
   double ImbalanceLambda(const std::vector<std::uint64_t>& baseline) const;
 
-  ControlPlaneUsage Usage() const { return control_plane_.Usage(); }
+  /// Control-plane usage plus this embodiment's robustness counters
+  /// (failure-triggered replans surface as retried_fetches).
+  ControlPlaneUsage Usage() const {
+    ControlPlaneUsage u = control_plane_.Usage();
+    u.retried_fetches = retried_fetches_;
+    return u;
+  }
 
   /// Current cost parameters (o_j from probes, m_j from media model).
   CostParams CurrentCostParams() const {
@@ -172,6 +197,7 @@ class SimECStore {
   std::uint64_t requests_completed_ = 0;
   std::uint64_t completed_at_last_stats_tick_ = 0;
   double request_rate_per_sec_ = 0;
+  std::uint64_t retried_fetches_ = 0;  // failure-triggered replans
 };
 
 }  // namespace ecstore

@@ -1,37 +1,78 @@
 #include "core/storage_node.h"
 
+#include "common/crc32c.h"
+#include "common/rng.h"
+
 namespace ecstore {
 
-void StorageNode::PutChunk(BlockId block, ChunkIndex chunk, ChunkData data) {
+bool StorageNode::PutChunk(BlockId block, ChunkIndex chunk, ChunkData data) {
+  if (!available()) return false;  // The write raced a crash: it vanishes.
   auto key = std::make_pair(block, chunk);
-  auto holder = std::make_shared<const ChunkData>(std::move(data));
+  StoredChunk stored;
+  stored.crc = Crc32c(data.data(), data.size());
+  stored.data = std::make_shared<const ChunkData>(std::move(data));
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = chunks_.find(key);
   if (it != chunks_.end()) {
-    bytes_stored_ -= it->second->size();
-    bytes_stored_ += holder->size();
-    it->second = std::move(holder);
-    return;
+    bytes_stored_ -= it->second.data->size();
+    bytes_stored_ += stored.data->size();
+    it->second = std::move(stored);
+    return true;
   }
-  bytes_stored_ += holder->size();
-  chunks_.emplace(std::move(key), std::move(holder));
+  bytes_stored_ += stored.data->size();
+  chunks_.emplace(std::move(key), std::move(stored));
+  return true;
+}
+
+std::shared_ptr<const ChunkData> StorageNode::VerifiedLookup(
+    BlockId block, ChunkIndex chunk) const {
+  StoredChunk stored;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = chunks_.find({block, chunk});
+    if (it == chunks_.end()) return nullptr;
+    stored = it->second;
+  }
+  // Verify outside the map lock: the shared_ptr keeps the bytes stable.
+  if (Crc32c(stored.data->data(), stored.data->size()) != stored.crc) {
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;  // Corruption is an erasure, never returned data.
+  }
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  return stored.data;
 }
 
 std::shared_ptr<const ChunkData> StorageNode::GetChunk(BlockId block,
                                                        ChunkIndex chunk) const {
   if (!available()) return nullptr;  // Failed node: a miss, not an error.
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = chunks_.find({block, chunk});
-  if (it == chunks_.end()) return nullptr;
-  reads_served_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  return VerifiedLookup(block, chunk);
+}
+
+std::shared_ptr<const ChunkData> StorageNode::FetchChunk(
+    BlockId block, ChunkIndex chunk) const {
+  if (!available()) return nullptr;
+  const double p = fetch_error_p_.load(std::memory_order_acquire);
+  if (p > 0) {
+    // Deterministic transient error: hash a per-node sequence number so a
+    // retried fetch re-rolls instead of failing forever.
+    const std::uint64_t seq =
+        fetch_error_seq_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t h =
+        SplitMix64(fetch_error_seed_.load(std::memory_order_relaxed) + seq)
+            .Next();
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < p) {
+      injected_fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+  }
+  return VerifiedLookup(block, chunk);
 }
 
 bool StorageNode::DeleteChunk(BlockId block, ChunkIndex chunk) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = chunks_.find({block, chunk});
   if (it == chunks_.end()) return false;
-  bytes_stored_ -= it->second->size();
+  bytes_stored_ -= it->second.data->size();
   chunks_.erase(it);
   return true;
 }
@@ -39,6 +80,42 @@ bool StorageNode::DeleteChunk(BlockId block, ChunkIndex chunk) {
 bool StorageNode::HasChunk(BlockId block, ChunkIndex chunk) const {
   std::lock_guard<std::mutex> lock(mu_);
   return chunks_.count({block, chunk}) > 0;
+}
+
+bool StorageNode::HasValidChunk(BlockId block, ChunkIndex chunk) const {
+  StoredChunk stored;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = chunks_.find({block, chunk});
+    if (it == chunks_.end()) return false;
+    stored = it->second;
+  }
+  return Crc32c(stored.data->data(), stored.data->size()) == stored.crc;
+}
+
+bool StorageNode::CorruptChunk(BlockId block, ChunkIndex chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = chunks_.find({block, chunk});
+  if (it == chunks_.end() || it->second.data->empty()) return false;
+  // Copy-on-corrupt: readers holding the old shared_ptr keep clean bytes;
+  // the stored checksum stays as written, so every future read mismatches.
+  ChunkData bad = *it->second.data;
+  bad[bad.size() / 2] ^= 0x5A;
+  it->second.data = std::make_shared<const ChunkData>(std::move(bad));
+  return true;
+}
+
+std::vector<std::pair<BlockId, ChunkIndex>> StorageNode::ChunkKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<BlockId, ChunkIndex>> keys;
+  keys.reserve(chunks_.size());
+  for (const auto& [key, stored] : chunks_) keys.push_back(key);
+  return keys;
+}
+
+void StorageNode::set_fetch_error(double p, std::uint64_t seed) {
+  fetch_error_seed_.store(seed, std::memory_order_relaxed);
+  fetch_error_p_.store(p, std::memory_order_release);
 }
 
 std::uint64_t StorageNode::chunk_count() const {

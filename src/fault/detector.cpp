@@ -1,0 +1,60 @@
+#include "fault/detector.h"
+
+namespace ecstore {
+
+const char* SiteHealthName(SiteHealth health) {
+  switch (health) {
+    case SiteHealth::kAlive:
+      return "alive";
+    case SiteHealth::kSuspect:
+      return "suspect";
+    case SiteHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+void FailureDetector::Baseline(SiteId site, double now_ms) {
+  auto [it, inserted] = entries_.try_emplace(site);
+  if (inserted) {
+    it->second.last_seen_ms = now_ms;
+    it->second.health = SiteHealth::kAlive;
+  }
+}
+
+bool FailureDetector::Heartbeat(SiteId site, double now_ms) {
+  Entry& e = entries_[site];
+  e.last_seen_ms = now_ms;
+  const bool revived = e.health != SiteHealth::kAlive;
+  e.health = SiteHealth::kAlive;
+  return revived;
+}
+
+std::vector<HealthTransition> FailureDetector::Tick(double now_ms) {
+  std::vector<HealthTransition> transitions;
+  for (auto& [site, e] : entries_) {
+    if (e.health == SiteHealth::kDead) continue;  // Revival is Heartbeat's job.
+    const double silent_ms = now_ms - e.last_seen_ms;
+    SiteHealth target = SiteHealth::kAlive;
+    if (silent_ms >= params_.dead_after_ms) {
+      target = SiteHealth::kDead;
+    } else if (silent_ms >= params_.suspect_after_ms) {
+      target = SiteHealth::kSuspect;
+    }
+    if (target == e.health || target == SiteHealth::kAlive) continue;
+    transitions.push_back({site, e.health, target});
+    e.health = target;
+  }
+  return transitions;
+}
+
+void FailureDetector::MarkDead(SiteId site) {
+  entries_[site].health = SiteHealth::kDead;
+}
+
+SiteHealth FailureDetector::Health(SiteId site) const {
+  const auto it = entries_.find(site);
+  return it == entries_.end() ? SiteHealth::kAlive : it->second.health;
+}
+
+}  // namespace ecstore

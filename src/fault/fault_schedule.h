@@ -1,0 +1,72 @@
+// Deterministic, seeded fault schedules (DESIGN.md §9).
+//
+// A schedule is a plain list of timed fault events — crash-stop, transient
+// flap, slow-site degradation, per-fetch I/O error windows, and silent
+// chunk corruption — generated up front from a seed so every run of a
+// chaos experiment injects the identical sequence. The schedule itself is
+// embodiment-agnostic: the DES replays it on its event queue, the
+// real-bytes embodiment on a wall-clock injection thread (see
+// fault/injector.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecstore {
+
+/// The five fault classes the robustness layer injects.
+enum class FaultKind {
+  kCrash,          // crash-stop: the site goes down and stays down
+  kFlap,           // transient outage: down for duration_ms, then back
+  kSlowSite,       // service degraded by `magnitude`x for duration_ms
+  kFetchError,     // fetches fail with probability `magnitude` for duration_ms
+  kCorruptChunks,  // `magnitude` fraction of stored chunks silently corrupted
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault.
+struct FaultEvent {
+  double at_ms = 0;
+  FaultKind kind = FaultKind::kCrash;
+  SiteId site = kInvalidSite;
+  double duration_ms = 0;  // flap/slow/error window; unused for crash/corrupt
+  double magnitude = 0;    // slow factor / error probability / corrupt fraction
+};
+
+/// Knobs for GenerateFaultSchedule. Crash, flap, and slow victims are
+/// drawn as distinct sites, so at most `crashes + flaps` sites are ever
+/// unreachable at once — callers keep that below the code's r to preserve
+/// readability under the schedule.
+struct FaultScheduleParams {
+  std::size_t num_sites = 8;
+  double horizon_ms = 10'000;
+
+  std::size_t crashes = 1;
+  std::size_t flaps = 1;
+  std::size_t slow_sites = 1;
+  std::size_t fetch_error_sites = 1;
+  std::size_t corrupt_sites = 1;
+
+  double flap_duration_ms = 500;
+  double slow_duration_ms = 1'000;
+  double slow_factor = 4.0;
+  double fetch_error_duration_ms = 1'000;
+  double fetch_error_probability = 0.05;
+  double corrupt_fraction = 0.02;
+};
+
+/// Generates a schedule, sorted by time, that is a pure function of
+/// (params, seed). Crash events land in the first half of the horizon so
+/// detection and repair have time to play out inside the run.
+std::vector<FaultEvent> GenerateFaultSchedule(const FaultScheduleParams& params,
+                                              std::uint64_t seed);
+
+/// Human-readable one-liner ("t=812ms flap site 3 for 500ms"), for logs.
+std::string DescribeFaultEvent(const FaultEvent& event);
+
+}  // namespace ecstore

@@ -1,0 +1,129 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ecstore {
+
+std::vector<TimedAction> ExpandFaultSchedule(
+    const std::vector<FaultEvent>& events, const FaultActions& actions) {
+  std::vector<TimedAction> out;
+  for (const FaultEvent& e : events) {
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (actions.crash) {
+          out.push_back({e.at_ms, [fn = actions.crash, s = e.site] { fn(s); }});
+        }
+        break;
+      case FaultKind::kFlap:
+        if (actions.crash && actions.heal) {
+          out.push_back({e.at_ms, [fn = actions.crash, s = e.site] { fn(s); }});
+          out.push_back({e.at_ms + e.duration_ms,
+                         [fn = actions.heal, s = e.site] { fn(s); }});
+        }
+        break;
+      case FaultKind::kSlowSite:
+        if (actions.degrade) {
+          out.push_back({e.at_ms, [fn = actions.degrade, s = e.site,
+                                   f = e.magnitude] { fn(s, f); }});
+          out.push_back({e.at_ms + e.duration_ms,
+                         [fn = actions.degrade, s = e.site] { fn(s, 1.0); }});
+        }
+        break;
+      case FaultKind::kFetchError:
+        if (actions.set_fetch_error) {
+          out.push_back({e.at_ms, [fn = actions.set_fetch_error, s = e.site,
+                                   p = e.magnitude] { fn(s, p); }});
+          out.push_back({e.at_ms + e.duration_ms,
+                         [fn = actions.set_fetch_error, s = e.site] {
+                           fn(s, 0.0);
+                         }});
+        }
+        break;
+      case FaultKind::kCorruptChunks:
+        if (actions.corrupt) {
+          out.push_back({e.at_ms, [fn = actions.corrupt, s = e.site,
+                                   f = e.magnitude] { fn(s, f); }});
+        }
+        break;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TimedAction& a, const TimedAction& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return out;
+}
+
+InjectionThread::InjectionThread(std::vector<TimedAction> actions)
+    : actions_(std::move(actions)) {
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const TimedAction& a, const TimedAction& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+}
+
+InjectionThread::~InjectionThread() { Stop(/*run_remaining=*/false); }
+
+void InjectionThread::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread(&InjectionThread::Run, this);
+}
+
+void InjectionThread::Run() {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    TimedAction* action = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_ || next_ >= actions_.size()) return;
+      const auto deadline =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          actions_[next_].at_ms));
+      if (!cv_.wait_until(lock, deadline, [this] { return stop_; })) {
+        action = &actions_[next_++];
+      } else {
+        return;  // stopped
+      }
+    }
+    // Run outside the lock: actions may take embodiment locks of their own.
+    action->run();
+  }
+}
+
+void InjectionThread::Stop(bool run_remaining) {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  if (run_remaining) {
+    // The thread is gone: next_ is stable without the lock, but take it
+    // anyway for the sanitizers' benefit.
+    std::unique_lock<std::mutex> lock(mu_);
+    while (next_ < actions_.size()) {
+      TimedAction& action = actions_[next_++];
+      lock.unlock();
+      action.run();
+      lock.lock();
+    }
+  }
+}
+
+bool InjectionThread::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ >= actions_.size();
+}
+
+std::size_t InjectionThread::actions_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+}  // namespace ecstore

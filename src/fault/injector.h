@@ -1,0 +1,83 @@
+// Fault injection drivers (DESIGN.md §9): replay a fault schedule against
+// an embodiment.
+//
+// The embodiment exposes its injection points as a FaultActions bundle of
+// callbacks; ExpandFaultSchedule lowers each FaultEvent into the timed
+// callback invocations that realize it (a flap becomes crash@t +
+// heal@t+duration; a slow-site window becomes degrade@t + undegrade). The
+// resulting TimedAction list is embodiment-agnostic: the DES schedules
+// each action on its event queue at FromMillis(at_ms); the real-bytes
+// embodiment hands the list to an InjectionThread that fires them at
+// wall-clock offsets from Start().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "fault/fault_schedule.h"
+
+namespace ecstore {
+
+/// The injection points an embodiment offers. Leave a hook empty to make
+/// the corresponding fault class a no-op (the DES, for example, has no
+/// bytes to corrupt).
+struct FaultActions {
+  std::function<void(SiteId)> crash;  // site stops serving (silently)
+  std::function<void(SiteId)> heal;   // site comes back
+  /// Service degraded by `factor` (1.0 restores full speed).
+  std::function<void(SiteId, double)> degrade;
+  /// Fetches at the site fail with probability `p` (0 switches it off).
+  std::function<void(SiteId, double)> set_fetch_error;
+  /// Silently corrupts `fraction` of the chunks stored at the site.
+  std::function<void(SiteId, double)> corrupt;
+};
+
+/// One concrete injection: run `run` at `at_ms` after the schedule starts.
+struct TimedAction {
+  double at_ms = 0;
+  std::function<void()> run;
+};
+
+/// Lowers `events` onto `actions`, dropping fault classes whose hook is
+/// empty. Output is sorted by at_ms.
+std::vector<TimedAction> ExpandFaultSchedule(
+    const std::vector<FaultEvent>& events, const FaultActions& actions);
+
+/// Wall-clock replay for the real-bytes embodiment: a single thread that
+/// sleeps to each action's offset (measured from Start()) and runs it.
+class InjectionThread {
+ public:
+  explicit InjectionThread(std::vector<TimedAction> actions);
+  ~InjectionThread();  // Stops without running remaining actions.
+
+  InjectionThread(const InjectionThread&) = delete;
+  InjectionThread& operator=(const InjectionThread&) = delete;
+
+  void Start();
+
+  /// Stops the thread. With run_remaining=true every not-yet-fired action
+  /// runs inline (in order) before returning — handy for deterministically
+  /// closing out heal actions at the end of a chaos run.
+  void Stop(bool run_remaining = false);
+
+  bool done() const;
+  std::size_t actions_fired() const;
+
+ private:
+  void Run();
+
+  std::vector<TimedAction> actions_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t next_ = 0;  // first action not yet fired (guarded by mu_)
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ecstore

@@ -1,0 +1,20 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecstore {
+
+double RetrySchedule::WaitMs(int round) {
+  if (round < 1 || params_.backoff_base_ms <= 0) return 0;
+  double wait = params_.backoff_base_ms *
+                std::pow(std::max(params_.backoff_multiplier, 1.0),
+                         static_cast<double>(round - 1));
+  wait = std::min(wait, params_.max_backoff_ms);
+  if (params_.jitter_frac > 0) {
+    wait *= 1.0 + params_.jitter_frac * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  return std::max(wait, 0.0);
+}
+
+}  // namespace ecstore

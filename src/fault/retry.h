@@ -1,0 +1,66 @@
+// Bounded retry policy (DESIGN.md §9): exponential backoff with
+// deterministic jitter under a per-request deadline budget.
+//
+// Replaces the one-shot deadline hedge of the real-bytes fetch path: when
+// a fetch round leaves a block short of k chunks (stragglers, injected
+// I/O errors, a site that died mid-flight), the store re-issues the
+// missing chunks for up to `max_retries` rounds, waiting an exponentially
+// growing, jittered backoff between rounds, and gives up early once the
+// request's total latency budget is spent — falling through to the
+// degraded-read path rather than retrying forever.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace ecstore {
+
+struct RetryParams {
+  /// Retry rounds after the initial attempt. 0 disables retries entirely
+  /// (the degraded-read path is then the only recourse).
+  int max_retries = 1;
+  /// Backoff before retry round 1, in milliseconds. 0 retries immediately
+  /// (round 1 keeps the old hedge's fire-right-at-the-deadline behavior
+  /// when left at 0).
+  double backoff_base_ms = 0.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1'000.0;
+  /// Uniform jitter applied per wait: the backoff is scaled by a factor
+  /// drawn from [1 - jitter_frac, 1 + jitter_frac], de-synchronizing
+  /// concurrent retriers.
+  double jitter_frac = 0.2;
+  /// Total per-request latency budget in milliseconds; once elapsed time
+  /// exceeds it no further retry rounds run. 0 = no budget cap.
+  double request_deadline_ms = 0.0;
+};
+
+/// Per-request retry state: owns the jitter stream so identical seeds
+/// produce identical wait sequences.
+class RetrySchedule {
+ public:
+  RetrySchedule(const RetryParams& params, std::uint64_t seed)
+      : params_(params), rng_(SplitMix64(seed ^ 0x5E7B0FFu).Next()) {}
+
+  /// True when retry round `round` (1-based) may run, given the time
+  /// already spent on the request.
+  bool ShouldRetry(int round, double elapsed_ms) const {
+    if (round > params_.max_retries) return false;
+    if (params_.request_deadline_ms > 0 &&
+        elapsed_ms >= params_.request_deadline_ms) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Jittered backoff to wait before retry round `round` (1-based).
+  double WaitMs(int round);
+
+  const RetryParams& params() const { return params_; }
+
+ private:
+  RetryParams params_;
+  Rng rng_;
+};
+
+}  // namespace ecstore

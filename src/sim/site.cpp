@@ -42,6 +42,7 @@ SimTime SimSite::Serve(std::uint64_t bytes, SimTime overhead, bool count_read,
     // Transient stall: the whole request (overhead included) is held up.
     service_s *= params_.stall_multiplier;
   }
+  service_s *= degrade_;  // Injected slow-site fault (1.0 when healthy).
   const SimTime service = static_cast<SimTime>(service_s * kSecond);
 
   const SimTime completion = start + std::max<SimTime>(service, 1);

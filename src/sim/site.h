@@ -77,6 +77,11 @@ class SimSite {
   bool available() const { return available_; }
   void set_available(bool a) { available_ = a; }
 
+  /// Slow-site fault injection (DESIGN.md §9): every subsequent request's
+  /// service time is multiplied by `factor` (1.0 restores full speed).
+  void set_degrade(double factor) { degrade_ = factor; }
+  double degrade() const { return degrade_; }
+
   /// Submits a chunk read of `bytes`. Must not be called while failed.
   void SubmitRead(std::uint64_t bytes, Done done);
 
@@ -120,6 +125,7 @@ class SimSite {
   SiteParams params_;
   Rng rng_;
   bool available_ = true;
+  double degrade_ = 1.0;
 
   std::vector<SimTime> server_busy_until_;
   std::uint64_t in_flight_ = 0;
