@@ -12,6 +12,10 @@
 # paper) plus robustness counters for trending:
 #   ./run_benches.sh failures-repair [label]
 #     # writes bench_results/failures_repair_<label>.json
+# Sharded control-plane MultiGet scaling snapshot (DESIGN.md §10):
+#   ./run_benches.sh scale-json [label]     # writes bench_results/scale_<label>.json
+# Extra flags after the label pass through to the bench, e.g.
+#   ./run_benches.sh scale-json big --blocks=1000000 --threads=1,8,16,32
 # The label defaults to the current git short SHA (plus -dirty when the
 # tree has uncommitted changes). Pin a GF kernel path for a snapshot with
 # ECSTORE_GF_KERNEL=scalar|ssse3|avx2.
@@ -105,6 +109,18 @@ for name in before:
 EOF
 }
 
+scale_json() {
+  local label="${1:-}"
+  if [ -z "$label" ]; then
+    label="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then label="${label}-dirty"; fi
+  fi
+  shift $(( $# > 0 ? 1 : 0 ))
+  mkdir -p bench_results
+  local out="bench_results/scale_${label}.json"
+  build/bench/bench_scale_multiget --json="$out" "$@"
+}
+
 failures_repair() {
   local label="${1:-}"
   if [ -z "$label" ]; then
@@ -119,6 +135,10 @@ failures_repair() {
 case "${1:-}" in
   failures-repair)
     failures_repair "${2:-}"
+    exit $?
+    ;;
+  scale-json)
+    scale_json "${2:-}" "${@:3}"
     exit $?
     ;;
   erasure-json)

@@ -10,7 +10,10 @@
 #
 # Both stages include the chaos smoke (chaos_test): a seeded fault
 # schedule that crashes/flaps/corrupts under concurrent MultiGet/Put and
-# asserts zero data loss (DESIGN.md §9).
+# asserts zero data loss (DESIGN.md §9). They also run the sharded
+# control-plane stress (shard_stress_test, DESIGN.md §10): MultiGet x Put
+# x FailSite x movement rounds against shards=8 with a live ILP executor
+# pool.
 #
 #   ./run_sanitizers.sh [asan|tsan|all] [ctest -R regex override]
 set -eu
@@ -19,7 +22,7 @@ STAGE="${1:-all}"
 status=0
 
 run_asan() {
-  local regex="${1:-gf_test|erasure_test|core_test|fault_test|chaos_test}"
+  local regex="${1:-gf_test|erasure_test|core_test|fault_test|chaos_test|shard_stress_test}"
   local build=build-asan
   cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_SANITIZE=ON
   cmake --build "$build" -j"$(nproc)"
@@ -32,7 +35,7 @@ run_asan() {
 }
 
 run_tsan() {
-  local regex="${1:-concurrency_test|core_test|fault_test|chaos_test}"
+  local regex="${1:-concurrency_test|core_test|fault_test|chaos_test|shard_stress_test}"
   local build=build-tsan
   cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_TSAN=ON
   cmake --build "$build" -j"$(nproc)"

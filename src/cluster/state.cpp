@@ -9,14 +9,25 @@ ClusterState::ClusterState(std::size_t num_sites)
     : num_sites_(num_sites),
       site_chunks_(num_sites, 0),
       site_bytes_(num_sites, 0),
-      available_(num_sites, true) {
+      available_(new std::atomic<bool>[num_sites]) {
   if (num_sites == 0) throw std::invalid_argument("ClusterState: need at least one site");
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    available_[i].store(true, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ClusterState::num_blocks() const {
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::shared_lock lk(stripe.mu);
+    n += stripe.blocks.size();
+  }
+  return n;
 }
 
 void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
                             std::uint64_t chunk_bytes, std::uint32_t k,
                             std::uint32_t r, std::span<const SiteId> sites) {
-  if (blocks_.count(id)) throw std::invalid_argument("AddBlock: duplicate block id");
   if (sites.size() != k + r) {
     throw std::invalid_argument("AddBlock: need exactly k + r sites");
   }
@@ -36,91 +47,149 @@ void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
   info.locations.reserve(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
     info.locations.push_back({sites[i], static_cast<ChunkIndex>(i)});
-    site_chunks_[sites[i]] += 1;
-    site_bytes_[sites[i]] += chunk_bytes;
-    total_bytes_ += chunk_bytes;
   }
-  blocks_.emplace(id, std::move(info));
-  ++version_;
+  {
+    Stripe& stripe = StripeOf(id);
+    std::unique_lock lk(stripe.mu);
+    if (!stripe.blocks.emplace(id, std::move(info)).second) {
+      throw std::invalid_argument("AddBlock: duplicate block id");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    for (const SiteId s : sites) {
+      site_chunks_[s] += 1;
+      site_bytes_[s] += chunk_bytes;
+    }
+  }
+  total_bytes_.fetch_add(chunk_bytes * sites.size(), std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool ClusterState::RemoveBlock(BlockId id) {
-  const auto it = blocks_.find(id);
-  if (it == blocks_.end()) return false;
-  for (const auto& loc : it->second.locations) {
-    site_chunks_[loc.site] -= 1;
-    site_bytes_[loc.site] -= it->second.chunk_bytes;
-    total_bytes_ -= it->second.chunk_bytes;
+  BlockInfo removed;
+  {
+    Stripe& stripe = StripeOf(id);
+    std::unique_lock lk(stripe.mu);
+    const auto it = stripe.blocks.find(id);
+    if (it == stripe.blocks.end()) return false;
+    removed = std::move(it->second);
+    stripe.blocks.erase(it);
   }
-  blocks_.erase(it);
-  ++version_;
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    for (const auto& loc : removed.locations) {
+      site_chunks_[loc.site] -= 1;
+      site_bytes_[loc.site] -= removed.chunk_bytes;
+    }
+  }
+  total_bytes_.fetch_sub(removed.chunk_bytes * removed.locations.size(),
+                         std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
+bool ClusterState::Contains(BlockId id) const {
+  const Stripe& stripe = StripeOf(id);
+  std::shared_lock lk(stripe.mu);
+  return stripe.blocks.count(id) != 0;
+}
+
 const BlockInfo& ClusterState::GetBlock(BlockId id) const {
-  const auto it = blocks_.find(id);
-  if (it == blocks_.end()) throw std::out_of_range("GetBlock: unknown block");
+  const Stripe& stripe = StripeOf(id);
+  std::shared_lock lk(stripe.mu);
+  const auto it = stripe.blocks.find(id);
+  if (it == stripe.blocks.end()) throw std::out_of_range("GetBlock: unknown block");
   return it->second;
 }
 
+bool ClusterState::ReadBlock(BlockId id, BlockInfo* out) const {
+  const Stripe& stripe = StripeOf(id);
+  std::shared_lock lk(stripe.mu);
+  const auto it = stripe.blocks.find(id);
+  if (it == stripe.blocks.end()) return false;
+  *out = it->second;
+  return true;
+}
+
 bool ClusterState::HasChunkAt(BlockId id, SiteId site) const {
-  const auto it = blocks_.find(id);
-  if (it == blocks_.end()) return false;
+  const Stripe& stripe = StripeOf(id);
+  std::shared_lock lk(stripe.mu);
+  const auto it = stripe.blocks.find(id);
+  if (it == stripe.blocks.end()) return false;
   return std::any_of(it->second.locations.begin(), it->second.locations.end(),
                      [site](const ChunkLocation& l) { return l.site == site; });
 }
 
 bool ClusterState::MoveChunk(BlockId id, SiteId from, SiteId to) {
   if (from >= num_sites_ || to >= num_sites_ || from == to) return false;
-  const auto it = blocks_.find(id);
-  if (it == blocks_.end()) return false;
-  auto& locs = it->second.locations;
-  const auto src = std::find_if(locs.begin(), locs.end(),
-                                [from](const ChunkLocation& l) { return l.site == from; });
-  if (src == locs.end()) return false;
-  const bool dst_taken =
-      std::any_of(locs.begin(), locs.end(),
-                  [to](const ChunkLocation& l) { return l.site == to; });
-  if (dst_taken) return false;
-
-  src->site = to;
-  site_chunks_[from] -= 1;
-  site_chunks_[to] += 1;
-  site_bytes_[from] -= it->second.chunk_bytes;
-  site_bytes_[to] += it->second.chunk_bytes;
-  ++version_;
+  std::uint64_t chunk_bytes = 0;
+  {
+    Stripe& stripe = StripeOf(id);
+    std::unique_lock lk(stripe.mu);
+    const auto it = stripe.blocks.find(id);
+    if (it == stripe.blocks.end()) return false;
+    auto& locs = it->second.locations;
+    const auto src = std::find_if(locs.begin(), locs.end(),
+                                  [from](const ChunkLocation& l) { return l.site == from; });
+    if (src == locs.end()) return false;
+    const bool dst_taken =
+        std::any_of(locs.begin(), locs.end(),
+                    [to](const ChunkLocation& l) { return l.site == to; });
+    if (dst_taken) return false;
+    src->site = to;
+    chunk_bytes = it->second.chunk_bytes;
+  }
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    site_chunks_[from] -= 1;
+    site_chunks_[to] += 1;
+    site_bytes_[from] -= chunk_bytes;
+    site_bytes_[to] += chunk_bytes;
+  }
+  version_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void ClusterState::SetSiteAvailable(SiteId site, bool available) {
   if (site >= num_sites_) throw std::out_of_range("SetSiteAvailable: bad site");
-  if (available_[site] != available) {
-    available_[site] = available;
-    ++version_;
+  if (available_[site].exchange(available, std::memory_order_acq_rel) != available) {
+    version_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::size_t ClusterState::num_available_sites() const {
-  return static_cast<std::size_t>(
-      std::count(available_.begin(), available_.end(), true));
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < num_sites_; ++i) {
+    if (available_[i].load(std::memory_order_acquire)) ++n;
+  }
+  return n;
 }
 
 std::vector<ChunkLocation> ClusterState::AvailableLocations(BlockId id) const {
-  const BlockInfo& info = GetBlock(id);
   std::vector<ChunkLocation> out;
-  out.reserve(info.locations.size());
-  for (const auto& loc : info.locations) {
-    if (available_[loc.site]) out.push_back(loc);
+  const Stripe& stripe = StripeOf(id);
+  std::shared_lock lk(stripe.mu);
+  const auto it = stripe.blocks.find(id);
+  if (it == stripe.blocks.end()) {
+    throw std::out_of_range("GetBlock: unknown block");
+  }
+  out.reserve(it->second.locations.size());
+  for (const auto& loc : it->second.locations) {
+    if (available_[loc.site].load(std::memory_order_acquire)) out.push_back(loc);
   }
   return out;
 }
 
 std::vector<BlockId> ClusterState::BlocksWithChunkAt(SiteId site) const {
   std::vector<BlockId> out;
-  for (const auto& [id, info] : blocks_) {
-    if (std::any_of(info.locations.begin(), info.locations.end(),
-                    [site](const ChunkLocation& l) { return l.site == site; })) {
-      out.push_back(id);
+  for (const auto& stripe : stripes_) {
+    std::shared_lock lk(stripe.mu);
+    for (const auto& [id, info] : stripe.blocks) {
+      if (std::any_of(info.locations.begin(), info.locations.end(),
+                      [site](const ChunkLocation& l) { return l.site == site; })) {
+        out.push_back(id);
+      }
     }
   }
   std::sort(out.begin(), out.end());

@@ -5,9 +5,26 @@
 // chunk read optimizer, and the chunk mover. It is a value-semantics
 // catalog: no I/O, no timing; both the simulated cluster and the
 // real-bytes LocalCluster embed one.
+//
+// Thread-safety (DESIGN.md §10): the block catalog is partitioned into
+// fixed stripes (hash of block id -> stripe), each guarded by its own
+// shared_mutex, so concurrent planners read metadata without serializing
+// behind one lock while writers mutate other stripes in parallel. Site
+// availability flags are atomics (readable from any thread). The per-site
+// inventory aggregates (site_chunk_counts / site_bytes / total_bytes) are
+// guarded for writes but returned by reference — read them only while
+// catalog mutations are externally serialized (the embodiments' writer
+// lock) or at quiescence. GetBlock returns a reference that stays valid
+// only while the caller excludes RemoveBlock of that block; fully
+// concurrent readers use ReadBlock, which copies under the stripe lock.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -41,8 +58,11 @@ class ClusterState {
  public:
   explicit ClusterState(std::size_t num_sites);
 
+  ClusterState(const ClusterState&) = delete;
+  ClusterState& operator=(const ClusterState&) = delete;
+
   std::size_t num_sites() const { return num_sites_; }
-  std::size_t num_blocks() const { return blocks_.size(); }
+  std::size_t num_blocks() const;
 
   /// Registers a block with chunks placed at `sites[i]` holding chunk
   /// index i. Throws std::invalid_argument on duplicate block id,
@@ -53,10 +73,17 @@ class ClusterState {
   /// Removes a block entirely. Returns false if unknown.
   bool RemoveBlock(BlockId id);
 
-  bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
+  bool Contains(BlockId id) const;
 
-  /// Catalog lookup; throws std::out_of_range for unknown blocks.
+  /// Catalog lookup; throws std::out_of_range for unknown blocks. The
+  /// returned reference is stable across concurrent AddBlock (node-based
+  /// map) but dies with RemoveBlock of this block — callers must hold the
+  /// embodiment's writer serialization or be single-threaded.
   const BlockInfo& GetBlock(BlockId id) const;
+
+  /// Fully concurrent catalog read: copies the entry under the stripe
+  /// lock. Returns false when the block is unknown.
+  bool ReadBlock(BlockId id, BlockInfo* out) const;
 
   /// True iff block `id` has a chunk at `site` (c_{i,j} = 1).
   bool HasChunkAt(BlockId id, SiteId site) const;
@@ -67,19 +94,25 @@ class ClusterState {
   /// or `to` already holds one (fault-tolerance invariant).
   bool MoveChunk(BlockId id, SiteId from, SiteId to);
 
-  /// Number of chunks stored at each site.
+  /// Number of chunks stored at each site. See the thread-safety note at
+  /// the top: valid only under external writer serialization/quiescence.
   const std::vector<std::uint64_t>& site_chunk_counts() const { return site_chunks_; }
 
-  /// Bytes stored at each site.
+  /// Bytes stored at each site (same caveat as site_chunk_counts).
   const std::vector<std::uint64_t>& site_bytes() const { return site_bytes_; }
 
   /// Total bytes stored across sites (the storage-overhead metric).
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Site availability for failure experiments (Section VI-C4). Failed
-  /// sites keep their inventory; reads route around them.
+  /// sites keep their inventory; reads route around them. Atomic: safe
+  /// against concurrent planners.
   void SetSiteAvailable(SiteId site, bool available);
-  bool IsSiteAvailable(SiteId site) const { return available_[site]; }
+  bool IsSiteAvailable(SiteId site) const {
+    return available_[site].load(std::memory_order_acquire);
+  }
   std::size_t num_available_sites() const;
 
   /// Locations of a block restricted to available sites.
@@ -95,16 +128,39 @@ class ClusterState {
 
   /// Monotone counter bumped on every mutation; used by plan caches to
   /// detect staleness cheaply.
-  std::uint64_t version() const { return version_; }
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Catalog stripe count. Fixed and independent of the control-plane
+  // shard count: stripes only bound lock contention on the block map.
+  static constexpr std::size_t kStripes = 64;
+
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<BlockId, BlockInfo> blocks;
+  };
+
+  Stripe& StripeOf(BlockId id) { return stripes_[StripeIndex(id)]; }
+  const Stripe& StripeOf(BlockId id) const { return stripes_[StripeIndex(id)]; }
+  static std::size_t StripeIndex(BlockId id) {
+    // Fibonacci multiplicative mix: sequential block ids (the common
+    // loader pattern) spread across stripes instead of clustering.
+    return static_cast<std::size_t>((id * 0x9E3779B97F4A7C15ULL) >> 48) %
+           kStripes;
+  }
+
   std::size_t num_sites_;
-  std::unordered_map<BlockId, BlockInfo> blocks_;
+  std::array<Stripe, kStripes> stripes_;
+  // Guards the per-site inventory aggregates below against concurrent
+  // writers on different stripes (readers: see the header note).
+  mutable std::mutex agg_mu_;
   std::vector<std::uint64_t> site_chunks_;
   std::vector<std::uint64_t> site_bytes_;
-  std::vector<bool> available_;
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t version_ = 0;
+  std::unique_ptr<std::atomic<bool>[]> available_;
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace ecstore

@@ -1,0 +1,57 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecstore {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // stop_ set and nothing left: drained, exit.
+      return;
+    }
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lk.unlock();
+    job();
+    lk.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace ecstore

@@ -1,0 +1,52 @@
+// A minimal fixed-size thread pool for background control-plane work
+// (deferred ILP solves, DESIGN.md §10). Jobs are opaque closures; the
+// pool guarantees each submitted job runs exactly once, in FIFO order
+// per pickup (not globally ordered across workers). Destruction drains
+// the queue: every job submitted before the destructor runs completes
+// before the threads join, so jobs may safely reference objects that
+// outlive the pool in declaration order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecstore {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit WorkerPool(std::size_t threads);
+  /// Drains all queued jobs, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues one job. Safe from any thread, including from inside a
+  /// running job.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no worker is mid-job. Jobs
+  /// submitted by running jobs are waited for too.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers: "there is work (or stop)".
+  std::condition_variable idle_cv_;  // WaitIdle: "queue empty, all idle".
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ecstore

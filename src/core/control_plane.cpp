@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace ecstore {
 
@@ -35,28 +36,69 @@ ControlPlane::ControlPlane(const ECStoreConfig* config, ClusterState* state,
       state_(state),
       rng_(rng),
       defer_solve_(std::move(defer_solve)),
-      co_access_(config->co_access_window),
       load_tracker_(config->num_sites, load_params),
-      plan_cache_(config->plan_cache_capacity),
-      detector_(EffectiveDetectorParams(*config)) {}
+      detector_(EffectiveDetectorParams(*config)) {
+  const std::size_t n = std::max<std::size_t>(1, config->control_plane_shards);
+  // The configured cache capacity is a system-wide budget: split it across
+  // shards (each shard LRU-evicts independently within its slice).
+  const std::size_t per_shard_capacity =
+      std::max<std::size_t>(1, config->plan_cache_capacity / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(config->co_access_window, per_shard_capacity));
+  }
+}
+
+std::size_t ControlPlane::TotalRequestsInWindow() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    total += sh->co_access.requests_in_window();
+  }
+  return total;
+}
 
 void ControlPlane::RecordRequest(std::span<const BlockId> blocks) {
-  co_access_.RecordRequest(blocks);
+  if (shards_.size() == 1) {
+    Shard& sh = *shards_[0];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.co_access.RecordRequest(blocks);
+    return;
+  }
+  // Record the full request into every touched shard so each block's
+  // owning shard sees every pair involving it (see header).
+  std::vector<std::size_t> touched;
+  touched.reserve(blocks.size());
+  for (BlockId b : blocks) touched.push_back(ShardOf(b));
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (std::size_t idx : touched) {
+    Shard& sh = *shards_[idx];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.co_access.RecordRequest(blocks);
+  }
 }
 
 void ControlPlane::RecordLoadReport(SiteId site, double cpu_utilization,
                                     double io_bytes_per_sec,
                                     std::uint64_t chunk_count,
                                     std::size_t msg_bytes) {
-  load_tracker_.RecordReport(site, cpu_utilization, io_bytes_per_sec,
-                             chunk_count);
-  stats_network_bytes_ += msg_bytes;
+  {
+    std::unique_lock lk(load_mu_);
+    load_tracker_.RecordReport(site, cpu_utilization, io_bytes_per_sec,
+                               chunk_count);
+  }
+  stats_network_bytes_.fetch_add(msg_bytes, std::memory_order_relaxed);
 }
 
 void ControlPlane::RecordProbe(SiteId site, double rtt_ms,
                                std::size_t msg_bytes) {
-  load_tracker_.RecordProbe(site, rtt_ms);
-  stats_network_bytes_ += msg_bytes;
+  {
+    std::unique_lock lk(load_mu_);
+    load_tracker_.RecordProbe(site, rtt_ms);
+  }
+  stats_network_bytes_.fetch_add(msg_bytes, std::memory_order_relaxed);
 }
 
 void ControlPlane::ReloadPlansOnDrift() {
@@ -65,56 +107,94 @@ void ControlPlane::ReloadPlansOnDrift() {
   // largest per-site drift of o_j since the last epoch, relative to the
   // mean — a single site going hot or cold is exactly what invalidates
   // plans, even though the cluster-wide mean barely moves.
-  const auto& overheads = load_tracker_.OverheadVector();
-  if (overheads_at_epoch_.empty()) {
-    overheads_at_epoch_ = overheads;
-    return;
+  bool bump = false;
+  {
+    std::unique_lock lk(load_mu_);
+    const auto& overheads = load_tracker_.OverheadVector();
+    if (overheads_at_epoch_.empty()) {
+      overheads_at_epoch_ = overheads;
+      return;
+    }
+    const double mean_o = std::max(load_tracker_.MeanOverheadMs(), 1e-9);
+    double max_drift = 0;
+    for (std::size_t j = 0; j < overheads.size(); ++j) {
+      max_drift = std::max(
+          max_drift, std::abs(overheads[j] - overheads_at_epoch_[j]) / mean_o);
+    }
+    if (max_drift > config_->epoch_bump_threshold) {
+      overheads_at_epoch_ = overheads;
+      bump = true;
+    }
   }
-  const double mean_o = std::max(load_tracker_.MeanOverheadMs(), 1e-9);
-  double max_drift = 0;
-  for (std::size_t j = 0; j < overheads.size(); ++j) {
-    max_drift = std::max(
-        max_drift, std::abs(overheads[j] - overheads_at_epoch_[j]) / mean_o);
-  }
-  if (max_drift > config_->epoch_bump_threshold) {
-    plan_cache_.BumpEpoch();
-    overheads_at_epoch_ = overheads;
+  if (!bump) return;
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->plan_cache.BumpEpoch();
   }
 }
 
 CostParams ControlPlane::CurrentCostParams() const {
   CostParams params;
-  params.site_overhead_ms = load_tracker_.OverheadVector();
+  {
+    std::shared_lock lk(load_mu_);
+    params.site_overhead_ms = load_tracker_.OverheadVector();
+  }
   params.media_ms_per_byte.assign(config_->num_sites,
                                   MediaMsPerByte(config_->site));
   return params;
 }
 
-CostParams ControlPlane::PlanningCostParams() {
+CostParams ControlPlane::PlanningCostParamsLocked() {
   // Near-equal o_j values would otherwise be tie-broken identically by
   // every solve (always the lowest-indexed site), herding load. A small
   // per-call perturbation spreads equal-cost choices across sites while
   // leaving genuine load differences decisive.
-  CostParams params = CurrentCostParams();
-  const double mean = load_tracker_.MeanOverheadMs();
+  CostParams params;
+  double mean;
+  {
+    std::shared_lock lk(load_mu_);
+    params.site_overhead_ms = load_tracker_.OverheadVector();
+    mean = load_tracker_.MeanOverheadMs();
+  }
+  params.media_ms_per_byte.assign(config_->num_sites,
+                                  MediaMsPerByte(config_->site));
   for (double& o : params.site_overhead_ms) {
     o += rng_->NextDouble() * config_->cost_tiebreak_noise * mean;
   }
   return params;
 }
 
+CostParams ControlPlane::PlanningCostParams() {
+  std::lock_guard<std::mutex> lk(rng_mu_);
+  return PlanningCostParamsLocked();
+}
+
 PlanDecision ControlPlane::SelectAccessPlan(
     std::span<const BlockId> blocks, std::span<const BlockDemand> demands) {
   PlanDecision decision;
   if (!config_->CostModelEnabled()) {
-    decision.plan = RandomPlan(demands, *rng_);
+    {
+      std::lock_guard<std::mutex> lk(rng_mu_);
+      decision.plan = RandomPlan(demands, *rng_);
+    }
     decision.source = PlanSource::kRandom;
     if (plan_observer_) plan_observer_(blocks, decision);
     return decision;
   }
 
   const std::uint32_t delta = config_->EffectiveDelta();
-  if (auto cached = plan_cache_.LookupSatisfying(blocks, delta)) {
+  // The request key's owning shard: shard of the minimum block id, which
+  // is also where background solves for this key Insert their plan.
+  const std::size_t owner_idx =
+      blocks.empty() ? 0
+                     : ShardOf(*std::min_element(blocks.begin(), blocks.end()));
+  std::optional<AccessPlan> cached;
+  {
+    Shard& owner = *shards_[owner_idx];
+    std::lock_guard<std::mutex> lk(owner.mu);
+    cached = owner.plan_cache.LookupSatisfying(blocks, delta);
+  }
+  if (cached) {
     if (ValidatePlan(*cached)) {
       decision.plan = std::move(*cached);
       decision.source = PlanSource::kCacheHit;
@@ -122,9 +202,18 @@ PlanDecision ControlPlane::SelectAccessPlan(
       return decision;
     }
     // Stale entry (site failed since caching): drop and fall through.
-    for (BlockId b : blocks) plan_cache_.InvalidateBlock(b);
+    // Each block's plans die in its own owning shard — one lock at a
+    // time, never two shard locks held together.
+    for (BlockId b : blocks) {
+      Shard& sh = *shards_[ShardOf(b)];
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.plan_cache.InvalidateBlock(b);
+    }
   }
-  decision.plan = GreedyPlan(demands, PlanningCostParams(), *rng_);
+  {
+    std::lock_guard<std::mutex> lk(rng_mu_);
+    decision.plan = GreedyPlan(demands, PlanningCostParamsLocked(), *rng_);
+  }
   decision.source = PlanSource::kGreedy;
   ScheduleBackgroundIlp(blocks);
   if (plan_observer_) plan_observer_(blocks, decision);
@@ -140,10 +229,11 @@ bool ControlPlane::ValidatePlan(const AccessPlan& plan) const {
 }
 
 void ControlPlane::ScheduleBackgroundIlp(std::span<const BlockId> blocks) {
-  // The single background worker solves queued ILPs off the request path
-  // and installs solutions for future requests (Section V-B1). The queue
-  // is deduplicated and bounded: under a miss storm extra solve requests
-  // are dropped — the greedy plan already served the client.
+  // Each shard runs one background ILP worker solving queued sets off the
+  // request path and installing solutions for future requests (Section
+  // V-B1). The queue is deduplicated and bounded: under a miss storm
+  // extra solve requests are dropped — the greedy plan already served
+  // the client.
   constexpr std::size_t kMaxQueue = 64;
   constexpr std::size_t kMaxMissedOnce = 100000;
   // Very large multigets (the Wikipedia trace's tail pages) are served by
@@ -153,42 +243,72 @@ void ControlPlane::ScheduleBackgroundIlp(std::span<const BlockId> blocks) {
   constexpr std::size_t kMaxIlpBlocks = 16;
   std::vector<BlockId> key = PlanCache::CanonicalKey(blocks);
   if (key.size() > kMaxIlpBlocks) return;
-  if (ilp_pending_.count(key)) return;
+  const std::size_t idx = key.empty() ? 0 : ShardOf(key.front());
+  Shard& sh = *shards_[idx];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  if (sh.ilp_pending.count(key)) return;
   // First miss only registers the set; a solve is queued when it recurs,
   // since only recurring sets can ever profit from a cached plan.
-  if (missed_once_.insert(key).second) {
-    if (missed_once_.size() > kMaxMissedOnce) missed_once_.clear();
+  if (sh.missed_once.insert(key).second) {
+    if (sh.missed_once.size() > kMaxMissedOnce) sh.missed_once.clear();
     return;
   }
-  if (ilp_queue_.size() >= kMaxQueue) return;
-  ilp_pending_.insert(key);
-  ilp_queue_.push_back(std::move(key));
-  if (!ilp_worker_busy_) {
-    ilp_worker_busy_ = true;
-    PumpIlpWorker();
+  if (sh.ilp_queue.size() >= kMaxQueue) return;
+  sh.ilp_pending.insert(key);
+  sh.ilp_queue.push_back(std::move(key));
+  if (!sh.ilp_worker_busy) {
+    sh.ilp_worker_busy = true;
+    PumpIlpWorkerLocked(idx);
   }
 }
 
-void ControlPlane::PumpIlpWorker() {
-  if (ilp_queue_.empty()) {
-    ilp_worker_busy_ = false;
+void ControlPlane::PumpIlpWorkerLocked(std::size_t shard_idx) {
+  Shard& sh = *shards_[shard_idx];
+  if (sh.ilp_queue.empty()) {
+    sh.ilp_worker_busy = false;
     return;
   }
-  std::vector<BlockId> blocks = std::move(ilp_queue_.front());
-  ilp_queue_.pop_front();
-  defer_solve_([this, blocks = std::move(blocks)] {
-    ilp_pending_.erase(blocks);
+  std::vector<BlockId> blocks = std::move(sh.ilp_queue.front());
+  sh.ilp_queue.pop_front();
+  // The executor seam is invoked with the shard lock held; executors
+  // queue the unit rather than running it inline (class contract).
+  defer_solve_([this, shard_idx, blocks = std::move(blocks)]() mutable {
+    RunDeferredSolve(shard_idx, std::move(blocks));
+  });
+}
+
+void ControlPlane::RunDeferredSolve(std::size_t shard_idx,
+                                    std::vector<BlockId> blocks) {
+  Shard& sh = *shards_[shard_idx];
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.ilp_pending.erase(blocks);
+  }
+  // The solve itself runs without any shard lock: BuildDemands reads the
+  // cluster state through its own stripe locks and IlpPlan is pure CPU.
+  std::optional<AccessPlan> plan;
+  try {
     DemandResult dr = BuildDemands(*state_, blocks, config_->EffectiveDelta());
     const bool readable =
         std::find(dr.readable.begin(), dr.readable.end(), false) ==
         dr.readable.end();
     if (readable) {
-      const auto plan = IlpPlan(dr.demands, PlanningCostParams());
-      ++ilp_solves_;
-      if (plan) plan_cache_.Insert(blocks, config_->EffectiveDelta(), *plan);
+      CostParams params;
+      {
+        std::lock_guard<std::mutex> lk(rng_mu_);
+        params = PlanningCostParamsLocked();
+      }
+      plan = IlpPlan(dr.demands, params);
+      ilp_solves_.fetch_add(1, std::memory_order_relaxed);
     }
-    PumpIlpWorker();
-  });
+  } catch (const std::exception&) {
+    // A block was deleted between queueing and solving: abandon this
+    // solve (the set can re-queue if it recurs) and pump the next one.
+    plan.reset();
+  }
+  std::lock_guard<std::mutex> lk(sh.mu);
+  if (plan) sh.plan_cache.Insert(blocks, config_->EffectiveDelta(), *plan);
+  PumpIlpWorkerLocked(shard_idx);
 }
 
 std::vector<SiteId> ControlPlane::SelectWriteSites(std::uint32_t count) {
@@ -198,6 +318,7 @@ std::vector<SiteId> ControlPlane::SelectWriteSites(std::uint32_t count) {
   }
   if (available.size() < count) return {};
 
+  std::lock_guard<std::mutex> lk(rng_mu_);
   if (!config_->CostModelEnabled()) {
     // Baseline: random distinct placement [38].
     for (std::size_t i = 0; i < count; ++i) {
@@ -212,7 +333,7 @@ std::vector<SiteId> ControlPlane::SelectWriteSites(std::uint32_t count) {
   // Load-aware placement: spread new chunks over the least-loaded sites,
   // with the same tie-break perturbation planning uses so concurrent
   // writers do not all pick the same set.
-  const CostParams params = PlanningCostParams();
+  const CostParams params = PlanningCostParamsLocked();
   std::stable_sort(available.begin(), available.end(), [&](SiteId a, SiteId b) {
     return params.site_overhead_ms[a] < params.site_overhead_ms[b];
   });
@@ -221,33 +342,116 @@ std::vector<SiteId> ControlPlane::SelectWriteSites(std::uint32_t count) {
 }
 
 void ControlPlane::InvalidateBlock(BlockId block) {
-  plan_cache_.InvalidateBlock(block);
+  Shard& sh = *shards_[ShardOf(block)];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.plan_cache.InvalidateBlock(block);
 }
 
 void ControlPlane::OnSiteFailed(SiteId /*site*/) {
-  plan_cache_.BumpEpoch();  // Any cached plan may reference the dead site.
+  // Any cached plan may reference the dead site: bump every shard's
+  // epoch, one shard lock at a time (no world freeze).
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->plan_cache.BumpEpoch();
+  }
+}
+
+double ControlPlane::ShardedCoAccessView::Lambda(BlockId b, BlockId i) const {
+  const Shard& sh = *cp_->shards_[cp_->ShardOf(b)];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  return sh.co_access.Lambda(b, i);
+}
+
+std::vector<CoAccessPartner> ControlPlane::ShardedCoAccessView::Partners(
+    BlockId b, std::size_t max_partners) const {
+  const Shard& sh = *cp_->shards_[cp_->ShardOf(b)];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  return sh.co_access.Partners(b, max_partners);
+}
+
+double ControlPlane::ShardedCoAccessView::AccessFrequency(BlockId b) const {
+  const Shard& sh = *cp_->shards_[cp_->ShardOf(b)];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  return sh.co_access.AccessFrequency(b);
+}
+
+std::vector<BlockId> ControlPlane::ShardedCoAccessView::SampleCandidateBlocks(
+    Rng& rng, std::size_t count) const {
+  if (cp_->shards_.size() == 1) {
+    // Straight delegation: preserves the single tracker's deterministic
+    // sampling (and draw count) exactly — the simulator's requirement.
+    const Shard& sh = *cp_->shards_[0];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.co_access.SampleCandidateBlocks(rng, count);
+  }
+  // Merged sampling: let each shard nominate its own frequency-weighted
+  // candidates (restricted to blocks it owns, so the union is duplicate
+  // free), then weighted-sample the final set from the pooled nominees.
+  std::vector<std::pair<BlockId, double>> pool;
+  for (std::size_t s = 0; s < cp_->shards_.size(); ++s) {
+    const Shard& sh = *cp_->shards_[s];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    for (BlockId b : sh.co_access.SampleCandidateBlocks(rng, count)) {
+      if (cp_->ShardOf(b) != s) continue;
+      pool.emplace_back(b, sh.co_access.AccessFrequency(b));
+    }
+  }
+  std::vector<BlockId> out;
+  out.reserve(std::min(count, pool.size()));
+  while (out.size() < count && !pool.empty()) {
+    double total = 0;
+    for (const auto& [b, w] : pool) total += std::max(w, 1e-12);
+    double x = rng.NextDouble() * total;
+    std::size_t pick = pool.size() - 1;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      x -= std::max(pool[i].second, 1e-12);
+      if (x <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    out.push_back(pool[pick].first);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
 }
 
 std::optional<MovementPlan> ControlPlane::SelectMovement(
     double request_rate_per_sec) {
-  const CostParams params = CurrentCostParams();
+  // Snapshot the load statistics so the candidate search never holds
+  // load_mu_ (the mover walks many candidates; planners keep reading
+  // fresh o_j meanwhile).
+  LoadTracker load_snapshot = [&] {
+    std::shared_lock lk(load_mu_);
+    return load_tracker_;
+  }();
+  CostParams params;
+  params.site_overhead_ms = load_snapshot.OverheadVector();
+  params.media_ms_per_byte.assign(config_->num_sites,
+                                  MediaMsPerByte(config_->site));
+  ShardedCoAccessView view(this);
   MoverContext ctx;
   ctx.state = state_;
-  ctx.co_access = &co_access_;
-  ctx.load = &load_tracker_;
+  ctx.co_access = &view;
+  ctx.load = &load_snapshot;
   ctx.cost_params = &params;
   ctx.request_rate_per_sec = request_rate_per_sec;
+  std::lock_guard<std::mutex> lk(rng_mu_);
   return SelectMovementPlan(ctx, config_->mover, *rng_);
 }
 
 void ControlPlane::RecordMoveExecuted(BlockId block, std::uint64_t chunk_bytes) {
-  plan_cache_.InvalidateBlock(block);
-  ++moves_executed_;
-  mover_network_bytes_ += chunk_bytes;
+  InvalidateBlock(block);
+  moves_executed_.fetch_add(1, std::memory_order_relaxed);
+  mover_network_bytes_.fetch_add(chunk_bytes, std::memory_order_relaxed);
 }
 
 void ControlPlane::NoteHeartbeat(SiteId site, double now_ms) {
-  const bool revived = detector_.Heartbeat(site, now_ms);
+  bool revived;
+  {
+    std::lock_guard<std::mutex> lk(detector_mu_);
+    revived = detector_.Heartbeat(site, now_ms);
+  }
   if (revived && !state_->IsSiteAvailable(site)) {
     // A site the detector wrote off reported in again (a flap healing):
     // restore belief. Its chunks are still cataloged, so redundancy
@@ -260,17 +464,24 @@ void ControlPlane::NoteHeartbeat(SiteId site, double now_ms) {
 std::vector<SiteId> ControlPlane::CheckFailures(double now_ms) {
   // Baseline sites the detector has never heard from, so silence is
   // measured from first observation — not from time zero, which would
-  // declare a quiet cluster dead on the first check.
-  for (SiteId j = 0; j < state_->num_sites(); ++j) {
-    if (!detector_.Tracks(j)) detector_.Baseline(j, now_ms);
+  // declare a quiet cluster dead on the first check. Detector work runs
+  // under detector_mu_ alone; the resulting transitions are applied to
+  // the cluster state and shards afterwards (no nested locks).
+  std::vector<HealthTransition> transitions;
+  {
+    std::lock_guard<std::mutex> lk(detector_mu_);
+    for (SiteId j = 0; j < state_->num_sites(); ++j) {
+      if (!detector_.Tracks(j)) detector_.Baseline(j, now_ms);
+    }
+    transitions = detector_.Tick(now_ms);
   }
   std::vector<SiteId> died;
-  for (const HealthTransition& t : detector_.Tick(now_ms)) {
+  for (const HealthTransition& t : transitions) {
     if (t.to != SiteHealth::kDead) continue;
     if (!state_->IsSiteAvailable(t.site)) continue;  // Already failed manually.
     state_->SetSiteAvailable(t.site, false);
     OnSiteFailed(t.site);
-    ++sites_marked_dead_;
+    sites_marked_dead_.fetch_add(1, std::memory_order_relaxed);
     died.push_back(t.site);
   }
   return died;
@@ -279,6 +490,7 @@ std::vector<SiteId> ControlPlane::CheckFailures(double now_ms) {
 SiteId ControlPlane::SelectRepairDestination(BlockId block) const {
   // The least-loaded available site holding no chunk of this block — the
   // data-movement strategy's load awareness (Section V-C).
+  std::shared_lock lk(load_mu_);
   SiteId best = kInvalidSite;
   double best_load = 0;
   for (SiteId j = 0; j < state_->num_sites(); ++j) {
@@ -296,25 +508,58 @@ void ControlPlane::RecordRepair(BlockId block) {
   // The reconstructed chunk lives at a new site; plans for the block are
   // stale (they either reference the dead site or miss the cheaper new
   // location).
-  plan_cache_.InvalidateBlock(block);
-  ++chunks_repaired_;
+  InvalidateBlock(block);
+  chunks_repaired_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ControlPlane::PlanCacheTotals ControlPlane::CacheTotals() const {
+  PlanCacheTotals t;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    t.hits += sh->plan_cache.hits();
+    t.misses += sh->plan_cache.misses();
+    t.entries += sh->plan_cache.size();
+  }
+  return t;
+}
+
+std::size_t ControlPlane::ilp_queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    depth += sh->ilp_queue.size();
+  }
+  return depth;
+}
+
+bool ControlPlane::ilp_worker_busy() const {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    if (sh->ilp_worker_busy) return true;
+  }
+  return false;
 }
 
 ControlPlaneUsage ControlPlane::Usage() const {
   ControlPlaneUsage u;
-  u.stats_memory_bytes = co_access_.ApproxMemoryBytes();
-  u.optimizer_memory_bytes = plan_cache_.ApproxMemoryBytes();
+  // Memory gauges: lock each shard briefly in turn — a per-shard
+  // snapshot, not one frozen instant (see ControlPlaneUsage).
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    u.stats_memory_bytes += sh->co_access.ApproxMemoryBytes();
+    u.optimizer_memory_bytes += sh->plan_cache.ApproxMemoryBytes();
+  }
   // The mover's working set: candidate demand vectors + partner lists; a
   // small multiple of the per-evaluation state.
   u.mover_memory_bytes =
       config_->mover.max_evaluations *
       (sizeof(BlockDemand) + 8 * sizeof(ChunkLocation) + sizeof(MovementPlan));
-  u.stats_network_bytes = stats_network_bytes_;
-  u.mover_network_bytes = mover_network_bytes_;
-  u.ilp_solves = ilp_solves_;
-  u.moves_executed = moves_executed_;
-  u.chunks_repaired = chunks_repaired_;
-  u.sites_marked_dead = sites_marked_dead_;
+  u.stats_network_bytes = stats_network_bytes_.load(std::memory_order_relaxed);
+  u.mover_network_bytes = mover_network_bytes_.load(std::memory_order_relaxed);
+  u.ilp_solves = ilp_solves_.load(std::memory_order_relaxed);
+  u.moves_executed = moves_executed_.load(std::memory_order_relaxed);
+  u.chunks_repaired = chunks_repaired_.load(std::memory_order_relaxed);
+  u.sites_marked_dead = sites_marked_dead_.load(std::memory_order_relaxed);
   return u;
 }
 

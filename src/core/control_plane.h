@@ -13,14 +13,50 @@
 // deferred work runs differs per embodiment, expressed through the
 // executor seam below: the DES schedules the ILP solve on its event
 // queue after the modeled solve latency; LocalECStore queues it and
-// drains synchronously off the request path.
+// drains synchronously off the request path (or on a small executor
+// pool when ilp_executor_threads > 0).
+//
+// --- Sharding (DESIGN.md §10) ----------------------------------------
+// The block-keyed mutable structures — co-access window, plan cache,
+// deferred-ILP queue — are partitioned into `control_plane_shards`
+// independently locked shards (hash of block id -> shard), so concurrent
+// MultiGet planners only contend when their blocks share a shard. The
+// remaining state is split by role:
+//   - load_mu_ (shared_mutex): load tracker + epoch overhead snapshot;
+//     planners take it shared for cost snapshots, report ingestion takes
+//     it exclusive.
+//   - rng_mu_: the embodiment's single RNG stream. Each planning
+//     decision's draws happen atomically under it.
+//   - detector_mu_: the failure detector.
+//   - counters: std::atomic, lock-free.
+// Lock order (outer -> inner): rng_mu_ -> { load_mu_, shard.mu };
+// shard.mu -> executor queue (the seam may enqueue under a shard lock —
+// executors must not re-enter the control plane inline, see below).
+// No path ever holds two shard locks at once: cross-shard operations
+// (drift reload, site failure, Usage()) iterate shards ascending,
+// locking one at a time. detector_mu_ is never held across other locks.
+//
+// A plan-cache entry lives in the shard of the MINIMUM block id of its
+// canonical key, so lookups and inserts for the same request key always
+// land on the same shard. With shards > 1 a block can appear in entries
+// owned by other shards (via co-accessed partners); those entries are
+// not eagerly invalidated cross-shard — they die lazily when
+// ValidatePlan rejects them against the live cluster state. With
+// shards = 1 (the default, and the simulator's required setting) every
+// structure degenerates to the original single instance and the paper's
+// exact semantics — including cross-key superset reuse — are preserved
+// bit-for-bit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -41,6 +77,16 @@ namespace ecstore {
 /// owns (repair/detector); embodiments overlay their data-plane counters
 /// (degraded reads, retries, cancellations, checksums, scrub) in their
 /// own Usage() accessors.
+///
+/// Consistency under concurrency (DESIGN.md §10): the event counters
+/// (stats/mover network bytes, ilp_solves, moves_executed,
+/// chunks_repaired, sites_marked_dead) are MONOTONIC atomics — each read
+/// is exact-at-some-instant and never decreases. The memory gauges
+/// (stats/optimizer/mover memory) are aggregated by locking each shard
+/// briefly in turn, so the total is a per-shard-consistent SNAPSHOT, not
+/// a single cross-shard instant: concurrent inserts/evictions may land
+/// between shard visits. No reader should assume the gauges and counters
+/// describe the same moment.
 struct ControlPlaneUsage {
   std::size_t stats_memory_bytes = 0;
   std::size_t optimizer_memory_bytes = 0;
@@ -80,11 +126,17 @@ struct PlanDecision {
 /// RNG stream from the embodiment (so a DES run remains bit-reproducible
 /// against the embodiment's single seeded stream).
 ///
-/// Not thread-safe by contract: embodiments serialize every call (the
-/// DES is single-threaded; LocalECStore holds its metadata mutex across
-/// each control-plane touch — see core/local_store.h for the lock order).
-/// The executor seam may be invoked while that serialization is in
-/// effect, so executors must not re-enter the control plane inline.
+/// Internally synchronized (see the sharding note above): MultiGet-path
+/// calls (RecordRequest, SelectAccessPlan, cost snapshots) may run
+/// concurrently from many client threads and only contend per shard.
+/// The reference accessors co_access() / load_tracker() /
+/// failure_detector() / plan_cache() bypass that synchronization — they
+/// are for single-threaded diagnostics (the DES, tests, CLI dumps), not
+/// for use concurrent with live traffic.
+///
+/// The executor seam may be invoked while a shard lock is held, so
+/// executors must not re-enter the control plane inline — they queue the
+/// unit and run it later (both embodiments do).
 class ControlPlane {
  public:
   using Deferred = std::function<void()>;
@@ -94,6 +146,9 @@ class ControlPlane {
   /// appends it to a queue drained off the request path.
   using Executor = std::function<void(Deferred)>;
   /// Test/diagnostics hook: observes every SelectAccessPlan decision.
+  /// Invoked outside all control-plane locks; must be set before
+  /// concurrent traffic starts and be thread-safe itself if the
+  /// embodiment is concurrent.
   using PlanObserver =
       std::function<void(std::span<const BlockId>, const PlanDecision&)>;
 
@@ -103,13 +158,35 @@ class ControlPlane {
   ControlPlane(const ControlPlane&) = delete;
   ControlPlane& operator=(const ControlPlane&) = delete;
 
+  // --- Sharding --------------------------------------------------------
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Owning shard of a block id (and of every plan-cache key whose
+  /// minimum block id it is).
+  std::size_t ShardOf(BlockId id) const {
+    // Fibonacci multiplicative mix so sequential ids spread evenly.
+    return static_cast<std::size_t>((id * 0x9E3779B97F4A7C15ULL) >> 40) %
+           shards_.size();
+  }
+
   // --- Statistics service (Section V-A) -------------------------------
-  CoAccessTracker& co_access() { return co_access_; }
-  const CoAccessTracker& co_access() const { return co_access_; }
+  /// Shard-0 trackers, for single-threaded diagnostics and the shards=1
+  /// embodiments (see the class comment for the thread-safety caveat).
+  CoAccessTracker& co_access() { return shards_[0]->co_access; }
+  const CoAccessTracker& co_access() const { return shards_[0]->co_access; }
   LoadTracker& load_tracker() { return load_tracker_; }
   const LoadTracker& load_tracker() const { return load_tracker_; }
 
-  /// Samples one multiget into the co-access window.
+  /// Windowed sampled-request count summed over shards. With shards > 1
+  /// a request spanning shards is counted once per touched shard, so
+  /// this slightly overestimates the true request count — fine for the
+  /// mover's request-rate estimate; exact at shards = 1.
+  std::size_t TotalRequestsInWindow() const;
+
+  /// Samples one multiget into the co-access window: the full block list
+  /// is recorded into every shard owning at least one of the blocks, so
+  /// each block's owning shard sees every request (and thus every
+  /// co-access pair) involving it.
   void RecordRequest(std::span<const BlockId> blocks);
 
   /// Ingests one periodic load report; `msg_bytes` is charged to the
@@ -124,13 +201,13 @@ class ControlPlane {
   /// Charges stats-service message bytes (Table III) without touching the
   /// load estimates — for probes whose RTT is reported later.
   void ChargeStatsNetwork(std::size_t msg_bytes) {
-    stats_network_bytes_ += msg_bytes;
+    stats_network_bytes_.fetch_add(msg_bytes, std::memory_order_relaxed);
   }
 
   /// Reloads (drops) every cached plan when the largest per-site o_j
   /// drift since the last epoch exceeds the configured threshold
   /// (Section V-B1 "dynamically reload solutions"). Call after each
-  /// batch of load reports.
+  /// batch of load reports. Bumps shard epochs one at a time.
   void ReloadPlansOnDrift();
 
   /// Current cost parameters (o_j from the load tracker, m_j from the
@@ -147,6 +224,7 @@ class ControlPlane {
   /// against the live state) when the cost model is on, greedy fallback
   /// on a miss (queuing a deduplicated background ILP refinement), or
   /// the random baseline plan otherwise. Never solves an ILP inline.
+  /// Takes only the owning shard's lock (plus rng/load for the fallback).
   PlanDecision SelectAccessPlan(std::span<const BlockId> blocks,
                                 std::span<const BlockDemand> demands);
 
@@ -154,8 +232,22 @@ class ControlPlane {
   /// still holds the chunk.
   bool ValidatePlan(const AccessPlan& plan) const;
 
-  const PlanCache& plan_cache() const { return plan_cache_; }
-  PlanCache& plan_cache() { return plan_cache_; }
+  /// Shard-0 plan cache (diagnostics / shards=1 compatibility).
+  const PlanCache& plan_cache() const { return shards_[0]->plan_cache; }
+  PlanCache& plan_cache() { return shards_[0]->plan_cache; }
+
+  /// Plan cache of one shard (diagnostics; see class comment).
+  const PlanCache& plan_cache(std::size_t shard) const {
+    return shards_[shard]->plan_cache;
+  }
+
+  /// Aggregated hits/misses/entries over all shard caches.
+  struct PlanCacheTotals {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  PlanCacheTotals CacheTotals() const;
 
   void set_plan_observer(PlanObserver observer) {
     plan_observer_ = std::move(observer);
@@ -169,15 +261,19 @@ class ControlPlane {
 
   // --- Plan invalidation ----------------------------------------------
   /// A chunk of `block` moved, or the block was deleted: its plans die.
+  /// Touches only the block's owning shard; entries referencing the
+  /// block from other shards are rejected lazily by ValidatePlan.
   void InvalidateBlock(BlockId block);
 
-  /// A site failed: any cached plan may reference it.
+  /// A site failed: any cached plan may reference it. Bumps every
+  /// shard's epoch, one shard lock at a time.
   void OnSiteFailed(SiteId site);
 
   // --- Chunk mover (Algorithm 1, Section V-B2) ------------------------
   /// Assembles the mover context from the live statistics and runs
   /// Algorithm 1. The embodiment executes the returned copy and commits
-  /// via RecordMoveExecuted.
+  /// via RecordMoveExecuted. Works from a load-tracker snapshot so the
+  /// candidate search never holds load_mu_.
   std::optional<MovementPlan> SelectMovement(double request_rate_per_sec);
 
   /// A movement committed: invalidate the block's plans and charge the
@@ -210,48 +306,100 @@ class ControlPlane {
   void RecordRepair(BlockId block);
 
   // --- Table III accounting -------------------------------------------
+  /// See ControlPlaneUsage for which fields are monotonic counters and
+  /// which are per-shard-snapshot gauges.
   ControlPlaneUsage Usage() const;
 
-  std::uint64_t ilp_solves() const { return ilp_solves_; }
-  std::uint64_t moves_executed() const { return moves_executed_; }
-  std::uint64_t chunks_repaired() const { return chunks_repaired_; }
-  std::uint64_t sites_marked_dead() const { return sites_marked_dead_; }
-  std::size_t ilp_queue_depth() const { return ilp_queue_.size(); }
-  bool ilp_worker_busy() const { return ilp_worker_busy_; }
+  std::uint64_t ilp_solves() const {
+    return ilp_solves_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t moves_executed() const {
+    return moves_executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t chunks_repaired() const {
+    return chunks_repaired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sites_marked_dead() const {
+    return sites_marked_dead_.load(std::memory_order_relaxed);
+  }
+  /// Queued background solves over all shards (locks each in turn).
+  std::size_t ilp_queue_depth() const;
+  /// True when any shard's background worker is mid-solve.
+  bool ilp_worker_busy() const;
 
  private:
+  /// One control-plane shard: the block-keyed mutable state for the
+  /// blocks hashing here, all guarded by one mutex.
+  struct Shard {
+    explicit Shard(std::size_t co_access_window, std::size_t cache_capacity)
+        : co_access(co_access_window), plan_cache(cache_capacity) {}
+
+    mutable std::mutex mu;
+    CoAccessTracker co_access;
+    PlanCache plan_cache;
+    // Per-shard background ILP worker (Section V-B1); misses queue up
+    // (deduplicated, bounded) rather than spawning unbounded solver work.
+    std::deque<std::vector<BlockId>> ilp_queue;
+    std::set<std::vector<BlockId>> ilp_pending;
+    // Query sets that missed once: a set is only worth an ILP solve if
+    // it recurs (one-off scans can never hit the cache afterwards).
+    std::set<std::vector<BlockId>> missed_once;
+    bool ilp_worker_busy = false;
+  };
+
+  /// Merged mover view over the per-shard co-access trackers: routes
+  /// anchor-keyed queries to the anchor's owning shard (which saw every
+  /// request involving the anchor) and merges candidate samples.
+  class ShardedCoAccessView : public CoAccessView {
+   public:
+    explicit ShardedCoAccessView(const ControlPlane* cp) : cp_(cp) {}
+    double Lambda(BlockId b, BlockId i) const override;
+    std::vector<CoAccessPartner> Partners(BlockId b,
+                                          std::size_t max_partners) const override;
+    std::vector<BlockId> SampleCandidateBlocks(Rng& rng,
+                                               std::size_t count) const override;
+    double AccessFrequency(BlockId b) const override;
+
+   private:
+    const ControlPlane* cp_;
+  };
+
   void ScheduleBackgroundIlp(std::span<const BlockId> blocks);
-  void PumpIlpWorker();
+  /// Pops and defers the next queued solve. Caller holds shard.mu.
+  void PumpIlpWorkerLocked(std::size_t shard_idx);
+  /// Body of one deferred solve (runs via the executor seam, no locks
+  /// held on entry).
+  void RunDeferredSolve(std::size_t shard_idx, std::vector<BlockId> blocks);
+  /// PlanningCostParams body; caller holds rng_mu_.
+  CostParams PlanningCostParamsLocked();
 
   const ECStoreConfig* config_;
   ClusterState* state_;
   Rng* rng_;
   Executor defer_solve_;
 
-  CoAccessTracker co_access_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Load statistics: shared for read-mostly cost snapshots.
+  mutable std::shared_mutex load_mu_;
   LoadTracker load_tracker_;
-  PlanCache plan_cache_;
-  PlanObserver plan_observer_;
-  FailureDetector detector_;
-
-  // ONE background ILP worker (Section V-B1); misses queue up
-  // (deduplicated, bounded) rather than spawning unbounded solver work.
-  std::deque<std::vector<BlockId>> ilp_queue_;
-  std::set<std::vector<BlockId>> ilp_pending_;
-  // Query sets that missed once: a set is only worth an ILP solve if it
-  // recurs (one-off scans can never hit the cache afterwards).
-  std::set<std::vector<BlockId>> missed_once_;
-  bool ilp_worker_busy_ = false;
-
   std::vector<double> overheads_at_epoch_;
 
-  // Resource counters (Table III).
-  std::uint64_t stats_network_bytes_ = 0;
-  std::uint64_t mover_network_bytes_ = 0;
-  std::uint64_t ilp_solves_ = 0;
-  std::uint64_t moves_executed_ = 0;
-  std::uint64_t chunks_repaired_ = 0;
-  std::uint64_t sites_marked_dead_ = 0;
+  // The embodiment's single seeded RNG stream.
+  mutable std::mutex rng_mu_;
+
+  mutable std::mutex detector_mu_;
+  FailureDetector detector_;
+
+  PlanObserver plan_observer_;
+
+  // Resource counters (Table III) — monotonic, lock-free.
+  std::atomic<std::uint64_t> stats_network_bytes_{0};
+  std::atomic<std::uint64_t> mover_network_bytes_{0};
+  std::atomic<std::uint64_t> ilp_solves_{0};
+  std::atomic<std::uint64_t> moves_executed_{0};
+  std::atomic<std::uint64_t> chunks_repaired_{0};
+  std::atomic<std::uint64_t> sites_marked_dead_{0};
 };
 
 }  // namespace ecstore

@@ -12,21 +12,32 @@ namespace ecstore {
 
 namespace {
 
-/// Per-block progress of one parallel fetch round.
+/// Per-block progress of one parallel fetch round. Flat vectors instead
+/// of node-based sets: a block has at most k+r chunk indices, so linear
+/// membership scans over a pre-reserved vector beat heap-allocating set
+/// nodes on this per-fetch hot path.
 struct BlockGather {
   std::uint32_t k = 0;              // completion threshold (first k win)
   std::vector<IndexedChunk> got;    // delivered chunks, capped at k
-  std::set<ChunkIndex> have;        // chunk indices present in `got`
-  std::set<ChunkIndex> tried;       // chunk indices ever issued
+  std::vector<ChunkIndex> have;     // chunk indices present in `got`
+  std::vector<ChunkIndex> tried;    // chunk indices ever issued
+
+  bool Have(ChunkIndex c) const {
+    return std::find(have.begin(), have.end(), c) != have.end();
+  }
+  bool Tried(ChunkIndex c) const {
+    return std::find(tried.begin(), tried.end(), c) != tried.end();
+  }
 };
 
 /// Shared between the requesting thread and the fetch workers. Jobs hold
 /// a shared_ptr so the context (and its mutex) outlives an abandoned
-/// request with stragglers still queued.
+/// request with stragglers still queued. Blocks are indexed by demand
+/// order (jobs carry the index), so workers never do a map lookup.
 struct FetchContext {
   std::mutex mu;
   std::condition_variable cv;
-  std::map<BlockId, BlockGather> blocks;
+  std::vector<BlockGather> blocks;  // parallel to the request's demands
   std::size_t unsatisfied = 0;  // blocks still short of k
   std::size_t outstanding = 0;  // fetches not yet completed
   bool harvested = false;       // results collected; late arrivals dropped
@@ -46,9 +57,14 @@ LocalECStore::LocalECStore(ECStoreConfig config)
           &config_, &state_, &rng_,
           // Executor seam: deferred ILP solves queue up and run once the
           // request has been answered — never on the MultiGet fast path.
-          // Fires from inside control-plane calls made under meta_mu_, so
-          // it takes only defer_mu_ (lock order meta_mu_ -> defer_mu_).
+          // May fire while a control-plane shard lock is held, so it only
+          // touches the queue lock (or the pool's): the unit itself runs
+          // later and self-synchronizes.
           [this](ControlPlane::Deferred work) {
+            if (bg_pool_) {
+              bg_pool_->Submit(std::move(work));
+              return;
+            }
             std::lock_guard<std::mutex> lock(defer_mu_);
             deferred_.push_back(std::move(work));
           }),
@@ -67,6 +83,9 @@ LocalECStore::LocalECStore(ECStoreConfig config)
   repair_ = std::make_unique<RepairService>(
       &config_, &state_, &control_plane_,
       [this](SiteId site) { return RepairSiteLocked(site); });
+  if (config_.ilp_executor_threads > 0) {
+    bg_pool_ = std::make_unique<WorkerPool>(config_.ilp_executor_threads);
+  }
   data_plane_ =
       std::make_unique<DataPlane>(config_.num_sites, config_.data_plane);
 }
@@ -112,10 +131,25 @@ std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
   return std::move(MultiGet(one)[0]);
 }
 
-std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
+std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     const AccessPlan& plan, std::span<const BlockDemand> demands,
-    const std::map<BlockId, BlockMeta>& meta) {
+    const std::vector<BlockMeta>& meta) {
   auto ctx = std::make_shared<FetchContext>();
+
+  // Block id -> demand index, sorted once so plan reads resolve with a
+  // binary search instead of a map.
+  std::vector<std::pair<BlockId, std::size_t>> index;
+  index.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    index.emplace_back(demands[i].block, i);
+  }
+  std::sort(index.begin(), index.end());
+  const auto index_of = [&index](BlockId block) {
+    const auto it = std::lower_bound(
+        index.begin(), index.end(), block,
+        [](const auto& e, BlockId b) { return e.first < b; });
+    return it->second;  // Plan reads only reference demanded blocks.
+  };
 
   // Enqueue one data-plane job per fetch. The caller must hold ctx->mu
   // and have bumped `outstanding` / recorded `tried` beforehand. Workers
@@ -123,18 +157,18 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
   // store's metadata lock. The node read goes through FetchChunk: the
   // error-injected, checksum-verified data path, where a corrupt chunk or
   // a transient I/O error surfaces as a miss.
-  const auto issue = [this, &ctx](BlockId block, ChunkIndex chunk,
-                                  SiteId site) {
+  const auto issue = [this, &ctx](std::size_t gi, BlockId block,
+                                  ChunkIndex chunk, SiteId site) {
     StorageNode* node = nodes_[site].get();
     data_plane_->Submit(
         site,
-        [ctx, node, block, chunk](bool cancelled) {
+        [ctx, node, gi, block, chunk](bool cancelled) {
           std::shared_ptr<const ChunkData> data;
           if (!cancelled) {
             bool skip;  // Block already complete: ignore the straggler.
             {
               std::lock_guard<std::mutex> lock(ctx->mu);
-              const BlockGather& g = ctx->blocks.at(block);
+              const BlockGather& g = ctx->blocks[gi];
               skip = ctx->harvested || g.got.size() >= g.k;
             }
             // A failed node, a moved/deleted chunk, a checksum mismatch,
@@ -143,10 +177,10 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
             if (!skip) data = node->FetchChunk(block, chunk);
           }
           std::lock_guard<std::mutex> lock(ctx->mu);
-          BlockGather& g = ctx->blocks.at(block);
+          BlockGather& g = ctx->blocks[gi];
           if (data != nullptr && !ctx->harvested && g.got.size() < g.k &&
-              !g.have.count(chunk)) {
-            g.have.insert(chunk);
+              !g.Have(chunk)) {
+            g.have.push_back(chunk);
             g.got.push_back({chunk, *data});
             if (g.got.size() == g.k && --ctx->unsatisfied == 0) {
               // Every block is complete: still-queued fetches are
@@ -162,15 +196,21 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
 
   {
     std::lock_guard<std::mutex> lock(ctx->mu);
-    for (const BlockDemand& demand : demands) {
-      ctx->blocks[demand.block].k = meta.at(demand.block).k;
+    ctx->blocks.resize(demands.size());
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      BlockGather& g = ctx->blocks[i];
+      g.k = meta[i].k;
+      g.got.reserve(g.k);
+      g.have.reserve(meta[i].locations.size());
+      g.tried.reserve(meta[i].locations.size());
     }
     ctx->unsatisfied = ctx->blocks.size();
     for (const ChunkRead& read : plan.reads) {
-      BlockGather& g = ctx->blocks.at(read.block);
-      g.tried.insert(read.chunk);
+      const std::size_t gi = index_of(read.block);
+      BlockGather& g = ctx->blocks[gi];
+      if (!g.Tried(read.chunk)) g.tried.push_back(read.chunk);
       ++ctx->outstanding;
-      issue(read.block, read.chunk, read.site);
+      issue(gi, read.block, read.chunk, read.site);
     }
   }
 
@@ -217,15 +257,16 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
       if (ctx->unsatisfied == 0) break;
     }
     std::size_t reissued = 0;
-    for (auto& [block, g] : ctx->blocks) {
+    for (std::size_t i = 0; i < ctx->blocks.size(); ++i) {
+      BlockGather& g = ctx->blocks[i];
       if (g.got.size() >= g.k) continue;
-      for (const ChunkLocation& loc : meta.at(block).locations) {
-        if (g.have.count(loc.chunk)) continue;
-        if (round == 1 && g.tried.count(loc.chunk)) continue;
-        g.tried.insert(loc.chunk);
+      for (const ChunkLocation& loc : meta[i].locations) {
+        if (g.Have(loc.chunk)) continue;
+        if (round == 1 && g.Tried(loc.chunk)) continue;
+        if (!g.Tried(loc.chunk)) g.tried.push_back(loc.chunk);
         ++ctx->outstanding;
         ++reissued;
-        issue(block, loc.chunk, loc.site);
+        issue(i, meta[i].block, loc.chunk, loc.site);
       }
     }
     retried_fetches_.fetch_add(reissued, std::memory_order_relaxed);
@@ -234,13 +275,15 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
 
   ctx->harvested = true;
   ctx->cancel->store(true, std::memory_order_release);
-  std::map<BlockId, std::vector<IndexedChunk>> fetched;
-  for (auto& [block, g] : ctx->blocks) fetched[block] = std::move(g.got);
+  std::vector<std::vector<IndexedChunk>> fetched(ctx->blocks.size());
+  for (std::size_t i = 0; i < ctx->blocks.size(); ++i) {
+    fetched[i] = std::move(ctx->blocks[i].got);
+  }
   lock.unlock();
 
   bool short_of_k = false;
-  for (const BlockDemand& demand : demands) {
-    if (fetched[demand.block].size() < meta.at(demand.block).k) {
+  for (std::size_t i = 0; i < fetched.size(); ++i) {
+    if (fetched[i].size() < meta[i].k) {
       short_of_k = true;
       break;
     }
@@ -255,23 +298,28 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
   // bypass injected data-plane latency and error injection (they are
   // still checksum-verified), keeping the fallback deterministic.
   std::lock_guard<std::mutex> meta_lock(meta_mu_);
-  for (const BlockDemand& demand : demands) {
-    auto& got = fetched[demand.block];
-    const BlockInfo& info = state_.GetBlock(demand.block);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const BlockId block = demands[i].block;
+    auto& got = fetched[i];
+    const BlockInfo& info = state_.GetBlock(block);
     if (got.size() >= info.k) continue;
 
     degraded_reads_.fetch_add(1, std::memory_order_relaxed);
-    control_plane_.InvalidateBlock(demand.block);
-    std::set<ChunkIndex> have;
-    for (const IndexedChunk& c : got) have.insert(c.index);
+    control_plane_.InvalidateBlock(block);
+    std::vector<ChunkIndex> have;
+    have.reserve(info.locations.size());
+    for (const IndexedChunk& c : got) have.push_back(c.index);
+    const auto has = [&have](ChunkIndex c) {
+      return std::find(have.begin(), have.end(), c) != have.end();
+    };
     for (const ChunkLocation& loc : info.locations) {
       if (got.size() >= info.k) break;
-      if (have.count(loc.chunk)) continue;
+      if (has(loc.chunk)) continue;
       if (!state_.IsSiteAvailable(loc.site)) continue;
-      const auto data = nodes_[loc.site]->GetChunk(demand.block, loc.chunk);
+      const auto data = nodes_[loc.site]->GetChunk(block, loc.chunk);
       if (data == nullptr) continue;
       got.push_back({loc.chunk, *data});
-      have.insert(loc.chunk);
+      have.push_back(loc.chunk);
     }
     if (got.size() < info.k) {
       throw std::runtime_error(
@@ -283,56 +331,77 @@ std::map<BlockId, std::vector<IndexedChunk>> LocalECStore::FetchChunks(
 
 std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
     std::span<const BlockId> ids) {
-  DemandResult dr;
-  PlanDecision decision;
-  std::map<BlockId, BlockMeta> meta;
-  {
-    // Planning: one serialized control-plane decision plus a catalog
-    // snapshot, so the parallel fetch phase never touches mutable state.
-    std::lock_guard<std::mutex> lock(meta_mu_);
-    control_plane_.RecordRequest(ids);
-    ++gets_since_refresh_;
-    if (gets_since_refresh_ % 64 == 0) RefreshLoadFromCounters();
+  // Planning takes no store-wide lock (DESIGN.md §10): the control plane
+  // synchronizes itself per shard and the catalog per stripe. A write
+  // racing this path is absorbed downstream — a chunk that moved after
+  // the snapshot comes back as a miss and the retry rounds / degraded
+  // path re-resolve it against the committed catalog.
+  control_plane_.RecordRequest(ids);
+  const std::uint64_t seq =
+      gets_since_refresh_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seq % 64 == 0) RefreshLoadFromCounters();
 
-    dr = BuildDemands(state_, ids, config_.EffectiveDelta());
-    for (std::size_t i = 0; i < dr.readable.size(); ++i) {
-      if (!dr.readable[i]) {
-        throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
-      }
+  DemandResult dr = BuildDemands(state_, ids, config_.EffectiveDelta());
+  for (std::size_t i = 0; i < dr.readable.size(); ++i) {
+    if (!dr.readable[i]) {
+      throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
     }
+  }
 
-    // R2: one shared plan decision — cached plan, greedy fallback, or the
-    // random baseline. Never an inline ILP solve.
-    decision = control_plane_.SelectAccessPlan(ids, dr.demands);
+  // R2: one shared plan decision — cached plan, greedy fallback, or the
+  // random baseline. Never an inline ILP solve.
+  PlanDecision decision = control_plane_.SelectAccessPlan(ids, dr.demands);
 
-    for (BlockId id : ids) {
-      if (meta.count(id)) continue;
-      const BlockInfo& info = state_.GetBlock(id);
-      meta.emplace(id, BlockMeta{info.k, info.block_bytes, info.locations});
+  // Catalog snapshot, one stripe-locked copy per demanded block, so the
+  // lock-free fetch phase never reads mutable state.
+  std::vector<BlockMeta> meta;
+  meta.reserve(dr.demands.size());
+  BlockInfo info;
+  for (const BlockDemand& d : dr.demands) {
+    if (!state_.ReadBlock(d.block, &info)) {
+      // Deleted between planning and the snapshot.
+      throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
     }
+    meta.push_back(
+        BlockMeta{d.block, info.k, info.block_bytes, std::move(info.locations)});
   }
 
   // Fetch chunks per block in parallel; a late-binding plan fetches
   // extras and each block completes on its first k arrivals.
-  std::map<BlockId, std::vector<IndexedChunk>> fetched =
+  std::vector<std::vector<IndexedChunk>> fetched =
       FetchChunks(decision.plan, dr.demands, meta);
 
+  // Demand index per requested id (requests are small; the scan is over
+  // the deduplicated demand list).
+  const auto meta_index = [&meta](BlockId id) {
+    for (std::size_t i = 0; i < meta.size(); ++i) {
+      if (meta[i].block == id) return i;
+    }
+    throw std::logic_error("LocalECStore::MultiGet: id missing from demands");
+  };
   std::vector<std::vector<std::uint8_t>> out;
   out.reserve(ids.size());
   for (BlockId id : ids) {
-    out.push_back(codec_->Decode(fetched.at(id), meta.at(id).block_bytes));
+    const std::size_t i = meta_index(id);
+    out.push_back(codec_->Decode(fetched[i], meta[i].block_bytes));
   }
 
-  // The response is assembled; now run any queued background refinement
-  // off the request's critical path.
-  DrainBackgroundWork();
+  // The response is assembled; with the synchronous executor (no pool),
+  // run any queued background refinement off the request's critical
+  // path. With an executor pool the solves are already draining on their
+  // own threads — waiting here would put them back ON the request path.
+  if (!bg_pool_) DrainBackgroundWork();
   return out;
 }
 
 void LocalECStore::DrainBackgroundWork() {
+  if (bg_pool_) {
+    bg_pool_->WaitIdle();
+    return;
+  }
   // Each unit can enqueue its successor (the worker pump), so loop until
-  // the queue is truly empty. Units run under the metadata lock: deferred
-  // solves touch the plan cache, cluster state, and RNG.
+  // the queue is truly empty. Units self-synchronize: a deferred solve
+  // takes the control plane's shard/rng/load locks itself.
   for (;;) {
     ControlPlane::Deferred work;
     {
@@ -341,29 +410,29 @@ void LocalECStore::DrainBackgroundWork() {
       work = std::move(deferred_.front());
       deferred_.pop_front();
     }
-    std::lock_guard<std::mutex> lock(meta_mu_);
     work();
   }
 }
 
 bool LocalECStore::Contains(BlockId id) const {
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  // The catalog is stripe-locked internally; no store-wide lock needed.
   return state_.Contains(id);
 }
 
 ControlPlaneUsage LocalECStore::Usage() const {
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  // The control plane aggregates shard by shard; everything overlaid
+  // here is atomic. No store-wide lock (see ControlPlaneUsage for the
+  // monotonic-vs-snapshot contract).
   ControlPlaneUsage u = control_plane_.Usage();
   u.degraded_reads = degraded_reads_.load(std::memory_order_relaxed);
   u.retried_fetches = retried_fetches_.load(std::memory_order_relaxed);
   u.cancelled_fetch_jobs = data_plane_->jobs_cancelled();
-  u.chunks_scrubbed = chunks_scrubbed_;
+  u.chunks_scrubbed = chunks_scrubbed_.load(std::memory_order_relaxed);
   for (const auto& node : nodes_) u.checksum_failures += node->checksum_failures();
   return u;
 }
 
 CostParams LocalECStore::CurrentCostParams() const {
-  std::lock_guard<std::mutex> lock(meta_mu_);
   return control_plane_.CurrentCostParams();
 }
 
@@ -504,7 +573,7 @@ std::uint64_t LocalECStore::RepairSiteLocked(SiteId site) {
 std::uint64_t LocalECStore::ScrubOnce() {
   std::lock_guard<std::mutex> lock(meta_mu_);
   const std::uint64_t fixed = ScrubLocked();
-  chunks_scrubbed_ += fixed;
+  chunks_scrubbed_.fetch_add(fixed, std::memory_order_relaxed);
   return fixed;
 }
 
@@ -579,7 +648,9 @@ void LocalECStore::MaintenanceLoop() {
       RefreshLoadFromCounters();
       control_plane_.CheckFailures(now_ms);
       repair_->Poll(FromMillis(now_ms));
-      if (scrub_tick) chunks_scrubbed_ += ScrubLocked();
+      if (scrub_tick) {
+        chunks_scrubbed_.fetch_add(ScrubLocked(), std::memory_order_relaxed);
+      }
     }
     // Deferred control-plane work queued by the tick (plan reloads after
     // drift) runs outside the tick's critical section.
@@ -591,7 +662,7 @@ std::optional<MovementPlan> LocalECStore::RunMovementRound() {
   std::lock_guard<std::mutex> lock(meta_mu_);
   RefreshLoadFromCounters();
   const auto plan = control_plane_.SelectMovement(
-      static_cast<double>(control_plane_.co_access().requests_in_window()));
+      static_cast<double>(control_plane_.TotalRequestsInWindow()));
   if (!plan) return std::nullopt;
 
   // Execute with a real data copy: read at source, write at destination,
@@ -628,10 +699,12 @@ std::uint64_t LocalECStore::TotalStoredBytes() const {
 void LocalECStore::RefreshLoadFromCounters() {
   // Derive site load from reads served since the last refresh: the
   // in-process analogue of the periodic load reports. Counters are
-  // atomics bumped by fetch workers; meta_mu_ (held by the caller)
-  // serializes the refresh itself. Crashed nodes produce no report — and
-  // therefore no heartbeat, which is exactly how the failure detector
-  // learns of an unannounced crash.
+  // atomics bumped by fetch workers; refresh_mu_ serializes concurrent
+  // refreshes (a MultiGet hitting its 64th request can race the
+  // maintenance tick). Crashed nodes produce no report — and therefore
+  // no heartbeat, which is exactly how the failure detector learns of an
+  // unannounced crash.
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
   std::uint64_t total = 0;
   std::vector<std::uint64_t> deltas(nodes_.size(), 0);
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
@@ -666,7 +739,6 @@ void LocalECStore::RefreshLoadFromCounters() {
                                /*msg_bytes=*/0);
   }
   control_plane_.ReloadPlansOnDrift();
-  gets_since_refresh_ = 0;
 }
 
 }  // namespace ecstore

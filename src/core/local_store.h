@@ -29,13 +29,23 @@
 // their checksum. CrashNode/HealNode and MakeFaultActions expose the
 // silent ground-truth fault hooks the fault/ scheduler drives.
 //
-// Thread-safety: MultiGet/Put/Remove/FailSite/RecoverSite/RepairSite/
-// RunMovementRound may be called from multiple threads. One metadata
-// mutex serializes every ClusterState / ControlPlane / RNG touch (the
-// control plane itself stays single-threaded by contract); chunk fetches
-// run outside that lock against internally synchronized StorageNodes.
-// Lock order: metadata mutex -> deferred-work mutex; fetch workers take
-// only per-fetch-context and per-node locks, never the metadata mutex.
+// Thread-safety (DESIGN.md §10): MultiGet/Put/Remove/FailSite/
+// RecoverSite/RepairSite/RunMovementRound may be called from multiple
+// threads. The read path — MultiGet planning, demand building, the
+// catalog snapshot, the fetch fan-out — takes NO store-wide lock at all:
+// the ControlPlane is internally sharded/synchronized and the
+// ClusterState is stripe-locked, so concurrent readers only contend on
+// the shards their blocks hash to. meta_mu_ remains as the *catalog
+// writer lock*: Put/Remove/FailSite/RecoverSite, the mover, repair, and
+// the scrubber serialize against each other under it (they compose
+// multi-step catalog+node mutations that must not interleave), and the
+// degraded-read fallback takes it so its survivor scan sees a consistent
+// catalog. Readers racing a writer are safe without it — they plan from
+// an atomic snapshot and absorb staleness through retry rounds and the
+// degraded path.
+// Lock order: meta_mu_ -> refresh_mu_ -> control-plane internal locks ->
+// defer_mu_ / pool queue; fetch workers take only per-fetch-context and
+// per-node locks.
 #pragma once
 
 #include <atomic>
@@ -53,6 +63,7 @@
 
 #include "cluster/state.h"
 #include "common/rng.h"
+#include "common/worker_pool.h"
 #include "core/config.h"
 #include "core/control_plane.h"
 #include "core/data_plane.h"
@@ -81,7 +92,9 @@ class LocalECStore {
   StorageNode& node(SiteId site) { return *nodes_[site]; }
 
   /// The shared planning/stats/mover/repair path (exposed for parity
-  /// tests and benches). Calls into it must not race store operations.
+  /// tests and benches). Internally synchronized; its *reference*
+  /// accessors (co_access(), plan_cache(), ...) still must not race
+  /// store operations.
   ControlPlane& control_plane() { return control_plane_; }
   const ControlPlane& control_plane() const { return control_plane_; }
 
@@ -121,11 +134,13 @@ class LocalECStore {
   std::vector<std::uint8_t> Get(BlockId id);
 
   /// Multi-block read through one shared access plan — the co-located
-  /// access path the paper optimizes. Planning runs under the metadata
-  /// lock; the chunk fetches fan out in parallel (first k of k+delta win
-  /// under late binding); ILP refinement runs in the background queue,
-  /// drained off the request path after the response is assembled.
-  /// Results align with `ids`. Safe to call from multiple threads.
+  /// access path the paper optimizes. Planning takes only the control
+  /// plane's per-shard locks (no store-wide lock); the chunk fetches fan
+  /// out in parallel (first k of k+delta win under late binding); ILP
+  /// refinement runs in the background queue, drained off the request
+  /// path after the response is assembled (or on the executor pool when
+  /// config.ilp_executor_threads > 0). Results align with `ids`. Safe to
+  /// call from multiple threads.
   std::vector<std::vector<std::uint8_t>> MultiGet(std::span<const BlockId> ids);
 
   /// Deletes a block's chunks everywhere.
@@ -196,15 +211,18 @@ class LocalECStore {
   CostParams CurrentCostParams() const;
 
  private:
-  /// Per-block catalog snapshot taken under the metadata lock at planning
-  /// time, so the lock-free fetch phase never reads mutable state.
+  /// Per-block catalog snapshot copied at planning time (one stripe-locked
+  /// ReadBlock per block), so the lock-free fetch phase never reads
+  /// mutable state. One entry per demand, in demand order.
   struct BlockMeta {
+    BlockId block = kInvalidBlock;
     std::uint32_t k = 0;
     std::uint64_t block_bytes = 0;
     std::vector<ChunkLocation> locations;
   };
 
-  /// Requires meta_mu_ held.
+  /// Serialized internally by refresh_mu_; callable with or without
+  /// meta_mu_ held (lock order: meta_mu_ before refresh_mu_).
   void RefreshLoadFromCounters();
   void StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
                     std::span<const SiteId> sites);
@@ -227,10 +245,11 @@ class LocalECStore {
   /// untried chunks, later rounds re-issue everything undelivered — then
   /// tops up any block still short from whatever reachable chunks remain
   /// (the degraded-read path, under the metadata lock). Throws when a
-  /// block stays short of k. Called WITHOUT meta_mu_ held.
-  std::map<BlockId, std::vector<IndexedChunk>> FetchChunks(
+  /// block stays short of k. Called WITHOUT meta_mu_ held. Returns the
+  /// delivered chunks per block, parallel to `demands`/`meta`.
+  std::vector<std::vector<IndexedChunk>> FetchChunks(
       const AccessPlan& plan, std::span<const BlockDemand> demands,
-      const std::map<BlockId, BlockMeta>& meta);
+      const std::vector<BlockMeta>& meta);
 
   ECStoreConfig config_;
   Rng rng_;
@@ -240,27 +259,34 @@ class LocalECStore {
   ControlPlane control_plane_;
   std::unique_ptr<RepairService> repair_;
 
-  /// Serializes every ClusterState / ControlPlane / RNG / refresh-counter
-  /// touch. Never held across the parallel fetch wait.
+  /// The catalog WRITER lock (DESIGN.md §10): serializes the multi-step
+  /// catalog+node mutations (Put/Remove/FailSite/RecoverSite, mover,
+  /// repair, scrub) and the degraded-read survivor scan against each
+  /// other. The MultiGet planning/fetch path does NOT take it. Never held
+  /// across the parallel fetch wait.
   mutable std::mutex meta_mu_;
 
-  // Deferred control-plane work (background ILP solves). The executor
-  // seam appends here under defer_mu_; DrainBackgroundWork pops under
-  // defer_mu_ and runs each unit under meta_mu_ (lock order: meta_mu_
-  // before defer_mu_ — the executor fires from inside control-plane calls
-  // that already hold meta_mu_).
+  // Deferred control-plane work (background ILP solves). With
+  // ilp_executor_threads == 0 the executor seam appends here under
+  // defer_mu_ and DrainBackgroundWork pops and runs each unit after the
+  // response (the unit self-synchronizes through the control plane's
+  // shard locks). With ilp_executor_threads > 0 the seam submits to
+  // bg_pool_ instead and DrainBackgroundWork waits for pool idle.
   std::mutex defer_mu_;
   std::deque<ControlPlane::Deferred> deferred_;
 
+  // Serializes load refreshes (the in-process stats reporting cycle) and
+  // guards reads_at_last_refresh_. gets_since_refresh_ is a monotonic
+  // request counter; every 64th MultiGet triggers a refresh.
+  std::mutex refresh_mu_;
   std::vector<std::uint64_t> reads_at_last_refresh_;
-  std::uint64_t gets_since_refresh_ = 0;
+  std::atomic<std::uint64_t> gets_since_refresh_{0};
 
-  // Robustness counters (DESIGN.md §9). The fetch path bumps these
-  // outside meta_mu_, hence atomics; chunks_scrubbed_ only moves under
-  // meta_mu_.
+  // Robustness counters (DESIGN.md §9). Bumped outside meta_mu_, hence
+  // atomics.
   std::atomic<std::uint64_t> degraded_reads_{0};
   std::atomic<std::uint64_t> retried_fetches_{0};
-  std::uint64_t chunks_scrubbed_ = 0;
+  std::atomic<std::uint64_t> chunks_scrubbed_{0};
 
   const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
@@ -272,6 +298,11 @@ class LocalECStore {
   bool maint_stop_ = false;
   std::uint64_t maint_ticks_ = 0;
   std::thread maint_thread_;
+
+  // Background ILP executor pool (config.ilp_executor_threads > 0).
+  // Declared after control_plane_/state_: its jobs reference both, and
+  // its destructor drains them before those members die.
+  std::unique_ptr<WorkerPool> bg_pool_;
 
   // Declared last: its destructor joins the workers, whose queued jobs
   // reference the nodes above, before anything else is torn down.

@@ -57,7 +57,7 @@ struct MoverParams {
 /// request rate).
 struct MoverContext {
   const ClusterState* state = nullptr;
-  const CoAccessTracker* co_access = nullptr;
+  const CoAccessView* co_access = nullptr;
   const LoadTracker* load = nullptr;
   const CostParams* cost_params = nullptr;
   /// Requests per second observed by the statistics service; used to turn

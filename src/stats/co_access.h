@@ -22,13 +22,38 @@ struct CoAccessPartner {
   double lambda = 0;  // P(partner in Q | anchor in Q)
 };
 
+/// Read-only view of co-access statistics — the exact subset the chunk
+/// mover (Algorithm 1) consumes. Lets the sharded control plane
+/// (DESIGN.md §10) hand the mover either one tracker directly (shards=1,
+/// preserving the simulator's deterministic iteration) or a merged view
+/// over per-shard trackers that locks the owning shard per call.
+class CoAccessView {
+ public:
+  virtual ~CoAccessView() = default;
+
+  /// lambda_{b,i}; zero if either block is unseen or never co-accessed.
+  virtual double Lambda(BlockId b, BlockId i) const = 0;
+
+  /// Co-access partners of `b` with positive lambda, most likely first.
+  virtual std::vector<CoAccessPartner> Partners(BlockId b,
+                                                std::size_t max_partners) const = 0;
+
+  /// Samples up to `count` distinct candidates weighted by windowed
+  /// access frequency (Algorithm 1 line 1).
+  virtual std::vector<BlockId> SampleCandidateBlocks(Rng& rng,
+                                                     std::size_t count) const = 0;
+
+  /// Fraction of windowed requests containing `b`.
+  virtual double AccessFrequency(BlockId b) const = 0;
+};
+
 /// Sliding-window co-access tracker. When a request leaves the window its
 /// contribution is subtracted, so the statistics adapt to workload change
 /// — the behaviour the paper's Fig. 4a timeline depends on.
 ///
 /// Deterministic: iteration uses ordered maps so candidate sampling is
 /// reproducible under a fixed seed.
-class CoAccessTracker {
+class CoAccessTracker : public CoAccessView {
  public:
   /// `window` = number of most recent sampled requests retained
   /// (the paper used 5000).
@@ -43,20 +68,21 @@ class CoAccessTracker {
   std::uint64_t Count(BlockId b) const;
 
   /// lambda_{b,i}; zero if either block is unseen or never co-accessed.
-  double Lambda(BlockId b, BlockId i) const;
+  double Lambda(BlockId b, BlockId i) const override;
 
   /// All co-access partners of `b` with positive lambda, most likely
   /// first, capped at `max_partners`.
-  std::vector<CoAccessPartner> Partners(BlockId b, std::size_t max_partners = 16) const;
+  std::vector<CoAccessPartner> Partners(BlockId b,
+                                        std::size_t max_partners = 16) const override;
 
   /// Probabilistically samples up to `count` distinct candidate blocks,
   /// weighted by windowed access frequency (Algorithm 1 line 1:
   /// "recently accessed blocks ... generated probabilistically based on
   /// access likelihood").
-  std::vector<BlockId> SampleCandidateBlocks(Rng& rng, std::size_t count) const;
+  std::vector<BlockId> SampleCandidateBlocks(Rng& rng, std::size_t count) const override;
 
   /// Fraction of windowed requests containing `b` (access likelihood).
-  double AccessFrequency(BlockId b) const;
+  double AccessFrequency(BlockId b) const override;
 
   std::size_t window() const { return window_; }
   std::size_t requests_in_window() const { return requests_.size(); }

@@ -10,11 +10,11 @@ namespace {
 constexpr std::uint64_t kBlockBytes = 100 * 1024;
 constexpr std::uint64_t kChunkBytes = 50 * 1024;
 
-ClusterState MakeStateWithBlock() {
-  ClusterState state(8);
+// ClusterState is neither copyable nor movable (it embeds per-stripe
+// mutexes), so the fixture populates a caller-owned instance in place.
+void AddTestBlock(ClusterState& state) {
   const std::vector<SiteId> sites = {0, 2, 4, 6};
   state.AddBlock(1, kBlockBytes, kChunkBytes, 2, 2, sites);
-  return state;
 }
 
 TEST(ClusterStateTest, RejectsZeroSites) {
@@ -22,7 +22,8 @@ TEST(ClusterStateTest, RejectsZeroSites) {
 }
 
 TEST(ClusterStateTest, AddBlockStoresCatalogEntry) {
-  ClusterState state = MakeStateWithBlock();
+  ClusterState state(8);
+  AddTestBlock(state);
   EXPECT_EQ(state.num_blocks(), 1u);
   const BlockInfo& info = state.GetBlock(1);
   EXPECT_EQ(info.k, 2u);
@@ -54,7 +55,8 @@ TEST(ClusterStateTest, AddBlockValidation) {
 }
 
 TEST(ClusterStateTest, SiteAggregatesTrackInventory) {
-  ClusterState state = MakeStateWithBlock();
+  ClusterState state(8);
+  AddTestBlock(state);
   EXPECT_EQ(state.site_chunk_counts()[0], 1u);
   EXPECT_EQ(state.site_chunk_counts()[1], 0u);
   EXPECT_EQ(state.site_bytes()[0], kChunkBytes);
@@ -62,7 +64,8 @@ TEST(ClusterStateTest, SiteAggregatesTrackInventory) {
 }
 
 TEST(ClusterStateTest, HasChunkAt) {
-  ClusterState state = MakeStateWithBlock();
+  ClusterState state(8);
+  AddTestBlock(state);
   EXPECT_TRUE(state.HasChunkAt(1, 0));
   EXPECT_TRUE(state.HasChunkAt(1, 6));
   EXPECT_FALSE(state.HasChunkAt(1, 1));
@@ -70,7 +73,8 @@ TEST(ClusterStateTest, HasChunkAt) {
 }
 
 TEST(ClusterStateTest, MoveChunkRelocates) {
-  ClusterState state = MakeStateWithBlock();
+  ClusterState state(8);
+  AddTestBlock(state);
   ASSERT_TRUE(state.MoveChunk(1, 0, 1));
   EXPECT_FALSE(state.HasChunkAt(1, 0));
   EXPECT_TRUE(state.HasChunkAt(1, 1));
@@ -87,7 +91,8 @@ TEST(ClusterStateTest, MoveChunkRelocates) {
 }
 
 TEST(ClusterStateTest, MoveChunkRejectsInvalid) {
-  ClusterState state = MakeStateWithBlock();
+  ClusterState state(8);
+  AddTestBlock(state);
   EXPECT_FALSE(state.MoveChunk(1, 1, 3));   // Source holds no chunk.
   EXPECT_FALSE(state.MoveChunk(1, 0, 2));   // Destination already has one.
   EXPECT_FALSE(state.MoveChunk(1, 0, 0));   // Self move.
@@ -99,7 +104,8 @@ TEST(ClusterStateTest, MoveChunkRejectsInvalid) {
 }
 
 TEST(ClusterStateTest, RemoveBlockClearsInventory) {
-  ClusterState state = MakeStateWithBlock();
+  ClusterState state(8);
+  AddTestBlock(state);
   EXPECT_TRUE(state.RemoveBlock(1));
   EXPECT_FALSE(state.Contains(1));
   EXPECT_EQ(state.total_bytes(), 0u);
@@ -113,7 +119,8 @@ TEST(ClusterStateTest, GetBlockThrowsForUnknown) {
 }
 
 TEST(ClusterStateTest, AvailabilityFiltersLocations) {
-  ClusterState state = MakeStateWithBlock();
+  ClusterState state(8);
+  AddTestBlock(state);
   EXPECT_EQ(state.num_available_sites(), 8u);
   state.SetSiteAvailable(0, false);
   state.SetSiteAvailable(2, false);

@@ -1,0 +1,191 @@
+// Sharded control plane (DESIGN.md §10): shard count must never change
+// what a read returns, invalidation must stay confined to the owning
+// shard, and the aggregate accessors must sum over shards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/control_plane.h"
+#include "core/local_store.h"
+
+namespace ecstore {
+namespace {
+
+std::vector<std::uint8_t> PatternBlock(BlockId id, std::size_t n) {
+  std::vector<std::uint8_t> block(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    block[i] = static_cast<std::uint8_t>((id * 131 + i * 7) & 0xFF);
+  }
+  return block;
+}
+
+// The same fixed trace of Puts and MultiGets must return identical bytes
+// at every shard count: sharding partitions the bookkeeping, not the
+// answers. (Plans may differ — a split co-access window can steer the
+// planner differently — but decoded data cannot.)
+TEST(ShardedControlPlaneTest, ShardCountsGiveIdenticalGetResults) {
+  constexpr BlockId kBlocks = 48;
+  constexpr std::size_t kBlockBytes = 2048;
+
+  std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> results;
+  for (const std::size_t shards : {1u, 4u, 16u}) {
+    ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcCM);
+    config.num_sites = 10;
+    config.seed = 42;
+    config.control_plane_shards = shards;
+    LocalECStore store(config);
+    EXPECT_EQ(store.control_plane().num_shards(), shards);
+
+    for (BlockId id = 0; id < kBlocks; ++id) {
+      store.Put(id, PatternBlock(id, kBlockBytes));
+    }
+
+    Rng trace(7);  // Same seed per shard count -> same request stream.
+    std::vector<std::vector<std::uint8_t>>& out = results[shards];
+    for (int req = 0; req < 200; ++req) {
+      std::vector<BlockId> ids;
+      const std::size_t batch = 1 + trace.NextBounded(4);
+      for (std::size_t b = 0; b < batch; ++b) {
+        ids.push_back(trace.NextBounded(kBlocks));
+      }
+      for (auto& bytes : store.MultiGet(ids)) out.push_back(std::move(bytes));
+      if (req == 100) store.RunMovementRound();  // Mid-trace moves too.
+    }
+  }
+
+  ASSERT_EQ(results[1].size(), results[4].size());
+  ASSERT_EQ(results[1].size(), results[16].size());
+  for (std::size_t i = 0; i < results[1].size(); ++i) {
+    EXPECT_EQ(results[1][i], results[4][i]) << "shards=4 diverged at " << i;
+    EXPECT_EQ(results[1][i], results[16][i]) << "shards=16 diverged at " << i;
+  }
+}
+
+// An invalidation storm against blocks owned by one shard must not evict
+// entries cached in any other shard (per-shard ownership, class comment
+// in control_plane.h).
+TEST(ShardedControlPlaneTest, InvalidationStormStaysInOwningShard) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  config.num_sites = 8;
+  config.seed = 9;
+  config.control_plane_shards = 4;
+  LocalECStore store(config);
+  ControlPlane& cp = store.control_plane();
+  ASSERT_EQ(cp.num_shards(), 4u);
+
+  constexpr BlockId kBlocks = 64;
+  for (BlockId id = 0; id < kBlocks; ++id) {
+    store.Put(id, PatternBlock(id, 1024));
+  }
+
+  // Warm the cache: two single-block gets per block puts each plan in the
+  // block's owning shard (second get may hit; either way the entry is in).
+  for (BlockId id = 0; id < kBlocks; ++id) {
+    (void)store.Get(id);
+    (void)store.Get(id);
+  }
+
+  // Pick a victim shard and a storm shard with cached entries.
+  std::size_t storm_shard = cp.ShardOf(0);
+  std::size_t victim_shard = storm_shard;
+  for (BlockId id = 1; id < kBlocks && victim_shard == storm_shard; ++id) {
+    if (cp.ShardOf(id) != storm_shard && cp.plan_cache(cp.ShardOf(id)).size() > 0) {
+      victim_shard = cp.ShardOf(id);
+    }
+  }
+  ASSERT_NE(victim_shard, storm_shard) << "hash put every block in one shard";
+  const std::size_t victim_before = cp.plan_cache(victim_shard).size();
+  ASSERT_GT(victim_before, 0u);
+
+  // Storm: invalidate every block owned by the storm shard, many times.
+  for (int round = 0; round < 50; ++round) {
+    for (BlockId id = 0; id < kBlocks; ++id) {
+      if (cp.ShardOf(id) == storm_shard) cp.InvalidateBlock(id);
+    }
+  }
+
+  EXPECT_EQ(cp.plan_cache(victim_shard).size(), victim_before)
+      << "invalidation leaked across shards";
+  // And the stormed shard really was scrubbed of its single-block plans.
+  for (BlockId id = 0; id < kBlocks; ++id) {
+    if (cp.ShardOf(id) != storm_shard) continue;
+    // A fresh Get must re-plan (miss) for stormed blocks.
+    const auto misses_before = cp.plan_cache(storm_shard).misses();
+    (void)store.Get(id);
+    EXPECT_GT(cp.plan_cache(storm_shard).misses(), misses_before)
+        << "block " << id << " survived the storm";
+    break;  // One probe is enough.
+  }
+}
+
+// CacheTotals and the Usage() gauges aggregate over every shard, not
+// just shard 0.
+TEST(ShardedControlPlaneTest, AggregatesSumOverShards) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  config.num_sites = 8;
+  config.seed = 3;
+  config.control_plane_shards = 8;
+  LocalECStore store(config);
+  ControlPlane& cp = store.control_plane();
+
+  constexpr BlockId kBlocks = 64;
+  for (BlockId id = 0; id < kBlocks; ++id) {
+    store.Put(id, PatternBlock(id, 512));
+  }
+  // Three gets per block: the first two miss (the recurrence gate only
+  // queues the background ILP on the second sighting), the third hits
+  // the now-cached solve.
+  for (BlockId id = 0; id < kBlocks; ++id) {
+    (void)store.Get(id);
+    (void)store.Get(id);
+    (void)store.Get(id);
+  }
+
+  std::size_t entries = 0;
+  std::uint64_t hits = 0, misses = 0;
+  bool multiple_shards_populated = false;
+  for (std::size_t sh = 0; sh < cp.num_shards(); ++sh) {
+    entries += cp.plan_cache(sh).size();
+    hits += cp.plan_cache(sh).hits();
+    misses += cp.plan_cache(sh).misses();
+    if (sh > 0 && cp.plan_cache(sh).size() > 0) multiple_shards_populated = true;
+  }
+  EXPECT_TRUE(multiple_shards_populated) << "hash sent every block to shard 0";
+
+  const ControlPlane::PlanCacheTotals totals = cp.CacheTotals();
+  EXPECT_EQ(totals.entries, entries);
+  EXPECT_EQ(totals.hits, hits);
+  EXPECT_EQ(totals.misses, misses);
+  EXPECT_GT(totals.hits, 0u);
+
+  // The optimizer memory gauge must see entries beyond shard 0's.
+  const ControlPlaneUsage usage = store.Usage();
+  std::size_t shard0_only = cp.plan_cache(0).ApproxMemoryBytes();
+  EXPECT_GT(usage.optimizer_memory_bytes, shard0_only);
+}
+
+// ShardOf is stable, in range, and spreads sequential ids.
+TEST(ShardedControlPlaneTest, ShardOfSpreadsSequentialIds) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcC);
+  config.num_sites = 4;
+  config.control_plane_shards = 8;
+  LocalECStore store(config);
+  ControlPlane& cp = store.control_plane();
+
+  std::vector<int> per_shard(cp.num_shards(), 0);
+  for (BlockId id = 0; id < 1000; ++id) {
+    const std::size_t s = cp.ShardOf(id);
+    ASSERT_LT(s, cp.num_shards());
+    EXPECT_EQ(s, cp.ShardOf(id));  // Stable.
+    ++per_shard[s];
+  }
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    EXPECT_GT(per_shard[s], 1000 / 16) << "shard " << s << " starved";
+  }
+}
+
+}  // namespace
+}  // namespace ecstore

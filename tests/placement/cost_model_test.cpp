@@ -5,13 +5,11 @@
 namespace ecstore {
 namespace {
 
-ClusterState SmallState() {
-  ClusterState state(6);
+void PopulateSmallState(ClusterState& state) {
   // Block 1: chunks at sites 0,1,2,3 (RS(2,2)).
   state.AddBlock(1, 100, 50, 2, 2, std::vector<SiteId>{0, 1, 2, 3});
   // Block 2: chunks at sites 2,3,4,5.
   state.AddBlock(2, 200, 100, 2, 2, std::vector<SiteId>{2, 3, 4, 5});
-  return state;
 }
 
 TEST(CostParamsTest, HomogeneousFillsAllSites) {
@@ -23,7 +21,8 @@ TEST(CostParamsTest, HomogeneousFillsAllSites) {
 }
 
 TEST(BuildDemandsTest, BuildsOnePerDistinctBlock) {
-  const ClusterState state = SmallState();
+  ClusterState state(6);
+  PopulateSmallState(state);
   const std::vector<BlockId> q = {1, 2, 1};
   const DemandResult result = BuildDemands(state, q, 0);
   ASSERT_EQ(result.demands.size(), 2u);
@@ -35,7 +34,8 @@ TEST(BuildDemandsTest, BuildsOnePerDistinctBlock) {
 }
 
 TEST(BuildDemandsTest, DeltaRaisesNeededUpToAvailability) {
-  const ClusterState state = SmallState();
+  ClusterState state(6);
+  PopulateSmallState(state);
   const std::vector<BlockId> q = {1};
   EXPECT_EQ(BuildDemands(state, q, 1).demands[0].needed, 3u);
   EXPECT_EQ(BuildDemands(state, q, 2).demands[0].needed, 4u);
@@ -44,7 +44,8 @@ TEST(BuildDemandsTest, DeltaRaisesNeededUpToAvailability) {
 }
 
 TEST(BuildDemandsTest, UnavailableSitesExcluded) {
-  ClusterState state = SmallState();
+  ClusterState state(6);
+  PopulateSmallState(state);
   state.SetSiteAvailable(0, false);
   const std::vector<BlockId> q = {1};
   const DemandResult result = BuildDemands(state, q, 0);
@@ -53,7 +54,8 @@ TEST(BuildDemandsTest, UnavailableSitesExcluded) {
 }
 
 TEST(BuildDemandsTest, UnreadableBlockFlagged) {
-  ClusterState state = SmallState();
+  ClusterState state(6);
+  PopulateSmallState(state);
   // Fail 3 of block 1's sites: only 1 chunk left < k = 2.
   state.SetSiteAvailable(0, false);
   state.SetSiteAvailable(1, false);
@@ -66,13 +68,15 @@ TEST(BuildDemandsTest, UnreadableBlockFlagged) {
 }
 
 TEST(BuildDemandsTest, UnknownBlockThrows) {
-  const ClusterState state = SmallState();
+  ClusterState state(6);
+  PopulateSmallState(state);
   const std::vector<BlockId> q = {42};
   EXPECT_THROW(BuildDemands(state, q, 0), std::out_of_range);
 }
 
 TEST(PlanCostTest, EquationOneByHand) {
-  const ClusterState state = SmallState();
+  ClusterState state(6);
+  PopulateSmallState(state);
   const std::vector<BlockId> q = {1, 2};
   const DemandResult dr = BuildDemands(state, q, 0);
   CostParams params = CostParams::Homogeneous(6, 5.0, 0.01);
@@ -90,7 +94,8 @@ TEST(PlanCostTest, EquationOneByHand) {
 }
 
 TEST(PlanCostTest, HeterogeneousParams) {
-  const ClusterState state = SmallState();
+  ClusterState state(6);
+  PopulateSmallState(state);
   const std::vector<BlockId> q = {1};
   const DemandResult dr = BuildDemands(state, q, 0);
   CostParams params = CostParams::Homogeneous(6, 5.0, 0.01);

@@ -29,17 +29,16 @@ void CheckPlanValid(const AccessPlan& plan, std::span<const BlockDemand> demands
   }
 }
 
-ClusterState CoLocationState() {
   // Sites 0..5. Blocks 1 and 2 overlap on sites {2, 3}: co-located access
   // is possible and the optimal plan should use exactly those two sites.
-  ClusterState state(6);
+void PopulateCoLocationState(ClusterState& state) {
   state.AddBlock(1, 100, 50, 2, 2, std::vector<SiteId>{0, 1, 2, 3});
   state.AddBlock(2, 100, 50, 2, 2, std::vector<SiteId>{2, 3, 4, 5});
-  return state;
 }
 
 TEST(RandomPlanTest, SatisfiesDemands) {
-  const ClusterState state = CoLocationState();
+  ClusterState state(6);
+  PopulateCoLocationState(state);
   const std::vector<BlockId> q = {1, 2};
   const DemandResult dr = BuildDemands(state, q, 0);
   Rng rng(1);
@@ -50,7 +49,8 @@ TEST(RandomPlanTest, SatisfiesDemands) {
 }
 
 TEST(RandomPlanTest, ActuallyRandomizes) {
-  const ClusterState state = CoLocationState();
+  ClusterState state(6);
+  PopulateCoLocationState(state);
   const std::vector<BlockId> q = {1};
   const DemandResult dr = BuildDemands(state, q, 0);
   Rng rng(2);
@@ -65,7 +65,8 @@ TEST(RandomPlanTest, ActuallyRandomizes) {
 }
 
 TEST(GreedyPlanTest, SatisfiesDemands) {
-  const ClusterState state = CoLocationState();
+  ClusterState state(6);
+  PopulateCoLocationState(state);
   const std::vector<BlockId> q = {1, 2};
   const DemandResult dr = BuildDemands(state, q, 0);
   Rng rng(3);
@@ -77,7 +78,8 @@ TEST(GreedyPlanTest, SatisfiesDemands) {
 TEST(GreedyPlanTest, ReusesAccessedSites) {
   // Once block 1 accesses some sites, block 2 should prefer the overlap
   // {2, 3} whenever block 1 happened to pick those.
-  const ClusterState state = CoLocationState();
+  ClusterState state(6);
+  PopulateCoLocationState(state);
   const std::vector<BlockId> q = {1, 2};
   const DemandResult dr = BuildDemands(state, q, 0);
   const CostParams params = CostParams::Homogeneous(6, 5, 0.01);
@@ -95,7 +97,8 @@ TEST(GreedyPlanTest, ReusesAccessedSites) {
 }
 
 TEST(IlpPlanTest, FindsCoLocatedOptimum) {
-  const ClusterState state = CoLocationState();
+  ClusterState state(6);
+  PopulateCoLocationState(state);
   const std::vector<BlockId> q = {1, 2};
   const DemandResult dr = BuildDemands(state, q, 0);
   const CostParams params = CostParams::Homogeneous(6, 5, 0.01);
@@ -111,7 +114,8 @@ TEST(IlpPlanTest, FindsCoLocatedOptimum) {
 }
 
 TEST(IlpPlanTest, AvoidsExpensiveSite) {
-  const ClusterState state = CoLocationState();
+  ClusterState state(6);
+  PopulateCoLocationState(state);
   const std::vector<BlockId> q = {1};
   const DemandResult dr = BuildDemands(state, q, 0);
   CostParams params = CostParams::Homogeneous(6, 5, 0.01);
@@ -145,7 +149,8 @@ TEST(IlpPlanTest, MatchesExhaustiveOnRandomInstances) {
 }
 
 TEST(IlpPlanTest, LateBindingDemandsExtraChunks) {
-  const ClusterState state = CoLocationState();
+  ClusterState state(6);
+  PopulateCoLocationState(state);
   const std::vector<BlockId> q = {1};
   const DemandResult dr = BuildDemands(state, q, 1);  // delta = 1.
   const auto plan = IlpPlan(dr.demands, CostParams::Homogeneous(6, 5, 0.01));
