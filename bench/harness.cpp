@@ -38,6 +38,7 @@ ExperimentParams ExperimentParams::FromFlags(const Flags& flags) {
       static_cast<std::uint32_t>(flags.GetInt("site-concurrency", p.site_concurrency));
   p.k = static_cast<std::uint32_t>(flags.GetInt("k", p.k));
   p.r = static_cast<std::uint32_t>(flags.GetInt("r", p.r));
+  p.codec = flags.GetString("codec", p.codec);
   p.slow_sites = static_cast<std::uint32_t>(flags.GetInt("slow-sites", p.slow_sites));
   p.slow_factor = flags.GetDouble("slow-factor", p.slow_factor);
   p.enable_repair = flags.GetBool("repair", p.enable_repair);
@@ -55,6 +56,7 @@ std::string ExperimentParams::Describe() const {
        << " block=" << block_bytes / 1024 << "KB zipf=" << zipf_exponent;
   }
   os << " warmup=" << warmup_s << "s measure=" << measure_s << "s runs=" << runs;
+  if (!codec.empty()) os << " codec=" << codec;
   return os.str();
 }
 
@@ -95,6 +97,13 @@ RunResult RunOnce(Technique technique, const ExperimentParams& params,
   config.site.concurrency = params.site_concurrency;
   config.k = params.k;
   config.r = params.r;
+  if (!params.codec.empty()) {
+    const CodecSpec spec = ParseCodecSpec(params.codec);
+    config.codec_family = spec.family;
+    config.k = spec.k;
+    config.r = spec.r;
+    config.codec_locals = spec.l;
+  }
   for (std::uint32_t s = 0; s < params.slow_sites; ++s) {
     config.slow_sites.push_back(static_cast<SiteId>(s * 5 % params.num_sites));
   }
@@ -179,6 +188,8 @@ ControlPlaneUsage SumUsage(const std::vector<RunResult>& runs) {
     sum.chunks_scrubbed += r.usage.chunks_scrubbed;
     sum.chunks_repaired += r.usage.chunks_repaired;
     sum.sites_marked_dead += r.usage.sites_marked_dead;
+    sum.repair_bytes_read += r.usage.repair_bytes_read;
+    sum.repair_chunks_read += r.usage.repair_chunks_read;
   }
   return sum;
 }
@@ -198,7 +209,9 @@ std::string UsageJson(
        << ",\"checksum_failures\":" << u.checksum_failures
        << ",\"chunks_scrubbed\":" << u.chunks_scrubbed
        << ",\"chunks_repaired\":" << u.chunks_repaired
-       << ",\"sites_marked_dead\":" << u.sites_marked_dead << "}";
+       << ",\"sites_marked_dead\":" << u.sites_marked_dead
+       << ",\"repair_bytes_read\":" << u.repair_bytes_read
+       << ",\"repair_chunks_read\":" << u.repair_chunks_read << "}";
   }
   os << "]}\n";
   return os.str();

@@ -65,6 +65,10 @@ struct ExperimentParams {
   /// Coding parameters (paper default RS(2,2) / 3-way replication).
   std::uint32_t k = 2;
   std::uint32_t r = 2;
+  /// Codec-family spec (--codec=rs(6,3) | lrc(6,2,2) | pb(6,3) | rep(2)).
+  /// Empty keeps the legacy k/r RS parameters untouched — bit-identical
+  /// default behavior. Non-empty overrides k/r from the parsed spec.
+  std::string codec;
   /// Number of artificially slowed sites (heterogeneity ablation).
   std::uint32_t slow_sites = 0;
   double slow_factor = 3.0;

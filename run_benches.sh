@@ -12,6 +12,11 @@
 # paper) plus robustness counters for trending:
 #   ./run_benches.sh failures-repair [label]
 #     # writes bench_results/failures_repair_<label>.json
+# Codec-family repair sweep (DESIGN.md §11): one failed site under online
+# repair per family, reporting repair bytes-on-wire (RS full-k vs LRC
+# local-group vs piggyback half-chunks):
+#   ./run_benches.sh failures-codecs [label]
+#     # writes bench_results/failures_codecs_<label>.json
 # Sharded control-plane MultiGet scaling snapshot (DESIGN.md §10):
 #   ./run_benches.sh scale-json [label]     # writes bench_results/scale_<label>.json
 # Extra flags after the label pass through to the bench, e.g.
@@ -132,9 +137,26 @@ failures_repair() {
   build/bench/bench_fig4f_failures --repair --usage-json="$out"
 }
 
+failures_codecs() {
+  local label="${1:-}"
+  if [ -z "$label" ]; then
+    label="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then label="${label}-dirty"; fi
+  fi
+  shift $(( $# > 0 ? 1 : 0 ))
+  mkdir -p bench_results
+  local out="bench_results/failures_codecs_${label}.json"
+  build/bench/bench_fig4f_failures --repair --max-failures=1 \
+    --codecs="rs(6,3),lrc(6,2,2),pb(6,3)" --json="$out" "$@"
+}
+
 case "${1:-}" in
   failures-repair)
     failures_repair "${2:-}"
+    exit $?
+    ;;
+  failures-codecs)
+    failures_codecs "${2:-}" "${@:3}"
     exit $?
     ;;
   scale-json)

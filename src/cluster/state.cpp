@@ -28,7 +28,21 @@ std::size_t ClusterState::num_blocks() const {
 void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
                             std::uint64_t chunk_bytes, std::uint32_t k,
                             std::uint32_t r, std::span<const SiteId> sites) {
-  if (sites.size() != k + r) {
+  // Legacy callers predate per-block codec families: k == 1 has always
+  // meant replication, anything else RS(k, r).
+  const CodecSpec codec = k == 1
+                              ? CodecSpec{CodecFamilyId::kReplication, 1, r, 0}
+                              : CodecSpec{CodecFamilyId::kRs, k, r, 0};
+  AddBlock(id, block_bytes, chunk_bytes, codec, sites);
+}
+
+void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
+                            std::uint64_t chunk_bytes, const CodecSpec& codec,
+                            std::span<const SiteId> sites) {
+  const std::uint32_t total = SpecTotalChunks(codec);
+  const std::uint32_t k = SpecDataChunks(codec);
+  const std::uint32_t r = total - k;
+  if (sites.size() != total) {
     throw std::invalid_argument("AddBlock: need exactly k + r sites");
   }
   for (std::size_t i = 0; i < sites.size(); ++i) {
@@ -44,6 +58,7 @@ void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
   info.r = r;
   info.block_bytes = block_bytes;
   info.chunk_bytes = chunk_bytes;
+  info.codec = codec;
   info.locations.reserve(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
     info.locations.push_back({sites[i], static_cast<ChunkIndex>(i)});

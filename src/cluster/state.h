@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/codec_spec.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -48,7 +49,8 @@ struct BlockInfo {
   std::uint32_t r = 0;            // parity / extra copies
   std::uint64_t block_bytes = 0;  // original block size
   std::uint64_t chunk_bytes = 0;  // z_i: size of each chunk
-  std::vector<ChunkLocation> locations;  // exactly k + r entries
+  CodecSpec codec;                // per-block codec family (DESIGN.md §11)
+  std::vector<ChunkLocation> locations;  // SpecTotalChunks(codec) entries
 };
 
 /// The state matrix C with c_{i,j} = 1 iff block i has a chunk at site j.
@@ -67,8 +69,16 @@ class ClusterState {
   /// Registers a block with chunks placed at `sites[i]` holding chunk
   /// index i. Throws std::invalid_argument on duplicate block id,
   /// duplicate sites, out-of-range sites, or wrong site count.
+  /// This legacy overload infers the codec family: k == 1 means
+  /// replication (r extra copies), otherwise RS(k, r).
   void AddBlock(BlockId id, std::uint64_t block_bytes, std::uint64_t chunk_bytes,
                 std::uint32_t k, std::uint32_t r, std::span<const SiteId> sites);
+
+  /// Spec-aware registration: `sites` must hold SpecTotalChunks(codec)
+  /// entries; BlockInfo.k/r mirror the access-path view (k =
+  /// SpecDataChunks, r = total - k) so existing consumers keep working.
+  void AddBlock(BlockId id, std::uint64_t block_bytes, std::uint64_t chunk_bytes,
+                const CodecSpec& codec, std::span<const SiteId> sites);
 
   /// Removes a block entirely. Returns false if unknown.
   bool RemoveBlock(BlockId id);

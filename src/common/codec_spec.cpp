@@ -1,0 +1,122 @@
+#include "common/codec_spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ecstore {
+
+namespace {
+
+/// Parses "name(a,b,c)" into up to 3 numbers; returns how many appeared.
+std::size_t ParseArgs(const std::string& text, std::size_t open,
+                      std::uint32_t out[3]) {
+  if (open == std::string::npos) return 0;
+  if (text.back() != ')') {
+    throw std::invalid_argument("ParseCodecSpec: missing ')' in " + text);
+  }
+  std::size_t count = 0;
+  std::size_t pos = open + 1;
+  const std::size_t end = text.size() - 1;
+  while (pos < end) {
+    if (count == 3) {
+      throw std::invalid_argument("ParseCodecSpec: too many parameters in " +
+                                  text);
+    }
+    std::size_t digits = 0;
+    std::uint64_t value = 0;
+    while (pos < end && text[pos] >= '0' && text[pos] <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+      ++digits;
+      ++pos;
+    }
+    if (digits == 0 || value > 256) {
+      throw std::invalid_argument("ParseCodecSpec: bad parameter in " + text);
+    }
+    out[count++] = static_cast<std::uint32_t>(value);
+    if (pos < end) {
+      if (text[pos] != ',') {
+        throw std::invalid_argument("ParseCodecSpec: bad separator in " + text);
+      }
+      ++pos;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string CodecSpecName(const CodecSpec& spec) {
+  char buf[48];
+  switch (spec.family) {
+    case CodecFamilyId::kReplication:
+      std::snprintf(buf, sizeof(buf), "rep(%u)", spec.r);
+      break;
+    case CodecFamilyId::kRs:
+      std::snprintf(buf, sizeof(buf), "rs(%u,%u)", spec.k, spec.r);
+      break;
+    case CodecFamilyId::kAzureLrc:
+      std::snprintf(buf, sizeof(buf), "lrc(%u,%u,%u)", spec.k, spec.l, spec.r);
+      break;
+    case CodecFamilyId::kPiggybackRs:
+      std::snprintf(buf, sizeof(buf), "pb(%u,%u)", spec.k, spec.r);
+      break;
+  }
+  return buf;
+}
+
+void ValidateCodecSpec(const CodecSpec& spec) {
+  const auto fail = [&](const char* why) {
+    throw std::invalid_argument(std::string("CodecSpec ") +
+                                CodecSpecName(spec) + ": " + why);
+  };
+  if (SpecTotalChunks(spec) > 256) fail("more than 256 chunks");
+  switch (spec.family) {
+    case CodecFamilyId::kReplication:
+      if (spec.k != 1) fail("replication requires k == 1");
+      if (spec.r < 1) fail("need at least one extra copy");
+      break;
+    case CodecFamilyId::kRs:
+      if (spec.k < 2) fail("RS requires k >= 2");
+      if (spec.r < 1) fail("RS requires r >= 1");
+      if (spec.l != 0) fail("RS has no local groups");
+      break;
+    case CodecFamilyId::kAzureLrc:
+      if (spec.l < 1 || spec.r < 1) fail("LRC requires l >= 1 and g >= 1");
+      if (spec.k < 2 || spec.k % spec.l != 0) fail("LRC requires k % l == 0");
+      break;
+    case CodecFamilyId::kPiggybackRs:
+      if (spec.k < 2) fail("piggyback RS requires k >= 2");
+      if (spec.r < 2) fail("piggyback RS requires r >= 2 (one clean parity)");
+      if (spec.l != 0) fail("piggyback RS has no local groups");
+      break;
+  }
+}
+
+CodecSpec ParseCodecSpec(const std::string& name) {
+  const std::size_t open = name.find('(');
+  const std::string head = name.substr(0, open);
+  std::uint32_t args[3] = {0, 0, 0};
+  const std::size_t n = ParseArgs(name, open, args);
+
+  CodecSpec spec;
+  if (head == "rs") {
+    if (n != 2) throw std::invalid_argument("ParseCodecSpec: rs takes (k,r)");
+    spec = {CodecFamilyId::kRs, args[0], args[1], 0};
+  } else if (head == "lrc") {
+    if (n != 3) throw std::invalid_argument("ParseCodecSpec: lrc takes (k,l,g)");
+    spec = {CodecFamilyId::kAzureLrc, args[0], args[2], args[1]};
+  } else if (head == "pb") {
+    if (n != 2) throw std::invalid_argument("ParseCodecSpec: pb takes (k,r)");
+    spec = {CodecFamilyId::kPiggybackRs, args[0], args[1], 0};
+  } else if (head == "rep") {
+    if (n != 1) throw std::invalid_argument("ParseCodecSpec: rep takes (r)");
+    spec = {CodecFamilyId::kReplication, 1, args[0], 0};
+  } else {
+    throw std::invalid_argument("ParseCodecSpec: unknown family '" + name +
+                                "' (want rs/lrc/pb/rep)");
+  }
+  ValidateCodecSpec(spec);
+  return spec;
+}
+
+}  // namespace ecstore

@@ -1,0 +1,147 @@
+// CodecSpec: the per-block codec-family identifier (DESIGN.md §11).
+//
+// The paper treats coding schemes as orthogonal to placement and access
+// (Section VII); this value type is the seam that lets families coexist
+// in one cluster. It lives in ec_common — below the erasure library — so
+// the catalog (cluster/state.h) and the placement layer can reason about
+// chunk roles (data / local parity / global parity), placement groups,
+// and chunk sizing without linking GF arithmetic. The arithmetic itself
+// (encode / decode / repair plans) lives behind the CodecFamily interface
+// in erasure/codec_family.h, keyed by this spec.
+//
+// Families:
+//   kReplication  (r+1)-way replication; k is 1 by convention.
+//   kRs           systematic Cauchy Reed-Solomon RS(k, r). MDS.
+//   kAzureLrc     Azure-LRC(k, l, r): k data chunks in l local groups
+//                 with one XOR parity each, plus r global Cauchy
+//                 parities. Layout: [0,k) data, [k,k+l) locals,
+//                 [k+l,k+l+r) globals. NOT any-k decodable.
+//   kPiggybackRs  piggybacked RS(k, r) with sub-packetization 2: a
+//                 regenerating-style code (Rashmi et al.) that repairs a
+//                 lost data chunk from half-chunks. MDS on whole chunks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace ecstore {
+
+enum class CodecFamilyId : std::uint8_t {
+  kReplication = 0,
+  kRs = 1,
+  kAzureLrc = 2,
+  kPiggybackRs = 3,
+};
+
+/// Compact, trivially copyable description of one block's coding scheme.
+/// `r` counts the Reed-Solomon-style parities (global parities for LRC;
+/// extra copies for replication); `l` is the LRC local-group count and 0
+/// for every other family.
+struct CodecSpec {
+  CodecFamilyId family = CodecFamilyId::kRs;
+  std::uint32_t k = 2;
+  std::uint32_t r = 2;
+  std::uint32_t l = 0;
+
+  friend bool operator==(const CodecSpec&, const CodecSpec&) = default;
+};
+
+/// Total chunks a block of this spec stores (k+r, k+l+r for LRC, r+1
+/// copies for replication).
+constexpr std::uint32_t SpecTotalChunks(const CodecSpec& spec) {
+  switch (spec.family) {
+    case CodecFamilyId::kReplication:
+      return spec.r + 1;
+    case CodecFamilyId::kAzureLrc:
+      return spec.k + spec.l + spec.r;
+    default:
+      return spec.k + spec.r;
+  }
+}
+
+/// Chunks needed to reconstruct the block (the access-path "k").
+constexpr std::uint32_t SpecDataChunks(const CodecSpec& spec) {
+  return spec.family == CodecFamilyId::kReplication ? 1 : spec.k;
+}
+
+/// Bytes per chunk for a block of `block_bytes`. The piggybacked family
+/// sub-packetizes each chunk into two subchunks, so its chunk size is
+/// rounded to an even split of 2k subchunks.
+constexpr std::uint64_t SpecChunkBytes(const CodecSpec& spec,
+                                       std::uint64_t block_bytes) {
+  switch (spec.family) {
+    case CodecFamilyId::kReplication:
+      return block_bytes;
+    case CodecFamilyId::kPiggybackRs: {
+      const std::uint64_t denom = 2ull * spec.k;
+      return 2 * ((block_bytes + denom - 1) / denom);
+    }
+    default:
+      return (block_bytes + spec.k - 1) / spec.k;
+  }
+}
+
+/// True when ANY SpecDataChunks() distinct chunks decode the block (the
+/// MDS property every pre-existing consumer assumed). False only for
+/// LRC, whose local parities cover just their own group.
+constexpr bool SpecAnyKDecodes(const CodecSpec& spec) {
+  return spec.family != CodecFamilyId::kAzureLrc;
+}
+
+/// True when `chunk` belongs to the set from which any k chunks decode —
+/// the candidates a normal read plan may select. For LRC the punctured
+/// code {data ∪ global parities} is MDS (identity + Cauchy rows), so
+/// normal reads skip the local parities [k, k+l), which exist for repair
+/// and degraded fallback only (exactly Azure's usage). Every other
+/// family admits all chunks.
+constexpr bool IsPlanReadCandidate(const CodecSpec& spec, ChunkIndex chunk) {
+  if (spec.family != CodecFamilyId::kAzureLrc) return true;
+  return chunk < spec.k || chunk >= spec.k + spec.l;
+}
+
+/// Placement group of a chunk, if the family has repair locality worth
+/// protecting: chunks sharing a group participate in the same cheap
+/// repair plan, so group-aware placement spreads them across failure
+/// domains (an LRC local group must never co-locate). Globals / plain
+/// RS / replication chunks belong to no group.
+constexpr std::optional<std::uint32_t> PlacementGroupOf(const CodecSpec& spec,
+                                                        ChunkIndex chunk) {
+  switch (spec.family) {
+    case CodecFamilyId::kAzureLrc:
+      if (chunk < spec.k) return chunk / (spec.k / spec.l);
+      if (chunk < spec.k + spec.l) return chunk - spec.k;
+      return std::nullopt;  // Global parity.
+    case CodecFamilyId::kPiggybackRs:
+      // Data chunk i rides piggy group i % (r-1); piggy parity k+1+p
+      // carries group p's piggyback. Parity k (the un-piggybacked row)
+      // joins every repair, so it has no single group.
+      if (spec.r < 2) return std::nullopt;
+      if (chunk < spec.k) return chunk % (spec.r - 1);
+      if (chunk > spec.k && chunk < spec.k + spec.r) return chunk - spec.k - 1;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// True when PlacementGroupOf can return a group for some chunk.
+constexpr bool SpecHasPlacementGroups(const CodecSpec& spec) {
+  return spec.family == CodecFamilyId::kAzureLrc ||
+         (spec.family == CodecFamilyId::kPiggybackRs && spec.r >= 2);
+}
+
+/// Canonical name: "rs(6,3)", "lrc(6,2,2)" (k,l,g), "pb(6,3)", "rep(2)".
+std::string CodecSpecName(const CodecSpec& spec);
+
+/// Parses CodecSpecName output (and bare "rs"/"pb"/"rep" with defaults).
+/// Validates family-specific constraints; throws std::invalid_argument.
+CodecSpec ParseCodecSpec(const std::string& name);
+
+/// Throws std::invalid_argument unless the spec is well-formed (k/r/l
+/// bounds, k % l == 0 for LRC, r >= 2 for piggyback, <= 256 chunks).
+void ValidateCodecSpec(const CodecSpec& spec);
+
+}  // namespace ecstore

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/codec_spec.h"
 #include "common/types.h"
 #include "fault/retry.h"
 #include "placement/mover.h"
@@ -80,6 +81,20 @@ struct ECStoreConfig {
   // --- Coding scheme (Section V-B3: RS(2,2) vs three-way replication).
   std::uint32_t k = 2;
   std::uint32_t r = 2;
+  /// Codec family for newly written blocks (DESIGN.md §11). kRs keeps the
+  /// paper's RS(k, r); kAzureLrc adds `codec_locals` local XOR parities
+  /// (r becomes the global-parity count); kPiggybackRs sub-packetizes for
+  /// half-chunk repair. Replication baselines ignore this (the technique
+  /// decides). Per-block specs may still differ via the spec-aware Put.
+  CodecFamilyId codec_family = CodecFamilyId::kRs;
+  std::uint32_t codec_locals = 2;
+  /// Failure domains for group-aware placement: 0 (default) disables the
+  /// constraint entirely — placement draws stay bit-identical to the
+  /// pre-codec-family planner. > 0 assigns site j to domain j % domains
+  /// and keeps chunks of the same placement group (an LRC local group, a
+  /// piggyback group) on distinct domains, so one domain failure costs a
+  /// group at most one chunk and cheap repair plans survive.
+  std::size_t failure_domains = 0;
 
   // --- Cluster shape (Section VI-A: 32 storage sites).
   std::size_t num_sites = 32;
@@ -186,13 +201,22 @@ struct ECStoreConfig {
   bool MoverEnabled() const { return UsesMover(technique); }
   bool IsReplication() const { return technique == Technique::kReplication; }
 
+  /// The codec spec new blocks are written with: replication when the
+  /// technique is the R baseline, else the configured codec family.
+  CodecSpec BlockCodec() const {
+    if (IsReplication()) return CodecSpec{CodecFamilyId::kReplication, 1, r, 0};
+    return CodecSpec{codec_family, k, r,
+                     codec_family == CodecFamilyId::kAzureLrc ? codec_locals
+                                                              : 0};
+  }
+
   /// Chunks per block under this configuration's coding scheme.
-  std::uint32_t ChunksPerBlock() const { return IsReplication() ? r + 1 : k + r; }
+  std::uint32_t ChunksPerBlock() const { return SpecTotalChunks(BlockCodec()); }
   /// Chunks needed to reconstruct a block.
-  std::uint32_t RequiredChunks() const { return IsReplication() ? 1 : k; }
+  std::uint32_t RequiredChunks() const { return SpecDataChunks(BlockCodec()); }
   /// Chunk size for a block of `block_bytes`.
   std::uint64_t ChunkBytes(std::uint64_t block_bytes) const {
-    return IsReplication() ? block_bytes : (block_bytes + k - 1) / k;
+    return SpecChunkBytes(BlockCodec(), block_bytes);
   }
 };
 

@@ -341,6 +341,73 @@ std::vector<SiteId> ControlPlane::SelectWriteSites(std::uint32_t count) {
   return available;
 }
 
+std::vector<SiteId> ControlPlane::SelectWriteSites(const CodecSpec& spec) {
+  const std::uint32_t count = SpecTotalChunks(spec);
+  const std::size_t domains = config_->failure_domains;
+  if (domains == 0 || !SpecHasPlacementGroups(spec)) {
+    // Unconstrained: exactly the legacy path (same RNG draw order).
+    return SelectWriteSites(count);
+  }
+
+  std::vector<SiteId> available;
+  for (SiteId j = 0; j < state_->num_sites(); ++j) {
+    if (state_->IsSiteAvailable(j)) available.push_back(j);
+  }
+  if (available.size() < count) return {};
+
+  // Preference order: least-loaded first under the cost model, uniform
+  // shuffle otherwise (a full shuffle — this constrained path may need
+  // to probe deep into the list).
+  {
+    std::lock_guard<std::mutex> lk(rng_mu_);
+    if (config_->CostModelEnabled()) {
+      const CostParams params = PlanningCostParamsLocked();
+      std::stable_sort(available.begin(), available.end(),
+                       [&](SiteId a, SiteId b) {
+                         return params.site_overhead_ms[a] <
+                                params.site_overhead_ms[b];
+                       });
+    } else {
+      for (std::size_t i = 0; i + 1 < available.size(); ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(
+                    rng_->NextBounded(available.size() - i));
+        std::swap(available[i], available[j]);
+      }
+    }
+  }
+
+  // Greedy per-chunk assignment in preference order, keeping each
+  // placement group's chunks on distinct failure domains. When a chunk
+  // cannot be placed without a same-domain group-mate (few sites, many
+  // chunks), it takes the best unused site anyway: availability beats
+  // the locality guarantee.
+  std::vector<SiteId> chosen(count, kInvalidSite);
+  std::vector<bool> used(available.size(), false);
+  for (std::uint32_t c = 0; c < count; ++c) {
+    const auto group = PlacementGroupOf(spec, c);
+    std::size_t fallback = available.size();
+    for (std::size_t i = 0; i < available.size(); ++i) {
+      if (used[i]) continue;
+      if (fallback == available.size()) fallback = i;
+      if (group) {
+        const std::size_t domain = available[i] % domains;
+        bool conflict = false;
+        for (std::uint32_t c2 = 0; c2 < c && !conflict; ++c2) {
+          conflict = PlacementGroupOf(spec, c2) == group &&
+                     chosen[c2] % domains == domain;
+        }
+        if (conflict) continue;
+      }
+      fallback = i;
+      break;
+    }
+    used[fallback] = true;
+    chosen[c] = available[fallback];
+  }
+  return chosen;
+}
+
 void ControlPlane::InvalidateBlock(BlockId block) {
   Shard& sh = *shards_[ShardOf(block)];
   std::lock_guard<std::mutex> lk(sh.mu);
@@ -436,6 +503,33 @@ std::optional<MovementPlan> ControlPlane::SelectMovement(
   ctx.load = &load_snapshot;
   ctx.cost_params = &params;
   ctx.request_rate_per_sec = request_rate_per_sec;
+  if (config_->failure_domains > 0) {
+    // Group-aware constraint: a move must not land a chunk on a failure
+    // domain one of its placement-group mates occupies (which would let
+    // a single domain failure break the group's cheap repair plan).
+    const std::size_t domains = config_->failure_domains;
+    ctx.move_allowed = [this, domains](BlockId block, SiteId from, SiteId to) {
+      BlockInfo info;
+      if (!state_->ReadBlock(block, &info)) return true;
+      if (!SpecHasPlacementGroups(info.codec)) return true;
+      std::optional<std::uint32_t> group;
+      for (const ChunkLocation& loc : info.locations) {
+        if (loc.site == from) {
+          group = PlacementGroupOf(info.codec, loc.chunk);
+          break;
+        }
+      }
+      if (!group) return true;
+      for (const ChunkLocation& loc : info.locations) {
+        if (loc.site == from) continue;
+        if (PlacementGroupOf(info.codec, loc.chunk) == group &&
+            loc.site % domains == to % domains) {
+          return false;
+        }
+      }
+      return true;
+    };
+  }
   std::lock_guard<std::mutex> lk(rng_mu_);
   return SelectMovementPlan(ctx, config_->mover, *rng_);
 }
@@ -504,6 +598,47 @@ SiteId ControlPlane::SelectRepairDestination(BlockId block) const {
   return best;
 }
 
+SiteId ControlPlane::SelectRepairDestination(BlockId block,
+                                             ChunkIndex lost_chunk) const {
+  const std::size_t domains = config_->failure_domains;
+  BlockInfo info;
+  if (domains == 0 || !state_->ReadBlock(block, &info) ||
+      !SpecHasPlacementGroups(info.codec)) {
+    return SelectRepairDestination(block);
+  }
+  const auto group = PlacementGroupOf(info.codec, lost_chunk);
+  if (!group) return SelectRepairDestination(block);
+
+  // Domains already occupied by the lost chunk's group-mates.
+  std::vector<bool> taken(domains, false);
+  for (const ChunkLocation& loc : info.locations) {
+    if (loc.chunk == lost_chunk) continue;
+    if (PlacementGroupOf(info.codec, loc.chunk) == group) {
+      taken[loc.site % domains] = true;
+    }
+  }
+
+  std::shared_lock lk(load_mu_);
+  SiteId best = kInvalidSite, best_any = kInvalidSite;
+  double best_load = 0, best_any_load = 0;
+  for (SiteId j = 0; j < state_->num_sites(); ++j) {
+    if (!state_->IsSiteAvailable(j)) continue;
+    if (state_->HasChunkAt(block, j)) continue;
+    const double load = load_tracker_.Omega(j);
+    if (best_any == kInvalidSite || load < best_any_load) {
+      best_any = j;
+      best_any_load = load;
+    }
+    if (taken[j % domains]) continue;
+    if (best == kInvalidSite || load < best_load) {
+      best = j;
+      best_load = load;
+    }
+  }
+  // Unsatisfiable constraint: availability beats the locality guarantee.
+  return best != kInvalidSite ? best : best_any;
+}
+
 void ControlPlane::RecordRepair(BlockId block) {
   // The reconstructed chunk lives at a new site; plans for the block are
   // stale (they either reference the dead site or miss the cheaper new
@@ -560,6 +695,8 @@ ControlPlaneUsage ControlPlane::Usage() const {
   u.moves_executed = moves_executed_.load(std::memory_order_relaxed);
   u.chunks_repaired = chunks_repaired_.load(std::memory_order_relaxed);
   u.sites_marked_dead = sites_marked_dead_.load(std::memory_order_relaxed);
+  u.repair_bytes_read = repair_bytes_read_.load(std::memory_order_relaxed);
+  u.repair_chunks_read = repair_chunks_read_.load(std::memory_order_relaxed);
   return u;
 }
 

@@ -104,6 +104,14 @@ struct ControlPlaneUsage {
   std::uint64_t chunks_scrubbed = 0;      // bad/missing chunks rewritten
   std::uint64_t chunks_repaired = 0;      // chunks rebuilt by repair
   std::uint64_t sites_marked_dead = 0;    // detector-driven dead verdicts
+
+  // --- Repair-traffic accounting (DESIGN.md §11). Bytes/chunks the
+  // reconstruction paths (repair, scrub, store-level rebuilds) read
+  // according to their RepairPlan — the bytes-on-wire a networked
+  // deployment would move, which is where LRC and piggyback families
+  // beat RS. Monotonic atomics like the other event counters.
+  std::uint64_t repair_bytes_read = 0;
+  std::uint64_t repair_chunks_read = 0;
 };
 
 /// How an access plan was produced (the R2 decision of Fig. 3).
@@ -259,6 +267,16 @@ class ControlPlane {
   /// when fewer than `count` sites are available.
   std::vector<SiteId> SelectWriteSites(std::uint32_t count);
 
+  /// Spec-aware placement: site i receives chunk index i. When
+  /// `failure_domains` > 0 and the family has placement groups (LRC
+  /// local groups, piggyback groups), chunks sharing a group land on
+  /// distinct failure domains (site % failure_domains) so one domain
+  /// failure never costs a group its cheap repair plan; preference order
+  /// (least-loaded / random) is otherwise preserved. With domains = 0 or
+  /// a group-free family this is exactly SelectWriteSites(total) — same
+  /// RNG draws, bit-identical to the pre-codec-family planner.
+  std::vector<SiteId> SelectWriteSites(const CodecSpec& spec);
+
   // --- Plan invalidation ----------------------------------------------
   /// A chunk of `block` moved, or the block was deleted: its plans die.
   /// Touches only the block's owning shard; entries referencing the
@@ -302,8 +320,22 @@ class ControlPlane {
   /// kInvalidSite when none exists.
   SiteId SelectRepairDestination(BlockId block) const;
 
+  /// Chunk-aware destination: additionally keeps the rebuilt chunk's
+  /// placement group off failure domains its group-mates occupy (when
+  /// `failure_domains` > 0; falls back to any legal site when the
+  /// constraint is unsatisfiable). Equivalent to the block-only overload
+  /// for group-free families or domains = 0.
+  SiteId SelectRepairDestination(BlockId block, ChunkIndex lost_chunk) const;
+
   /// A chunk of `block` was reconstructed at a new site.
   void RecordRepair(BlockId block);
+
+  /// Charges a reconstruction's RepairPlan to the repair-traffic
+  /// counters: `chunks` source chunks touched, `bytes` bytes-on-wire.
+  void RecordRepairTraffic(std::uint64_t chunks, std::uint64_t bytes) {
+    repair_chunks_read_.fetch_add(chunks, std::memory_order_relaxed);
+    repair_bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
 
   // --- Table III accounting -------------------------------------------
   /// See ControlPlaneUsage for which fields are monotonic counters and
@@ -321,6 +353,12 @@ class ControlPlane {
   }
   std::uint64_t sites_marked_dead() const {
     return sites_marked_dead_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t repair_bytes_read() const {
+    return repair_bytes_read_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t repair_chunks_read() const {
+    return repair_chunks_read_.load(std::memory_order_relaxed);
   }
   /// Queued background solves over all shards (locks each in turn).
   std::size_t ilp_queue_depth() const;
@@ -400,6 +438,8 @@ class ControlPlane {
   std::atomic<std::uint64_t> moves_executed_{0};
   std::atomic<std::uint64_t> chunks_repaired_{0};
   std::atomic<std::uint64_t> sites_marked_dead_{0};
+  std::atomic<std::uint64_t> repair_bytes_read_{0};
+  std::atomic<std::uint64_t> repair_chunks_read_{0};
 };
 
 }  // namespace ecstore

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -18,15 +17,23 @@ namespace {
 /// nodes on this per-fetch hot path.
 struct BlockGather {
   std::uint32_t k = 0;              // completion threshold (first k win)
-  std::vector<IndexedChunk> got;    // delivered chunks, capped at k
+  bool done = false;                // decodable set delivered
+  std::vector<IndexedChunk> got;    // delivered chunks
   std::vector<ChunkIndex> have;     // chunk indices present in `got`
   std::vector<ChunkIndex> tried;    // chunk indices ever issued
+  /// Set only for non-any-k families (LRC): completion then requires the
+  /// delivered set to actually decode, not merely count k. Null keeps
+  /// the MDS fast path: k distinct arrivals complete the block.
+  std::shared_ptr<const CodecFamily> family;
 
   bool Have(ChunkIndex c) const {
     return std::find(have.begin(), have.end(), c) != have.end();
   }
   bool Tried(ChunkIndex c) const {
     return std::find(tried.begin(), tried.end(), c) != tried.end();
+  }
+  bool Complete() const {
+    return got.size() >= k && (family == nullptr || family->CanDecode(have));
   }
 };
 
@@ -69,11 +76,8 @@ LocalECStore::LocalECStore(ECStoreConfig config)
             deferred_.push_back(std::move(work));
           }),
       reads_at_last_refresh_(config.num_sites, 0) {
-  if (config_.IsReplication()) {
-    codec_ = std::make_unique<ReplicationCodec>(config_.r);
-  } else {
-    codec_ = std::make_unique<ReedSolomonCodec>(config_.k, config_.r);
-  }
+  default_spec_ = config_.BlockCodec();
+  family_ = GetCodecFamily(default_spec_);
   nodes_.reserve(config_.num_sites);
   for (std::size_t j = 0; j < config_.num_sites; ++j) {
     nodes_.push_back(std::make_unique<StorageNode>());
@@ -92,15 +96,21 @@ LocalECStore::LocalECStore(ECStoreConfig config)
 
 LocalECStore::~LocalECStore() { StopMaintenance(); }
 
+std::shared_ptr<const CodecFamily> LocalECStore::FamilyFor(
+    const CodecSpec& spec) const {
+  if (spec == default_spec_) return family_;
+  return GetCodecFamily(spec);
+}
+
 void LocalECStore::StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
+                                const CodecSpec& spec,
                                 std::span<const SiteId> sites) {
-  std::vector<ChunkData> chunks = codec_->Encode(data);
+  const auto family = FamilyFor(spec);
+  std::vector<ChunkData> chunks = family->Encode(data);
   if (sites.size() != chunks.size()) {
     throw std::runtime_error("LocalECStore::Put: wrong site count");
   }
-  state_.AddBlock(id, data.size(), codec_->ChunkSize(data.size()),
-                  codec_->RequiredChunks(),
-                  codec_->TotalChunks() - codec_->RequiredChunks(), sites);
+  state_.AddBlock(id, data.size(), family->ChunkSize(data.size()), spec, sites);
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     // A node that crashed after planning drops the write (returns false):
     // the block is committed with a redundancy hole at that site, which
@@ -111,19 +121,23 @@ void LocalECStore::StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
 }
 
 void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data) {
+  Put(id, data, default_spec_);
+}
+
+void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data,
+                       const CodecSpec& spec) {
   std::lock_guard<std::mutex> lock(meta_mu_);
-  const std::vector<SiteId> sites = control_plane_.SelectWriteSites(
-      static_cast<std::uint32_t>(codec_->TotalChunks()));
+  const std::vector<SiteId> sites = control_plane_.SelectWriteSites(spec);
   if (sites.empty()) {
     throw std::runtime_error("LocalECStore::Put: not enough available sites");
   }
-  StoreEncoded(id, data, sites);
+  StoreEncoded(id, data, spec, sites);
 }
 
 void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data,
                        std::span<const SiteId> sites) {
   std::lock_guard<std::mutex> lock(meta_mu_);
-  StoreEncoded(id, data, sites);
+  StoreEncoded(id, data, default_spec_, sites);
 }
 
 std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
@@ -169,7 +183,7 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
             {
               std::lock_guard<std::mutex> lock(ctx->mu);
               const BlockGather& g = ctx->blocks[gi];
-              skip = ctx->harvested || g.got.size() >= g.k;
+              skip = ctx->harvested || g.done;
             }
             // A failed node, a moved/deleted chunk, a checksum mismatch,
             // or an injected I/O error answers nullptr — a miss, routed
@@ -178,14 +192,19 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
           }
           std::lock_guard<std::mutex> lock(ctx->mu);
           BlockGather& g = ctx->blocks[gi];
-          if (data != nullptr && !ctx->harvested && g.got.size() < g.k &&
+          if (data != nullptr && !ctx->harvested && !g.done &&
               !g.Have(chunk)) {
             g.have.push_back(chunk);
             g.got.push_back({chunk, *data});
-            if (g.got.size() == g.k && --ctx->unsatisfied == 0) {
-              // Every block is complete: still-queued fetches are
-              // stragglers — cancel them at the queue.
-              ctx->cancel->store(true, std::memory_order_release);
+            // An MDS block completes on its first k arrivals; a non-any-k
+            // block (LRC) completes when the delivered set decodes.
+            if (g.Complete()) {
+              g.done = true;
+              if (--ctx->unsatisfied == 0) {
+                // Every block is complete: still-queued fetches are
+                // stragglers — cancel them at the queue.
+                ctx->cancel->store(true, std::memory_order_release);
+              }
             }
           }
           --ctx->outstanding;
@@ -200,6 +219,7 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     for (std::size_t i = 0; i < demands.size(); ++i) {
       BlockGather& g = ctx->blocks[i];
       g.k = meta[i].k;
+      if (!meta[i].family->AnyKDecodes()) g.family = meta[i].family;
       g.got.reserve(g.k);
       g.have.reserve(meta[i].locations.size());
       g.tried.reserve(meta[i].locations.size());
@@ -259,7 +279,7 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     std::size_t reissued = 0;
     for (std::size_t i = 0; i < ctx->blocks.size(); ++i) {
       BlockGather& g = ctx->blocks[i];
-      if (g.got.size() >= g.k) continue;
+      if (g.done) continue;
       for (const ChunkLocation& loc : meta[i].locations) {
         if (g.Have(loc.chunk)) continue;
         if (round == 1 && g.Tried(loc.chunk)) continue;
@@ -276,18 +296,13 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
   ctx->harvested = true;
   ctx->cancel->store(true, std::memory_order_release);
   std::vector<std::vector<IndexedChunk>> fetched(ctx->blocks.size());
+  bool short_of_k = false;
   for (std::size_t i = 0; i < ctx->blocks.size(); ++i) {
+    if (!ctx->blocks[i].done) short_of_k = true;
     fetched[i] = std::move(ctx->blocks[i].got);
   }
   lock.unlock();
 
-  bool short_of_k = false;
-  for (std::size_t i = 0; i < fetched.size(); ++i) {
-    if (fetched[i].size() < meta[i].k) {
-      short_of_k = true;
-      break;
-    }
-  }
   if (!short_of_k) return fetched;
 
   // Degraded read: the plan could not deliver k chunks for some block.
@@ -302,18 +317,25 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     const BlockId block = demands[i].block;
     auto& got = fetched[i];
     const BlockInfo& info = state_.GetBlock(block);
-    if (got.size() >= info.k) continue;
-
-    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
-    control_plane_.InvalidateBlock(block);
     std::vector<ChunkIndex> have;
     have.reserve(info.locations.size());
     for (const IndexedChunk& c : got) have.push_back(c.index);
+    // Decodability is the family's call: any k distinct for MDS
+    // families, a pattern-dependent check for LRC (where k local and
+    // global chunks may still not span the block).
+    const auto decodable = [&] {
+      return got.size() >= info.k &&
+             (meta[i].family->AnyKDecodes() || meta[i].family->CanDecode(have));
+    };
+    if (decodable()) continue;
+
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+    control_plane_.InvalidateBlock(block);
     const auto has = [&have](ChunkIndex c) {
       return std::find(have.begin(), have.end(), c) != have.end();
     };
     for (const ChunkLocation& loc : info.locations) {
-      if (got.size() >= info.k) break;
+      if (decodable()) break;
       if (has(loc.chunk)) continue;
       if (!state_.IsSiteAvailable(loc.site)) continue;
       const auto data = nodes_[loc.site]->GetChunk(block, loc.chunk);
@@ -321,7 +343,7 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
       got.push_back({loc.chunk, *data});
       have.push_back(loc.chunk);
     }
-    if (got.size() < info.k) {
+    if (!decodable()) {
       throw std::runtime_error(
           "LocalECStore::MultiGet: block unreadable after degraded replan");
     }
@@ -362,8 +384,8 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
       // Deleted between planning and the snapshot.
       throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
     }
-    meta.push_back(
-        BlockMeta{d.block, info.k, info.block_bytes, std::move(info.locations)});
+    meta.push_back(BlockMeta{d.block, info.k, info.block_bytes,
+                             std::move(info.locations), FamilyFor(info.codec)});
   }
 
   // Fetch chunks per block in parallel; a late-binding plan fetches
@@ -383,7 +405,7 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
   out.reserve(ids.size());
   for (BlockId id : ids) {
     const std::size_t i = meta_index(id);
-    out.push_back(codec_->Decode(fetched[i], meta[i].block_bytes));
+    out.push_back(meta[i].family->Decode(fetched[i], meta[i].block_bytes));
   }
 
   // The response is assembled; with the synchronous executor (no pool),
@@ -514,26 +536,56 @@ std::optional<ChunkData> LocalECStore::RebuildChunk(BlockId block,
                                                     const BlockInfo& info,
                                                     ChunkIndex target,
                                                     SiteId exclude_site) {
-  // Gather k *valid* survivor chunks: verified GetChunk skips corrupt or
-  // missing copies (they are erasures too), so reconstruction never
-  // launders bad bytes back into the cluster.
-  std::vector<IndexedChunk> gathered;
-  std::set<ChunkIndex> seen;
+  const auto family = FamilyFor(info.codec);
+
+  // Reachable survivor pool: each chunk index the family may plan over,
+  // with the site the catalog places it at.
+  std::vector<ChunkIndex> avail;
+  std::vector<SiteId> site_of;  // Parallel to avail.
+  avail.reserve(info.locations.size());
+  site_of.reserve(info.locations.size());
   for (const ChunkLocation& loc : info.locations) {
-    if (gathered.size() >= info.k) break;
     if (loc.site == exclude_site || loc.chunk == target) continue;
     if (!state_.IsSiteAvailable(loc.site)) continue;
-    if (seen.count(loc.chunk)) continue;
-    const auto data = nodes_[loc.site]->GetChunk(block, loc.chunk);
-    if (data == nullptr) continue;
-    gathered.push_back({loc.chunk, *data});
-    seen.insert(loc.chunk);
+    if (std::find(avail.begin(), avail.end(), loc.chunk) != avail.end()) {
+      continue;
+    }
+    avail.push_back(loc.chunk);
+    site_of.push_back(loc.site);
   }
-  if (gathered.size() < info.k) return std::nullopt;
-  const std::vector<std::uint8_t> decoded =
-      codec_->Decode(gathered, info.block_bytes);
-  std::vector<ChunkData> re_encoded = codec_->Encode(decoded);
-  return std::move(re_encoded[target]);
+
+  // Ask the family for its cheapest plan over the pool and read ONLY the
+  // plan's chunks — a local group for LRC, half-chunk sources for the
+  // piggyback family, the first k survivors for RS. Verified GetChunk
+  // skips corrupt or missing copies (they are erasures too), so
+  // reconstruction never launders bad bytes back into the cluster; a
+  // source failing verification is dropped from the pool and the family
+  // re-plans over the rest.
+  for (;;) {
+    const auto plan = family->PlanRepair(target, avail);
+    if (!plan) return std::nullopt;
+    std::vector<IndexedChunk> gathered;
+    gathered.reserve(plan->reads.size());
+    bool replanned = false;
+    for (const RepairRead& read : plan->reads) {
+      const std::size_t pos = static_cast<std::size_t>(
+          std::find(avail.begin(), avail.end(), read.chunk) - avail.begin());
+      const auto data = nodes_[site_of[pos]]->GetChunk(block, read.chunk);
+      if (data == nullptr) {
+        avail.erase(avail.begin() + static_cast<std::ptrdiff_t>(pos));
+        site_of.erase(site_of.begin() + static_cast<std::ptrdiff_t>(pos));
+        replanned = true;
+        break;
+      }
+      gathered.push_back({read.chunk, *data});
+    }
+    if (replanned) continue;
+    // Bytes-on-wire accounting charges the plan, not the whole chunks the
+    // in-process nodes hand back (RepairRead's sub-chunk model).
+    control_plane_.RecordRepairTraffic(plan->reads.size(),
+                                       plan->BytesToRead(info.chunk_bytes));
+    return family->RepairChunk(target, gathered, info.block_bytes);
+  }
 }
 
 std::uint64_t LocalECStore::RepairSite(SiteId site) {
@@ -552,12 +604,12 @@ std::uint64_t LocalECStore::RepairSiteLocked(SiteId site) {
         [site](const ChunkLocation& l) { return l.site == site; });
     const ChunkIndex lost_index = lost->chunk;
 
-    // Fewer than k valid survivors reachable right now (concurrent
-    // outages, corruption): skip — a later pass can still heal the block.
+    // No decodable repair plan reachable right now (concurrent outages,
+    // corruption): skip — a later pass can still heal the block.
     auto chunk = RebuildChunk(block, info, lost_index, site);
     if (!chunk) continue;
 
-    const SiteId best = control_plane_.SelectRepairDestination(block);
+    const SiteId best = control_plane_.SelectRepairDestination(block, lost_index);
     if (best == kInvalidSite) continue;
     if (!nodes_[best]->PutChunk(block, lost_index, std::move(*chunk))) {
       continue;  // Destination crashed since planning; try again later.

@@ -69,7 +69,7 @@
 #include "core/data_plane.h"
 #include "core/repair.h"
 #include "core/storage_node.h"
-#include "erasure/codec.h"
+#include "erasure/codec_family.h"
 #include "fault/injector.h"
 #include "placement/mover.h"
 #include "placement/planner.h"
@@ -123,6 +123,12 @@ class LocalECStore {
   /// Stores a block: encode, place chunks on control-plane-chosen sites
   /// (least-loaded under the cost model, random otherwise).
   void Put(BlockId id, std::span<const std::uint8_t> data);
+
+  /// Stores a block under an explicit codec family (DESIGN.md §11), so
+  /// families coexist per block in one cluster: an LRC archive tier next
+  /// to RS hot data. Placement is group-aware when failure_domains > 0.
+  void Put(BlockId id, std::span<const std::uint8_t> data,
+           const CodecSpec& spec);
 
   /// Stores a block at explicit sites (chunk i at sites[i]): used to
   /// reproduce one embodiment's placement in the other for parity tests.
@@ -219,21 +225,32 @@ class LocalECStore {
     std::uint32_t k = 0;
     std::uint64_t block_bytes = 0;
     std::vector<ChunkLocation> locations;
+    /// The block's codec family (per-block: families coexist). Shared
+    /// ownership so straggler fetch workers can outlive the request.
+    std::shared_ptr<const CodecFamily> family;
   };
+
+  /// The memoized family for `spec` (fast-path: the config default).
+  std::shared_ptr<const CodecFamily> FamilyFor(const CodecSpec& spec) const;
 
   /// Serialized internally by refresh_mu_; callable with or without
   /// meta_mu_ held (lock order: meta_mu_ before refresh_mu_).
   void RefreshLoadFromCounters();
   void StoreEncoded(BlockId id, std::span<const std::uint8_t> data,
-                    std::span<const SiteId> sites);
+                    const CodecSpec& spec, std::span<const SiteId> sites);
   /// RepairSite/ScrubOnce bodies; require meta_mu_ held (the maintenance
   /// tick and the RepairService reconstructor call them under the lock).
   std::uint64_t RepairSiteLocked(SiteId site);
   std::uint64_t ScrubLocked();
-  /// Rebuilds one lost/corrupt chunk of `block` from k valid survivors
-  /// read via verified GetChunk (never the error-injected fetch path).
-  /// Returns the re-encoded chunk, or nullopt when fewer than k valid
-  /// survivor chunks are reachable right now. Requires meta_mu_ held.
+  /// Rebuilds one lost/corrupt chunk of `block` by asking its codec
+  /// family for the cheapest RepairPlan over the reachable survivors and
+  /// reading ONLY the plan's chunks via verified GetChunk (never the
+  /// error-injected fetch path) — a local group for LRC, half-chunk
+  /// sources for piggyback, k survivors for RS. A source failing
+  /// verification is dropped and the family re-plans. Charges the plan's
+  /// bytes-on-wire to the repair-traffic counters. Returns the rebuilt
+  /// chunk, or nullopt when no decodable plan remains. Requires meta_mu_
+  /// held.
   std::optional<ChunkData> RebuildChunk(BlockId block, const BlockInfo& info,
                                         ChunkIndex target,
                                         SiteId exclude_site);
@@ -253,7 +270,10 @@ class LocalECStore {
 
   ECStoreConfig config_;
   Rng rng_;
-  std::unique_ptr<Codec> codec_;
+  /// The config-default codec family (DESIGN.md §11) and its spec,
+  /// cached so the common same-family path skips the registry probe.
+  CodecSpec default_spec_;
+  std::shared_ptr<const CodecFamily> family_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   ClusterState state_;
   ControlPlane control_plane_;

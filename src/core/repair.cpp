@@ -1,8 +1,10 @@
 #include "core/repair.h"
 
 #include <utility>
+#include <vector>
 
 #include "core/sim_store.h"
+#include "erasure/codec_family.h"
 
 namespace ecstore {
 
@@ -81,12 +83,34 @@ std::uint64_t RepairService::ReconstructSite(SiteId site) {
   std::uint64_t rebuilt = 0;
   for (BlockId block : state_->BlocksWithChunkAt(site)) {
     const BlockInfo& info = state_->GetBlock(block);
-    // Reconstruction needs k surviving chunks.
-    if (state_->AvailableLocations(block).size() < info.k) continue;
 
-    const SiteId best = control_plane_->SelectRepairDestination(block);
+    // The lost chunk's index and the reachable survivor pool.
+    ChunkIndex lost_index = 0;
+    std::vector<ChunkIndex> avail;
+    avail.reserve(info.locations.size());
+    for (const ChunkLocation& loc : info.locations) {
+      if (loc.site == site) {
+        lost_index = loc.chunk;
+        continue;
+      }
+      if (state_->IsSiteAvailable(loc.site)) avail.push_back(loc.chunk);
+    }
+
+    // Reconstruction follows the block's codec family: no decodable
+    // repair plan over the survivors means the block cannot be healed
+    // right now (a later pass can still catch it).
+    const auto family = GetCodecFamily(info.codec);
+    const auto plan = family->PlanRepair(lost_index, avail);
+    if (!plan) continue;
+
+    const SiteId best =
+        control_plane_->SelectRepairDestination(block, lost_index);
     if (best == kInvalidSite) continue;
     if (state_->MoveChunk(block, site, best)) {
+      // This embodiment carries no bytes; the traffic the plan *would*
+      // read is what the wire-accounting counters charge.
+      control_plane_->RecordRepairTraffic(plan->reads.size(),
+                                          plan->BytesToRead(info.chunk_bytes));
       control_plane_->RecordRepair(block);
       ++rebuilt;
     }

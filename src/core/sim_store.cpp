@@ -81,10 +81,8 @@ void SimECStore::LoadBlock(BlockId id, std::uint64_t block_bytes) {
 
 void SimECStore::LoadBlockAt(BlockId id, std::uint64_t block_bytes,
                              std::span<const SiteId> sites) {
-  const std::uint32_t total = config_.ChunksPerBlock();
   const std::uint64_t chunk_bytes = config_.ChunkBytes(block_bytes);
-  state_.AddBlock(id, block_bytes, chunk_bytes, config_.RequiredChunks(),
-                  total - config_.RequiredChunks(), sites);
+  state_.AddBlock(id, block_bytes, chunk_bytes, config_.BlockCodec(), sites);
   for (SiteId s : sites) {
     sites_[s]->set_chunk_count(state_.site_chunk_counts()[s]);
   }
@@ -291,6 +289,12 @@ void SimECStore::Complete(const std::shared_ptr<PendingRequest>& req, bool ok) {
 }
 
 std::vector<SiteId> SimECStore::ChooseWriteSites(std::uint32_t count) {
+  // A full-stripe request routes through the spec-aware overload so
+  // group-aware spreading applies (a no-op — identical draws — when
+  // failure_domains is 0); explicit other counts keep the legacy path.
+  if (count == config_.ChunksPerBlock()) {
+    return control_plane_.SelectWriteSites(config_.BlockCodec());
+  }
   return control_plane_.SelectWriteSites(count);
 }
 
@@ -331,9 +335,7 @@ void SimECStore::Put(BlockId id, std::uint64_t block_bytes, PutCallback done) {
           PutResult result;
           result.ok = !state_.Contains(id);
           if (result.ok) {
-            state_.AddBlock(id, block_bytes, chunk_bytes,
-                            config_.RequiredChunks(),
-                            config_.ChunksPerBlock() - config_.RequiredChunks(),
+            state_.AddBlock(id, block_bytes, chunk_bytes, config_.BlockCodec(),
                             *final_sites);
             for (SiteId s : *final_sites) {
               sites_[s]->set_chunk_count(state_.site_chunk_counts()[s]);

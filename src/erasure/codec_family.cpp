@@ -1,0 +1,580 @@
+#include "erasure/codec_family.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "erasure/linear_codec.h"
+#include "gf/gf256.h"
+
+namespace ecstore {
+
+// ---------------------------------------------------------------------------
+// Base-class behavior shared by the MDS families.
+// ---------------------------------------------------------------------------
+
+bool CodecFamily::CanDecode(std::span<const ChunkIndex> indices) const {
+  // MDS default: any DataChunks() distinct valid chunks decode.
+  std::vector<bool> seen(TotalChunks(), false);
+  std::uint32_t distinct = 0;
+  for (const ChunkIndex c : indices) {
+    if (c >= TotalChunks() || seen[c]) continue;
+    seen[c] = true;
+    ++distinct;
+  }
+  return distinct >= DataChunks();
+}
+
+bool CodecFamily::IsTrivialDecode(std::span<const ChunkIndex> indices) const {
+  for (const ChunkIndex c : indices) {
+    if (c >= DataChunks()) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> CodecFamily::Decode(
+    std::span<const IndexedChunk> chunks, std::size_t block_size) const {
+  auto block = TryDecode(chunks, block_size);
+  if (!block) {
+    throw std::invalid_argument(Name() + ": chunks do not decode the block");
+  }
+  return std::move(*block);
+}
+
+std::optional<ChunkData> CodecFamily::DecodeAndReencode(
+    ChunkIndex target, std::span<const IndexedChunk> sources,
+    std::size_t block_size) const {
+  if (target >= TotalChunks()) return std::nullopt;
+  const auto block = TryDecode(sources, block_size);
+  if (!block) return std::nullopt;
+  auto chunks = Encode(*block);
+  return std::move(chunks[target]);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Replication: every chunk is a full copy.
+// ---------------------------------------------------------------------------
+
+class ReplicationFamily final : public CodecFamily {
+ public:
+  using CodecFamily::CodecFamily;
+
+  std::uint32_t FaultTolerance() const override { return spec_.r; }
+
+  std::vector<ChunkData> Encode(
+      std::span<const std::uint8_t> block) const override {
+    std::vector<ChunkData> chunks(TotalChunks());
+    for (ChunkData& c : chunks) c.assign(block.begin(), block.end());
+    return chunks;
+  }
+
+  std::optional<std::vector<std::uint8_t>> TryDecode(
+      std::span<const IndexedChunk> chunks,
+      std::size_t block_size) const override {
+    for (const IndexedChunk& c : chunks) {
+      if (c.index >= TotalChunks()) continue;
+      if (c.data.size() != block_size) {
+        throw std::invalid_argument("rep: chunk size mismatch");
+      }
+      return std::vector<std::uint8_t>(c.data.begin(), c.data.end());
+    }
+    return std::nullopt;
+  }
+
+  bool IsTrivialDecode(std::span<const ChunkIndex>) const override {
+    return true;
+  }
+
+  std::optional<RepairPlan> PlanRepair(
+      ChunkIndex target, std::span<const ChunkIndex> available) const override {
+    if (target >= TotalChunks()) return std::nullopt;
+    ChunkIndex best = TotalChunks();
+    for (const ChunkIndex c : available) {
+      if (c >= TotalChunks() || c == target) continue;
+      best = std::min(best, c);
+    }
+    if (best == TotalChunks()) return std::nullopt;
+    return RepairPlan{{{best, 1}}, 1};
+  }
+
+  std::optional<ChunkData> RepairChunk(ChunkIndex target,
+                                       std::span<const IndexedChunk> sources,
+                                       std::size_t block_size) const override {
+    if (target >= TotalChunks()) return std::nullopt;
+    for (const IndexedChunk& c : sources) {
+      if (c.index >= TotalChunks() || c.index == target) continue;
+      if (c.data.size() != block_size) continue;
+      return c.data;
+    }
+    return std::nullopt;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reed-Solomon: the MDS workhorse, wrapping the SIMD Cauchy codec.
+// ---------------------------------------------------------------------------
+
+class RsFamily final : public CodecFamily {
+ public:
+  explicit RsFamily(const CodecSpec& spec)
+      : CodecFamily(spec), rs_(spec.k, spec.r) {}
+
+  std::uint32_t FaultTolerance() const override { return spec_.r; }
+
+  std::vector<ChunkData> Encode(
+      std::span<const std::uint8_t> block) const override {
+    return rs_.Encode(block);
+  }
+
+  std::optional<std::vector<std::uint8_t>> TryDecode(
+      std::span<const IndexedChunk> chunks,
+      std::size_t block_size) const override {
+    // The strict MDS decoder rejects duplicates and out-of-range indices;
+    // screen them out here so TryDecode only fails on a genuine shortage.
+    std::vector<bool> seen(TotalChunks(), false);
+    std::uint32_t distinct = 0;
+    bool clean = true;
+    for (const IndexedChunk& c : chunks) {
+      if (c.index >= TotalChunks() || seen[c.index]) {
+        clean = false;
+        continue;
+      }
+      seen[c.index] = true;
+      ++distinct;
+    }
+    if (distinct < DataChunks()) return std::nullopt;
+    if (clean) return rs_.Decode(chunks, block_size);
+    std::vector<IndexedChunk> cleaned;
+    cleaned.reserve(distinct);
+    std::fill(seen.begin(), seen.end(), false);
+    for (const IndexedChunk& c : chunks) {
+      if (c.index >= TotalChunks() || seen[c.index]) continue;
+      seen[c.index] = true;
+      cleaned.push_back(c);
+    }
+    return rs_.Decode(cleaned, block_size);
+  }
+
+  bool IsTrivialDecode(std::span<const ChunkIndex> indices) const override {
+    return rs_.IsTrivialDecode(indices);
+  }
+
+  std::optional<RepairPlan> PlanRepair(
+      ChunkIndex target, std::span<const ChunkIndex> available) const override {
+    if (target >= TotalChunks()) return std::nullopt;
+    std::vector<bool> have(TotalChunks(), false);
+    for (const ChunkIndex c : available) {
+      if (c < TotalChunks() && c != target) have[c] = true;
+    }
+    RepairPlan plan;
+    plan.reads.reserve(DataChunks());
+    // Ascending index prefers systematic chunks, keeping the rebuild a
+    // near-reassembly when the data survives.
+    for (ChunkIndex c = 0; c < TotalChunks(); ++c) {
+      if (!have[c]) continue;
+      plan.reads.push_back({c, 1});
+      if (plan.reads.size() == DataChunks()) return plan;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<ChunkData> RepairChunk(ChunkIndex target,
+                                       std::span<const IndexedChunk> sources,
+                                       std::size_t block_size) const override {
+    return DecodeAndReencode(target, sources, block_size);
+  }
+
+ private:
+  ReedSolomonCodec rs_;
+};
+
+// ---------------------------------------------------------------------------
+// Azure-LRC(k, l, g): local XOR parities make single-chunk repair read a
+// group instead of k chunks; decodability is pattern-dependent.
+// ---------------------------------------------------------------------------
+
+class AzureLrcFamily final : public CodecFamily {
+ public:
+  explicit AzureLrcFamily(const CodecSpec& spec)
+      : CodecFamily(spec), lrc_(spec.k, spec.l, spec.r) {
+    fault_tolerance_ = ComputeFaultTolerance();
+  }
+
+  std::uint32_t FaultTolerance() const override { return fault_tolerance_; }
+
+  std::vector<ChunkData> Encode(
+      std::span<const std::uint8_t> block) const override {
+    return lrc_.Encode(block);
+  }
+
+  bool CanDecode(std::span<const ChunkIndex> indices) const override {
+    return lrc_.codec().CanDecode(indices);
+  }
+
+  std::optional<std::vector<std::uint8_t>> TryDecode(
+      std::span<const IndexedChunk> chunks,
+      std::size_t block_size) const override {
+    return lrc_.TryDecode(chunks, block_size);
+  }
+
+  std::optional<RepairPlan> PlanRepair(
+      ChunkIndex target, std::span<const ChunkIndex> available) const override {
+    if (target >= TotalChunks()) return std::nullopt;
+    std::vector<bool> have(TotalChunks(), false);
+    for (const ChunkIndex c : available) {
+      if (c < TotalChunks() && c != target) have[c] = true;
+    }
+    // Cheap path: the target's whole local group survives.
+    if (const auto local = lrc_.LocalRepairSet(target)) {
+      const bool covered = std::all_of(local->begin(), local->end(),
+                                       [&](ChunkIndex c) { return have[c]; });
+      if (covered) {
+        RepairPlan plan;
+        plan.reads.reserve(local->size());
+        for (const ChunkIndex c : *local) plan.reads.push_back({c, 1});
+        return plan;
+      }
+    }
+    // Fallback: whatever spanning k-subset a full decode would consume.
+    std::vector<ChunkIndex> avail;
+    avail.reserve(TotalChunks());
+    for (ChunkIndex c = 0; c < TotalChunks(); ++c) {
+      if (have[c]) avail.push_back(c);
+    }
+    const auto set = lrc_.codec().SelectDecodeSet(avail);
+    if (!set) return std::nullopt;
+    RepairPlan plan;
+    plan.reads.reserve(set->size());
+    for (const ChunkIndex c : *set) plan.reads.push_back({c, 1});
+    return plan;
+  }
+
+  std::optional<ChunkData> RepairChunk(ChunkIndex target,
+                                       std::span<const IndexedChunk> sources,
+                                       std::size_t block_size) const override {
+    if (target >= TotalChunks()) return std::nullopt;
+    if (auto local = lrc_.RepairLocally(target, sources, block_size)) {
+      return local;
+    }
+    return lrc_.codec().ReconstructChunk(sources, target, block_size);
+  }
+
+ private:
+  /// Worst-case tolerated erasures, found by exhaustively erasing every
+  /// t-subset until some pattern stops decoding. LRC is small (k+l+g is
+  /// tens of chunks), so this stays cheap; absurd specs fall back to the
+  /// guaranteed g.
+  std::uint32_t ComputeFaultTolerance() const {
+    const std::uint32_t n = TotalChunks();
+    const std::uint32_t max_t = n - DataChunks();  // l + g
+    double combos = 0, c = 1;
+    for (std::uint32_t t = 1; t <= max_t; ++t) {
+      c = c * (n - t + 1) / t;
+      combos += c;
+    }
+    if (combos > 2e5) return spec_.r;
+
+    std::vector<bool> gone(n, false);
+    std::vector<ChunkIndex> survivors;
+    const auto decodable_without = [&](const std::vector<std::uint32_t>& erased) {
+      std::fill(gone.begin(), gone.end(), false);
+      for (const std::uint32_t e : erased) gone[e] = true;
+      survivors.clear();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!gone[i]) survivors.push_back(i);
+      }
+      return lrc_.codec().CanDecode(survivors);
+    };
+
+    for (std::uint32_t t = 1; t <= max_t; ++t) {
+      std::vector<std::uint32_t> pick(t);
+      std::iota(pick.begin(), pick.end(), 0u);
+      while (true) {
+        if (!decodable_without(pick)) return t - 1;
+        int i = static_cast<int>(t) - 1;
+        while (i >= 0 && pick[i] == n - t + i) --i;
+        if (i < 0) break;
+        ++pick[i];
+        for (std::size_t j = i + 1; j < t; ++j) pick[j] = pick[j - 1] + 1;
+      }
+    }
+    return max_t;
+  }
+
+  LrcCodec lrc_;
+  std::uint32_t fault_tolerance_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Piggybacked RS(k, r), sub-packetization 2 (Rashmi et al.'s piggyback
+// framework): two RS substripes A and B share the stripe; parity j >= 1
+// of substripe B additionally absorbs the XOR of the A-subchunks of
+// piggy group j-1 (data chunk i rides group i % (r-1)). MDS on whole
+// chunks; a lost data chunk repairs from k-1 B-halves + the clean
+// parity's B-half + its group's A-halves + its piggy parity's B-half —
+// (k + group) half-chunks instead of 2k.
+// ---------------------------------------------------------------------------
+
+gf::Matrix BuildPiggybackGenerator(std::uint32_t k, std::uint32_t r) {
+  gf::Matrix m(k + r, k);
+  for (std::uint32_t i = 0; i < k; ++i) m.At(i, i) = 1;
+  // Cauchy parity rows with evaluation points disjoint from the data
+  // points, as in BuildLrcGenerator: the stacked code is MDS.
+  for (std::uint32_t t = 0; t < r; ++t) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const gf::Elem x = static_cast<gf::Elem>(t);
+      const gf::Elem y = static_cast<gf::Elem>(r + j);
+      m.At(k + t, j) = gf::Inverse(gf::Add(x, y));
+    }
+  }
+  return m;
+}
+
+class PiggybackRsFamily final : public CodecFamily {
+ public:
+  explicit PiggybackRsFamily(const CodecSpec& spec)
+      : CodecFamily(spec),
+        k_(spec.k),
+        r_(spec.r),
+        base_(BuildPiggybackGenerator(spec.k, spec.r)) {}
+
+  std::uint32_t FaultTolerance() const override { return r_; }
+
+  std::vector<ChunkData> Encode(
+      std::span<const std::uint8_t> block) const override {
+    const std::size_t sub = ChunkSize(block.size()) / 2;
+    const std::size_t half_block = k_ * sub;
+    // Substripe A carries block bytes [0, k*sub), B the rest (padded).
+    std::vector<std::uint8_t> a(half_block, 0), b(half_block, 0);
+    if (!block.empty()) {
+      std::memcpy(a.data(), block.data(), std::min(half_block, block.size()));
+    }
+    if (block.size() > half_block) {
+      std::memcpy(b.data(), block.data() + half_block,
+                  block.size() - half_block);
+    }
+    std::vector<ChunkData> ea = base_.Encode(a);  // chunk size == sub
+    std::vector<ChunkData> eb = base_.Encode(b);
+    // Piggybacks: B-parity 1+p absorbs the XOR of group p's A-subchunks
+    // (ea[i] is exactly data chunk i's A-half — systematic rows).
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      gf::AddRegion(ea[i], eb[k_ + 1 + PiggyGroupOf(i)]);
+    }
+    std::vector<ChunkData> out(TotalChunks());
+    for (std::uint32_t c = 0; c < TotalChunks(); ++c) {
+      out[c] = std::move(ea[c]);
+      out[c].insert(out[c].end(), eb[c].begin(), eb[c].end());
+    }
+    return out;
+  }
+
+  std::optional<std::vector<std::uint8_t>> TryDecode(
+      std::span<const IndexedChunk> chunks,
+      std::size_t block_size) const override {
+    const std::size_t cs = ChunkSize(block_size);
+    const std::size_t sub = cs / 2;
+    const std::size_t half_block = k_ * sub;
+
+    std::vector<const IndexedChunk*> sel;
+    sel.reserve(k_);
+    std::vector<bool> seen(TotalChunks(), false);
+    for (const IndexedChunk& c : chunks) {
+      if (c.index >= TotalChunks() || seen[c.index]) continue;
+      if (c.data.size() != cs) {
+        throw std::invalid_argument("pb: chunk size mismatch");
+      }
+      seen[c.index] = true;
+      sel.push_back(&c);
+      if (sel.size() == k_) break;
+    }
+    if (sel.size() < k_) return std::nullopt;
+
+    // Substripe A decodes straight from the A-halves.
+    std::vector<IndexedChunk> syms(k_);
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      syms[i].index = sel[i]->index;
+      syms[i].data.assign(sel[i]->data.begin(), sel[i]->data.begin() + sub);
+    }
+    const auto a_dec = base_.TryDecode(syms, half_block);
+    if (!a_dec) return std::nullopt;  // Unreachable: k distinct MDS chunks.
+
+    // Substripe B: peel each selected piggy parity's piggyback (now
+    // computable from the decoded A-subchunks) before decoding.
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      const ChunkIndex idx = sel[i]->index;
+      syms[i].data.assign(sel[i]->data.begin() + sub, sel[i]->data.end());
+      if (idx <= k_) continue;  // Data or the clean parity: no piggyback.
+      const std::uint32_t group = idx - k_ - 1;
+      for (std::uint32_t d = 0; d < k_; ++d) {
+        if (PiggyGroupOf(d) != group) continue;
+        gf::AddRegion(
+            std::span<const std::uint8_t>(a_dec->data() + d * sub, sub),
+            syms[i].data);
+      }
+    }
+    const auto b_dec = base_.TryDecode(syms, half_block);
+    if (!b_dec) return std::nullopt;
+
+    std::vector<std::uint8_t> block(block_size, 0);
+    std::memcpy(block.data(), a_dec->data(), std::min(half_block, block_size));
+    if (block_size > half_block) {
+      std::memcpy(block.data() + half_block, b_dec->data(),
+                  block_size - half_block);
+    }
+    return block;
+  }
+
+  std::optional<RepairPlan> PlanRepair(
+      ChunkIndex target, std::span<const ChunkIndex> available) const override {
+    if (target >= TotalChunks()) return std::nullopt;
+    std::vector<bool> have(TotalChunks(), false);
+    for (const ChunkIndex c : available) {
+      if (c < TotalChunks() && c != target) have[c] = true;
+    }
+    if (target < k_) {
+      const std::uint32_t group = PiggyGroupOf(target);
+      const ChunkIndex piggy = k_ + 1 + group;
+      bool cheap = have[k_] && have[piggy];
+      for (std::uint32_t d = 0; d < k_ && cheap; ++d) {
+        if (d != target && !have[d]) cheap = false;
+      }
+      if (cheap) {
+        RepairPlan plan;
+        plan.chunk_subchunks = 2;
+        plan.reads.reserve(k_ + 1);
+        for (std::uint32_t d = 0; d < k_; ++d) {
+          if (d == target) continue;
+          // Group-mates contribute both halves (their A-half feeds the
+          // piggyback peel, their B-half the substripe-B decode); the
+          // rest only their B-half.
+          plan.reads.push_back({d, PiggyGroupOf(d) == group ? 2u : 1u});
+        }
+        plan.reads.push_back({k_, 1});
+        plan.reads.push_back({piggy, 1});
+        return plan;
+      }
+    }
+    // Parity repair, or a missing cheap source: whole-chunk MDS rebuild.
+    RepairPlan plan;
+    plan.chunk_subchunks = 2;
+    plan.reads.reserve(k_);
+    for (ChunkIndex c = 0; c < TotalChunks(); ++c) {
+      if (!have[c]) continue;
+      plan.reads.push_back({c, 2});
+      if (plan.reads.size() == k_) return plan;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<ChunkData> RepairChunk(ChunkIndex target,
+                                       std::span<const IndexedChunk> sources,
+                                       std::size_t block_size) const override {
+    if (target >= TotalChunks()) return std::nullopt;
+    const std::size_t cs = ChunkSize(block_size);
+    const std::size_t sub = cs / 2;
+    const std::size_t half_block = k_ * sub;
+
+    std::vector<const IndexedChunk*> by_index(TotalChunks(), nullptr);
+    for (const IndexedChunk& c : sources) {
+      if (c.index >= TotalChunks() || c.index == target) continue;
+      if (c.data.size() != cs) continue;
+      if (!by_index[c.index]) by_index[c.index] = &c;
+    }
+    if (target >= k_) return DecodeAndReencode(target, sources, block_size);
+    const std::uint32_t group = PiggyGroupOf(target);
+    const ChunkIndex piggy = k_ + 1 + group;
+    bool cheap = by_index[k_] && by_index[piggy];
+    for (std::uint32_t d = 0; d < k_ && cheap; ++d) {
+      if (d != target && !by_index[d]) cheap = false;
+    }
+    if (!cheap) return DecodeAndReencode(target, sources, block_size);
+
+    // Substripe B decodes from k clean B-symbols: the other data chunks'
+    // B-halves plus the un-piggybacked parity k's B-half.
+    std::vector<IndexedChunk> syms;
+    syms.reserve(k_);
+    for (std::uint32_t d = 0; d < k_; ++d) {
+      if (d == target) continue;
+      syms.push_back({d, ChunkData(by_index[d]->data.begin() + sub,
+                                   by_index[d]->data.end())});
+    }
+    syms.push_back({k_, ChunkData(by_index[k_]->data.begin() + sub,
+                                  by_index[k_]->data.end())});
+    const auto b_dec = base_.TryDecode(syms, half_block);
+    if (!b_dec) return std::nullopt;  // Unreachable: k distinct MDS symbols.
+
+    ChunkData out(cs, 0);
+    std::memcpy(out.data() + sub, b_dec->data() + target * sub, sub);
+    // The piggy parity's stored B-half is P^b + piggyback; re-encode P^b
+    // from the decoded substripe, subtract, then peel the group-mates'
+    // A-halves to leave the target's A-half.
+    std::span<std::uint8_t> a_target(out.data(), sub);
+    gf::AddRegion(
+        std::span<const std::uint8_t>(by_index[piggy]->data.data() + sub, sub),
+        a_target);
+    for (std::uint32_t j = 0; j < k_; ++j) {
+      gf::MulAddRegion(
+          base_.generator().At(piggy, j),
+          std::span<const std::uint8_t>(b_dec->data() + j * sub, sub),
+          a_target);
+    }
+    for (std::uint32_t d = 0; d < k_; ++d) {
+      if (d == target || PiggyGroupOf(d) != group) continue;
+      gf::AddRegion(
+          std::span<const std::uint8_t>(by_index[d]->data.data(), sub),
+          a_target);
+    }
+    return out;
+  }
+
+ private:
+  std::uint32_t PiggyGroupOf(ChunkIndex data) const {
+    return data % (r_ - 1);
+  }
+
+  std::uint32_t k_, r_;
+  LinearCodec base_;
+};
+
+}  // namespace
+
+std::unique_ptr<CodecFamily> MakeCodecFamily(const CodecSpec& spec) {
+  ValidateCodecSpec(spec);
+  switch (spec.family) {
+    case CodecFamilyId::kReplication:
+      return std::make_unique<ReplicationFamily>(spec);
+    case CodecFamilyId::kRs:
+      return std::make_unique<RsFamily>(spec);
+    case CodecFamilyId::kAzureLrc:
+      return std::make_unique<AzureLrcFamily>(spec);
+    case CodecFamilyId::kPiggybackRs:
+      return std::make_unique<PiggybackRsFamily>(spec);
+  }
+  throw std::invalid_argument("MakeCodecFamily: unknown family");
+}
+
+std::shared_ptr<const CodecFamily> GetCodecFamily(const CodecSpec& spec) {
+  static std::mutex mu;
+  static std::map<std::uint64_t, std::shared_ptr<const CodecFamily>> cache;
+  const std::uint64_t key = static_cast<std::uint64_t>(spec.family) |
+                            (static_cast<std::uint64_t>(spec.k) << 8) |
+                            (static_cast<std::uint64_t>(spec.r) << 24) |
+                            (static_cast<std::uint64_t>(spec.l) << 40);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Build outside the lock (the LRC constructor enumerates erasure
+  // patterns); first insertion wins on a race.
+  std::shared_ptr<const CodecFamily> fam = MakeCodecFamily(spec);
+  std::lock_guard<std::mutex> lock(mu);
+  return cache.try_emplace(key, std::move(fam)).first->second;
+}
+
+}  // namespace ecstore

@@ -108,6 +108,16 @@ bool LinearCodec::CanDecode(std::span<const ChunkIndex> indices) const {
   return SolveFor(indices).has_value();
 }
 
+std::optional<std::vector<ChunkIndex>> LinearCodec::SelectDecodeSet(
+    std::span<const ChunkIndex> indices) const {
+  const auto map = SolveFor(indices);
+  if (!map) return std::nullopt;
+  std::vector<ChunkIndex> out;
+  out.reserve(map->used.size());
+  for (std::size_t pos : map->used) out.push_back(indices[pos]);
+  return out;
+}
+
 std::optional<std::vector<std::uint8_t>> LinearCodec::TryDecode(
     std::span<const IndexedChunk> chunks, std::size_t block_size) const {
   const std::size_t chunk_size = ChunkSize(block_size);

@@ -48,6 +48,13 @@ class LinearCodec {
   /// rows have rank k) — i.e., Decode would succeed.
   bool CanDecode(std::span<const ChunkIndex> indices) const;
 
+  /// The k chunk indices (a subset of `indices`, greedily chosen in the
+  /// given order) whose generator rows span the data — the minimal read
+  /// set a decode of this availability pattern actually consumes.
+  /// nullopt when the pattern is not decodable.
+  std::optional<std::vector<ChunkIndex>> SelectDecodeSet(
+      std::span<const ChunkIndex> indices) const;
+
   /// Reconstructs the block from the given chunks if their rows span the
   /// data space; returns std::nullopt otherwise.
   std::optional<std::vector<std::uint8_t>> TryDecode(

@@ -44,6 +44,21 @@ DemandResult BuildDemands(const ClusterState& state,
     for (const ChunkLocation& loc : info.locations) {
       if (state.IsSiteAvailable(loc.site)) d.candidates.push_back(loc);
     }
+    if (!SpecAnyKDecodes(info.codec)) {
+      // Non-MDS family (LRC): restrict normal reads to the chunks from
+      // which any k decode — data + global parities; the local parities
+      // exist for repair. When failures leave fewer than k of those, keep
+      // every survivor so the degraded path can try pattern-dependent
+      // decoding with the locals.
+      std::vector<ChunkLocation> preferred;
+      preferred.reserve(d.candidates.size());
+      for (const ChunkLocation& loc : d.candidates) {
+        if (IsPlanReadCandidate(info.codec, loc.chunk)) {
+          preferred.push_back(loc);
+        }
+      }
+      if (preferred.size() >= info.k) d.candidates = std::move(preferred);
+    }
     const auto available = static_cast<std::uint32_t>(d.candidates.size());
     if (available < info.k) {
       result.readable.push_back(false);

@@ -214,6 +214,9 @@ std::optional<MovementPlan> SelectMovementPlan(const MoverContext& ctx,
     for (const ChunkLocation& src : sources) {
       if (!state.IsSiteAvailable(src.site)) continue;  // Cannot read it.
       for (SiteId dst : destinations) {
+        if (ctx.move_allowed && !ctx.move_allowed(block, src.site, dst)) {
+          continue;  // Vetoed (e.g. group-aware domain constraint).
+        }
         const double e = AccessGainWithContext(ctx, bctx, block, src.site, dst);
         const double i = params.shift_load_estimate
                              ? EstimateLoadGain(ctx, block, src.site, dst)

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -63,6 +64,12 @@ struct MoverContext {
   /// Requests per second observed by the statistics service; used to turn
   /// windowed access frequency into a byte rate for load shifting.
   double request_rate_per_sec = 0;
+  /// Optional placement veto (DESIGN.md §11): when set, a candidate move
+  /// of `block`'s chunk from `source` to `dest` is only scored if this
+  /// returns true. The control plane uses it for group-aware spreading
+  /// (an LRC local group must never co-locate on one failure domain).
+  /// Null (the default) scores every candidate — the legacy behavior.
+  std::function<bool(BlockId block, SiteId source, SiteId dest)> move_allowed;
 };
 
 /// Computes E(C, b, s, d): the expected access-cost change (Eq. 5) over

@@ -1,0 +1,290 @@
+// Codec-family seam tests (DESIGN.md §11): exhaustive erasure-pattern
+// decodability + bit-exactness for Azure-LRC and the piggybacked-RS
+// regenerating family (every survivor subset), RepairPlan rebuilds that
+// must be bit-identical to the encoder's chunks under every erasure
+// pattern up to the family's fault tolerance, the families' repair-cost
+// ordering (LRC local group < RS full-k; piggyback half-chunks < RS),
+// and the CodecSpec parse/validate/name round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/codec_spec.h"
+#include "common/rng.h"
+#include "erasure/codec_family.h"
+
+namespace ecstore {
+namespace {
+
+std::vector<std::uint8_t> RandomBlock(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> block(n);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  return block;
+}
+
+const CodecSpec kRs63{CodecFamilyId::kRs, 6, 3, 0};
+const CodecSpec kLrc622{CodecFamilyId::kAzureLrc, 6, 2, 2};
+const CodecSpec kPb63{CodecFamilyId::kPiggybackRs, 6, 3, 0};
+const CodecSpec kRep2{CodecFamilyId::kReplication, 1, 2, 0};
+
+/// Every subset of {0..n-1}, as index vectors.
+std::vector<std::vector<ChunkIndex>> AllSubsets(std::uint32_t n) {
+  std::vector<std::vector<ChunkIndex>> out;
+  out.reserve(std::size_t{1} << n);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<ChunkIndex> s;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) s.push_back(static_cast<ChunkIndex>(i));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CodecSpec: parse / validate / name.
+
+TEST(CodecSpecTest, ParseNameRoundTrip) {
+  for (const char* name : {"rs(6,3)", "lrc(6,2,2)", "pb(6,3)", "rep(2)"}) {
+    const CodecSpec spec = ParseCodecSpec(name);
+    EXPECT_EQ(CodecSpecName(spec), name);
+  }
+  EXPECT_EQ(ParseCodecSpec("rs(6,3)"), kRs63);
+  EXPECT_EQ(ParseCodecSpec("lrc(6,2,2)"), kLrc622);  // (k, l, g) argument order
+  EXPECT_EQ(ParseCodecSpec("pb(6,3)"), kPb63);
+  EXPECT_EQ(ParseCodecSpec("rep(2)"), kRep2);
+}
+
+TEST(CodecSpecTest, RejectsJunk) {
+  EXPECT_THROW(ParseCodecSpec("xor(2)"), std::invalid_argument);
+  EXPECT_THROW(ParseCodecSpec("rs(6)"), std::invalid_argument);
+  EXPECT_THROW(ParseCodecSpec("lrc(5,2,2)"), std::invalid_argument);  // k % l
+  EXPECT_THROW(ParseCodecSpec("pb(6,1)"), std::invalid_argument);  // needs r>=2
+  EXPECT_THROW(ParseCodecSpec("rs(6,3"), std::invalid_argument);
+}
+
+TEST(CodecSpecTest, ShapeHelpers) {
+  EXPECT_EQ(SpecTotalChunks(kRs63), 9u);
+  EXPECT_EQ(SpecTotalChunks(kLrc622), 10u);  // 6 data + 2 local + 2 global
+  EXPECT_EQ(SpecTotalChunks(kPb63), 9u);
+  EXPECT_EQ(SpecTotalChunks(kRep2), 3u);
+  EXPECT_EQ(SpecDataChunks(kRep2), 1u);
+
+  // Piggyback chunks must split into two equal subchunks.
+  EXPECT_EQ(SpecChunkBytes(kPb63, 12000), 2000u);  // two 1000 B subchunks
+  EXPECT_EQ(SpecChunkBytes(kPb63, 12001) % 2, 0u);
+  EXPECT_GE(SpecChunkBytes(kPb63, 12001) * 6, 12001u);
+
+  // LRC placement groups: data split across l local groups, local parity
+  // i guards group i, globals unconstrained.
+  EXPECT_EQ(PlacementGroupOf(kLrc622, 0), PlacementGroupOf(kLrc622, 2));
+  EXPECT_NE(PlacementGroupOf(kLrc622, 0), PlacementGroupOf(kLrc622, 3));
+  EXPECT_EQ(PlacementGroupOf(kLrc622, 6), PlacementGroupOf(kLrc622, 0));
+  EXPECT_EQ(PlacementGroupOf(kLrc622, 8), std::nullopt);
+  EXPECT_FALSE(SpecAnyKDecodes(kLrc622));
+  EXPECT_TRUE(SpecAnyKDecodes(kRs63));
+  EXPECT_TRUE(SpecAnyKDecodes(kPb63));
+}
+
+TEST(CodecFamilyTest, RegistryMemoizesOneInstancePerSpec) {
+  const auto a = GetCodecFamily(kLrc622);
+  const auto b = GetCodecFamily(kLrc622);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), GetCodecFamily(kRs63).get());
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive decodability + bit-exactness: for EVERY subset of the
+// stripe's chunks, TryDecode must either reproduce the block exactly or
+// return nullopt, and must agree with CanDecode.
+
+void CheckEverySubset(const CodecSpec& spec, std::size_t block_size) {
+  const auto family = GetCodecFamily(spec);
+  const auto block = RandomBlock(block_size, 0xABCD ^ block_size);
+  const auto chunks = family->Encode(block);
+  ASSERT_EQ(chunks.size(), family->TotalChunks());
+  for (const ChunkData& c : chunks) {
+    EXPECT_EQ(c.size(), family->ChunkSize(block_size));
+  }
+
+  for (const auto& subset : AllSubsets(family->TotalChunks())) {
+    std::vector<IndexedChunk> held;
+    held.reserve(subset.size());
+    for (const ChunkIndex c : subset) held.push_back({c, chunks[c]});
+    const auto decoded = family->TryDecode(held, block_size);
+    EXPECT_EQ(decoded.has_value(), family->CanDecode(subset))
+        << family->Name() << " subset size " << subset.size();
+    if (decoded) {
+      EXPECT_EQ(*decoded, block) << family->Name();
+    }
+  }
+}
+
+TEST(CodecFamilyExhaustiveTest, LrcDecodesEverySpanningSubsetBitExact) {
+  CheckEverySubset(kLrc622, 6 * 512 + 11);
+}
+
+TEST(CodecFamilyExhaustiveTest, PiggybackDecodesEveryKSubsetBitExact) {
+  CheckEverySubset(kPb63, 6 * 512 + 11);
+  CheckEverySubset(CodecSpec{CodecFamilyId::kPiggybackRs, 4, 2, 0}, 4096 + 3);
+}
+
+TEST(CodecFamilyExhaustiveTest, RsAndReplicationSubsets) {
+  CheckEverySubset(CodecSpec{CodecFamilyId::kRs, 4, 2, 0}, 4096 + 3);
+  CheckEverySubset(kRep2, 777);
+}
+
+// ---------------------------------------------------------------------------
+// RepairPlan: under every erasure pattern up to the family's fault
+// tolerance, every erased chunk must either rebuild bit-identically from
+// exactly the plan's reads, or the plan must be absent AND the survivors
+// genuinely undecodable.
+
+void CheckRepairEveryPattern(const CodecSpec& spec, std::size_t block_size) {
+  const auto family = GetCodecFamily(spec);
+  const auto block = RandomBlock(block_size, 0x5EED ^ block_size);
+  const auto chunks = family->Encode(block);
+  const std::uint32_t n = family->TotalChunks();
+  const std::uint32_t max_erased = family->FaultTolerance();
+  ASSERT_GE(max_erased, 1u);
+
+  std::size_t plans_checked = 0;
+  for (const auto& erased : AllSubsets(n)) {
+    if (erased.empty() || erased.size() > max_erased) continue;
+    std::vector<ChunkIndex> avail;
+    for (ChunkIndex c = 0; c < n; ++c) {
+      if (std::find(erased.begin(), erased.end(), c) == erased.end()) {
+        avail.push_back(c);
+      }
+    }
+    for (const ChunkIndex target : erased) {
+      const auto plan = family->PlanRepair(target, avail);
+      ASSERT_TRUE(plan.has_value())
+          << family->Name() << ": no plan for chunk " << target
+          << " with " << erased.size() << " erased (within fault tolerance)";
+      // The plan draws only on genuinely surviving chunks, reads at most
+      // whole chunks, and never reads the target itself.
+      std::vector<IndexedChunk> sources;
+      for (const RepairRead& read : plan->reads) {
+        ASSERT_NE(read.chunk, target);
+        ASSERT_TRUE(std::find(avail.begin(), avail.end(), read.chunk) !=
+                    avail.end());
+        ASSERT_GE(read.subchunks, 1u);
+        ASSERT_LE(read.subchunks, plan->chunk_subchunks);
+        sources.push_back({read.chunk, chunks[read.chunk]});
+      }
+      EXPECT_LE(plan->BytesToRead(chunks[0].size()),
+                std::uint64_t{plan->reads.size()} * chunks[0].size());
+      const auto rebuilt = family->RepairChunk(target, sources, block_size);
+      ASSERT_TRUE(rebuilt.has_value()) << family->Name();
+      EXPECT_EQ(*rebuilt, chunks[target])
+          << family->Name() << " target " << target << " erased set size "
+          << erased.size();
+      ++plans_checked;
+    }
+  }
+  EXPECT_GT(plans_checked, 0u);
+}
+
+TEST(CodecFamilyRepairTest, RsRebuildsBitIdenticalUnderEveryPattern) {
+  CheckRepairEveryPattern(CodecSpec{CodecFamilyId::kRs, 4, 2, 0}, 4096 + 3);
+  CheckRepairEveryPattern(kRs63, 6 * 300 + 5);
+}
+
+TEST(CodecFamilyRepairTest, LrcRebuildsBitIdenticalUnderEveryPattern) {
+  CheckRepairEveryPattern(kLrc622, 6 * 300 + 5);
+}
+
+TEST(CodecFamilyRepairTest, PiggybackRebuildsBitIdenticalUnderEveryPattern) {
+  CheckRepairEveryPattern(kPb63, 6 * 300 + 5);
+  CheckRepairEveryPattern(CodecSpec{CodecFamilyId::kPiggybackRs, 4, 2, 0},
+                          4096 + 2);
+}
+
+TEST(CodecFamilyRepairTest, ReplicationRepairsFromOneCopy) {
+  CheckRepairEveryPattern(kRep2, 999);
+  const auto family = GetCodecFamily(kRep2);
+  const std::vector<ChunkIndex> avail = {1, 2};
+  const auto plan = family->PlanRepair(0, avail);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->reads.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Repair-cost ordering: the reason the families exist.
+
+TEST(CodecFamilyRepairTest, LrcSingleChunkRepairReadsOnlyItsLocalGroup) {
+  const auto lrc = GetCodecFamily(kLrc622);
+  const auto rs = GetCodecFamily(kRs63);
+  std::vector<ChunkIndex> all_but_0;
+  for (ChunkIndex c = 1; c < lrc->TotalChunks(); ++c) all_but_0.push_back(c);
+  const auto plan = lrc->PlanRepair(0, all_but_0);
+  ASSERT_TRUE(plan.has_value());
+  // Group 0 = data {0,1,2} + local parity 6: repairing 0 reads {1,2,6}.
+  EXPECT_EQ(plan->Chunks(), (std::vector<ChunkIndex>{1, 2, 6}));
+
+  const std::uint64_t chunk_bytes = 1000;
+  all_but_0.clear();
+  for (ChunkIndex c = 1; c < rs->TotalChunks(); ++c) all_but_0.push_back(c);
+  const auto rs_plan = rs->PlanRepair(0, all_but_0);
+  ASSERT_TRUE(rs_plan.has_value());
+  // The acceptance ratio: 3 chunks vs 6 = 0.5x <= 0.55x.
+  EXPECT_LE(plan->BytesToRead(chunk_bytes) * 100,
+            rs_plan->BytesToRead(chunk_bytes) * 55);
+}
+
+TEST(CodecFamilyRepairTest, PiggybackDataRepairReadsFewerBytesThanFullK) {
+  const auto pb = GetCodecFamily(kPb63);
+  std::vector<ChunkIndex> all_but_0;
+  for (ChunkIndex c = 1; c < pb->TotalChunks(); ++c) all_but_0.push_back(c);
+  const auto plan = pb->PlanRepair(0, all_but_0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->chunk_subchunks, 2u);
+  // 9 half-chunks = 0.75x of the 6 whole chunks a full-k rebuild reads.
+  const std::uint64_t chunk_bytes = 1000;
+  EXPECT_EQ(plan->BytesToRead(chunk_bytes), 4500u);
+
+  // Parity chunks fall back to the whole-chunk MDS rebuild.
+  std::vector<ChunkIndex> others;
+  for (ChunkIndex c = 0; c < pb->TotalChunks(); ++c) {
+    if (c != 7) others.push_back(c);
+  }
+  const auto parity_plan = pb->PlanRepair(7, others);
+  ASSERT_TRUE(parity_plan.has_value());
+  EXPECT_EQ(parity_plan->BytesToRead(chunk_bytes), 6000u);
+}
+
+TEST(CodecFamilyRepairTest, LrcFaultToleranceIsComputedNotAssumed) {
+  const auto lrc = GetCodecFamily(kLrc622);
+  // The punctured {data + globals} code is MDS with g = 2 parities, and
+  // a local parity adds one more recoverable erasure per group.
+  EXPECT_GE(lrc->FaultTolerance(), 2u);
+  EXPECT_LE(lrc->FaultTolerance(), 4u);
+}
+
+// Degraded-read seam: any k of {data + globals} decode (the punctured
+// MDS trick BuildDemands leans on), while a mixed set including locals
+// can fail — exactly what IsPlanReadCandidate encodes.
+TEST(CodecFamilyTest, LrcPlanReadCandidatesAlwaysDecode) {
+  const auto family = GetCodecFamily(kLrc622);
+  std::vector<ChunkIndex> candidates;
+  for (ChunkIndex c = 0; c < family->TotalChunks(); ++c) {
+    if (IsPlanReadCandidate(kLrc622, c)) candidates.push_back(c);
+  }
+  EXPECT_EQ(candidates.size(), 8u);  // 6 data + 2 globals; locals excluded.
+  // Every 6-subset of the candidates decodes.
+  std::vector<bool> pick(candidates.size(), false);
+  std::fill(pick.begin(), pick.begin() + 6, true);
+  do {
+    std::vector<ChunkIndex> held;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (pick[i]) held.push_back(candidates[i]);
+    }
+    EXPECT_TRUE(family->CanDecode(held));
+  } while (std::prev_permutation(pick.begin(), pick.end()));
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/codec_spec.h"
 #include "core/local_store.h"
 #include "fault/injector.h"
 
@@ -38,6 +39,9 @@ constexpr SiteId kCrashVictim = 3;
 constexpr SiteId kFlapVictim = 5;
 constexpr SiteId kCorruptVictim = 0;
 constexpr SiteId kErrorVictim = 1;
+
+/// Mixed-family chaos block size: divisible by k = 2 and k = 6 alike.
+constexpr std::size_t kMixedBlockBytes = 6 * 1024;
 
 std::vector<std::uint8_t> MakeBlock(std::size_t n, std::uint64_t tag) {
   std::vector<std::uint8_t> data(n);
@@ -239,6 +243,180 @@ TEST(ChaosTest, ZeroDataLossUnderCrashFlapErrorsAndCorruption) {
   const ControlPlaneUsage usage = store.Usage();
   EXPECT_GE(usage.chunks_scrubbed, static_cast<std::uint64_t>(corrupted.size()))
       << "the scrubber never rewrote the corrupt chunks";
+}
+
+// Mixed codec families under chaos (DESIGN.md §11): one cluster carrying
+// default-RS, Azure-LRC, piggyback-RS, and replicated blocks side by
+// side while a silent crash, transient fetch errors, and pre-seeded
+// corruption play out. Every family's degraded reads, plan-driven scrub,
+// and repair must hold the zero-data-loss invariant simultaneously.
+// Victims are chosen so no block exceeds 2 erasures at any instant —
+// within every family's fault tolerance (LRC(6,2,2)'s floor is 2).
+TEST(ChaosTest, MixedCodecFamiliesSurviveCrashErrorsAndCorruption) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcCMLb);
+  config.num_sites = 12;  // LRC(6,2,2) needs 10 distinct sites.
+  config.k = 2;
+  config.r = 2;
+  config.late_binding_delta = 1;
+  config.seed = 4242;
+  config.detector_suspect_after = FromMillis(120);
+  config.detector_dead_after = FromMillis(250);
+  config.repair_wait = FromMillis(150);
+  config.maintenance_tick_ms = 15.0;
+  config.scrub_every_ticks = 4;
+  config.data_plane.workers_per_site = 2;
+  config.data_plane.fetch_deadline_ms = 40.0;
+  config.data_plane.retry.max_retries = 3;
+  config.data_plane.retry.backoff_base_ms = 2.0;
+  config.data_plane.retry.max_backoff_ms = 20.0;
+  LocalECStore store(config);
+
+  // Block id -> codec family, round-robin over the four families (empty
+  // means the config default, rs(2,2)).
+  const auto spec_for = [](BlockId id) -> const char* {
+    switch (id % 4) {
+      case 0: return "";
+      case 1: return "lrc(6,2,2)";
+      case 2: return "pb(6,3)";
+      default: return "rep(2)";
+    }
+  };
+  const auto put_block = [&](BlockId id) {
+    const char* name = spec_for(id);
+    if (*name == '\0') {
+      store.Put(id, MakeBlock(kMixedBlockBytes, id));
+    } else {
+      store.Put(id, MakeBlock(kMixedBlockBytes, id), ParseCodecSpec(name));
+    }
+  };
+
+  constexpr BlockId kPreloaded = 80;
+  for (BlockId id = 0; id < kPreloaded; ++id) put_block(id);
+
+  // Seed corruption on blocks that keep their distance from the crash
+  // victim, so corrupt + crashed never stack past 2 erasures anywhere.
+  std::vector<std::pair<BlockId, ChunkIndex>> corrupted;
+  for (BlockId id = 0; id < kPreloaded; ++id) {
+    bool on_crash_victim = false;
+    ChunkIndex at_corrupt_site = 0;
+    bool has_corrupt_site = false;
+    for (const ChunkLocation& loc : store.state().GetBlock(id).locations) {
+      if (loc.site == kCrashVictim) on_crash_victim = true;
+      if (loc.site == kCorruptVictim) {
+        at_corrupt_site = loc.chunk;
+        has_corrupt_site = true;
+      }
+    }
+    if (on_crash_victim || !has_corrupt_site) continue;
+    if (store.node(kCorruptVictim).CorruptChunk(id, at_corrupt_site)) {
+      corrupted.push_back({id, at_corrupt_site});
+    }
+  }
+  ASSERT_GE(corrupted.size(), 2u) << "placement never used the corrupt site";
+  for (const auto& [id, chunk] : corrupted) {
+    EXPECT_EQ(store.Get(id), MakeBlock(kMixedBlockBytes, id));
+  }
+
+  store.StartMaintenance();
+
+  std::vector<TimedAction> schedule;
+  FaultActions actions = store.MakeFaultActions();
+  schedule.push_back({100, [&] { actions.crash(kCrashVictim); }});
+  schedule.push_back({150, [&] { actions.set_fetch_error(kErrorVictim, 0.25); }});
+  schedule.push_back({900, [&] { actions.set_fetch_error(kErrorVictim, 0.0); }});
+  schedule.push_back({1200, [&] { actions.heal(kCrashVictim); }});
+  InjectionThread injector(std::move(schedule));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads_done{0};
+  std::atomic<std::uint64_t> read_failures{0};
+
+  std::mutex written_mu;
+  std::vector<BlockId> written;
+  std::thread writer([&] {
+    BlockId next = 20'000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      try {
+        put_block(next);
+        std::lock_guard<std::mutex> lock(written_mu);
+        written.push_back(next);
+      } catch (const std::exception&) {
+        // Not enough believed-available sites mid-outage: skip this id.
+      }
+      ++next;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t i = static_cast<std::uint64_t>(t) * 977;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Each MultiGet mixes families: consecutive ids span the cycle.
+        const BlockId a = (i * 31 + 7) % kPreloaded;
+        const BlockId b = (a + 1) % kPreloaded;
+        try {
+          const auto out = store.MultiGet(std::vector<BlockId>{a, b});
+          if (out[0] != MakeBlock(kMixedBlockBytes, a) ||
+              out[1] != MakeBlock(kMixedBlockBytes, b)) {
+            ++read_failures;
+          }
+        } catch (const std::exception&) {
+          ++read_failures;
+        }
+        ++reads_done;
+        ++i;
+      }
+    });
+  }
+
+  injector.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1800));
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  writer.join();
+  injector.Stop(/*run_remaining=*/true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  store.StopMaintenance();
+
+  EXPECT_EQ(read_failures.load(), 0u) << "a client saw wrong or lost data";
+  EXPECT_GT(reads_done.load(), 0u);
+  EXPECT_GE(store.Usage().sites_marked_dead, 1u)
+      << "the detector never marked the silent crash dead";
+
+  // Converge every family back to its own full redundancy (the per-block
+  // codec decides how many chunks "full" means).
+  std::vector<BlockId> all_blocks;
+  for (BlockId id = 0; id < kPreloaded; ++id) all_blocks.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(written_mu);
+    for (BlockId id : written) all_blocks.push_back(id);
+  }
+  const auto fully_redundant = [&](BlockId id) {
+    const BlockInfo& info = store.state().GetBlock(id);
+    if (info.locations.size() != SpecTotalChunks(info.codec)) return false;
+    for (const ChunkLocation& loc : info.locations) {
+      if (!store.state().IsSiteAvailable(loc.site)) return false;
+      if (!store.node(loc.site).HasValidChunk(id, loc.chunk)) return false;
+    }
+    return true;
+  };
+  bool converged = false;
+  for (int round = 0; round < 64 && !converged; ++round) {
+    store.ScrubOnce();
+    for (SiteId j = 0; j < config.num_sites; ++j) {
+      if (!store.state().IsSiteAvailable(j)) store.RepairSite(j);
+    }
+    converged = true;
+    for (BlockId id : all_blocks) converged = converged && fully_redundant(id);
+  }
+  EXPECT_TRUE(converged) << "cluster never returned to full redundancy";
+
+  for (BlockId id : all_blocks) {
+    EXPECT_EQ(store.Get(id), MakeBlock(kMixedBlockBytes, id)) << "block " << id;
+  }
 }
 
 }  // namespace
