@@ -6,6 +6,8 @@
 //   --sweep=rate    the mover throttle (chunks/second, Section VI-C5)
 //   --sweep=delta   the late-binding depth (Section IV-B1, 0..r)
 //   --sweep=cache   plan cache on (EC+C) vs pure-greedy planning
+//   --sweep=tier    the latency tier (DESIGN.md §12): baseline vs +cache
+//                   vs +cache+prefetch vs +hybrid redundancy
 //
 // Each sweep holds the locked experiment defaults and varies one knob.
 #include <cstdio>
@@ -79,6 +81,44 @@ int main(int argc, char** argv) {
                   a.total.Mean(), a.planning.Mean(),
                   100 * a.cache_hit_rate.Mean());
     }
+  } else if (sweep == "tier") {
+    // The latency tier's increments on the mover technique: decoded-block
+    // cache, co-access prefetch, and hot-block replica promotion under a
+    // storage budget. All rows share the same cluster storage.
+    struct TierRow {
+      const char* label;
+      double cache_mb;
+      bool prefetch;
+      double budget_mb;
+    };
+    const TierRow tiers[] = {
+        {"baseline", 0, false, 0},
+        {"+cache", 32, false, 0},
+        {"+cache+prefetch", 32, true, 0},
+        {"+hybrid", 32, true, 16},
+    };
+    std::printf("%-18s %12s %10s %10s %10s\n", "tier", "total(ms)", "hit%",
+                "promoted", "req/s");
+    for (const TierRow& tier : tiers) {
+      ExperimentParams p = params;
+      p.cache_mb = tier.cache_mb;
+      p.prefetch = tier.prefetch;
+      p.replica_budget_mb = tier.budget_mb;
+      const std::vector<RunResult> runs = RunSeedsRaw(Technique::kEcCMLb, p);
+      const AggregateBreakdown a = Aggregate(runs);
+      const ControlPlaneUsage u = SumUsage(runs);
+      const double lookups =
+          static_cast<double>(u.cache_hits + u.cache_misses);
+      std::printf("%-18s %12.1f %9.1f%% %10llu %10.0f\n", tier.label,
+                  a.total.Mean(),
+                  lookups > 0 ? 100.0 * static_cast<double>(u.cache_hits) /
+                                    lookups
+                              : 0.0,
+                  static_cast<unsigned long long>(u.blocks_promoted),
+                  a.throughput.Mean());
+    }
+    std::printf("\nExpected: each increment trims the mean (hits skip the "
+                "full R1-R3 path); promotion needs the budget row.\n");
   } else if (sweep == "k") {
     // Section V-B3's trade-off: larger k stores less but touches more
     // sites per block.
@@ -109,8 +149,8 @@ int main(int argc, char** argv) {
     std::printf("\nExpected: EC degrades with every slow site; EC+C's probe-"
                 "driven o_j routes around them, widening its margin.\n");
   } else {
-    std::printf("unknown --sweep=%s (use w2 | rate | delta | cache | k | "
-                "hetero)\n", sweep.c_str());
+    std::printf("unknown --sweep=%s (use w2 | rate | delta | cache | tier | "
+                "k | hetero)\n", sweep.c_str());
     return 1;
   }
   return 0;

@@ -43,6 +43,10 @@ ExperimentParams ExperimentParams::FromFlags(const Flags& flags) {
   p.slow_factor = flags.GetDouble("slow-factor", p.slow_factor);
   p.enable_repair = flags.GetBool("repair", p.enable_repair);
   p.repair_wait_s = flags.GetDouble("repair-wait", p.repair_wait_s);
+  p.cache_mb = flags.GetDouble("cache-mb", p.cache_mb);
+  p.prefetch = flags.GetBool("prefetch", p.prefetch);
+  p.replica_budget_mb = flags.GetDouble("replica-budget", p.replica_budget_mb);
+  p.think_ms = flags.GetDouble("think-ms", p.think_ms);
   return p;
 }
 
@@ -57,6 +61,11 @@ std::string ExperimentParams::Describe() const {
   }
   os << " warmup=" << warmup_s << "s measure=" << measure_s << "s runs=" << runs;
   if (!codec.empty()) os << " codec=" << codec;
+  if (cache_mb > 0) {
+    os << " cache=" << cache_mb << "MB" << (prefetch ? "+prefetch" : "");
+  }
+  if (replica_budget_mb > 0) os << " replica-budget=" << replica_budget_mb << "MB";
+  if (think_ms > 0) os << " think=" << think_ms << "ms";
   return os.str();
 }
 
@@ -109,6 +118,11 @@ RunResult RunOnce(Technique technique, const ExperimentParams& params,
   }
   config.slow_factor = params.slow_factor;
   if (params.enable_repair) config.repair_wait = FromSeconds(params.repair_wait_s);
+  config.cache_capacity_bytes =
+      static_cast<std::uint64_t>(params.cache_mb * 1024 * 1024);
+  config.cache_prefetch = params.prefetch;
+  config.replica_budget_bytes =
+      static_cast<std::uint64_t>(params.replica_budget_mb * 1024 * 1024);
 
   SimECStore store(config);
   auto workload = MakeWorkload(params, seed);
@@ -126,6 +140,7 @@ RunResult RunOnce(Technique technique, const ExperimentParams& params,
   dp.clients = params.clients;
   dp.warmup = FromSeconds(params.warmup_s);
   dp.measure = FromSeconds(params.measure_s);
+  dp.think = FromMillis(params.think_ms);
   ClosedLoopDriver driver(&store, workload.get(), dp);
   driver.Run();
 
@@ -190,6 +205,16 @@ ControlPlaneUsage SumUsage(const std::vector<RunResult>& runs) {
     sum.sites_marked_dead += r.usage.sites_marked_dead;
     sum.repair_bytes_read += r.usage.repair_bytes_read;
     sum.repair_chunks_read += r.usage.repair_chunks_read;
+    sum.cache_hits += r.usage.cache_hits;
+    sum.cache_misses += r.usage.cache_misses;
+    sum.cache_evictions += r.usage.cache_evictions;
+    sum.cache_invalidations += r.usage.cache_invalidations;
+    sum.prefetch_issued += r.usage.prefetch_issued;
+    sum.prefetch_hits += r.usage.prefetch_hits;
+    sum.cache_bytes += r.usage.cache_bytes;
+    sum.blocks_promoted += r.usage.blocks_promoted;
+    sum.blocks_demoted += r.usage.blocks_demoted;
+    sum.replica_extra_bytes += r.usage.replica_extra_bytes;
   }
   return sum;
 }
@@ -211,7 +236,16 @@ std::string UsageJson(
        << ",\"chunks_repaired\":" << u.chunks_repaired
        << ",\"sites_marked_dead\":" << u.sites_marked_dead
        << ",\"repair_bytes_read\":" << u.repair_bytes_read
-       << ",\"repair_chunks_read\":" << u.repair_chunks_read << "}";
+       << ",\"repair_chunks_read\":" << u.repair_chunks_read
+       << ",\"cache_hits\":" << u.cache_hits
+       << ",\"cache_misses\":" << u.cache_misses
+       << ",\"cache_evictions\":" << u.cache_evictions
+       << ",\"prefetch_issued\":" << u.prefetch_issued
+       << ",\"prefetch_hits\":" << u.prefetch_hits
+       << ",\"cache_bytes\":" << u.cache_bytes
+       << ",\"blocks_promoted\":" << u.blocks_promoted
+       << ",\"blocks_demoted\":" << u.blocks_demoted
+       << ",\"replica_extra_bytes\":" << u.replica_extra_bytes << "}";
   }
   os << "]}\n";
   return os.str();

@@ -78,6 +78,18 @@ struct ExperimentParams {
   /// Grace period before a dead site is rebuilt (--repair-wait, seconds).
   /// The paper waited 15 min; scaled runs compress it like the mover rate.
   double repair_wait_s = 15 * 60.0;
+  /// Decoded-block cache capacity (--cache-mb, MB; 0 = off, the default —
+  /// keeps every pre-existing bench bit-identical). DESIGN.md §12.
+  double cache_mb = 0;
+  /// Co-access prefetch on cache hits (--prefetch; needs --cache-mb > 0).
+  bool prefetch = false;
+  /// Hybrid-redundancy storage budget (--replica-budget, MB; 0 = off).
+  double replica_budget_mb = 0;
+  /// Mean exponential client think time (--think-ms; 0 = the paper's
+  /// zero-think saturation loop). A fixed offered load is what lets the
+  /// cache's latency savings surface as shorter queues (tail) rather
+  /// than as extra closed-loop throughput.
+  double think_ms = 0;
 
   /// Reads overrides: --sites, --blocks, --block-bytes, --clients,
   /// --warmup, --measure, --zipf, --runs, --seed, --workload, --pages.

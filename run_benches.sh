@@ -19,6 +19,10 @@
 #     # writes bench_results/failures_codecs_<label>.json
 # Sharded control-plane MultiGet scaling snapshot (DESIGN.md §10):
 #   ./run_benches.sh scale-json [label]     # writes bench_results/scale_<label>.json
+# Latency-tier sweep (DESIGN.md §12): decoded-block cache + λ prefetch +
+# hybrid redundancy over the Wikipedia trace at equal storage, reporting
+# p99 per configuration and the improvement over the no-cache baseline:
+#   ./run_benches.sh cache-json [label]     # writes bench_results/cache_<label>.json
 # Extra flags after the label pass through to the bench, e.g.
 #   ./run_benches.sh scale-json big --blocks=1000000 --threads=1,8,16,32
 # The label defaults to the current git short SHA (plus -dirty when the
@@ -126,6 +130,18 @@ scale_json() {
   build/bench/bench_scale_multiget --json="$out" "$@"
 }
 
+cache_json() {
+  local label="${1:-}"
+  if [ -z "$label" ]; then
+    label="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then label="${label}-dirty"; fi
+  fi
+  shift $(( $# > 0 ? 1 : 0 ))
+  mkdir -p bench_results
+  local out="bench_results/cache_${label}.json"
+  build/bench/bench_cache_sweep --json="$out" "$@"
+}
+
 failures_repair() {
   local label="${1:-}"
   if [ -z "$label" ]; then
@@ -161,6 +177,10 @@ case "${1:-}" in
     ;;
   scale-json)
     scale_json "${2:-}" "${@:3}"
+    exit $?
+    ;;
+  cache-json)
+    cache_json "${2:-}" "${@:3}"
     exit $?
     ;;
   erasure-json)

@@ -7,7 +7,7 @@ echo "##### bench_fig4e_ycsb1mb --block-bytes=10240 (Section VI-C3, 10 KB blocks
 build/bench/bench_fig4e_ycsb1mb --block-bytes=10240 --blocks=20000 \
   --scan-length=19 --disk-mb=140 --site-concurrency=6 --runs=2
 echo
-for sweep in rate delta cache k hetero; do
+for sweep in rate delta cache tier k hetero; do
   echo "##### bench_ablation --sweep=$sweep"
   build/bench/bench_ablation --sweep=$sweep
   echo

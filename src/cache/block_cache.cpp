@@ -1,0 +1,147 @@
+#include "cache/block_cache.h"
+
+namespace ecstore {
+
+BlockCache::BlockCache(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+void BlockCache::EraseLocked(BlockId id,
+                             std::unordered_map<BlockId, Entry>::iterator it) {
+  order_.erase(KeyOf(id, it->second));
+  stats_.bytes -= it->second.bytes;
+  entries_.erase(it);
+}
+
+bool BlockCache::Lookup(BlockId id, std::uint64_t live_version,
+                        std::shared_ptr<const std::vector<std::uint8_t>>* out_data) {
+  if (out_data != nullptr) out_data->reset();
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  if (it->second.version != live_version) {
+    // Stale: the block was rewritten/moved/repaired since the fill. Drop
+    // the entry so its bytes stop charging capacity.
+    ++stats_.invalidations;
+    ++stats_.misses;
+    EraseLocked(id, it);
+    return false;
+  }
+  ++stats_.hits;
+  if (it->second.prefetched) {
+    ++stats_.prefetch_hits;
+    it->second.prefetched = false;  // count each warmed entry once
+  }
+  // Touch: refresh the LRU tie-break stamp within the entry's weight.
+  order_.erase(KeyOf(id, it->second));
+  it->second.seq = ++seq_;
+  order_.insert(KeyOf(id, it->second));
+  if (out_data != nullptr) *out_data = it->second.data;
+  return true;
+}
+
+bool BlockCache::Insert(BlockId id,
+                        std::shared_ptr<const std::vector<std::uint8_t>> data,
+                        std::uint64_t bytes, std::uint64_t version, double weight,
+                        bool prefetched) {
+  if (bytes == 0 || bytes > capacity_bytes_) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) EraseLocked(id, it);
+  // λ-weighted admission: walk the eviction order coldest-first and check
+  // that enough room can be freed using only entries no hotter than the
+  // candidate. Reject — without evicting anything — when the candidate
+  // would have to displace a strictly hotter resident.
+  if (stats_.bytes + bytes > capacity_bytes_) {
+    std::uint64_t reclaimable = capacity_bytes_ - stats_.bytes;
+    auto it_order = order_.begin();
+    while (reclaimable < bytes && it_order != order_.end() &&
+           std::get<0>(*it_order) <= weight) {
+      reclaimable += entries_.find(std::get<2>(*it_order))->second.bytes;
+      ++it_order;
+    }
+    if (reclaimable < bytes) {
+      ++stats_.admission_rejects;
+      return false;
+    }
+    while (stats_.bytes + bytes > capacity_bytes_) {
+      const BlockId victim_id = std::get<2>(*order_.begin());
+      ++stats_.evictions;
+      EraseLocked(victim_id, entries_.find(victim_id));
+    }
+  }
+  Entry e;
+  e.data = std::move(data);
+  e.bytes = bytes;
+  e.version = version;
+  e.weight = weight;
+  e.seq = ++seq_;
+  e.prefetched = prefetched;
+  order_.insert(KeyOf(id, e));
+  stats_.bytes += bytes;
+  entries_.emplace(id, std::move(e));
+  return true;
+}
+
+void BlockCache::UpdateWeight(BlockId id, double weight) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.weight == weight) return;
+  order_.erase(KeyOf(id, it->second));
+  it->second.weight = weight;
+  order_.insert(KeyOf(id, it->second));
+}
+
+bool BlockCache::Invalidate(BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  ++stats_.invalidations;
+  EraseLocked(id, it);
+  return true;
+}
+
+void BlockCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.invalidations += entries_.size();
+  stats_.bytes = 0;
+  entries_.clear();
+  order_.clear();
+}
+
+bool BlockCache::BeginPrefetch(BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.count(id) != 0) return false;
+  if (!inflight_prefetch_.insert(id).second) return false;
+  ++stats_.prefetch_issued;
+  return true;
+}
+
+void BlockCache::EndPrefetch(BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  inflight_prefetch_.erase(id);
+}
+
+bool BlockCache::Contains(BlockId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.count(id) != 0;
+}
+
+std::size_t BlockCache::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+std::uint64_t BlockCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_.bytes;
+}
+
+BlockCacheStats BlockCache::Stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace ecstore

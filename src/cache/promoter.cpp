@@ -1,0 +1,69 @@
+#include "cache/promoter.h"
+
+#include <stdexcept>
+
+namespace ecstore {
+
+bool ReplicaPromoter::ShouldPromote(BlockId id, double frequency,
+                                    std::uint64_t extra_bytes,
+                                    std::uint64_t block_bytes) const {
+  if (!enabled() || frequency < params_.promote_min_frequency) return false;
+  if (params_.max_block_bytes > 0 && block_bytes > params_.max_block_bytes) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (promoted_.count(id) != 0) return false;
+  return stats_.replica_extra_bytes + extra_bytes <= params_.budget_bytes;
+}
+
+void ReplicaPromoter::RecordPromoted(BlockId id, const CodecSpec& original_spec,
+                                     std::uint64_t extra_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  promoted_[id] = Promoted{original_spec, extra_bytes};
+  stats_.replica_extra_bytes += extra_bytes;
+  ++stats_.blocks_promoted;
+  stats_.promoted_now = promoted_.size();
+}
+
+bool ReplicaPromoter::IsPromoted(BlockId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return promoted_.count(id) != 0;
+}
+
+std::optional<CodecSpec> ReplicaPromoter::OriginalSpec(BlockId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = promoted_.find(id);
+  if (it == promoted_.end()) return std::nullopt;
+  return it->second.original_spec;
+}
+
+std::vector<BlockId> ReplicaPromoter::SelectDemotions(
+    const std::function<double(BlockId)>& frequency_of) const {
+  std::vector<BlockId> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [id, p] : promoted_) {
+    if (frequency_of(id) < params_.demote_frequency) out.push_back(id);
+  }
+  return out;
+}
+
+CodecSpec ReplicaPromoter::RecordDemoted(BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = promoted_.find(id);
+  if (it == promoted_.end()) {
+    throw std::out_of_range("RecordDemoted: block was never promoted");
+  }
+  const CodecSpec spec = it->second.original_spec;
+  stats_.replica_extra_bytes -= it->second.extra_bytes;
+  ++stats_.blocks_demoted;
+  promoted_.erase(it);
+  stats_.promoted_now = promoted_.size();
+  return spec;
+}
+
+PromoterStats ReplicaPromoter::Stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace ecstore

@@ -59,6 +59,10 @@ void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
   info.block_bytes = block_bytes;
   info.chunk_bytes = chunk_bytes;
   info.codec = codec;
+  // Seed the block's coherence version from the global mutation counter:
+  // monotone across the catalog, so a deleted-then-re-added block id gets
+  // a fresh version and stale cache entries can never validate.
+  info.version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
   info.locations.reserve(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
     info.locations.push_back({sites[i], static_cast<ChunkIndex>(i)});
@@ -78,7 +82,6 @@ void ClusterState::AddBlock(BlockId id, std::uint64_t block_bytes,
     }
   }
   total_bytes_.fetch_add(chunk_bytes * sites.size(), std::memory_order_relaxed);
-  version_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool ClusterState::RemoveBlock(BlockId id) {
@@ -101,6 +104,65 @@ bool ClusterState::RemoveBlock(BlockId id) {
   total_bytes_.fetch_sub(removed.chunk_bytes * removed.locations.size(),
                          std::memory_order_relaxed);
   version_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ClusterState::ReplaceBlock(BlockId id, std::uint64_t block_bytes,
+                                std::uint64_t chunk_bytes,
+                                const CodecSpec& codec,
+                                std::span<const SiteId> sites) {
+  const std::uint32_t total = SpecTotalChunks(codec);
+  const std::uint32_t k = SpecDataChunks(codec);
+  if (sites.size() != total) {
+    throw std::invalid_argument("ReplaceBlock: need exactly k + r sites");
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i] >= num_sites_) {
+      throw std::invalid_argument("ReplaceBlock: site out of range");
+    }
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      if (sites[i] == sites[j]) {
+        throw std::invalid_argument(
+            "ReplaceBlock: duplicate site violates fault tolerance");
+      }
+    }
+  }
+  std::vector<ChunkLocation> old_locations;
+  std::uint64_t old_chunk_bytes = 0;
+  {
+    Stripe& stripe = StripeOf(id);
+    std::unique_lock lk(stripe.mu);
+    const auto it = stripe.blocks.find(id);
+    if (it == stripe.blocks.end()) return false;
+    BlockInfo& info = it->second;
+    old_locations = std::move(info.locations);
+    old_chunk_bytes = info.chunk_bytes;
+    info.k = k;
+    info.r = total - k;
+    info.block_bytes = block_bytes;
+    info.chunk_bytes = chunk_bytes;
+    info.codec = codec;
+    info.version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
+    info.locations.clear();
+    info.locations.reserve(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      info.locations.push_back({sites[i], static_cast<ChunkIndex>(i)});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    for (const auto& loc : old_locations) {
+      site_chunks_[loc.site] -= 1;
+      site_bytes_[loc.site] -= old_chunk_bytes;
+    }
+    for (const SiteId s : sites) {
+      site_chunks_[s] += 1;
+      site_bytes_[s] += chunk_bytes;
+    }
+  }
+  total_bytes_.fetch_add(chunk_bytes * sites.size(), std::memory_order_relaxed);
+  total_bytes_.fetch_sub(old_chunk_bytes * old_locations.size(),
+                         std::memory_order_relaxed);
   return true;
 }
 
@@ -154,6 +216,7 @@ bool ClusterState::MoveChunk(BlockId id, SiteId from, SiteId to) {
     if (dst_taken) return false;
     src->site = to;
     chunk_bytes = it->second.chunk_bytes;
+    it->second.version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   {
     std::lock_guard<std::mutex> lk(agg_mu_);
@@ -162,7 +225,22 @@ bool ClusterState::MoveChunk(BlockId id, SiteId from, SiteId to) {
     site_bytes_[from] -= chunk_bytes;
     site_bytes_[to] += chunk_bytes;
   }
-  version_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t ClusterState::BlockVersion(BlockId id) const {
+  const Stripe& stripe = StripeOf(id);
+  std::shared_lock lk(stripe.mu);
+  const auto it = stripe.blocks.find(id);
+  return it == stripe.blocks.end() ? 0 : it->second.version;
+}
+
+bool ClusterState::BumpBlockVersion(BlockId id) {
+  Stripe& stripe = StripeOf(id);
+  std::unique_lock lk(stripe.mu);
+  const auto it = stripe.blocks.find(id);
+  if (it == stripe.blocks.end()) return false;
+  it->second.version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
   return true;
 }
 

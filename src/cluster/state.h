@@ -50,6 +50,13 @@ struct BlockInfo {
   std::uint64_t block_bytes = 0;  // original block size
   std::uint64_t chunk_bytes = 0;  // z_i: size of each chunk
   CodecSpec codec;                // per-block codec family (DESIGN.md §11)
+  /// Coherence version (DESIGN.md §12): seeded from the global mutation
+  /// counter at AddBlock (so a delete + re-put incarnation never reuses a
+  /// version) and bumped on every mutation that can change the block's
+  /// bytes or layout — MoveChunk, catalog rewrite, and explicit
+  /// BumpBlockVersion calls from repair/scrub rewrites. Block caches
+  /// record it at fill time and re-validate on lookup.
+  std::uint64_t version = 0;
   std::vector<ChunkLocation> locations;  // SpecTotalChunks(codec) entries
 };
 
@@ -82,6 +89,18 @@ class ClusterState {
 
   /// Removes a block entirely. Returns false if unknown.
   bool RemoveBlock(BlockId id);
+
+  /// Atomically swaps a block's codec and layout under its stripe lock —
+  /// unlike RemoveBlock + AddBlock, the id never vanishes from the
+  /// catalog, so a concurrent reader always resolves to either the old
+  /// or the new layout, never to "unknown block". Bumps the coherence
+  /// version. Used by the hybrid-redundancy rewrites (DESIGN.md §12),
+  /// which write the new chunks before calling this and retire the old
+  /// ones after. Returns false if the block is unknown; validates
+  /// `sites` like AddBlock.
+  bool ReplaceBlock(BlockId id, std::uint64_t block_bytes,
+                    std::uint64_t chunk_bytes, const CodecSpec& codec,
+                    std::span<const SiteId> sites);
 
   bool Contains(BlockId id) const;
 
@@ -141,6 +160,17 @@ class ClusterState {
   std::uint64_t version() const {
     return version_.load(std::memory_order_relaxed);
   }
+
+  /// Per-block coherence version (DESIGN.md §12): cheap read under the
+  /// stripe's shared lock. Returns 0 for unknown blocks — caches treat 0
+  /// as "gone, invalidate".
+  std::uint64_t BlockVersion(BlockId id) const;
+
+  /// Bumps a block's coherence version without changing its layout — for
+  /// in-place rewrites (repair/scrub re-encoding a chunk) that change the
+  /// chunk's bytes at a site without moving it. Returns false if the
+  /// block is unknown.
+  bool BumpBlockVersion(BlockId id);
 
  private:
   // Catalog stripe count. Fixed and independent of the control-plane

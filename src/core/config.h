@@ -172,6 +172,45 @@ struct ECStoreConfig {
   double maintenance_tick_ms = 50.0;
   std::size_t scrub_every_ticks = 5;
 
+  // --- Latency-aware block cache + λ-driven prefetch (DESIGN.md §12).
+  // Defaults keep both tiers off: no cache object behaviour, no extra RNG
+  // draws, bit-identical fig4b.
+  /// Decoded-block cache capacity in bytes; 0 disables the cache.
+  std::uint64_t cache_capacity_bytes = 0;
+  /// Co-access prefetch: on a cache hit, asynchronously warm the anchor's
+  /// likeliest co-access partners (requires the cache).
+  bool cache_prefetch = false;
+  /// Partners considered per prefetch trigger and the λ floor below which
+  /// a partner is not worth warming.
+  std::size_t prefetch_max_partners = 4;
+  double prefetch_min_lambda = 0.2;
+  /// Prefetch worker threads (LocalECStore; the DES schedules fills on
+  /// its event queue instead).
+  std::size_t prefetch_threads = 2;
+  /// Modeled latency of a cache hit in the simulator embodiment (client
+  /// memory read + coherence version check; no site I/O, no decode).
+  SimTime cache_hit_cost = 20;  // 0.02 ms
+  /// Modeled delay until a simulated prefetch fill lands in the cache.
+  SimTime prefetch_fill_latency = 5 * kMillisecond;
+
+  // --- Dynamic hybrid redundancy (DESIGN.md §12): the movement round
+  // promotes the hottest EC blocks to full replicas and demotes cooled
+  // ones back, within this extra-storage budget. 0 disables promotion.
+  std::uint64_t replica_budget_bytes = 0;
+  /// Total copies a promoted block keeps (3 matches the R baseline).
+  std::uint32_t replica_copies = 3;
+  /// Promotion / demotion access-frequency thresholds (hysteresis).
+  double promote_min_frequency = 0.01;
+  double demote_frequency = 0.002;
+  /// Promotions executed per movement round at most.
+  std::size_t promote_per_round = 4;
+  /// Size gate: blocks larger than this never promote (0 = no gate). A
+  /// replica read is one whole-block fetch from a single site, so
+  /// promotion pays off for latency-bound small blocks while
+  /// bandwidth-bound large blocks are better served by their parallel
+  /// k-way EC fetch.
+  std::uint64_t promote_max_block_bytes = 256 * 1024;
+
   // --- Sharded control plane (DESIGN.md §10). Block metadata statistics,
   // the plan cache, and the deferred-ILP queues are partitioned into this
   // many independently locked shards (hash of block id -> shard). 1 keeps

@@ -341,6 +341,35 @@ std::vector<SiteId> ControlPlane::SelectWriteSites(std::uint32_t count) {
   return available;
 }
 
+std::vector<SiteId> ControlPlane::SelectWriteSitesAvoiding(
+    const CodecSpec& spec, std::span<const SiteId> avoid) {
+  const std::uint32_t count = SpecTotalChunks(spec);
+  std::vector<SiteId> available;
+  for (SiteId j = 0; j < state_->num_sites(); ++j) {
+    if (!state_->IsSiteAvailable(j)) continue;
+    if (std::find(avoid.begin(), avoid.end(), j) != avoid.end()) continue;
+    available.push_back(j);
+  }
+  if (available.size() < count) return {};
+
+  std::lock_guard<std::mutex> lk(rng_mu_);
+  if (!config_->CostModelEnabled()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng_->NextBounded(available.size() - i));
+      std::swap(available[i], available[j]);
+    }
+    available.resize(count);
+    return available;
+  }
+  const CostParams params = PlanningCostParamsLocked();
+  std::stable_sort(available.begin(), available.end(), [&](SiteId a, SiteId b) {
+    return params.site_overhead_ms[a] < params.site_overhead_ms[b];
+  });
+  available.resize(count);
+  return available;
+}
+
 std::vector<SiteId> ControlPlane::SelectWriteSites(const CodecSpec& spec) {
   const std::uint32_t count = SpecTotalChunks(spec);
   const std::size_t domains = config_->failure_domains;
@@ -409,9 +438,47 @@ std::vector<SiteId> ControlPlane::SelectWriteSites(const CodecSpec& spec) {
 }
 
 void ControlPlane::InvalidateBlock(BlockId block) {
-  Shard& sh = *shards_[ShardOf(block)];
+  {
+    Shard& sh = *shards_[ShardOf(block)];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.plan_cache.InvalidateBlock(block);
+  }
+  // Cache coherence seam (§12): notify after the shard lock drops so the
+  // listener may take its own locks freely.
+  if (invalidation_listener_) invalidation_listener_(block);
+}
+
+std::vector<CoAccessPartner> ControlPlane::CoAccessPartnersOf(
+    BlockId b, std::size_t max_partners) const {
+  const Shard& sh = *shards_[ShardOf(b)];
   std::lock_guard<std::mutex> lk(sh.mu);
-  sh.plan_cache.InvalidateBlock(block);
+  return sh.co_access.Partners(b, max_partners);
+}
+
+double ControlPlane::BlockAccessFrequency(BlockId b) const {
+  const Shard& sh = *shards_[ShardOf(b)];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  return sh.co_access.AccessFrequency(b);
+}
+
+std::vector<CoAccessPartner> ControlPlane::HottestBlocks(std::size_t n) const {
+  std::vector<CoAccessPartner> merged;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = *shards_[s];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    for (const CoAccessPartner& p : sh.co_access.TopBlocks(n)) {
+      // With shards > 1 a request is recorded into every touched shard;
+      // only the owner's counts are authoritative for its blocks.
+      if (ShardOf(p.block) == s) merged.push_back(p);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const CoAccessPartner& a, const CoAccessPartner& b) {
+              if (a.lambda != b.lambda) return a.lambda > b.lambda;
+              return a.block < b.block;
+            });
+  if (merged.size() > n) merged.resize(n);
+  return merged;
 }
 
 void ControlPlane::OnSiteFailed(SiteId /*site*/) {

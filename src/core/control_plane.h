@@ -112,6 +112,20 @@ struct ControlPlaneUsage {
   // beat RS. Monotonic atomics like the other event counters.
   std::uint64_t repair_bytes_read = 0;
   std::uint64_t repair_chunks_read = 0;
+
+  // --- Cache + hybrid-redundancy counters (DESIGN.md §12). Overlaid by
+  // the embodiments from their BlockCache / ReplicaPromoter; zero when
+  // both tiers are disabled.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t cache_bytes = 0;          // resident decoded bytes (gauge)
+  std::uint64_t blocks_promoted = 0;
+  std::uint64_t blocks_demoted = 0;
+  std::uint64_t replica_extra_bytes = 0;  // current extra storage (gauge)
 };
 
 /// How an access plan was produced (the R2 decision of Fig. 3).
@@ -159,6 +173,13 @@ class ControlPlane {
   /// embodiment is concurrent.
   using PlanObserver =
       std::function<void(std::span<const BlockId>, const PlanDecision&)>;
+  /// Block-cache coherence seam (DESIGN.md §12): invoked — outside all
+  /// control-plane locks — whenever a block's cached plans are
+  /// invalidated (move, delete, repair rewrite). Embodiments hook their
+  /// BlockCache's eager eviction here; the cache's version check remains
+  /// the correctness backstop. Set before traffic starts; must be
+  /// thread-safe in concurrent embodiments.
+  using InvalidationListener = std::function<void(BlockId)>;
 
   ControlPlane(const ECStoreConfig* config, ClusterState* state, Rng* rng,
                Executor defer_solve, LoadTrackerParams load_params = {});
@@ -261,6 +282,25 @@ class ControlPlane {
     plan_observer_ = std::move(observer);
   }
 
+  void set_invalidation_listener(InvalidationListener listener) {
+    invalidation_listener_ = std::move(listener);
+  }
+
+  // --- Stats queries for the cache/prefetch/promotion tier (§12) ------
+  /// Co-access partners of `b` (λ descending) from its owning shard —
+  /// the prefetch candidate list. Thread-safe (locks the shard).
+  std::vector<CoAccessPartner> CoAccessPartnersOf(BlockId b,
+                                                  std::size_t max_partners) const;
+
+  /// Windowed access frequency of `b` from its owning shard — the cache's
+  /// admission/eviction weight and the promoter's temperature.
+  double BlockAccessFrequency(BlockId b) const;
+
+  /// The `n` most frequently accessed blocks across all shards, hottest
+  /// first (ties: ascending block id, deterministic). `lambda` carries
+  /// the windowed access frequency. Locks one shard at a time.
+  std::vector<CoAccessPartner> HottestBlocks(std::size_t n) const;
+
   // --- Chunk placement: writes (W1 of Fig. 3) -------------------------
   /// `count` distinct available sites for a new block's chunks: the
   /// least-loaded ones under the cost model, random otherwise. Empty
@@ -276,6 +316,16 @@ class ControlPlane {
   /// a group-free family this is exactly SelectWriteSites(total) — same
   /// RNG draws, bit-identical to the pre-codec-family planner.
   std::vector<SiteId> SelectWriteSites(const CodecSpec& spec);
+
+  /// Write-site selection for in-place layout rewrites (hybrid
+  /// promote/demote, DESIGN.md §12): the new layout must land on sites
+  /// disjoint from `avoid` (the block's current sites) so the old chunks
+  /// stay fetchable until the catalog swap commits, and retiring them
+  /// afterwards can never delete new data. Uses the unconstrained
+  /// preference order (least-loaded / random); placement groups are not
+  /// applied on the rewrite path. Empty when too few sites remain.
+  std::vector<SiteId> SelectWriteSitesAvoiding(const CodecSpec& spec,
+                                               std::span<const SiteId> avoid);
 
   // --- Plan invalidation ----------------------------------------------
   /// A chunk of `block` moved, or the block was deleted: its plans die.
@@ -430,6 +480,7 @@ class ControlPlane {
   FailureDetector detector_;
 
   PlanObserver plan_observer_;
+  InvalidationListener invalidation_listener_;
 
   // Resource counters (Table III) — monotonic, lock-free.
   std::atomic<std::uint64_t> stats_network_bytes_{0};

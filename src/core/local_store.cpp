@@ -90,11 +90,46 @@ LocalECStore::LocalECStore(ECStoreConfig config)
   if (config_.ilp_executor_threads > 0) {
     bg_pool_ = std::make_unique<WorkerPool>(config_.ilp_executor_threads);
   }
+  // Latency tier (DESIGN.md §12). With the defaults (capacity 0, budget
+  // 0) none of this exists and the request path is byte-identical to the
+  // cacheless store.
+  if (config_.cache_capacity_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(config_.cache_capacity_bytes);
+    // Eager coherence: every plan invalidation (move, delete, repair,
+    // degraded replan) also evicts the block's decoded bytes. The
+    // version check at Lookup remains the correctness backstop.
+    control_plane_.set_invalidation_listener(
+        [this](BlockId block) { cache_->Invalidate(block); });
+    if (config_.cache_prefetch) {
+      prefetch_cancel_ = std::make_shared<std::atomic<bool>>(false);
+      prefetch_pool_ = std::make_unique<WorkerPool>(
+          std::max<std::size_t>(1, config_.prefetch_threads));
+    }
+  }
+  if (config_.replica_budget_bytes > 0) {
+    ReplicaPromoter::Params pp;
+    pp.budget_bytes = config_.replica_budget_bytes;
+    pp.replica_copies = config_.replica_copies;
+    pp.promote_min_frequency = config_.promote_min_frequency;
+    pp.demote_frequency = config_.demote_frequency;
+    pp.max_promotions_per_round = config_.promote_per_round;
+    pp.max_block_bytes = config_.promote_max_block_bytes;
+    promoter_ = std::make_unique<ReplicaPromoter>(pp);
+  }
   data_plane_ =
       std::make_unique<DataPlane>(config_.num_sites, config_.data_plane);
 }
 
-LocalECStore::~LocalECStore() { StopMaintenance(); }
+LocalECStore::~LocalECStore() {
+  StopMaintenance();
+  // Queued prefetch fills drain in the pool destructor; the cancel flag
+  // turns each into a no-op so teardown is prompt.
+  if (prefetch_cancel_) prefetch_cancel_->store(true, std::memory_order_release);
+}
+
+void LocalECStore::WaitForPrefetches() {
+  if (prefetch_pool_) prefetch_pool_->WaitIdle();
+}
 
 std::shared_ptr<const CodecFamily> LocalECStore::FamilyFor(
     const CodecSpec& spec) const {
@@ -147,7 +182,7 @@ std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
 
 std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     const AccessPlan& plan, std::span<const BlockDemand> demands,
-    const std::vector<BlockMeta>& meta) {
+    std::vector<BlockMeta>& meta) {
   auto ctx = std::make_shared<FetchContext>();
 
   // Block id -> demand index, sorted once so plan reads resolve with a
@@ -317,6 +352,21 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     const BlockId block = demands[i].block;
     auto& got = fetched[i];
     const BlockInfo& info = state_.GetBlock(block);
+    if (info.version != meta[i].version) {
+      // The block was rewritten after our snapshot — a promotion or
+      // demotion swapped its codec, so chunks fetched against the old
+      // layout are from a different encoding and must not be mixed with
+      // (or decoded as) the new one. Drop them and re-read below against
+      // the committed layout; refresh the snapshot so the caller decodes
+      // with the right family and tags any cache fill with the live
+      // version.
+      got.clear();
+      meta[i].k = info.k;
+      meta[i].block_bytes = info.block_bytes;
+      meta[i].version = info.version;
+      meta[i].locations = info.locations;
+      meta[i].family = FamilyFor(info.codec);
+    }
     std::vector<ChunkIndex> have;
     have.reserve(info.locations.size());
     for (const IndexedChunk& c : got) have.push_back(c.index);
@@ -363,7 +413,37 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
       gets_since_refresh_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (seq % 64 == 0) RefreshLoadFromCounters();
 
-  DemandResult dr = BuildDemands(state_, ids, config_.EffectiveDelta());
+  // Cache tier (DESIGN.md §12): serve version-valid decoded blocks from
+  // memory and plan/fetch only the misses. The λ-driven prefetch fires
+  // off each hit's co-access partners before the miss fan-out starts, so
+  // warming overlaps the fetch.
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> hits;
+  std::vector<BlockId> miss_ids;
+  if (cache_) {
+    hits.resize(ids.size());
+    miss_ids.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (cache_->Lookup(ids[i], state_.BlockVersion(ids[i]), &hits[i]) &&
+          hits[i] != nullptr) {
+        cache_->UpdateWeight(ids[i], control_plane_.BlockAccessFrequency(ids[i]));
+        if (prefetch_pool_) MaybePrefetch(ids[i], ids);
+      } else {
+        hits[i].reset();
+        miss_ids.push_back(ids[i]);
+      }
+    }
+    if (miss_ids.empty()) {
+      std::vector<std::vector<std::uint8_t>> out;
+      out.reserve(ids.size());
+      for (const auto& h : hits) out.push_back(*h);
+      if (!bg_pool_) DrainBackgroundWork();
+      return out;
+    }
+  }
+  const std::span<const BlockId> fetch_ids =
+      cache_ ? std::span<const BlockId>(miss_ids) : ids;
+
+  DemandResult dr = BuildDemands(state_, fetch_ids, config_.EffectiveDelta());
   for (std::size_t i = 0; i < dr.readable.size(); ++i) {
     if (!dr.readable[i]) {
       throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
@@ -372,7 +452,7 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
 
   // R2: one shared plan decision — cached plan, greedy fallback, or the
   // random baseline. Never an inline ILP solve.
-  PlanDecision decision = control_plane_.SelectAccessPlan(ids, dr.demands);
+  PlanDecision decision = control_plane_.SelectAccessPlan(fetch_ids, dr.demands);
 
   // Catalog snapshot, one stripe-locked copy per demanded block, so the
   // lock-free fetch phase never reads mutable state.
@@ -384,7 +464,7 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
       // Deleted between planning and the snapshot.
       throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
     }
-    meta.push_back(BlockMeta{d.block, info.k, info.block_bytes,
+    meta.push_back(BlockMeta{d.block, info.k, info.block_bytes, info.version,
                              std::move(info.locations), FamilyFor(info.codec)});
   }
 
@@ -403,9 +483,25 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
   };
   std::vector<std::vector<std::uint8_t>> out;
   out.reserve(ids.size());
-  for (BlockId id : ids) {
+  for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+    const BlockId id = ids[pos];
+    if (cache_ && hits[pos] != nullptr) {
+      out.push_back(*hits[pos]);
+      continue;
+    }
     const std::size_t i = meta_index(id);
-    out.push_back(meta[i].family->Decode(fetched[i], meta[i].block_bytes));
+    if (cache_ != nullptr) {
+      // Fill through a shared buffer tagged with the snapshot-time
+      // version: if the block was rewritten mid-fetch, the entry simply
+      // never validates again.
+      auto decoded = std::make_shared<const std::vector<std::uint8_t>>(
+          meta[i].family->Decode(fetched[i], meta[i].block_bytes));
+      cache_->Insert(id, decoded, decoded->size(), meta[i].version,
+                     control_plane_.BlockAccessFrequency(id));
+      out.push_back(*decoded);
+    } else {
+      out.push_back(meta[i].family->Decode(fetched[i], meta[i].block_bytes));
+    }
   }
 
   // The response is assembled; with the synchronous executor (no pool),
@@ -451,6 +547,22 @@ ControlPlaneUsage LocalECStore::Usage() const {
   u.cancelled_fetch_jobs = data_plane_->jobs_cancelled();
   u.chunks_scrubbed = chunks_scrubbed_.load(std::memory_order_relaxed);
   for (const auto& node : nodes_) u.checksum_failures += node->checksum_failures();
+  if (cache_) {
+    const BlockCacheStats cs = cache_->Stats();
+    u.cache_hits = cs.hits;
+    u.cache_misses = cs.misses;
+    u.cache_evictions = cs.evictions;
+    u.cache_invalidations = cs.invalidations;
+    u.prefetch_issued = cs.prefetch_issued;
+    u.prefetch_hits = cs.prefetch_hits;
+    u.cache_bytes = cs.bytes;
+  }
+  if (promoter_) {
+    const PromoterStats ps = promoter_->Stats();
+    u.blocks_promoted = ps.blocks_promoted;
+    u.blocks_demoted = ps.blocks_demoted;
+    u.replica_extra_bytes = ps.replica_extra_bytes;
+  }
   return u;
 }
 
@@ -648,7 +760,15 @@ std::uint64_t LocalECStore::ScrubLocked() {
 
       auto chunk = RebuildChunk(block, info, loc->chunk, kInvalidSite);
       if (!chunk) continue;  // Not enough valid survivors right now.
-      if (nodes_[j]->PutChunk(block, loc->chunk, std::move(*chunk))) ++fixed;
+      if (nodes_[j]->PutChunk(block, loc->chunk, std::move(*chunk))) {
+        // In-place rewrite: the chunk's bytes at this site changed even
+        // though the catalog layout did not. Bump the block's coherence
+        // version and push the invalidation through the control-plane
+        // seam so cached decoded bytes re-validate (DESIGN.md §12).
+        state_.BumpBlockVersion(block);
+        control_plane_.InvalidateBlock(block);
+        ++fixed;
+      }
     }
   }
   return fixed;
@@ -710,9 +830,178 @@ void LocalECStore::MaintenanceLoop() {
   }
 }
 
+std::optional<std::vector<std::uint8_t>> LocalECStore::ReadBlockBytesLocked(
+    BlockId id, const BlockInfo& info) {
+  const auto family = FamilyFor(info.codec);
+  std::vector<IndexedChunk> got;
+  std::vector<ChunkIndex> have;
+  got.reserve(info.k);
+  have.reserve(info.locations.size());
+  for (const ChunkLocation& loc : info.locations) {
+    if (!state_.IsSiteAvailable(loc.site)) continue;
+    if (std::find(have.begin(), have.end(), loc.chunk) != have.end()) continue;
+    const auto data = nodes_[loc.site]->GetChunk(id, loc.chunk);
+    if (data == nullptr) continue;
+    have.push_back(loc.chunk);
+    got.push_back({loc.chunk, *data});
+    if (got.size() >= info.k &&
+        (family->AnyKDecodes() || family->CanDecode(have))) {
+      return family->Decode(got, info.block_bytes);
+    }
+  }
+  return std::nullopt;
+}
+
+void LocalECStore::MaybePrefetch(BlockId anchor,
+                                 std::span<const BlockId> requested) {
+  const auto partners =
+      control_plane_.CoAccessPartnersOf(anchor, config_.prefetch_max_partners);
+  for (const CoAccessPartner& p : partners) {
+    if (p.lambda < config_.prefetch_min_lambda) break;  // Sorted descending.
+    if (std::find(requested.begin(), requested.end(), p.block) !=
+        requested.end()) {
+      continue;  // Already part of this request's fetch.
+    }
+    // BeginPrefetch dedups against resident entries and racing hits on
+    // the same anchor — at most one in-flight fill per block.
+    if (!cache_->BeginPrefetch(p.block)) continue;
+    prefetch_pool_->Submit([this, block = p.block] { PrefetchBlock(block); });
+  }
+}
+
+void LocalECStore::PrefetchBlock(BlockId id) {
+  struct EndGuard {
+    BlockCache* cache;
+    BlockId id;
+    ~EndGuard() { cache->EndPrefetch(id); }
+  } guard{cache_.get(), id};
+  if (prefetch_cancel_->load(std::memory_order_acquire)) return;
+  BlockInfo info;
+  if (!state_.ReadBlock(id, &info)) return;  // Deleted since the trigger.
+  // Fill reads run under the catalog writer lock like the degraded path:
+  // a consistent snapshot, verified GetChunk (no injected latency — the
+  // warm path must not add site load), never on the request path.
+  std::optional<std::vector<std::uint8_t>> decoded;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    decoded = ReadBlockBytesLocked(id, info);
+  }
+  if (!decoded) return;
+  // Validate the fill against the live version: if the block changed
+  // while we decoded, insert nothing rather than something stale.
+  if (state_.BlockVersion(id) != info.version) return;
+  auto data = std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(*decoded));
+  cache_->Insert(id, data, data->size(), info.version,
+                 control_plane_.BlockAccessFrequency(id), /*prefetched=*/true);
+}
+
+void LocalECStore::RunPromotionRoundLocked() {
+  // Demotions first: cooled blocks release budget the same round's
+  // promotions can spend.
+  for (BlockId id : promoter_->SelectDemotions([this](BlockId b) {
+         return control_plane_.BlockAccessFrequency(b);
+       })) {
+    DemoteBlockLocked(id);
+  }
+  const std::size_t scan =
+      promoter_->params().max_promotions_per_round * 8 + 8;
+  std::size_t promoted = 0;
+  BlockInfo info;
+  for (const CoAccessPartner& hot : control_plane_.HottestBlocks(scan)) {
+    if (promoted >= promoter_->params().max_promotions_per_round) break;
+    if (!state_.ReadBlock(hot.block, &info)) continue;
+    if (info.codec.family == CodecFamilyId::kReplication) continue;
+    const std::uint64_t extra = ReplicaPromoter::ReplicaExtraBytes(
+        info.block_bytes, info.chunk_bytes * info.locations.size(),
+        promoter_->params().replica_copies);
+    if (!promoter_->ShouldPromote(hot.block, hot.lambda, extra,
+                                  info.block_bytes)) {
+      continue;
+    }
+    if (PromoteBlockLocked(hot.block, info, extra)) ++promoted;
+  }
+}
+
+bool LocalECStore::PromoteBlockLocked(BlockId id, const BlockInfo& info,
+                                      std::uint64_t extra_bytes) {
+  const auto data = ReadBlockBytesLocked(id, info);
+  if (!data) return false;  // Not decodable right now; retry next round.
+  const CodecSpec rep = promoter_->ReplicaSpec();
+  std::vector<SiteId> old_sites;
+  old_sites.reserve(info.locations.size());
+  for (const ChunkLocation& loc : info.locations) old_sites.push_back(loc.site);
+  const std::vector<SiteId> sites =
+      control_plane_.SelectWriteSitesAvoiding(rep, old_sites);
+  if (sites.empty()) return false;  // Too few free sites; retry next round.
+  RewriteBlockLocked(id, info, *data, rep, sites);
+  promoter_->RecordPromoted(id, info.codec, extra_bytes);
+  return true;
+}
+
+bool LocalECStore::DemoteBlockLocked(BlockId id) {
+  const auto original = promoter_->OriginalSpec(id);
+  if (!original) return false;
+  BlockInfo info;
+  if (!state_.ReadBlock(id, &info)) {
+    // Deleted while promoted: just release the budget.
+    promoter_->RecordDemoted(id);
+    return false;
+  }
+  const auto data = ReadBlockBytesLocked(id, info);
+  if (!data) return false;  // No reachable copy right now; retry later.
+  std::vector<SiteId> old_sites;
+  old_sites.reserve(info.locations.size());
+  for (const ChunkLocation& loc : info.locations) old_sites.push_back(loc.site);
+  const std::vector<SiteId> sites =
+      control_plane_.SelectWriteSitesAvoiding(*original, old_sites);
+  if (sites.empty()) return false;
+  RewriteBlockLocked(id, info, *data, *original, sites);
+  promoter_->RecordDemoted(id);
+  return true;
+}
+
+void LocalECStore::RewriteBlockLocked(BlockId id, const BlockInfo& old_info,
+                                      std::span<const std::uint8_t> data,
+                                      const CodecSpec& spec,
+                                      std::span<const SiteId> sites) {
+  // Write-first discipline (the mover's, extended to whole layouts): the
+  // new encoding lands on sites disjoint from the old one, the catalog
+  // entry swaps in a single stripe-locked step, and only then do the old
+  // chunks retire. A reader that planned against the old layout either
+  // harvested k old chunks before the retirement (same bytes — the
+  // rewrite never changes content) or comes up short and re-resolves in
+  // the degraded path, whose version check drops old-encoding chunks and
+  // re-reads the committed layout. At no point is the id absent from the
+  // catalog or its only readable copy gone.
+  const auto family = FamilyFor(spec);
+  std::vector<ChunkData> chunks = family->Encode(data);
+  if (sites.size() != chunks.size()) {
+    throw std::runtime_error("LocalECStore::RewriteBlockLocked: wrong site count");
+  }
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    // As with Put: a site that crashed since selection drops the write,
+    // leaving a redundancy hole for the scrubber/repair to heal.
+    nodes_[sites[i]]->PutChunk(id, static_cast<ChunkIndex>(i),
+                               std::move(chunks[i]));
+  }
+  state_.ReplaceBlock(id, data.size(), family->ChunkSize(data.size()), spec,
+                      sites);
+  // Plans and cached decodes against the old layout die here; the swap
+  // above already bumped the coherence version as the lookup backstop.
+  control_plane_.InvalidateBlock(id);
+  for (const ChunkLocation& loc : old_info.locations) {
+    nodes_[loc.site]->DeleteChunk(id, loc.chunk);
+  }
+}
+
 std::optional<MovementPlan> LocalECStore::RunMovementRound() {
   std::lock_guard<std::mutex> lock(meta_mu_);
   RefreshLoadFromCounters();
+  // Hybrid-redundancy sweep (DESIGN.md §12) rides the movement round:
+  // promote this window's hottest EC blocks to replicas, demote cooled
+  // ones, all within the storage budget.
+  if (promoter_) RunPromotionRoundLocked();
   const auto plan = control_plane_.SelectMovement(
       static_cast<double>(control_plane_.TotalRequestsInWindow()));
   if (!plan) return std::nullopt;

@@ -61,6 +61,8 @@
 #include <thread>
 #include <vector>
 
+#include "cache/block_cache.h"
+#include "cache/promoter.h"
 #include "cluster/state.h"
 #include "common/rng.h"
 #include "common/worker_pool.h"
@@ -104,6 +106,19 @@ class LocalECStore {
   /// The repair service polled by the maintenance thread (exposed so
   /// tests can Poll it directly and read chunks_rebuilt()).
   RepairService& repair_service() { return *repair_; }
+
+  /// The decoded-block cache (DESIGN.md §12); null when
+  /// config.cache_capacity_bytes == 0.
+  BlockCache* block_cache() { return cache_.get(); }
+  const BlockCache* block_cache() const { return cache_.get(); }
+
+  /// The hybrid-redundancy promoter (DESIGN.md §12); null when
+  /// config.replica_budget_bytes == 0.
+  ReplicaPromoter* promoter() { return promoter_.get(); }
+  const ReplicaPromoter* promoter() const { return promoter_.get(); }
+
+  /// Blocks until every in-flight prefetch has completed (tests).
+  void WaitForPrefetches();
 
   // Introspection forwarded to the shared control plane.
   const CoAccessTracker& co_access() const { return control_plane_.co_access(); }
@@ -224,6 +239,9 @@ class LocalECStore {
     BlockId block = kInvalidBlock;
     std::uint32_t k = 0;
     std::uint64_t block_bytes = 0;
+    /// Coherence version at snapshot time: the version a cache fill of
+    /// this fetch's decode is tagged with (DESIGN.md §12).
+    std::uint64_t version = 0;
     std::vector<ChunkLocation> locations;
     /// The block's codec family (per-block: families coexist). Shared
     /// ownership so straggler fetch workers can outlive the request.
@@ -255,6 +273,32 @@ class LocalECStore {
                                         ChunkIndex target,
                                         SiteId exclude_site);
   void MaintenanceLoop();
+  /// Reads + decodes one whole block from reachable verified chunks
+  /// (bypassing injected latency/errors). Requires meta_mu_ held.
+  std::optional<std::vector<std::uint8_t>> ReadBlockBytesLocked(
+      BlockId id, const BlockInfo& info);
+  /// Queues prefetch fills for `anchor`'s hottest co-access partners
+  /// (skipping blocks already cached, in flight, or in this request).
+  void MaybePrefetch(BlockId anchor, std::span<const BlockId> requested);
+  /// One prefetch fill: fetch + decode + version-checked cache insert.
+  /// Runs on prefetch_pool_; honors prefetch_cancel_.
+  void PrefetchBlock(BlockId id);
+  /// One promote/demote sweep of the hybrid-redundancy tier (DESIGN.md
+  /// §12). Requires meta_mu_ held.
+  void RunPromotionRoundLocked();
+  bool PromoteBlockLocked(BlockId id, const BlockInfo& info,
+                          std::uint64_t extra_bytes);
+  bool DemoteBlockLocked(BlockId id);
+  /// Re-encodes a live block under a new codec: writes the new chunks to
+  /// sites disjoint from the old layout, swaps the catalog entry in one
+  /// stripe-locked step (ClusterState::ReplaceBlock — the id never
+  /// vanishes), then retires the old chunks. A reader that planned
+  /// against the old layout either completes from its surviving chunks
+  /// or re-resolves in the degraded path's version refresh. Requires
+  /// meta_mu_ held.
+  void RewriteBlockLocked(BlockId id, const BlockInfo& old_info,
+                          std::span<const std::uint8_t> data,
+                          const CodecSpec& spec, std::span<const SiteId> sites);
   /// Fans every planned chunk read out to the data plane, completes each
   /// block on its first k arrivals (cancelling/ignoring late-binding
   /// stragglers), runs bounded retry rounds (config.data_plane.retry)
@@ -263,10 +307,14 @@ class LocalECStore {
   /// tops up any block still short from whatever reachable chunks remain
   /// (the degraded-read path, under the metadata lock). Throws when a
   /// block stays short of k. Called WITHOUT meta_mu_ held. Returns the
-  /// delivered chunks per block, parallel to `demands`/`meta`.
+  /// delivered chunks per block, parallel to `demands`/`meta`. `meta` is
+  /// mutable because the degraded path refreshes a snapshot whose block
+  /// was rewritten mid-fetch (promotion/demotion changed its codec):
+  /// chunks from the old encoding are dropped and the entry is re-read
+  /// so the caller decodes with the committed layout's family/version.
   std::vector<std::vector<IndexedChunk>> FetchChunks(
       const AccessPlan& plan, std::span<const BlockDemand> demands,
-      const std::vector<BlockMeta>& meta);
+      std::vector<BlockMeta>& meta);
 
   ECStoreConfig config_;
   Rng rng_;
@@ -319,10 +367,22 @@ class LocalECStore {
   std::uint64_t maint_ticks_ = 0;
   std::thread maint_thread_;
 
+  // Latency tier (DESIGN.md §12): decoded-block cache + λ-driven
+  // prefetch + hybrid-redundancy promoter. All null/absent when disabled
+  // by config, leaving the original request path untouched.
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<ReplicaPromoter> promoter_;
+  // Cooperative cancel for prefetch jobs still queued at teardown.
+  std::shared_ptr<std::atomic<bool>> prefetch_cancel_;
+
   // Background ILP executor pool (config.ilp_executor_threads > 0).
   // Declared after control_plane_/state_: its jobs reference both, and
   // its destructor drains them before those members die.
   std::unique_ptr<WorkerPool> bg_pool_;
+
+  // Prefetch fill pool: jobs reference nodes_/state_/cache_, so it is
+  // declared after them (destroyed — drained and joined — first).
+  std::unique_ptr<WorkerPool> prefetch_pool_;
 
   // Declared last: its destructor joins the workers, whose queued jobs
   // reference the nodes above, before anything else is torn down.

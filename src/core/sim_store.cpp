@@ -25,6 +25,11 @@ struct SimECStore::PendingRequest {
   SimTime retrieval_start = 0;
   SimTime retrieval = 0;
   bool cache_hit = false;
+  std::uint32_t cached_blocks = 0;  // served from the decoded-block cache
+  // Catalog version per demand, captured at plan time: a completed fetch
+  // fills the cache only if the block's version is still current (a
+  // mid-flight Put/move/repair rewrite must not leave stale bytes).
+  std::vector<std::uint64_t> versions;
 
   // Per-demand completion tracking.
   std::vector<std::uint32_t> remaining;            // chunks still needed
@@ -69,6 +74,24 @@ SimECStore::SimECStore(ECStoreConfig config)
         static_cast<SiteId>(j), &queue_, site_params, rng_.Split()));
   }
 
+  // Latency tier (DESIGN.md §12). Entries are metadata-only in this
+  // embodiment (the DES carries no chunk bytes); the version check plus
+  // the control plane's invalidation push keep them coherent.
+  if (config_.cache_capacity_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(config_.cache_capacity_bytes);
+    control_plane_.set_invalidation_listener(
+        [this](BlockId b) { cache_->Invalidate(b); });
+  }
+  if (config_.replica_budget_bytes > 0) {
+    ReplicaPromoter::Params pp;
+    pp.budget_bytes = config_.replica_budget_bytes;
+    pp.replica_copies = config_.replica_copies;
+    pp.promote_min_frequency = config_.promote_min_frequency;
+    pp.demote_frequency = config_.demote_frequency;
+    pp.max_promotions_per_round = config_.promote_per_round;
+    pp.max_block_bytes = config_.promote_max_block_bytes;
+    promoter_ = std::make_unique<ReplicaPromoter>(pp);
+  }
 }
 
 SimECStore::~SimECStore() = default;
@@ -112,6 +135,38 @@ void SimECStore::Get(std::vector<BlockId> blocks, GetCallback done) {
   // Statistics service samples the request stream (Section V-A).
   control_plane_.RecordRequest(req->blocks);
 
+  // Client-side cache check (DESIGN.md §12): version-valid hits skip the
+  // control plane entirely; only the misses continue down R1-R3.
+  if (cache_) {
+    std::vector<BlockId> misses;
+    misses.reserve(req->blocks.size());
+    for (BlockId id : req->blocks) {
+      if (cache_->Lookup(id, state_.BlockVersion(id), nullptr)) {
+        ++req->cached_blocks;
+        cache_->UpdateWeight(id, control_plane_.BlockAccessFrequency(id));
+        SchedulePrefetch(id, req->blocks);
+      } else {
+        misses.push_back(id);
+      }
+    }
+    if (misses.empty()) {
+      // Fully cached: no metadata trip, no fan-out, no decode — just the
+      // modeled per-block hit cost.
+      const SimTime serve =
+          config_.cache_hit_cost * static_cast<SimTime>(req->cached_blocks);
+      queue_.ScheduleAfter(serve, [this, req] {
+        RequestBreakdown out;
+        out.total = queue_.Now() - req->start;
+        out.ok = true;
+        out.cached_blocks = req->cached_blocks;
+        ++requests_completed_;
+        req->done(out);
+      });
+      return;
+    }
+    req->blocks = std::move(misses);
+  }
+
   // R1: metadata access — a control-plane round trip plus lookup work.
   req->metadata = net_.RoundTrip() + config_.metadata_base_latency +
                   config_.metadata_per_block *
@@ -126,6 +181,13 @@ void SimECStore::PlanPhase(std::shared_ptr<PendingRequest> req) {
     return;
   }
   req->demands = std::move(dr.demands);
+  if (cache_) {
+    req->versions.clear();
+    req->versions.reserve(req->demands.size());
+    for (const BlockDemand& d : req->demands) {
+      req->versions.push_back(state_.BlockVersion(d.block));
+    }
+  }
 
   // R2: the chunk read optimizer decides the access strategy. The shared
   // control plane never solves an ILP inline — a miss is served by the
@@ -265,6 +327,20 @@ void SimECStore::FinishRetrieval(const std::shared_ptr<PendingRequest>& req) {
         static_cast<double>(info.block_bytes) / rate * kMillisecond);
   }
   queue_.ScheduleAfter(decode_total, [this, req, decode_total] {
+    // Fill the cache with the just-decoded blocks, unless a concurrent
+    // rewrite (Put/move/repair) bumped the version since plan time.
+    if (cache_) {
+      for (std::size_t i = 0; i < req->demands.size(); ++i) {
+        const BlockId b = req->demands[i].block;
+        BlockInfo info;
+        if (!state_.ReadBlock(b, &info)) continue;
+        if (i < req->versions.size() && info.version != req->versions[i]) {
+          continue;
+        }
+        cache_->Insert(b, nullptr, info.block_bytes, info.version,
+                       control_plane_.BlockAccessFrequency(b));
+      }
+    }
     RequestBreakdown out;
     out.metadata = req->metadata;
     out.planning = req->planning;
@@ -274,6 +350,7 @@ void SimECStore::FinishRetrieval(const std::shared_ptr<PendingRequest>& req) {
     out.ok = true;
     out.plan_cache_hit = req->cache_hit;
     out.sites_accessed = req->sites_accessed;
+    out.cached_blocks = req->cached_blocks;
     ++requests_completed_;
     req->done(out);
   });
@@ -284,8 +361,37 @@ void SimECStore::Complete(const std::shared_ptr<PendingRequest>& req, bool ok) {
   out.metadata = req->metadata;
   out.total = queue_.Now() - req->start;
   out.ok = ok;
+  out.cached_blocks = req->cached_blocks;
   ++requests_completed_;
   req->done(out);
+}
+
+void SimECStore::SchedulePrefetch(BlockId anchor,
+                                  const std::vector<BlockId>& requested) {
+  if (!config_.cache_prefetch) return;
+  const std::vector<CoAccessPartner> partners =
+      control_plane_.CoAccessPartnersOf(anchor, config_.prefetch_max_partners);
+  for (const CoAccessPartner& p : partners) {
+    if (p.lambda < config_.prefetch_min_lambda) break;  // Sorted descending.
+    if (std::find(requested.begin(), requested.end(), p.block) !=
+        requested.end()) {
+      continue;  // Already being fetched by this request.
+    }
+    if (!cache_->BeginPrefetch(p.block)) continue;  // In cache or in flight.
+    // The fill is one deferred event after the modeled fetch+decode delay;
+    // it re-reads the catalog at fill time so a concurrent rewrite or
+    // delete simply drops the fill.
+    queue_.ScheduleAfter(config_.prefetch_fill_latency,
+                         [this, block = p.block] {
+      BlockInfo info;
+      if (state_.ReadBlock(block, &info)) {
+        cache_->Insert(block, nullptr, info.block_bytes, info.version,
+                       control_plane_.BlockAccessFrequency(block),
+                       /*prefetched=*/true);
+      }
+      cache_->EndPrefetch(block);
+    });
+  }
 }
 
 std::vector<SiteId> SimECStore::ChooseWriteSites(std::uint32_t count) {
@@ -509,6 +615,10 @@ void SimECStore::MoverTick() {
   queue_.ScheduleAfter(MoverPeriod(), [this] { MoverTick(); });
   if (mover_busy_) return;  // Throttle: one in-flight movement at a time.
 
+  // The mover's round also drives dynamic hybrid redundancy: hot EC
+  // blocks promote to full replicas, cooled ones demote (DESIGN.md §12).
+  if (promoter_) PromotionSweep();
+
   const auto plan = control_plane_.SelectMovement(request_rate_per_sec_);
   if (!plan) return;
 
@@ -538,6 +648,76 @@ void SimECStore::MoverTick() {
       });
     });
   });
+}
+
+void SimECStore::PromotionSweep() {
+  // Demotions first: they free budget the same round's promotions spend.
+  const std::vector<BlockId> cold = promoter_->SelectDemotions(
+      [this](BlockId b) { return control_plane_.BlockAccessFrequency(b); });
+  for (BlockId id : cold) DemoteBlockSim(id);
+
+  const std::size_t per_round = promoter_->params().max_promotions_per_round;
+  const std::vector<CoAccessPartner> hottest =
+      control_plane_.HottestBlocks(per_round * 8 + 8);
+  std::size_t promoted = 0;
+  for (const CoAccessPartner& hot : hottest) {
+    if (promoted >= per_round) break;
+    BlockInfo info;
+    if (!state_.ReadBlock(hot.block, &info)) continue;
+    if (info.codec.family == CodecFamilyId::kReplication) continue;
+    const std::uint64_t extra = ReplicaPromoter::ReplicaExtraBytes(
+        info.block_bytes, info.chunk_bytes * info.locations.size(),
+        promoter_->params().replica_copies);
+    if (!promoter_->ShouldPromote(hot.block, hot.lambda, extra,
+                                  info.block_bytes)) {
+      continue;
+    }
+    if (PromoteBlockSim(hot.block, info, extra)) ++promoted;
+  }
+}
+
+bool SimECStore::PromoteBlockSim(BlockId id, const BlockInfo& info,
+                                 std::uint64_t extra_bytes) {
+  const CodecSpec original = info.codec;
+  if (!RewriteBlockSim(id, info, promoter_->ReplicaSpec())) return false;
+  promoter_->RecordPromoted(id, original, extra_bytes);
+  return true;
+}
+
+bool SimECStore::DemoteBlockSim(BlockId id) {
+  const std::optional<CodecSpec> original = promoter_->OriginalSpec(id);
+  if (!original) return false;
+  BlockInfo info;
+  if (!state_.ReadBlock(id, &info)) {
+    // The block was deleted while promoted; just release the budget.
+    promoter_->RecordDemoted(id);
+    return false;
+  }
+  if (!RewriteBlockSim(id, info, *original)) return false;
+  promoter_->RecordDemoted(id);
+  return true;
+}
+
+bool SimECStore::RewriteBlockSim(BlockId id, const BlockInfo& info,
+                                 const CodecSpec& spec) {
+  const std::vector<SiteId> sites = control_plane_.SelectWriteSites(spec);
+  if (sites.empty()) return false;
+  // Metadata rewrite: the DES carries no chunk bytes, so the redundancy
+  // change is a catalog swap (Remove + AddBlock reseeds the coherence
+  // version) plus per-site chunk-count updates. Plans referencing the old
+  // layout drop first so no read targets a stale location.
+  control_plane_.InvalidateBlock(id);
+  const std::vector<ChunkLocation> old_locations = info.locations;
+  state_.RemoveBlock(id);
+  state_.AddBlock(id, info.block_bytes, SpecChunkBytes(spec, info.block_bytes),
+                  spec, sites);
+  for (const ChunkLocation& loc : old_locations) {
+    sites_[loc.site]->set_chunk_count(state_.site_chunk_counts()[loc.site]);
+  }
+  for (SiteId s : sites) {
+    sites_[s]->set_chunk_count(state_.site_chunk_counts()[s]);
+  }
+  return true;
 }
 
 }  // namespace ecstore

@@ -17,6 +17,8 @@
 #include <memory>
 #include <vector>
 
+#include "cache/block_cache.h"
+#include "cache/promoter.h"
 #include "cluster/state.h"
 #include "common/rng.h"
 #include "core/config.h"
@@ -39,6 +41,10 @@ struct RequestBreakdown {
   bool ok = true;            // false when a block was unreadable
   bool plan_cache_hit = false;
   std::uint32_t sites_accessed = 0;  // distinct sites in the access plan
+  /// Blocks of the request served from the decoded-block cache
+  /// (DESIGN.md §12). A fully cached request skips the metadata trip,
+  /// planning, fan-out, and decode entirely.
+  std::uint32_t cached_blocks = 0;
 };
 
 /// The simulated EC-Store deployment.
@@ -145,11 +151,38 @@ class SimECStore {
   /// the `baseline` snapshot. Only available sites participate.
   double ImbalanceLambda(const std::vector<std::uint64_t>& baseline) const;
 
+  /// The decoded-block cache (DESIGN.md §12; metadata-only entries in
+  /// this embodiment); null when config.cache_capacity_bytes == 0.
+  BlockCache* block_cache() { return cache_.get(); }
+  const BlockCache* block_cache() const { return cache_.get(); }
+
+  /// The hybrid-redundancy promoter (DESIGN.md §12); null when
+  /// config.replica_budget_bytes == 0.
+  ReplicaPromoter* promoter() { return promoter_.get(); }
+  const ReplicaPromoter* promoter() const { return promoter_.get(); }
+
   /// Control-plane usage plus this embodiment's robustness counters
-  /// (failure-triggered replans surface as retried_fetches).
+  /// (failure-triggered replans surface as retried_fetches) and the
+  /// cache/hybrid tier's counters.
   ControlPlaneUsage Usage() const {
     ControlPlaneUsage u = control_plane_.Usage();
     u.retried_fetches = retried_fetches_;
+    if (cache_) {
+      const BlockCacheStats cs = cache_->Stats();
+      u.cache_hits = cs.hits;
+      u.cache_misses = cs.misses;
+      u.cache_evictions = cs.evictions;
+      u.cache_invalidations = cs.invalidations;
+      u.prefetch_issued = cs.prefetch_issued;
+      u.prefetch_hits = cs.prefetch_hits;
+      u.cache_bytes = cs.bytes;
+    }
+    if (promoter_) {
+      const PromoterStats ps = promoter_->Stats();
+      u.blocks_promoted = ps.blocks_promoted;
+      u.blocks_demoted = ps.blocks_demoted;
+      u.replica_extra_bytes = ps.replica_extra_bytes;
+    }
     return u;
   }
 
@@ -182,6 +215,18 @@ class SimECStore {
   void ProbeTick();
   void MoverTick();
   SimTime MoverPeriod() const;
+  /// Queues event-scheduled cache fills for `anchor`'s hottest co-access
+  /// partners (DESIGN.md §12; metadata-only entries, modeled fill delay).
+  void SchedulePrefetch(BlockId anchor, const std::vector<BlockId>& requested);
+  /// One promote/demote sweep of the hybrid-redundancy tier, run on the
+  /// mover's tick (metadata rewrite + site chunk-count updates).
+  void PromotionSweep();
+  bool PromoteBlockSim(BlockId id, const BlockInfo& info,
+                       std::uint64_t extra_bytes);
+  bool DemoteBlockSim(BlockId id);
+  /// Rewrites block `id` to `spec` at freshly chosen sites; false when
+  /// placement fails (the catalog is left untouched).
+  bool RewriteBlockSim(BlockId id, const BlockInfo& info, const CodecSpec& spec);
 
   ECStoreConfig config_;
   sim::EventQueue queue_;
@@ -190,6 +235,11 @@ class SimECStore {
   sim::Network net_;
   ClusterState state_;
   ControlPlane control_plane_;
+
+  // Latency tier (DESIGN.md §12): both null when disabled by config —
+  // no extra events, no extra RNG draws, bit-identical timelines.
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<ReplicaPromoter> promoter_;
 
   bool started_ = false;
   bool mover_busy_ = false;

@@ -101,6 +101,24 @@ std::vector<BlockId> CoAccessTracker::SampleCandidateBlocks(
   return out;
 }
 
+std::vector<CoAccessPartner> CoAccessTracker::TopBlocks(std::size_t n) const {
+  std::vector<CoAccessPartner> out;
+  if (requests_.empty() || n == 0) return out;
+  const double window = static_cast<double>(requests_.size());
+  out.reserve(counts_.size());
+  for (const auto& [block, count] : counts_) {
+    out.push_back({block, static_cast<double>(count) / window});
+  }
+  // counts_ iterates ascending block id, so stable_sort leaves ties in
+  // ascending-id order — deterministic promotion sweeps.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CoAccessPartner& a, const CoAccessPartner& b) {
+                     return a.lambda > b.lambda;
+                   });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
 double CoAccessTracker::AccessFrequency(BlockId b) const {
   if (requests_.empty()) return 0;
   return static_cast<double>(Count(b)) / static_cast<double>(requests_.size());

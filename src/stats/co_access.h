@@ -84,6 +84,11 @@ class CoAccessTracker : public CoAccessView {
   /// Fraction of windowed requests containing `b` (access likelihood).
   double AccessFrequency(BlockId b) const override;
 
+  /// The `n` most frequently accessed blocks in the window, hottest
+  /// first (ties: ascending block id). `lambda` carries the windowed
+  /// access frequency — feeds the cache/promotion tier (DESIGN.md §12).
+  std::vector<CoAccessPartner> TopBlocks(std::size_t n) const;
+
   std::size_t window() const { return window_; }
   std::size_t requests_in_window() const { return requests_.size(); }
   std::size_t distinct_blocks_tracked() const { return counts_.size(); }

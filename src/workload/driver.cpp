@@ -78,7 +78,17 @@ void ClosedLoopDriver::ClientLoop(std::uint32_t client, Rng rng) {
         timeline_counts_[bucket] += 1;
       }
     }
-    ClientLoop(client, *rng_holder);
+    if (params_.think > 0) {
+      // Exponential think keeps the offered load fixed; the draw only
+      // happens on this path, so think = 0 consumes no extra randomness.
+      const SimTime delay = static_cast<SimTime>(rng_holder->NextExponential(
+          static_cast<double>(params_.think)));
+      store_->queue().ScheduleAfter(delay, [this, client, rng_holder] {
+        ClientLoop(client, *rng_holder);
+      });
+    } else {
+      ClientLoop(client, *rng_holder);
+    }
   });
 }
 

@@ -113,6 +113,37 @@ TEST(ClusterStateTest, RemoveBlockClearsInventory) {
   EXPECT_FALSE(state.RemoveBlock(1));  // Idempotent failure.
 }
 
+TEST(ClusterStateTest, ReplaceBlockSwapsLayoutInPlace) {
+  ClusterState state(8);
+  AddTestBlock(state);  // RS(2,2) on sites {0, 2, 4, 6}.
+  const std::uint64_t v_before = state.BlockVersion(1);
+
+  // Swap to rep(3) whole-block copies on disjoint sites: the id stays
+  // resolvable throughout, the version bumps, and the site aggregates
+  // move from the old layout's accounting to the new one's.
+  const CodecSpec rep{CodecFamilyId::kReplication, 1, 2, 0};
+  const std::vector<SiteId> sites = {1, 3, 5};
+  ASSERT_TRUE(state.ReplaceBlock(1, kBlockBytes, kBlockBytes, rep, sites));
+  EXPECT_TRUE(state.Contains(1));
+  EXPECT_GT(state.BlockVersion(1), v_before);
+  const BlockInfo& info = state.GetBlock(1);
+  EXPECT_EQ(info.k, 1u);
+  EXPECT_EQ(info.codec.family, CodecFamilyId::kReplication);
+  ASSERT_EQ(info.locations.size(), 3u);
+  EXPECT_EQ(info.locations[0].site, 1u);
+  EXPECT_EQ(info.locations[2].site, 5u);
+  EXPECT_EQ(state.site_chunk_counts()[0], 0u);
+  EXPECT_EQ(state.site_chunk_counts()[1], 1u);
+  EXPECT_EQ(state.site_bytes()[1], kBlockBytes);
+  EXPECT_EQ(state.total_bytes(), 3 * kBlockBytes);
+
+  // Unknown id: no-op. Validation matches AddBlock.
+  EXPECT_FALSE(state.ReplaceBlock(99, kBlockBytes, kBlockBytes, rep, sites));
+  const std::vector<SiteId> dup = {1, 1, 3};
+  EXPECT_THROW(state.ReplaceBlock(1, kBlockBytes, kBlockBytes, rep, dup),
+               std::invalid_argument);
+}
+
 TEST(ClusterStateTest, GetBlockThrowsForUnknown) {
   ClusterState state(4);
   EXPECT_THROW(state.GetBlock(42), std::out_of_range);

@@ -245,6 +245,201 @@ TEST(ChaosTest, ZeroDataLossUnderCrashFlapErrorsAndCorruption) {
       << "the scrubber never rewrote the corrupt chunks";
 }
 
+// Cache-enabled chaos (DESIGN.md §12): the same storm — silent crash,
+// flap, transient fetch errors, pre-seeded corruption — with the decoded-
+// block cache, λ prefetch, and hot-block replica promotion all live, and
+// promotion/demotion rewrites racing the readers via mid-run movement
+// rounds. The coherence invariant under test: a cached decode must never
+// outlive its block version, so zero stale bytes reach any client even
+// while scrub rewrites corrupt chunks and the promoter rewrites layouts
+// underneath the cache.
+TEST(ChaosTest, CacheStaysCoherentUnderCrashFlapErrorsAndCorruption) {
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcCMLb);
+  config.num_sites = 8;
+  config.k = 2;
+  config.r = 2;
+  config.late_binding_delta = 1;
+  config.seed = 2025;
+  config.detector_suspect_after = FromMillis(120);
+  config.detector_dead_after = FromMillis(250);
+  config.repair_wait = FromMillis(150);
+  config.maintenance_tick_ms = 15.0;
+  config.scrub_every_ticks = 4;
+  config.data_plane.workers_per_site = 2;
+  config.data_plane.fetch_deadline_ms = 40.0;
+  config.data_plane.retry.max_retries = 3;
+  config.data_plane.retry.backoff_base_ms = 2.0;
+  config.data_plane.retry.max_backoff_ms = 20.0;
+  // The latency tier, all on: a cache big enough to hold a good slice of
+  // the working set, prefetch chasing co-access partners, and a replica
+  // budget that lets the promoter rewrite layouts mid-storm.
+  config.cache_capacity_bytes = 2 << 20;
+  config.cache_prefetch = true;
+  config.replica_budget_bytes = 256 << 10;
+  config.promote_min_frequency = 0.005;
+  config.demote_frequency = 0.001;
+  LocalECStore store(config);
+
+  constexpr BlockId kPreloaded = 120;
+  constexpr std::size_t kBlockBytes = 4096;
+  for (BlockId id = 0; id < kPreloaded; ++id) {
+    store.Put(id, MakeBlock(kBlockBytes, id));
+  }
+
+  // Same corruption discipline as the base scenario: only blocks clear of
+  // the crash/flap victims, so erasures never stack past r = 2.
+  std::vector<std::pair<BlockId, ChunkIndex>> corrupted;
+  for (BlockId id = 0; id < kPreloaded; ++id) {
+    bool on_victims = false;
+    ChunkIndex at_corrupt_site = 0;
+    bool has_corrupt_site = false;
+    for (const ChunkLocation& loc : store.state().GetBlock(id).locations) {
+      if (loc.site == kCrashVictim || loc.site == kFlapVictim) {
+        on_victims = true;
+      }
+      if (loc.site == kCorruptVictim) {
+        at_corrupt_site = loc.chunk;
+        has_corrupt_site = true;
+      }
+    }
+    if (on_victims || !has_corrupt_site) continue;
+    if (store.node(kCorruptVictim).CorruptChunk(id, at_corrupt_site)) {
+      corrupted.push_back({id, at_corrupt_site});
+    }
+  }
+  ASSERT_GE(corrupted.size(), 2u) << "placement never used the corrupt site";
+
+  // Warm the cache on the corrupted blocks BEFORE the storm: the scrubber
+  // will rewrite those chunks mid-run, and the version bump must fence
+  // every one of these cached decodes.
+  for (const auto& [id, chunk] : corrupted) {
+    EXPECT_EQ(store.Get(id), MakeBlock(kBlockBytes, id));
+  }
+
+  store.StartMaintenance();
+
+  std::vector<TimedAction> schedule;
+  FaultActions actions = store.MakeFaultActions();
+  schedule.push_back({100, [&] { actions.crash(kCrashVictim); }});
+  schedule.push_back({150, [&] { actions.set_fetch_error(kErrorVictim, 0.25); }});
+  // Promotion/demotion rewrites race the readers at three points in the
+  // storm: mid-errors, mid-flap, and after the crash heals.
+  schedule.push_back({400, [&] { store.RunMovementRound(); }});
+  schedule.push_back({600, [&] { actions.crash(kFlapVictim); }});
+  schedule.push_back({800, [&] { store.RunMovementRound(); }});
+  schedule.push_back({900, [&] { actions.heal(kFlapVictim); }});
+  schedule.push_back({1100, [&] { actions.set_fetch_error(kErrorVictim, 0.0); }});
+  schedule.push_back({1400, [&] { actions.heal(kCrashVictim); }});
+  schedule.push_back({1600, [&] { store.RunMovementRound(); }});
+  InjectionThread injector(std::move(schedule));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads_done{0};
+  std::atomic<std::uint64_t> read_failures{0};
+
+  std::mutex written_mu;
+  std::vector<BlockId> written;
+  std::thread writer([&] {
+    BlockId next = 30'000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      try {
+        store.Put(next, MakeBlock(kBlockBytes, next));
+        std::lock_guard<std::mutex> lock(written_mu);
+        written.push_back(next);
+      } catch (const std::exception&) {
+        // Not enough believed-available sites mid-outage: skip this id.
+      }
+      ++next;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Readers skew toward a hot head (ids 0..15) so the promoter has clear
+  // promotion candidates, while still sweeping the whole preload so the
+  // corrupted blocks stay under read pressure through their scrub.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t i = static_cast<std::uint64_t>(t) * 977;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const BlockId a = (i * 31 + 7) % 16;
+        const BlockId b = (i * 17 + 3) % kPreloaded;
+        const std::vector<BlockId> ids = {a, b};
+        try {
+          const auto out = store.MultiGet(ids);
+          if (out[0] != MakeBlock(kBlockBytes, a) ||
+              out[1] != MakeBlock(kBlockBytes, b)) {
+            ++read_failures;  // Stale or wrong bytes reached a client.
+          }
+        } catch (const std::exception&) {
+          ++read_failures;  // A block became unreadable.
+        }
+        ++reads_done;
+        ++i;
+      }
+    });
+  }
+
+  injector.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2100));
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  writer.join();
+  injector.Stop(/*run_remaining=*/true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  store.StopMaintenance();
+
+  EXPECT_EQ(read_failures.load(), 0u) << "a client saw stale or lost data";
+  EXPECT_GT(reads_done.load(), 0u);
+
+  const ControlPlaneUsage mid_usage = store.Usage();
+  EXPECT_GE(mid_usage.sites_marked_dead, 1u)
+      << "the detector never marked the silent crash dead";
+  EXPECT_GE(mid_usage.chunks_repaired, 1u) << "repair never fired";
+  // The tier actually exercised: the hot head hit the cache, and the
+  // promoter rewrote at least one hot block to full replicas.
+  EXPECT_GE(mid_usage.cache_hits, 1u) << "the cache never served a read";
+  EXPECT_GE(mid_usage.blocks_promoted, 1u) << "the promoter never fired";
+  EXPECT_LE(mid_usage.replica_extra_bytes, config.replica_budget_bytes);
+
+  // Convergence, per-block codec aware: promoted blocks are full replicas
+  // now, so "full redundancy" is SpecTotalChunks of whatever layout each
+  // block currently has.
+  std::vector<BlockId> all_blocks;
+  for (BlockId id = 0; id < kPreloaded; ++id) all_blocks.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(written_mu);
+    for (BlockId id : written) all_blocks.push_back(id);
+  }
+  const auto fully_redundant = [&](BlockId id) {
+    const BlockInfo& info = store.state().GetBlock(id);
+    if (info.locations.size() != SpecTotalChunks(info.codec)) return false;
+    for (const ChunkLocation& loc : info.locations) {
+      if (!store.state().IsSiteAvailable(loc.site)) return false;
+      if (!store.node(loc.site).HasValidChunk(id, loc.chunk)) return false;
+    }
+    return true;
+  };
+  bool converged = false;
+  for (int round = 0; round < 64 && !converged; ++round) {
+    store.ScrubOnce();
+    for (SiteId j = 0; j < config.num_sites; ++j) {
+      if (!store.state().IsSiteAvailable(j)) store.RepairSite(j);
+    }
+    converged = true;
+    for (BlockId id : all_blocks) converged = converged && fully_redundant(id);
+  }
+  EXPECT_TRUE(converged) << "cluster never returned to full redundancy";
+
+  // Final sweep — through the still-enabled cache — must be bit-exact for
+  // every block, whatever mix of scrub rewrites, repairs, promotions, and
+  // demotions it went through.
+  for (BlockId id : all_blocks) {
+    EXPECT_EQ(store.Get(id), MakeBlock(kBlockBytes, id)) << "block " << id;
+  }
+}
+
 // Mixed codec families under chaos (DESIGN.md §11): one cluster carrying
 // default-RS, Azure-LRC, piggyback-RS, and replicated blocks side by
 // side while a silent crash, transient fetch errors, and pre-seeded
