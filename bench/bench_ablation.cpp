@@ -8,11 +8,16 @@
 //   --sweep=cache   plan cache on (EC+C) vs pure-greedy planning
 //   --sweep=tier    the latency tier (DESIGN.md §12): baseline vs +cache
 //                   vs +cache+prefetch vs +hybrid redundancy
+//   --sweep=tail    the tail model (DESIGN.md §13): static δ vs adaptive
+//                   per-request δ vs adaptive δ + variance-aware cost, on
+//                   the flash-crowd workload with injected stalls
 //
 // Each sweep holds the locked experiment defaults and varies one knob.
 #include <cstdio>
+#include <iterator>
 
 #include "bench/harness.h"
+#include "common/histogram.h"
 
 int main(int argc, char** argv) {
   using namespace ecstore;
@@ -148,9 +153,76 @@ int main(int argc, char** argv) {
     }
     std::printf("\nExpected: EC degrades with every slow site; EC+C's probe-"
                 "driven o_j routes around them, widening its margin.\n");
+  } else if (sweep == "tail") {
+    // Tail-model ablation (DESIGN.md §13) on the flash-crowd workload
+    // with heavy stalls: a scalar-cost planner with a static δ pays the
+    // straggler tax; the adaptive δ widens fan-out only when the measured
+    // straggler fraction warrants it, and the tail-weighted cost steers
+    // reads away from high-variance sites before they straggle.
+    struct TailRow {
+      const char* label;
+      bool adaptive;
+      double tail_weight;
+    };
+    // --tail-weight overrides the third row's weight (default 0.5: a
+    // strong surcharge re-concentrates load on the quiet sites, which
+    // costs back some of what variance-avoidance buys).
+    const double tail_w = params.tail_weight > 0 ? params.tail_weight : 0.5;
+    const TailRow rows[] = {
+        {"static-delta", false, 0.0},
+        {"adaptive-delta", true, 0.0},
+        {"adaptive+tail", true, tail_w},
+    };
+    ExperimentParams base = params;
+    if (flags.GetString("workload", "").empty()) base.workload = "flash";
+    if (base.stall_prob < 0) base.stall_prob = 0.02;
+    if (base.stall_mult < 0) base.stall_mult = 20;
+    // Fixed offered load (nonzero think time): the comparison the δ
+    // policies are designed for is "equal mean load, different tails" —
+    // in the zero-think saturation loop a wider fan-out only converts
+    // into queueing, burying the tail effect it exists to buy.
+    if (flags.GetString("think-ms", "").empty()) base.think_ms = 20;
+    std::printf("(%s)\n", base.Describe().c_str());
+    std::printf("%-16s %10s %10s %10s %10s %8s\n", "policy", "mean(ms)",
+                "p95(ms)", "p99(ms)", "req/s", "sites");
+    double static_p99 = 0;
+    std::vector<Histogram> merged(std::size(rows));
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+      ExperimentParams p = base;
+      p.adaptive_delta = rows[i].adaptive;
+      p.tail_weight = rows[i].tail_weight;
+      const std::vector<RunResult> runs = RunSeedsRaw(Technique::kEcCMLb, p);
+      for (const RunResult& r : runs) merged[i].Merge(r.metrics.total);
+      const AggregateBreakdown a = Aggregate(runs);
+      const double p99 = ToMillis(merged[i].Percentile(99));
+      if (i == 0) static_p99 = p99;
+      std::printf("%-16s %10.1f %10.1f %10.1f %10.0f %8.1f\n", rows[i].label,
+                  ToMillis(static_cast<SimTime>(merged[i].Mean())),
+                  ToMillis(merged[i].Percentile(95)), p99, a.throughput.Mean(),
+                  a.sites_per_request.Mean());
+    }
+    // Fig 4c/4h-style tail curve over the same runs.
+    std::printf("\ntail curve — response time (ms) at percentile\n");
+    std::printf("%-8s", "pct");
+    for (const TailRow& row : rows) std::printf(" %14s", row.label);
+    std::printf("\n");
+    for (double p : {50.0, 90.0, 95.0, 98.0, 99.0, 99.5, 99.9, 100.0}) {
+      std::printf("%-8.1f", p);
+      for (std::size_t i = 0; i < std::size(rows); ++i) {
+        std::printf(" %14.1f", ToMillis(merged[i].Percentile(p)));
+      }
+      std::printf("\n");
+    }
+    std::printf("\nExpected: adaptive δ recovers most of the stall-driven p99 "
+                "inflation (>=10%% under the 2%%/20x acceptance regime) at "
+                "near-equal mean load. Uniform stalls give the tail-weighted "
+                "cost little to route around (all sites look alike), so its "
+                "row tracks adaptive-δ here; it differentiates when variance "
+                "concentrates on specific sites (static p99 baseline: "
+                "%.1f ms).\n", static_p99);
   } else {
     std::printf("unknown --sweep=%s (use w2 | rate | delta | cache | tier | "
-                "k | hetero)\n", sweep.c_str());
+                "k | hetero | tail)\n", sweep.c_str());
     return 1;
   }
   return 0;

@@ -106,15 +106,15 @@ void BM_ControlPlaneCacheHit(benchmark::State& state) {
                   [&](ControlPlane::Deferred w) { deferred.push_back(std::move(w)); });
   DemandResult dr = BuildDemands(cluster, query, config.EffectiveDelta());
   // Warm: two misses queue the background solve, draining installs it.
-  (void)cp.SelectAccessPlan(query, dr.demands);
-  (void)cp.SelectAccessPlan(query, dr.demands);
+  (void)cp.SelectAccessPlan(query, dr.demands, config.EffectiveDelta());
+  (void)cp.SelectAccessPlan(query, dr.demands, config.EffectiveDelta());
   while (!deferred.empty()) {
     auto work = std::move(deferred.front());
     deferred.pop_front();
     work();
   }
   for (auto _ : state) {
-    auto decision = cp.SelectAccessPlan(query, dr.demands);
+    auto decision = cp.SelectAccessPlan(query, dr.demands, config.EffectiveDelta());
     benchmark::DoNotOptimize(decision);
   }
   state.counters["hit_rate"] = cp.plan_cache().HitRate();
@@ -140,7 +140,7 @@ void BM_ControlPlaneGreedyMiss(benchmark::State& state) {
   for (auto _ : state) {
     const std::vector<BlockId> query = {i % kBlocks, (i + 1) % kBlocks};
     DemandResult dr = BuildDemands(cluster, query, config.EffectiveDelta());
-    auto decision = cp.SelectAccessPlan(query, dr.demands);
+    auto decision = cp.SelectAccessPlan(query, dr.demands, config.EffectiveDelta());
     benchmark::DoNotOptimize(decision);
     i += 2;
   }

@@ -28,6 +28,16 @@ ExperimentParams ExperimentParams::FromFlags(const Flags& flags) {
   p.base_seed = static_cast<std::uint64_t>(flags.GetInt("seed", p.base_seed));
   p.workload = flags.GetString("workload", p.workload);
   p.wiki_pages = static_cast<std::uint64_t>(flags.GetInt("pages", p.wiki_pages));
+  p.flash_fraction = flags.GetDouble("flash-fraction", p.flash_fraction);
+  p.flash_hot_blocks =
+      static_cast<std::uint64_t>(flags.GetInt("flash-hot", p.flash_hot_blocks));
+  p.flash_period =
+      static_cast<std::uint64_t>(flags.GetInt("flash-period", p.flash_period));
+  p.flash_duty = flags.GetDouble("flash-duty", p.flash_duty);
+  p.tail_weight = flags.GetDouble("tail-weight", p.tail_weight);
+  p.adaptive_delta = flags.GetBool("adaptive-delta", p.adaptive_delta);
+  p.stall_prob = flags.GetDouble("stall-prob", p.stall_prob);
+  p.stall_mult = flags.GetDouble("stall-mult", p.stall_mult);
   p.mover_rate = flags.GetDouble("mover-rate", p.mover_rate);
   p.mover_w1 = flags.GetDouble("w1", p.mover_w1);
   p.mover_w2 = flags.GetDouble("w2", p.mover_w2);
@@ -55,12 +65,19 @@ std::string ExperimentParams::Describe() const {
   os << "sites=" << num_sites << " clients=" << clients;
   if (workload == "wiki") {
     os << " workload=wikipedia pages=" << wiki_pages;
+  } else if (workload == "flash") {
+    os << " workload=flash blocks=" << num_blocks << " hot=" << flash_hot_blocks
+       << " frac=" << flash_fraction << " duty=" << flash_duty;
   } else {
     os << " workload=ycsb-e blocks=" << num_blocks
        << " block=" << block_bytes / 1024 << "KB zipf=" << zipf_exponent;
   }
   os << " warmup=" << warmup_s << "s measure=" << measure_s << "s runs=" << runs;
   if (!codec.empty()) os << " codec=" << codec;
+  if (tail_weight > 0) os << " tail-weight=" << tail_weight;
+  if (adaptive_delta) os << " adaptive-delta";
+  if (stall_prob >= 0) os << " stall-prob=" << stall_prob;
+  if (stall_mult >= 0) os << " stall-mult=" << stall_mult;
   if (cache_mb > 0) {
     os << " cache=" << cache_mb << "MB" << (prefetch ? "+prefetch" : "");
   }
@@ -78,6 +95,18 @@ std::unique_ptr<WorkloadGenerator> MakeWorkload(const ExperimentParams& p,
     wp.num_pages = p.wiki_pages;
     wp.seed = seed ^ 0x77696B69;
     return std::make_unique<WikipediaWorkload>(wp);
+  }
+  if (p.workload == "flash") {
+    FlashCrowdWorkload::Params fp;
+    fp.num_blocks = p.num_blocks;
+    fp.block_bytes = p.block_bytes;
+    fp.max_scan_length = p.max_scan_length;
+    fp.zipf_exponent = p.zipf_exponent;
+    fp.flash_fraction = p.flash_fraction;
+    fp.hot_blocks = p.flash_hot_blocks;
+    fp.period_requests = p.flash_period;
+    fp.flash_duty = p.flash_duty;
+    return std::make_unique<FlashCrowdWorkload>(fp);
   }
   if (p.workload != "ycsb") {
     throw std::invalid_argument("unknown workload: " + p.workload);
@@ -104,6 +133,10 @@ RunResult RunOnce(Technique technique, const ExperimentParams& params,
   if (params.disable_plan_cache) config.plan_cache_capacity = 1;
   config.site.disk_bytes_per_sec = params.disk_mb_per_sec * 1024 * 1024;
   config.site.concurrency = params.site_concurrency;
+  if (params.stall_prob >= 0) config.site.stall_probability = params.stall_prob;
+  if (params.stall_mult >= 0) config.site.stall_multiplier = params.stall_mult;
+  config.tail_weight = params.tail_weight;
+  config.adaptive_delta = params.adaptive_delta;
   config.k = params.k;
   config.r = params.r;
   if (!params.codec.empty()) {

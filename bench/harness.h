@@ -35,8 +35,23 @@ struct ExperimentParams {
   std::uint32_t max_scan_length = 19;
   std::uint32_t runs = 3;      // Seeds averaged (paper used 5).
   std::uint64_t base_seed = 1;
-  std::string workload = "ycsb";  // "ycsb" or "wiki"
+  std::string workload = "ycsb";  // "ycsb", "wiki" or "flash"
   std::uint64_t wiki_pages = 4000;
+  /// Flash-crowd workload shape (--workload=flash; DESIGN.md §13).
+  double flash_fraction = 0.9;
+  std::uint64_t flash_hot_blocks = 16;
+  std::uint64_t flash_period = 4096;
+  double flash_duty = 0.5;
+  /// Tail-model weight for Eq. 1's cost (--tail-weight; 0 keeps planning
+  /// bit-identical to the scalar model).
+  double tail_weight = 0;
+  /// Per-request adaptive late-binding δ (--adaptive-delta; off keeps the
+  /// static configured δ).
+  bool adaptive_delta = false;
+  /// Site stall injection overrides (--stall-prob/--stall-mult). Negative
+  /// keeps the simulator's SiteParams defaults.
+  double stall_prob = -1;
+  double stall_mult = -1;
   /// Mover throttle in chunks/second. The paper used 1/s over 20-minute
   /// runs; scaled runs compress time ~25x, so the default compresses the
   /// mover's schedule equally to keep moves-per-experiment comparable.
@@ -92,7 +107,9 @@ struct ExperimentParams {
   double think_ms = 0;
 
   /// Reads overrides: --sites, --blocks, --block-bytes, --clients,
-  /// --warmup, --measure, --zipf, --runs, --seed, --workload, --pages.
+  /// --warmup, --measure, --zipf, --runs, --seed, --workload, --pages,
+  /// --flash-fraction, --flash-hot, --flash-period, --flash-duty,
+  /// --tail-weight, --adaptive-delta, --stall-prob, --stall-mult.
   static ExperimentParams FromFlags(const Flags& flags);
 
   /// Human-readable one-liner for bench headers.

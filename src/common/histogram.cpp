@@ -85,6 +85,17 @@ std::int64_t Histogram::Quantile(double q) const {
   return max_;
 }
 
+double Histogram::FractionAbove(std::int64_t value) const {
+  if (count_ == 0) return 0.0;
+  if (value < 0) value = 0;
+  if (value >= max_) return 0.0;
+  std::uint64_t above = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0 && BucketMidpoint(i) > value) above += buckets_[i];
+  }
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
 std::string Histogram::Summary() const {
   std::ostringstream os;
   os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)

@@ -35,6 +35,12 @@ class Histogram {
   /// Convenience percentile accessor, p in [0, 100].
   std::int64_t Percentile(double p) const { return Quantile(p / 100.0); }
 
+  /// Fraction of recorded observations strictly above `value`, at bucket
+  /// resolution (exact for values below kSubBuckets, within the relative
+  /// error bound above). Returns 0 for an empty histogram. This is the
+  /// straggler-probability primitive of the tail model (DESIGN.md §13).
+  double FractionAbove(std::int64_t value) const;
+
   /// Emits "count mean p50 p95 p99 p999 max" for logs.
   std::string Summary() const;
 

@@ -211,6 +211,32 @@ struct ECStoreConfig {
   /// k-way EC fetch.
   std::uint64_t promote_max_block_bytes = 256 * 1024;
 
+  // --- Tail model + adaptive late binding (DESIGN.md §13). Defaults keep
+  // both off: no cost-value change, no extra RNG draws, bit-identical
+  // fig4b and embodiment parity.
+  /// Weight of the tail term added to Eq. 1's per-site overhead:
+  /// o_j += tail_weight * max(0, p_tail(j) − mean(j)), so planning steers
+  /// around high-variance sites, not just loaded ones. 0 disables the
+  /// term entirely (o_j untouched).
+  double tail_weight = 0.0;
+  /// Quantile the tail term (and the LoadTracker summary cache) uses.
+  double tail_quantile = 0.99;
+  /// Adaptive late binding: derive δ per request from the predicted
+  /// straggler probability instead of the static late_binding_delta.
+  /// Only meaningful for the LB techniques (others keep δ = 0). δ is the
+  /// smallest d with P[Binomial(k + d, p) > d] <= adaptive_delta_epsilon,
+  /// where p is the cluster straggler fraction — 0 on quiet clusters,
+  /// rising to adaptive_delta_max under variance.
+  bool adaptive_delta = false;
+  /// Target probability that a planned read set still comes up short of k
+  /// fast chunks (the straggler-coverage miss rate).
+  double adaptive_delta_epsilon = 1e-3;
+  /// Cap on the per-request δ; 0 means "up to r" (every parity chunk).
+  std::uint32_t adaptive_delta_max = 0;
+  /// A fetch counts as a straggler when its service time exceeds this
+  /// multiple of its site's mean (LoadTracker summary input).
+  double straggler_multiple = 5.0;
+
   // --- Sharded control plane (DESIGN.md §10). Block metadata statistics,
   // the plan cache, and the deferred-ILP queues are partitioned into this
   // many independently locked shards (hash of block id -> shard). 1 keeps

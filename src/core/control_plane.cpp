@@ -27,6 +27,29 @@ FailureDetectorParams EffectiveDetectorParams(const ECStoreConfig& c) {
   return p;
 }
 
+/// The tail-model knobs live in the system config; fold them into the
+/// embodiment-supplied tracker params so LoadTracker stays config-free.
+LoadTrackerParams WithTailParams(LoadTrackerParams p, const ECStoreConfig& c) {
+  p.tail_quantile = c.tail_quantile;
+  p.straggler_multiple = c.straggler_multiple;
+  return p;
+}
+
+/// P[Binomial(n, p) > d]: probability that more than d of n issued reads
+/// straggle — i.e. that d spare chunks fail to cover the stragglers.
+double BinomialTailAbove(std::uint32_t n, std::uint32_t d, double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  double below = 0.0;
+  double pmf = std::pow(1.0 - p, static_cast<double>(n));  // P[X = 0]
+  for (std::uint32_t i = 0; i <= d && i <= n; ++i) {
+    below += pmf;
+    // C(n,i+1) p^(i+1) q^(n-i-1) from C(n,i) p^i q^(n-i).
+    pmf *= static_cast<double>(n - i) / static_cast<double>(i + 1) * p /
+           std::max(1.0 - p, 1e-300);
+  }
+  return std::max(0.0, 1.0 - below);
+}
+
 }  // namespace
 
 ControlPlane::ControlPlane(const ECStoreConfig* config, ClusterState* state,
@@ -36,7 +59,7 @@ ControlPlane::ControlPlane(const ECStoreConfig* config, ClusterState* state,
       state_(state),
       rng_(rng),
       defer_solve_(std::move(defer_solve)),
-      load_tracker_(config->num_sites, load_params),
+      load_tracker_(config->num_sites, WithTailParams(load_params, *config)),
       detector_(EffectiveDetectorParams(*config)) {
   const std::size_t n = std::max<std::size_t>(1, config->control_plane_shards);
   // The configured cache capacity is a system-wide budget: split it across
@@ -101,6 +124,52 @@ void ControlPlane::RecordProbe(SiteId site, double rtt_ms,
   stats_network_bytes_.fetch_add(msg_bytes, std::memory_order_relaxed);
 }
 
+void ControlPlane::RecordServiceTime(SiteId site, double service_ms) {
+  std::unique_lock lk(load_mu_);
+  load_tracker_.RecordServiceTime(site, service_ms);
+}
+
+void ControlPlane::RecordServiceSamples(SiteId site,
+                                        std::span<const double> service_ms) {
+  if (service_ms.empty()) return;
+  std::unique_lock lk(load_mu_);
+  for (double ms : service_ms) load_tracker_.RecordServiceTime(site, ms);
+}
+
+std::uint32_t ControlPlane::AdaptiveDelta() const {
+  const std::uint32_t base = config_->EffectiveDelta();
+  // Only the LB techniques late-bind at all; for the rest base is 0 and
+  // stays 0. With the feature off the static δ passes through untouched.
+  if (!config_->adaptive_delta || LateBindingDelta(config_->technique, 1) == 0) {
+    return base;
+  }
+  double p;
+  {
+    std::shared_lock lk(load_mu_);
+    p = load_tracker_.ClusterStragglerFraction();
+  }
+  const std::uint32_t cap =
+      config_->adaptive_delta_max > 0
+          ? std::min(config_->adaptive_delta_max, config_->r)
+          : config_->r;
+  if (p <= 0.0) return 0;  // Quiet cluster: no spare reads.
+  const double eps = std::max(config_->adaptive_delta_epsilon, 0.0);
+  for (std::uint32_t d = 0; d < cap; ++d) {
+    if (BinomialTailAbove(config_->k + d, d, p) <= eps) return d;
+  }
+  return cap;
+}
+
+void ControlPlane::ApplyTailTerm(std::vector<double>& overheads,
+                                 const LoadTracker& tracker) const {
+  if (config_->tail_weight <= 0.0) return;
+  const std::vector<double>& tail = tracker.TailExcessVector();
+  const std::size_t n = std::min(overheads.size(), tail.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    overheads[j] += config_->tail_weight * tail[j];
+  }
+}
+
 void ControlPlane::ReloadPlansOnDrift() {
   // Reload cached plans when the cost landscape shifted materially
   // (Section V-B1 "dynamically reload solutions"). The trigger is the
@@ -138,6 +207,7 @@ CostParams ControlPlane::CurrentCostParams() const {
   {
     std::shared_lock lk(load_mu_);
     params.site_overhead_ms = load_tracker_.OverheadVector();
+    ApplyTailTerm(params.site_overhead_ms, load_tracker_);
   }
   params.media_ms_per_byte.assign(config_->num_sites,
                                   MediaMsPerByte(config_->site));
@@ -155,6 +225,10 @@ CostParams ControlPlane::PlanningCostParamsLocked() {
     std::shared_lock lk(load_mu_);
     params.site_overhead_ms = load_tracker_.OverheadVector();
     mean = load_tracker_.MeanOverheadMs();
+    // Tail term (DESIGN.md §13): charge high-variance sites their p_tail
+    // excess so planning steers around them, not just around loaded
+    // ones. Applied before the tie-break noise; no-op at weight 0.
+    ApplyTailTerm(params.site_overhead_ms, load_tracker_);
   }
   params.media_ms_per_byte.assign(config_->num_sites,
                                   MediaMsPerByte(config_->site));
@@ -170,7 +244,8 @@ CostParams ControlPlane::PlanningCostParams() {
 }
 
 PlanDecision ControlPlane::SelectAccessPlan(
-    std::span<const BlockId> blocks, std::span<const BlockDemand> demands) {
+    std::span<const BlockId> blocks, std::span<const BlockDemand> demands,
+    std::uint32_t delta) {
   PlanDecision decision;
   if (!config_->CostModelEnabled()) {
     {
@@ -182,7 +257,6 @@ PlanDecision ControlPlane::SelectAccessPlan(
     return decision;
   }
 
-  const std::uint32_t delta = config_->EffectiveDelta();
   // The request key's owning shard: shard of the minimum block id, which
   // is also where background solves for this key Insert their plan.
   const std::size_t owner_idx =
@@ -215,7 +289,7 @@ PlanDecision ControlPlane::SelectAccessPlan(
     decision.plan = GreedyPlan(demands, PlanningCostParamsLocked(), *rng_);
   }
   decision.source = PlanSource::kGreedy;
-  ScheduleBackgroundIlp(blocks);
+  ScheduleBackgroundIlp(blocks, delta);
   if (plan_observer_) plan_observer_(blocks, decision);
   return decision;
 }
@@ -228,7 +302,8 @@ bool ControlPlane::ValidatePlan(const AccessPlan& plan) const {
   return !plan.reads.empty();
 }
 
-void ControlPlane::ScheduleBackgroundIlp(std::span<const BlockId> blocks) {
+void ControlPlane::ScheduleBackgroundIlp(std::span<const BlockId> blocks,
+                                         std::uint32_t delta) {
   // Each shard runs one background ILP worker solving queued sets off the
   // request path and installing solutions for future requests (Section
   // V-B1). The queue is deduplicated and bounded: under a miss storm
@@ -255,7 +330,7 @@ void ControlPlane::ScheduleBackgroundIlp(std::span<const BlockId> blocks) {
   }
   if (sh.ilp_queue.size() >= kMaxQueue) return;
   sh.ilp_pending.insert(key);
-  sh.ilp_queue.push_back(std::move(key));
+  sh.ilp_queue.push_back(Shard::IlpJob{std::move(key), delta});
   if (!sh.ilp_worker_busy) {
     sh.ilp_worker_busy = true;
     PumpIlpWorkerLocked(idx);
@@ -268,17 +343,18 @@ void ControlPlane::PumpIlpWorkerLocked(std::size_t shard_idx) {
     sh.ilp_worker_busy = false;
     return;
   }
-  std::vector<BlockId> blocks = std::move(sh.ilp_queue.front());
+  Shard::IlpJob job = std::move(sh.ilp_queue.front());
   sh.ilp_queue.pop_front();
   // The executor seam is invoked with the shard lock held; executors
   // queue the unit rather than running it inline (class contract).
-  defer_solve_([this, shard_idx, blocks = std::move(blocks)]() mutable {
-    RunDeferredSolve(shard_idx, std::move(blocks));
+  defer_solve_([this, shard_idx, job = std::move(job)]() mutable {
+    RunDeferredSolve(shard_idx, std::move(job.blocks), job.delta);
   });
 }
 
 void ControlPlane::RunDeferredSolve(std::size_t shard_idx,
-                                    std::vector<BlockId> blocks) {
+                                    std::vector<BlockId> blocks,
+                                    std::uint32_t delta) {
   Shard& sh = *shards_[shard_idx];
   {
     std::lock_guard<std::mutex> lk(sh.mu);
@@ -288,7 +364,7 @@ void ControlPlane::RunDeferredSolve(std::size_t shard_idx,
   // cluster state through its own stripe locks and IlpPlan is pure CPU.
   std::optional<AccessPlan> plan;
   try {
-    DemandResult dr = BuildDemands(*state_, blocks, config_->EffectiveDelta());
+    DemandResult dr = BuildDemands(*state_, blocks, delta);
     const bool readable =
         std::find(dr.readable.begin(), dr.readable.end(), false) ==
         dr.readable.end();
@@ -307,7 +383,7 @@ void ControlPlane::RunDeferredSolve(std::size_t shard_idx,
     plan.reset();
   }
   std::lock_guard<std::mutex> lk(sh.mu);
-  if (plan) sh.plan_cache.Insert(blocks, config_->EffectiveDelta(), *plan);
+  if (plan) sh.plan_cache.Insert(blocks, delta, *plan);
   PumpIlpWorkerLocked(shard_idx);
 }
 
@@ -561,6 +637,7 @@ std::optional<MovementPlan> ControlPlane::SelectMovement(
   }();
   CostParams params;
   params.site_overhead_ms = load_snapshot.OverheadVector();
+  ApplyTailTerm(params.site_overhead_ms, load_snapshot);
   params.media_ms_per_byte.assign(config_->num_sites,
                                   MediaMsPerByte(config_->site));
   ShardedCoAccessView view(this);

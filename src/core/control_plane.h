@@ -227,6 +227,15 @@ class ControlPlane {
   /// Ingests one o_j probe round trip.
   void RecordProbe(SiteId site, double rtt_ms, std::size_t msg_bytes);
 
+  /// Ingests one completed fetch's service time into the tail model
+  /// (DESIGN.md §13): per-site latency histograms behind load_mu_.
+  void RecordServiceTime(SiteId site, double service_ms);
+
+  /// Batch form: one exclusive load_mu_ acquisition for a whole drained
+  /// sample buffer (LocalECStore's load refresh drains the data plane's
+  /// per-site buffers here, off the per-fetch hot path).
+  void RecordServiceSamples(SiteId site, std::span<const double> service_ms);
+
   /// Charges stats-service message bytes (Table III) without touching the
   /// load estimates — for probes whose RTT is reported later.
   void ChargeStatsNetwork(std::size_t msg_bytes) {
@@ -254,8 +263,21 @@ class ControlPlane {
   /// on a miss (queuing a deduplicated background ILP refinement), or
   /// the random baseline plan otherwise. Never solves an ILP inline.
   /// Takes only the owning shard's lock (plus rng/load for the fallback).
+  /// `delta` is the late-binding δ the demands were built with — the
+  /// plan-cache key component, and the δ the background refinement will
+  /// re-solve at. Callers pass AdaptiveDelta() (== EffectiveDelta() when
+  /// adaptive late binding is off).
   PlanDecision SelectAccessPlan(std::span<const BlockId> blocks,
-                                std::span<const BlockDemand> demands);
+                                std::span<const BlockDemand> demands,
+                                std::uint32_t delta);
+
+  /// The late-binding δ for the next request (DESIGN.md §13). With
+  /// `adaptive_delta` off this is exactly EffectiveDelta(). On, and for
+  /// an LB technique, it is the smallest d such that
+  /// P[Binomial(k + d, p) > d] <= adaptive_delta_epsilon, where p is the
+  /// tracker's cluster straggler fraction — 0 on a quiet cluster, rising
+  /// toward min(adaptive_delta_max, r) under variance. Draws no RNG.
+  std::uint32_t AdaptiveDelta() const;
 
   /// True when every read in the plan targets an available site that
   /// still holds the chunk.
@@ -427,7 +449,14 @@ class ControlPlane {
     PlanCache plan_cache;
     // Per-shard background ILP worker (Section V-B1); misses queue up
     // (deduplicated, bounded) rather than spawning unbounded solver work.
-    std::deque<std::vector<BlockId>> ilp_queue;
+    // Each job carries the δ its request planned with, so the refinement
+    // solves and caches at the same fan-out (adaptive δ varies per
+    // request; dedup is by block set, newest δ wins).
+    struct IlpJob {
+      std::vector<BlockId> blocks;
+      std::uint32_t delta = 0;
+    };
+    std::deque<IlpJob> ilp_queue;
     std::set<std::vector<BlockId>> ilp_pending;
     // Query sets that missed once: a set is only worth an ILP solve if
     // it recurs (one-off scans can never hit the cache afterwards).
@@ -452,14 +481,22 @@ class ControlPlane {
     const ControlPlane* cp_;
   };
 
-  void ScheduleBackgroundIlp(std::span<const BlockId> blocks);
+  void ScheduleBackgroundIlp(std::span<const BlockId> blocks,
+                             std::uint32_t delta);
   /// Pops and defers the next queued solve. Caller holds shard.mu.
   void PumpIlpWorkerLocked(std::size_t shard_idx);
   /// Body of one deferred solve (runs via the executor seam, no locks
   /// held on entry).
-  void RunDeferredSolve(std::size_t shard_idx, std::vector<BlockId> blocks);
+  void RunDeferredSolve(std::size_t shard_idx, std::vector<BlockId> blocks,
+                        std::uint32_t delta);
   /// PlanningCostParams body; caller holds rng_mu_.
   CostParams PlanningCostParamsLocked();
+  /// Adds the tail term (DESIGN.md §13) to a per-site overhead vector:
+  /// o_j += tail_weight * tail_excess_ms(j). No-op at tail_weight 0 —
+  /// values untouched, no extra work, bit-identical planning. `tracker`
+  /// is either the live tracker (caller holds load_mu_) or a snapshot.
+  void ApplyTailTerm(std::vector<double>& overheads,
+                     const LoadTracker& tracker) const;
 
   const ECStoreConfig* config_;
   ClusterState* state_;

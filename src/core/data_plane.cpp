@@ -7,6 +7,12 @@ namespace ecstore {
 
 namespace {
 
+// Cap on buffered raw service samples per site between drains. At the
+// load-refresh cadence (every 64th MultiGet plus the maintenance tick)
+// this is never reached in practice; it only bounds memory if the drain
+// path stalls.
+constexpr std::size_t kMaxBufferedServiceSamples = 4096;
+
 bool AnyPositive(const std::vector<double>& v) {
   for (double x : v) {
     if (x > 0) return true;
@@ -73,6 +79,14 @@ DataPlane::LatencySample DataPlane::HarvestLatency(SiteId site) {
   return s;
 }
 
+std::vector<double> DataPlane::DrainServiceSamples(SiteId site) {
+  SiteQueue& q = *queues_[site];
+  std::vector<double> out;
+  std::lock_guard<std::mutex> lock(q.sample_mu);
+  out.swap(q.service_samples_ms);
+  return out;
+}
+
 double DataPlane::DrawLatencyMs(SiteId site, Rng& rng) const {
   double ms = params_.base_latency_ms;
   if (site < params_.site_extra_latency_ms.size()) {
@@ -126,6 +140,12 @@ void DataPlane::WorkerLoop(SiteId site, std::uint64_t worker,
     queue->latency_us.fetch_add(static_cast<std::uint64_t>(us),
                                 std::memory_order_relaxed);
     queue->samples.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> slock(queue->sample_mu);
+      if (queue->service_samples_ms.size() < kMaxBufferedServiceSamples) {
+        queue->service_samples_ms.push_back(static_cast<double>(us) / 1000.0);
+      }
+    }
     jobs_run_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -74,6 +74,13 @@ class DataPlane {
   };
   LatencySample HarvestLatency(SiteId site);
 
+  /// Raw per-fetch service times (ms) recorded at `site` since the last
+  /// drain. Feeds the tail model (DESIGN.md §13): unlike HarvestLatency's
+  /// mean, these preserve the distribution so the control plane can build
+  /// per-site latency histograms. The buffer is bounded (newest samples
+  /// are dropped when it is full between drains); draining resets it.
+  std::vector<double> DrainServiceSamples(SiteId site);
+
   std::size_t num_sites() const { return queues_.size(); }
   std::uint64_t jobs_run() const {
     return jobs_run_.load(std::memory_order_relaxed);
@@ -96,6 +103,12 @@ class DataPlane {
     // load-refresh path into o_j probes.
     std::atomic<std::uint64_t> latency_us{0};
     std::atomic<std::uint64_t> samples{0};
+    // Raw per-fetch service times for the tail model, bounded so a stalled
+    // drain path cannot grow memory without limit. Guarded by sample_mu
+    // (not `mu`: workers must not contend with Submit on the job queue
+    // lock just to record a sample).
+    std::mutex sample_mu;
+    std::vector<double> service_samples_ms;
     // Fault-injected extra latency (slow-site degradation).
     std::atomic<double> fault_extra_ms{0.0};
   };

@@ -443,7 +443,10 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
   const std::span<const BlockId> fetch_ids =
       cache_ ? std::span<const BlockId>(miss_ids) : ids;
 
-  DemandResult dr = BuildDemands(state_, fetch_ids, config_.EffectiveDelta());
+  // Per-request late-binding fan-out: static δ, or the adaptive policy's
+  // straggler-probability-derived value (DESIGN.md §13).
+  const std::uint32_t delta = control_plane_.AdaptiveDelta();
+  DemandResult dr = BuildDemands(state_, fetch_ids, delta);
   for (std::size_t i = 0; i < dr.readable.size(); ++i) {
     if (!dr.readable[i]) {
       throw std::runtime_error("LocalECStore::MultiGet: block unreadable");
@@ -452,7 +455,8 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
 
   // R2: one shared plan decision — cached plan, greedy fallback, or the
   // random baseline. Never an inline ILP solve.
-  PlanDecision decision = control_plane_.SelectAccessPlan(fetch_ids, dr.demands);
+  PlanDecision decision =
+      control_plane_.SelectAccessPlan(fetch_ids, dr.demands, delta);
 
   // Catalog snapshot, one stripe-locked copy per demanded block, so the
   // lock-free fetch phase never reads mutable state.
@@ -1078,6 +1082,12 @@ void LocalECStore::RefreshLoadFromCounters() {
     }
     control_plane_.RecordProbe(static_cast<SiteId>(j), rtt_ms,
                                /*msg_bytes=*/0);
+    // Tail model feed (DESIGN.md §13): hand the raw per-fetch service
+    // times to the per-site latency histograms. Distinct from the probe
+    // above, which collapses the window to a mean.
+    const auto samples =
+        data_plane_->DrainServiceSamples(static_cast<SiteId>(j));
+    control_plane_.RecordServiceSamples(static_cast<SiteId>(j), samples);
   }
   control_plane_.ReloadPlansOnDrift();
 }

@@ -175,7 +175,10 @@ void SimECStore::Get(std::vector<BlockId> blocks, GetCallback done) {
 }
 
 void SimECStore::PlanPhase(std::shared_ptr<PendingRequest> req) {
-  DemandResult dr = BuildDemands(state_, req->blocks, config_.EffectiveDelta());
+  // Per-request late-binding fan-out: the static δ, or the adaptive
+  // policy's straggler-probability-derived value (DESIGN.md §13).
+  const std::uint32_t delta = control_plane_.AdaptiveDelta();
+  DemandResult dr = BuildDemands(state_, req->blocks, delta);
   if (std::find(dr.readable.begin(), dr.readable.end(), false) != dr.readable.end()) {
     Complete(req, /*ok=*/false);
     return;
@@ -194,7 +197,7 @@ void SimECStore::PlanPhase(std::shared_ptr<PendingRequest> req) {
   // greedy fallback while the refinement runs on this embodiment's
   // event-queue executor.
   PlanDecision decision =
-      control_plane_.SelectAccessPlan(req->blocks, req->demands);
+      control_plane_.SelectAccessPlan(req->blocks, req->demands, delta);
   req->cache_hit = decision.cache_hit();
   SimTime planning_cost = 0;
   switch (decision.source) {
@@ -271,7 +274,14 @@ void SimECStore::IssueReads(std::shared_ptr<PendingRequest> req,
         RetryAfterFailure(req, generation);
         return;
       }
-      s.SubmitBatchRead(batch.sizes, [this, req, generation, batch](SimTime) {
+      const SimTime submitted = queue_.Now();
+      s.SubmitBatchRead(batch.sizes, [this, req, generation, site, submitted,
+                                      batch](SimTime done_at) {
+        // Feed the tail model: the site's service time for this batch
+        // (queueing + media + NIC), exactly what a storage service would
+        // self-report. Record-only — planning is unaffected until the
+        // tail weight / adaptive δ knobs are turned on.
+        control_plane_.RecordServiceTime(site, ToMillis(done_at - submitted));
         const SimTime back = net_.ResponseDelay(batch.bytes);
         queue_.ScheduleAfter(back, [this, req, generation, batch] {
           if (req->generation != generation) return;  // Superseded plan.

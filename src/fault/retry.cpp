@@ -10,10 +10,13 @@ double RetrySchedule::WaitMs(int round) {
   double wait = params_.backoff_base_ms *
                 std::pow(std::max(params_.backoff_multiplier, 1.0),
                          static_cast<double>(round - 1));
-  wait = std::min(wait, params_.max_backoff_ms);
   if (params_.jitter_frac > 0) {
     wait *= 1.0 + params_.jitter_frac * (2.0 * rng_.NextDouble() - 1.0);
   }
+  // Clamp after jitter: `max_backoff_ms` is a hard cap, and upward jitter
+  // applied to an already-clamped wait would exceed it by up to
+  // jitter_frac.
+  wait = std::min(wait, params_.max_backoff_ms);
   return std::max(wait, 0.0);
 }
 

@@ -12,7 +12,16 @@ LoadTracker::LoadTracker(std::size_t num_sites, LoadTrackerParams params)
       omega_(num_sites, 0.0),
       overhead_ms_(num_sites, params.initial_overhead_ms),
       chunk_counts_(num_sites, 0),
-      probed_(num_sites, false) {
+      probed_(num_sites, false),
+      latency_cur_(num_sites),
+      latency_prev_(num_sites),
+      latency_stat_cur_(num_sites),
+      latency_stat_prev_(num_sites),
+      latency_total_samples_(num_sites, 0),
+      tail_excess_ms_(num_sites, 0.0),
+      latency_mean_ms_(num_sites, 0.0),
+      latency_var_ms2_(num_sites, 0.0),
+      straggler_frac_(num_sites, 0.0) {
   if (num_sites == 0) throw std::invalid_argument("LoadTracker: need sites");
 }
 
@@ -33,6 +42,68 @@ void LoadTracker::RecordProbe(SiteId site, double rtt_ms) {
   }
   overhead_ms_[site] = params_.probe_alpha * rtt_ms +
                        (1.0 - params_.probe_alpha) * overhead_ms_[site];
+}
+
+void LoadTracker::RecordServiceTime(SiteId site, double service_ms) {
+  const double us = std::max(0.0, service_ms) * 1000.0;
+  latency_cur_[site].Record(static_cast<std::int64_t>(std::llround(us)));
+  latency_stat_cur_[site].Add(std::max(0.0, service_ms));
+  const std::uint64_t n = ++latency_total_samples_[site];
+  if (latency_cur_[site].count() >= params_.latency_window) {
+    latency_prev_[site] = std::move(latency_cur_[site]);
+    latency_cur_[site] = Histogram();
+    latency_stat_prev_[site] = latency_stat_cur_[site];
+    latency_stat_cur_[site] = RunningStat();
+    RefreshSummaries(site);
+    return;
+  }
+  if (n == 1 || params_.latency_refresh_every == 0 ||
+      n % params_.latency_refresh_every == 0) {
+    RefreshSummaries(site);
+  }
+}
+
+Histogram LoadTracker::MergedWindow(SiteId site) const {
+  Histogram merged = latency_prev_[site];
+  merged.Merge(latency_cur_[site]);
+  return merged;
+}
+
+void LoadTracker::RefreshSummaries(SiteId site) {
+  const Histogram merged = MergedWindow(site);
+  if (merged.count() == 0) {
+    tail_excess_ms_[site] = 0.0;
+    latency_mean_ms_[site] = 0.0;
+    latency_var_ms2_[site] = 0.0;
+    straggler_frac_[site] = 0.0;
+  } else {
+    const double mean_us = merged.Mean();
+    const double tail_us =
+        static_cast<double>(merged.Quantile(params_.tail_quantile));
+    latency_mean_ms_[site] = mean_us / 1000.0;
+    tail_excess_ms_[site] = std::max(0.0, (tail_us - mean_us) / 1000.0);
+    RunningStat stat = latency_stat_prev_[site];
+    stat.Merge(latency_stat_cur_[site]);
+    latency_var_ms2_[site] = stat.Variance();
+    const double threshold_us = params_.straggler_multiple * mean_us;
+    straggler_frac_[site] = merged.FractionAbove(
+        static_cast<std::int64_t>(std::llround(threshold_us)));
+  }
+  double sum = 0.0;
+  std::size_t observed = 0;
+  for (std::size_t j = 0; j < straggler_frac_.size(); ++j) {
+    if (latency_total_samples_[j] > 0) {
+      sum += straggler_frac_[j];
+      ++observed;
+    }
+  }
+  cluster_straggler_frac_ = observed ? sum / static_cast<double>(observed) : 0.0;
+}
+
+double LoadTracker::LatencyQuantileMs(SiteId site, double q) const {
+  const Histogram merged = MergedWindow(site);
+  if (merged.count() == 0) return 0.0;
+  return static_cast<double>(merged.Quantile(q)) / 1000.0;
 }
 
 double LoadTracker::MeanOmega() const {

@@ -91,4 +91,70 @@ double WikipediaWorkload::MedianImageBytes() const {
   return static_cast<double>(sizes[sizes.size() / 2]);
 }
 
+// ---------------------------------------------------------------------------
+
+FlashCrowdWorkload::FlashCrowdWorkload(Params params)
+    : params_(params), zipf_(params.num_blocks, params.zipf_exponent) {
+  if (params_.hot_blocks == 0) params_.hot_blocks = 1;
+  if (params_.hot_blocks > params_.num_blocks) {
+    params_.hot_blocks = params_.num_blocks;
+  }
+  if (params_.period_requests == 0) params_.period_requests = 1;
+}
+
+std::vector<BlockSpec> FlashCrowdWorkload::Blocks() const {
+  std::vector<BlockSpec> blocks;
+  blocks.reserve(params_.num_blocks);
+  for (std::uint64_t i = 0; i < params_.num_blocks; ++i) {
+    blocks.push_back({i, params_.block_bytes});
+  }
+  return blocks;
+}
+
+bool FlashCrowdWorkload::IsFlashRequest(std::uint64_t n) const {
+  const std::uint64_t pos = n % params_.period_requests;
+  const auto flash_len = static_cast<std::uint64_t>(
+      params_.flash_duty * static_cast<double>(params_.period_requests));
+  return pos < flash_len;
+}
+
+std::uint64_t FlashCrowdWorkload::HotBase(std::uint64_t cycle) const {
+  // Multiplicative scramble keeps successive hot sets far apart in the
+  // keyspace (and therefore on different placement footprints).
+  return (cycle * 0x9E3779B97F4A7C15ULL) %
+         (params_.num_blocks - params_.hot_blocks + 1);
+}
+
+std::vector<BlockId> FlashCrowdWorkload::NextRequest(Rng& rng) {
+  const std::uint64_t n = issued_.fetch_add(1, std::memory_order_relaxed);
+  if (IsFlashRequest(n) && rng.NextDouble() < params_.flash_fraction) {
+    // Flash episode: a short read inside the cycle's hot set. Short scans
+    // maximize per-block arrival concentration, which is what builds the
+    // queue at the hot set's sites.
+    const std::uint64_t base = HotBase(n / params_.period_requests);
+    const std::uint64_t start = base + rng.NextBounded(params_.hot_blocks);
+    const std::uint64_t max_len =
+        std::min<std::uint64_t>(4, base + params_.hot_blocks - start);
+    const std::uint64_t len = 1 + rng.NextBounded(max_len);
+    std::vector<BlockId> request;
+    request.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) request.push_back(start + i);
+    return request;
+  }
+  // Baseline: Zipf-ranked contiguous scan, the YCSB-E measurement shape.
+  const std::uint64_t rank = zipf_.Sample(rng) - 1;
+  const std::uint64_t start =
+      (rank * 0x9E3779B97F4A7C15ULL) % params_.num_blocks;
+  const std::uint32_t len =
+      1 + static_cast<std::uint32_t>(rng.NextBounded(params_.max_scan_length));
+  std::vector<BlockId> request;
+  request.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const std::uint64_t key = start + i;
+    if (key >= params_.num_blocks) break;
+    request.push_back(key);
+  }
+  return request;
+}
+
 }  // namespace ecstore

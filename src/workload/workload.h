@@ -8,8 +8,13 @@
 //    trace [47]: pages requested with Zipf popularity; images-per-page
 //    and image sizes follow power laws with the published medians
 //    (~10 images/page, ~500 KB images).
+//  - FlashCrowdWorkload: a diurnal/flash-crowd pattern (DESIGN.md §13):
+//    a Zipf baseline interleaved with flash episodes during which most
+//    requests pile onto a small rotating hot set, producing the queueing
+//    variance the tail model and adaptive δ are built to absorb.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -107,6 +112,58 @@ class WikipediaWorkload final : public WorkloadGenerator {
   std::vector<std::vector<BlockId>> pages_;
   std::vector<BlockSpec> blocks_;
   ZipfSampler page_zipf_;
+};
+
+/// Diurnal/flash-crowd workload: request traffic alternates between a
+/// quiet Zipf-scan baseline (the YCSB-E shape) and flash episodes where
+/// `flash_fraction` of requests concentrate on a small hot set that
+/// rotates every cycle. Phase is driven by a request counter rather than
+/// wall/sim time so the pattern is identical across embodiments and
+/// request rates; OnMeasurementStart resets the counter so the measured
+/// window always begins at a cycle boundary.
+class FlashCrowdWorkload final : public WorkloadGenerator {
+ public:
+  struct Params {
+    std::uint64_t num_blocks = 10000;
+    std::uint64_t block_bytes = 100 * 1024;
+    /// Baseline scans: uniform length in [1, max_scan_length].
+    std::uint32_t max_scan_length = 19;
+    /// Baseline key popularity (quiet phase and the non-flash residue of
+    /// flash phases).
+    double zipf_exponent = 1.0;
+    /// During a flash episode this fraction of requests targets the hot
+    /// set; the rest keep the baseline distribution.
+    double flash_fraction = 0.9;
+    /// Size of the rotating hot set (contiguous block range).
+    std::uint64_t hot_blocks = 16;
+    /// Requests per full quiet+flash cycle.
+    std::uint64_t period_requests = 4096;
+    /// Fraction of each cycle spent in the flash episode.
+    double flash_duty = 0.5;
+  };
+
+  explicit FlashCrowdWorkload(Params params);
+
+  std::vector<BlockSpec> Blocks() const override;
+  std::vector<BlockId> NextRequest(Rng& rng) override;
+  void OnMeasurementStart() override {
+    issued_.store(0, std::memory_order_relaxed);
+  }
+
+  /// True when request number `n` (0-based within a cycle-aligned phase)
+  /// falls inside a flash episode — exposed so tests can assert the
+  /// schedule without re-deriving it.
+  bool IsFlashRequest(std::uint64_t n) const;
+  /// First block of the hot set active during cycle `cycle`.
+  std::uint64_t HotBase(std::uint64_t cycle) const;
+
+ private:
+  Params params_;
+  ZipfSampler zipf_;
+  /// Requests issued since construction or the last OnMeasurementStart.
+  /// Atomic so threaded drivers may share one generator; in the DES the
+  /// event loop serializes calls anyway.
+  std::atomic<std::uint64_t> issued_{0};
 };
 
 }  // namespace ecstore

@@ -1,0 +1,178 @@
+// Property tests for the log-linear histogram: Quantile and Merge are
+// checked against exact quantiles of the raw (sorted) sample set, within
+// the documented 1/kSubBuckets relative-error bound — including the
+// heavy-tailed and merged-shard inputs the tail model (DESIGN.md §13)
+// feeds it.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace ecstore {
+namespace {
+
+// Matches the private Histogram::kSubBuckets (kSubBucketBits = 7). The
+// header documents the quantile error bound as 1/kSubBuckets.
+constexpr double kRelativeErrorBound = 1.0 / 128.0;
+
+// Exact q-quantile under the histogram's definition: the
+// max(1, ceil(q*n))-th smallest sample.
+std::int64_t ExactQuantile(std::vector<std::int64_t> sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+void ExpectQuantilesWithinBound(const Histogram& h,
+                                std::vector<std::int64_t> samples,
+                                const char* label) {
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const std::int64_t exact = ExactQuantile(samples, q);
+    const std::int64_t got = h.Quantile(q);
+    // Midpoint representation adds at most half a bucket of error; the
+    // +1 absolute slack covers integer midpoint rounding in the narrow
+    // low buckets.
+    const double tol =
+        std::max(1.0, static_cast<double>(exact) * kRelativeErrorBound);
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(exact), tol)
+        << label << " q=" << q;
+  }
+}
+
+TEST(HistogramPropertyTest, UniformSamplesMatchExactQuantiles) {
+  Rng rng(101);
+  Histogram h;
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(2'000'000));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  ExpectQuantilesWithinBound(h, samples, "uniform");
+}
+
+TEST(HistogramPropertyTest, SmallValueSamplesAreExact) {
+  // Values below the sub-bucket count map 1:1 to buckets: quantiles must
+  // equal the exact order statistics, not just approximate them.
+  Rng rng(102);
+  Histogram h;
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(128));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), ExactQuantile(samples, q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramPropertyTest, HeavyTailedSamplesMatchExactQuantiles) {
+  // Bounded Pareto with alpha ~ 1: most mass near the floor, a tail
+  // stretching five orders of magnitude — the service-time shape the
+  // tail model exists for.
+  Rng rng(103);
+  const BoundedParetoSampler pareto(1.05, 100.0, 50'000'000.0);
+  Histogram h;
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::int64_t>(pareto.SampleInt(rng));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  ExpectQuantilesWithinBound(h, samples, "pareto");
+}
+
+TEST(HistogramPropertyTest, LogNormalWithStallsMatchesExactQuantiles) {
+  // The simulator's service-time shape: lognormal body plus rare 20x
+  // stalls (a bimodal tail, the adaptive-delta trigger).
+  Rng rng(104);
+  Histogram h;
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.NextLogNormal(8.0, 0.45);  // ~3 ms in microseconds.
+    if (rng.NextDouble() < 0.02) v *= 20;
+    const auto iv = static_cast<std::int64_t>(v);
+    samples.push_back(iv);
+    h.Record(iv);
+  }
+  ExpectQuantilesWithinBound(h, samples, "lognormal+stalls");
+}
+
+TEST(HistogramPropertyTest, MergedShardsMatchExactQuantiles) {
+  // Shard the sample stream over 8 histograms (as per-site windows do),
+  // merge, and check the merged quantiles against the full sorted set.
+  Rng rng(105);
+  const BoundedParetoSampler pareto(1.2, 50.0, 10'000'000.0);
+  std::vector<Histogram> shards(8);
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 24000; ++i) {
+    const auto v = static_cast<std::int64_t>(pareto.SampleInt(rng));
+    samples.push_back(v);
+    shards[i % shards.size()].Record(v);
+  }
+  Histogram merged;
+  for (const Histogram& s : shards) merged.Merge(s);
+  ASSERT_EQ(merged.count(), samples.size());
+  ExpectQuantilesWithinBound(merged, samples, "merged-shards");
+}
+
+TEST(HistogramPropertyTest, MergeIsExactlyEquivalentToDirectRecording) {
+  // Merging is bucket-wise addition, so a merged histogram must agree
+  // with direct recording bit-for-bit, not just within the error bound.
+  Rng rng(106);
+  Histogram direct;
+  std::vector<Histogram> shards(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(5'000'000));
+    direct.Record(v);
+    shards[i % shards.size()].Record(v);
+  }
+  Histogram merged;
+  for (const Histogram& s : shards) merged.Merge(s);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), direct.Mean());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.Quantile(q), direct.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramPropertyTest, FractionAboveMatchesExactCounts) {
+  Rng rng(107);
+  Histogram h;
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBounded(1'000'000));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  for (std::int64_t threshold : {0LL, 100LL, 5'000LL, 250'000LL, 900'000LL}) {
+    // Bucket resolution can misclassify samples within one bucket of the
+    // threshold; the induced error is bounded by the relative bucket
+    // width around the threshold.
+    std::size_t lo = 0, hi = 0;
+    const double band = std::max(
+        1.0, static_cast<double>(threshold) * 2 * kRelativeErrorBound);
+    for (std::int64_t v : samples) {
+      if (static_cast<double>(v) > threshold + band) ++lo;
+      if (static_cast<double>(v) > threshold - band) ++hi;
+    }
+    const double got = h.FractionAbove(threshold);
+    const auto n = static_cast<double>(samples.size());
+    EXPECT_GE(got, static_cast<double>(lo) / n - 1e-12) << "t=" << threshold;
+    EXPECT_LE(got, static_cast<double>(hi) / n + 1e-12) << "t=" << threshold;
+  }
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -1,0 +1,186 @@
+// ControlPlane tail model (DESIGN.md §13): the adaptive late-binding
+// delta policy, the variance-aware cost term, the service-sample ingest
+// paths, and the delta-keyed plan cache.
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/state.h"
+#include "core/control_plane.h"
+#include "placement/cost_model.h"
+
+namespace ecstore {
+namespace {
+
+struct PlaneFixture {
+  explicit PlaneFixture(Technique technique, std::size_t sites = 8)
+      : config(ECStoreConfig::ForTechnique(technique)), state(sites), rng(42) {
+    config.num_sites = sites;
+  }
+
+  // Builds the plane after the test has adjusted `config`.
+  ControlPlane& plane() {
+    if (!plane_) {
+      plane_ = std::make_unique<ControlPlane>(
+          &config, &state, &rng,
+          [this](ControlPlane::Deferred w) { deferred.push_back(std::move(w)); });
+    }
+    return *plane_;
+  }
+
+  void DrainDeferred() {
+    while (!deferred.empty()) {
+      auto work = std::move(deferred.front());
+      deferred.pop_front();
+      work();
+    }
+  }
+
+  // 2% of fetches stall 20x — the flash-crowd acceptance regime.
+  void FeedStalls(SiteId site, int n = 1000) {
+    for (int i = 0; i < n; ++i) {
+      plane().RecordServiceTime(site, i % 50 == 0 ? 100.0 : 5.0);
+    }
+  }
+
+  ECStoreConfig config;
+  ClusterState state;
+  Rng rng;
+  std::deque<ControlPlane::Deferred> deferred;
+  std::unique_ptr<ControlPlane> plane_;
+};
+
+TEST(AdaptiveDeltaTest, OffReturnsStaticEffectiveDelta) {
+  PlaneFixture f(Technique::kEcCMLb);
+  ASSERT_FALSE(f.config.adaptive_delta);
+  f.FeedStalls(0);  // Even a noisy cluster must not move the static delta.
+  EXPECT_EQ(f.plane().AdaptiveDelta(), f.config.EffectiveDelta());
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 1u);
+}
+
+TEST(AdaptiveDeltaTest, NonLateBindingTechniqueIgnoresPolicy) {
+  PlaneFixture f(Technique::kEcCM);
+  f.config.adaptive_delta = true;
+  f.FeedStalls(0);
+  // EC+C+M never late-binds: delta stays 0 regardless of variance.
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 0u);
+}
+
+TEST(AdaptiveDeltaTest, QuietClusterCollapsesToZero) {
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.adaptive_delta = true;
+  // No samples at all: nothing suggests stragglers, full trim.
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 0u);
+  // Constant service times: still zero.
+  for (int i = 0; i < 200; ++i) f.plane().RecordServiceTime(0, 5.0);
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 0u);
+}
+
+TEST(AdaptiveDeltaTest, StragglersWidenFanOut) {
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.adaptive_delta = true;
+  ASSERT_DOUBLE_EQ(f.config.adaptive_delta_epsilon, 1e-3);
+  f.FeedStalls(0);
+  f.FeedStalls(1);
+  // p ~ 0.02: P[Bin(3, p) > 1] ~ 1.18e-3 still exceeds epsilon, so the
+  // policy escalates to the full r = 2.
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 2u);
+}
+
+TEST(AdaptiveDeltaTest, EpsilonTunesTheEscalation) {
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.adaptive_delta = true;
+  f.config.adaptive_delta_epsilon = 2e-3;  // Just above P[Bin(3,.02) > 1].
+  f.FeedStalls(0);
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 1u);
+}
+
+TEST(AdaptiveDeltaTest, CapBoundsTheWidening) {
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.adaptive_delta = true;
+  f.config.adaptive_delta_max = 1;
+  f.FeedStalls(0);
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 1u);
+}
+
+TEST(AdaptiveDeltaTest, DrawsNoRngFromTheSharedStream) {
+  // Planning reproducibility: the policy must be a pure read — a DES run
+  // with adaptive delta on consumes exactly the same RNG stream.
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.adaptive_delta = true;
+  f.FeedStalls(0);
+  Rng probe = f.rng;  // Copy of the shared stream's state.
+  const std::uint64_t before = probe.Next();
+  (void)f.plane().AdaptiveDelta();
+  Rng after_probe = f.rng;
+  EXPECT_EQ(after_probe.Next(), before);
+}
+
+TEST(TailCostTest, ZeroWeightLeavesCostParamsUntouched) {
+  PlaneFixture f(Technique::kEcCMLb);
+  ASSERT_DOUBLE_EQ(f.config.tail_weight, 0.0);
+  const CostParams before = f.plane().CurrentCostParams();
+  f.FeedStalls(0);
+  const CostParams after = f.plane().CurrentCostParams();
+  ASSERT_EQ(before.site_overhead_ms.size(), after.site_overhead_ms.size());
+  for (std::size_t j = 0; j < after.site_overhead_ms.size(); ++j) {
+    EXPECT_DOUBLE_EQ(after.site_overhead_ms[j], before.site_overhead_ms[j]);
+  }
+}
+
+TEST(TailCostTest, TailWeightSurchargesHighVarianceSites) {
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.tail_weight = 2.0;
+  f.FeedStalls(0);  // Site 0 noisy; everyone else quiet.
+  const CostParams params = f.plane().CurrentCostParams();
+  // o_0 = base + weight * tailexcess; the stalls put p99 - mean near
+  // 93 ms, so the surcharge dwarfs the 5 ms idle baseline.
+  EXPECT_GT(params.site_overhead_ms[0], 100.0);
+  // Quiet sites keep the idle-baseline o_j.
+  for (std::size_t j = 1; j < params.site_overhead_ms.size(); ++j) {
+    EXPECT_NEAR(params.site_overhead_ms[j], 5.0, 1e-9);
+  }
+}
+
+TEST(TailCostTest, BatchIngestMatchesSequentialIngest) {
+  PlaneFixture a(Technique::kEcCMLb);
+  PlaneFixture b(Technique::kEcCMLb);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(i % 50 == 0 ? 80.0 : 4.0);
+  for (double s : samples) a.plane().RecordServiceTime(2, s);
+  b.plane().RecordServiceSamples(2, samples);
+  const LoadTracker& ta = a.plane().load_tracker();
+  const LoadTracker& tb = b.plane().load_tracker();
+  EXPECT_EQ(ta.latency_samples(2), tb.latency_samples(2));
+  EXPECT_DOUBLE_EQ(ta.TailExcessMs(2), tb.TailExcessMs(2));
+  EXPECT_DOUBLE_EQ(ta.StragglerFraction(2), tb.StragglerFraction(2));
+  EXPECT_DOUBLE_EQ(ta.ClusterStragglerFraction(), tb.ClusterStragglerFraction());
+}
+
+TEST(TailCostTest, PlanCacheKeysOnDelta) {
+  // Adaptive delta changes per request; a plan solved at delta=1 must
+  // not be served for a delta=2 request (it would fan out too narrow).
+  PlaneFixture f(Technique::kEcC);
+  Rng placement(7);
+  std::vector<BlockId> blocks;
+  for (BlockId b = 0; b < 4; ++b) {
+    f.state.AddBlock(b, 100 * 1024, 50 * 1024, 2, 2,
+                     f.state.PickRandomSites(placement, 4));
+    blocks.push_back(b);
+  }
+  const DemandResult d1 = BuildDemands(f.state, blocks, 1);
+  // Two misses queue the background solve; draining installs the
+  // delta=1 plan in the cache.
+  (void)f.plane().SelectAccessPlan(blocks, d1.demands, 1);
+  (void)f.plane().SelectAccessPlan(blocks, d1.demands, 1);
+  f.DrainDeferred();
+  const PlanDecision hit = f.plane().SelectAccessPlan(blocks, d1.demands, 1);
+  EXPECT_TRUE(hit.cache_hit());
+  const DemandResult d2 = BuildDemands(f.state, blocks, 2);
+  const PlanDecision miss = f.plane().SelectAccessPlan(blocks, d2.demands, 2);
+  EXPECT_FALSE(miss.cache_hit());
+}
+
+}  // namespace
+}  // namespace ecstore

@@ -226,6 +226,48 @@ TEST(RetryScheduleTest, ExponentialBackoffWithJitterAndCap) {
   }
 }
 
+TEST(RetryScheduleTest, JitteredWaitNeverExceedsCap) {
+  // Regression: jitter used to be applied *after* the max_backoff_ms
+  // clamp, so once the exponential curve hit the cap every upward jitter
+  // draw produced a wait above it (by up to jitter_frac). Sweep rounds x
+  // jitter fractions x seeds and assert the cap is a hard ceiling.
+  for (double jitter : {0.0, 0.1, 0.2, 0.5, 0.9}) {
+    RetryParams params;
+    params.max_retries = 12;
+    params.backoff_base_ms = 5;
+    params.backoff_multiplier = 2.0;
+    params.max_backoff_ms = 40;
+    params.jitter_frac = jitter;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+      RetrySchedule sched(params, seed);
+      for (int round = 1; round <= 12; ++round) {
+        const double w = sched.WaitMs(round);
+        EXPECT_LE(w, params.max_backoff_ms)
+            << "jitter=" << jitter << " seed=" << seed << " round=" << round;
+        EXPECT_GE(w, 0.0);
+      }
+    }
+  }
+  // Below the cap the jitter range is preserved: round 1 at base 5 with
+  // jitter 0.5 stays inside [2.5, 7.5] rather than being clamped early.
+  RetryParams params;
+  params.max_retries = 2;
+  params.backoff_base_ms = 5;
+  params.max_backoff_ms = 40;
+  params.jitter_frac = 0.5;
+  double lo = 1e9, hi = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    RetrySchedule sched(params, seed);
+    const double w = sched.WaitMs(1);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GE(lo, 2.5);
+  EXPECT_LE(hi, 7.5);
+  EXPECT_GT(hi, 6.0);  // Upward jitter actually occurs.
+  EXPECT_LT(lo, 4.0);  // Downward jitter actually occurs.
+}
+
 // ---------------------------------------------------------------------------
 // Schedule expansion + injection thread.
 

@@ -1,0 +1,152 @@
+// LoadTracker tail model (DESIGN.md §13): per-site service-time
+// distributions, cached tail/variance/straggler summaries, window
+// rotation, and the cluster-wide straggler fraction the adaptive-delta
+// policy consumes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/load_tracker.h"
+
+namespace ecstore {
+namespace {
+
+LoadTrackerParams FastRefreshParams() {
+  LoadTrackerParams p;
+  p.latency_refresh_every = 1;  // Summaries always current in tests.
+  return p;
+}
+
+TEST(LatencyTailTest, StartsWithNoLatencySignal) {
+  LoadTracker tracker(4);
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(tracker.latency_samples(s), 0u);
+    EXPECT_EQ(tracker.TailExcessMs(s), 0.0);
+    EXPECT_EQ(tracker.LatencyMeanMs(s), 0.0);
+    EXPECT_EQ(tracker.LatencyVarianceMs2(s), 0.0);
+    EXPECT_EQ(tracker.StragglerFraction(s), 0.0);
+  }
+  EXPECT_EQ(tracker.ClusterStragglerFraction(), 0.0);
+  EXPECT_EQ(tracker.TailExcessVector().size(), 4u);
+}
+
+TEST(LatencyTailTest, ConstantServiceTimeHasNoTailExcess) {
+  LoadTracker tracker(2, FastRefreshParams());
+  for (int i = 0; i < 200; ++i) tracker.RecordServiceTime(0, 5.0);
+  EXPECT_EQ(tracker.latency_samples(0), 200u);
+  EXPECT_NEAR(tracker.LatencyMeanMs(0), 5.0, 0.1);
+  // p99 == mean for a constant stream: no excess, no stragglers.
+  EXPECT_NEAR(tracker.TailExcessMs(0), 0.0, 0.1);
+  EXPECT_NEAR(tracker.LatencyVarianceMs2(0), 0.0, 1e-6);
+  EXPECT_EQ(tracker.StragglerFraction(0), 0.0);
+  // Untouched site stays silent.
+  EXPECT_EQ(tracker.latency_samples(1), 0u);
+  EXPECT_EQ(tracker.TailExcessMs(1), 0.0);
+}
+
+TEST(LatencyTailTest, StallsRaiseTailExcessAndStragglerFraction) {
+  LoadTracker tracker(2, FastRefreshParams());
+  // 2% of fetches stall 20x: the mean barely moves but p99 explodes.
+  for (int i = 0; i < 1000; ++i) {
+    tracker.RecordServiceTime(0, i % 50 == 0 ? 100.0 : 5.0);
+  }
+  EXPECT_NEAR(tracker.LatencyMeanMs(0), 6.9, 0.3);
+  EXPECT_GT(tracker.TailExcessMs(0), 50.0);
+  EXPECT_GT(tracker.LatencyVarianceMs2(0), 100.0);
+  // Stalls are ~14x the mean, beyond the 5x straggler multiple.
+  EXPECT_NEAR(tracker.StragglerFraction(0), 0.02, 0.005);
+  // Cluster fraction averages only over sites WITH samples: one noisy
+  // site out of one observed site, not diluted by the silent site.
+  EXPECT_NEAR(tracker.ClusterStragglerFraction(), 0.02, 0.005);
+}
+
+TEST(LatencyTailTest, ClusterFractionAveragesObservedSites) {
+  LoadTracker tracker(4, FastRefreshParams());
+  for (int i = 0; i < 1000; ++i) {
+    tracker.RecordServiceTime(0, i % 50 == 0 ? 100.0 : 5.0);  // 2% stalls.
+    tracker.RecordServiceTime(1, 5.0);                        // Quiet.
+  }
+  const double noisy = tracker.StragglerFraction(0);
+  EXPECT_GT(noisy, 0.0);
+  EXPECT_EQ(tracker.StragglerFraction(1), 0.0);
+  EXPECT_NEAR(tracker.ClusterStragglerFraction(), noisy / 2, 1e-9);
+}
+
+TEST(LatencyTailTest, WindowRotationForgetsOldRegime) {
+  LoadTrackerParams params = FastRefreshParams();
+  params.latency_window = 100;
+  LoadTracker tracker(1, params);
+  // A stormy first window...
+  for (int i = 0; i < 100; ++i) {
+    tracker.RecordServiceTime(0, i % 10 == 0 ? 100.0 : 5.0);
+  }
+  EXPECT_GT(tracker.TailExcessMs(0), 10.0);
+  // ...then calm. After two full rotations the storm has aged out of
+  // both the previous and current windows.
+  for (int i = 0; i < 200; ++i) tracker.RecordServiceTime(0, 5.0);
+  EXPECT_NEAR(tracker.TailExcessMs(0), 0.0, 0.2);
+  EXPECT_EQ(tracker.StragglerFraction(0), 0.0);
+  EXPECT_EQ(tracker.latency_samples(0), 300u);
+}
+
+TEST(LatencyTailTest, MergedWindowSpansRotation) {
+  LoadTrackerParams params = FastRefreshParams();
+  params.latency_window = 100;
+  LoadTracker tracker(1, params);
+  // Exactly one rotation: the estimates must still see the first
+  // window's samples via the previous window (not forget them at the
+  // rotation edge).
+  for (int i = 0; i < 100; ++i) {
+    tracker.RecordServiceTime(0, i % 10 == 0 ? 100.0 : 5.0);
+  }
+  tracker.RecordServiceTime(0, 5.0);  // First sample of the new window.
+  EXPECT_GT(tracker.TailExcessMs(0), 10.0);
+  EXPECT_GT(tracker.StragglerFraction(0), 0.0);
+}
+
+TEST(LatencyTailTest, QuantileQueryTracksDistribution) {
+  LoadTracker tracker(1, FastRefreshParams());
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    tracker.RecordServiceTime(0, 2.0 + 8.0 * rng.NextDouble());  // U[2,10].
+  }
+  EXPECT_NEAR(tracker.LatencyQuantileMs(0, 0.5), 6.0, 0.5);
+  EXPECT_NEAR(tracker.LatencyQuantileMs(0, 0.99), 9.9, 0.5);
+  EXPECT_NEAR(tracker.LatencyVarianceMs2(0), 64.0 / 12.0, 1.0);
+}
+
+TEST(LatencyTailTest, SummariesRefreshOnCadenceNotEverySample) {
+  LoadTrackerParams params;  // Default refresh cadence (32).
+  LoadTracker tracker(1, params);
+  tracker.RecordServiceTime(0, 5.0);  // First sample always refreshes.
+  EXPECT_NEAR(tracker.LatencyMeanMs(0), 5.0, 1e-9);
+  // A burst of slow samples between refresh points is invisible...
+  for (int i = 0; i < 20; ++i) tracker.RecordServiceTime(0, 50.0);
+  EXPECT_NEAR(tracker.LatencyMeanMs(0), 5.0, 1e-9);
+  // ...until the cadence boundary folds it in.
+  for (int i = 0; i < 20; ++i) tracker.RecordServiceTime(0, 50.0);
+  EXPECT_GT(tracker.LatencyMeanMs(0), 20.0);
+}
+
+TEST(LatencyTailTest, NegativeServiceTimeClampsToZero) {
+  LoadTracker tracker(1, FastRefreshParams());
+  tracker.RecordServiceTime(0, -3.0);
+  EXPECT_EQ(tracker.latency_samples(0), 1u);
+  EXPECT_NEAR(tracker.LatencyMeanMs(0), 0.0, 1e-6);
+}
+
+TEST(LatencyTailTest, CopyPreservesTailState) {
+  // SelectMovement snapshots the tracker by value; the copy must carry
+  // the tail summaries with it.
+  LoadTracker tracker(2, FastRefreshParams());
+  for (int i = 0; i < 500; ++i) {
+    tracker.RecordServiceTime(1, i % 25 == 0 ? 80.0 : 4.0);
+  }
+  const LoadTracker copy = tracker;
+  EXPECT_EQ(copy.latency_samples(1), 500u);
+  EXPECT_NEAR(copy.TailExcessMs(1), tracker.TailExcessMs(1), 1e-12);
+  EXPECT_NEAR(copy.ClusterStragglerFraction(),
+              tracker.ClusterStragglerFraction(), 1e-12);
+}
+
+}  // namespace
+}  // namespace ecstore

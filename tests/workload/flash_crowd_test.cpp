@@ -1,0 +1,136 @@
+// FlashCrowdWorkload (DESIGN.md §13): the diurnal/flash-crowd schedule,
+// hot-set concentration and rotation, phase alignment at measurement
+// start, and determinism across generators.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace ecstore {
+namespace {
+
+FlashCrowdWorkload::Params SmallParams() {
+  FlashCrowdWorkload::Params p;
+  p.num_blocks = 1000;
+  p.block_bytes = 64 * 1024;
+  p.hot_blocks = 16;
+  p.period_requests = 100;
+  p.flash_duty = 0.5;
+  return p;
+}
+
+TEST(FlashCrowdTest, BlocksCoverTheKeyspace) {
+  FlashCrowdWorkload w(SmallParams());
+  const auto blocks = w.Blocks();
+  ASSERT_EQ(blocks.size(), 1000u);
+  EXPECT_EQ(blocks.front().id, 0u);
+  EXPECT_EQ(blocks.back().id, 999u);
+  EXPECT_EQ(blocks.front().bytes, 64u * 1024);
+}
+
+TEST(FlashCrowdTest, ScheduleAlternatesFlashAndQuiet) {
+  FlashCrowdWorkload w(SmallParams());
+  // Duty 0.5 over a 100-request period: first half flash, second quiet.
+  for (std::uint64_t n = 0; n < 50; ++n) EXPECT_TRUE(w.IsFlashRequest(n)) << n;
+  for (std::uint64_t n = 50; n < 100; ++n) {
+    EXPECT_FALSE(w.IsFlashRequest(n)) << n;
+  }
+  // The next cycle flashes again.
+  EXPECT_TRUE(w.IsFlashRequest(100));
+}
+
+TEST(FlashCrowdTest, FlashRequestsConcentrateOnTheHotSet) {
+  FlashCrowdWorkload::Params p = SmallParams();
+  p.flash_fraction = 1.0;  // Every flash-phase request hits the hot set.
+  FlashCrowdWorkload w(p);
+  Rng rng(11);
+  const std::uint64_t base = w.HotBase(0);
+  for (int i = 0; i < 50; ++i) {  // Exactly the first cycle's flash phase.
+    const auto req = w.NextRequest(rng);
+    ASSERT_FALSE(req.empty());
+    for (BlockId b : req) {
+      EXPECT_GE(b, base);
+      EXPECT_LT(b, base + p.hot_blocks);
+    }
+  }
+}
+
+TEST(FlashCrowdTest, QuietRequestsSpreadOverTheKeyspace) {
+  FlashCrowdWorkload::Params p = SmallParams();
+  p.flash_duty = 0.0;  // Never flash: pure Zipf-scan baseline.
+  FlashCrowdWorkload w(p);
+  Rng rng(12);
+  std::set<BlockId> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto req = w.NextRequest(rng);
+    ASSERT_FALSE(req.empty());
+    ASSERT_LE(req.size(), p.max_scan_length);
+    for (BlockId b : req) {
+      ASSERT_LT(b, p.num_blocks);
+      seen.insert(b);
+    }
+  }
+  // Scrambled Zipf scans touch far more than one hot set's worth.
+  EXPECT_GT(seen.size(), 10 * p.hot_blocks);
+}
+
+TEST(FlashCrowdTest, HotSetRotatesAcrossCycles) {
+  FlashCrowdWorkload w(SmallParams());
+  std::set<std::uint64_t> bases;
+  for (std::uint64_t cycle = 0; cycle < 8; ++cycle) {
+    const std::uint64_t base = w.HotBase(cycle);
+    EXPECT_LE(base + SmallParams().hot_blocks, SmallParams().num_blocks);
+    bases.insert(base);
+  }
+  // The multiplicative scramble makes collisions across a handful of
+  // cycles effectively impossible.
+  EXPECT_EQ(bases.size(), 8u);
+}
+
+TEST(FlashCrowdTest, MeasurementStartRealignsThePhase) {
+  FlashCrowdWorkload::Params p = SmallParams();
+  p.flash_fraction = 1.0;
+  FlashCrowdWorkload w(p);
+  Rng rng(13);
+  // Burn an odd, mid-quiet-phase number of warm-up requests.
+  for (int i = 0; i < 73; ++i) (void)w.NextRequest(rng);
+  w.OnMeasurementStart();
+  // The measured window restarts at cycle 0's flash phase.
+  const std::uint64_t base = w.HotBase(0);
+  const auto req = w.NextRequest(rng);
+  ASSERT_FALSE(req.empty());
+  for (BlockId b : req) {
+    EXPECT_GE(b, base);
+    EXPECT_LT(b, base + p.hot_blocks);
+  }
+}
+
+TEST(FlashCrowdTest, DeterministicAcrossGenerators) {
+  FlashCrowdWorkload a(SmallParams());
+  FlashCrowdWorkload b(SmallParams());
+  Rng ra(21), rb(21);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.NextRequest(ra), b.NextRequest(rb)) << "request " << i;
+  }
+}
+
+TEST(FlashCrowdTest, DegenerateParamsAreClamped) {
+  FlashCrowdWorkload::Params p = SmallParams();
+  p.hot_blocks = 0;        // Clamped up to 1.
+  p.period_requests = 0;   // Clamped up to 1: always flash-phase pos 0.
+  p.flash_fraction = 1.0;
+  p.flash_duty = 1.0;
+  FlashCrowdWorkload w(p);
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    const auto req = w.NextRequest(rng);
+    ASSERT_EQ(req.size(), 1u);
+    EXPECT_LT(req[0], p.num_blocks);
+  }
+}
+
+}  // namespace
+}  // namespace ecstore
