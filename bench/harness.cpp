@@ -1,5 +1,6 @@
 #include "bench/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -57,6 +58,13 @@ ExperimentParams ExperimentParams::FromFlags(const Flags& flags) {
   p.prefetch = flags.GetBool("prefetch", p.prefetch);
   p.replica_budget_mb = flags.GetDouble("replica-budget", p.replica_budget_mb);
   p.think_ms = flags.GetDouble("think-ms", p.think_ms);
+  p.deadline_ms = flags.GetDouble("deadline-ms", p.deadline_ms);
+  p.admission = flags.GetBool("admission", p.admission);
+  p.breakers = flags.GetBool("breakers", p.breakers);
+  p.brownout = flags.GetBool("brownout", p.brownout);
+  p.admission_max_in_flight = static_cast<std::uint32_t>(
+      flags.GetInt("admission-in-flight", p.admission_max_in_flight));
+  p.breaker_p99_ms = flags.GetDouble("breaker-p99-ms", p.breaker_p99_ms);
   return p;
 }
 
@@ -83,6 +91,10 @@ std::string ExperimentParams::Describe() const {
   }
   if (replica_budget_mb > 0) os << " replica-budget=" << replica_budget_mb << "MB";
   if (think_ms > 0) os << " think=" << think_ms << "ms";
+  if (deadline_ms > 0) os << " deadline=" << deadline_ms << "ms";
+  if (admission) os << " admission";
+  if (breakers) os << " breakers";
+  if (brownout) os << " brownout";
   return os.str();
 }
 
@@ -156,6 +168,12 @@ RunResult RunOnce(Technique technique, const ExperimentParams& params,
   config.cache_prefetch = params.prefetch;
   config.replica_budget_bytes =
       static_cast<std::uint64_t>(params.replica_budget_mb * 1024 * 1024);
+  config.overload.deadline_ms = params.deadline_ms;
+  config.overload.admission = params.admission;
+  config.overload.breakers = params.breakers;
+  config.overload.brownout = params.brownout;
+  config.overload.admission_max_in_flight = params.admission_max_in_flight;
+  config.overload.breaker_p99_ms = params.breaker_p99_ms;
 
   SimECStore store(config);
   auto workload = MakeWorkload(params, seed);
@@ -248,6 +266,14 @@ ControlPlaneUsage SumUsage(const std::vector<RunResult>& runs) {
     sum.blocks_promoted += r.usage.blocks_promoted;
     sum.blocks_demoted += r.usage.blocks_demoted;
     sum.replica_extra_bytes += r.usage.replica_extra_bytes;
+    sum.requests_shed += r.usage.requests_shed;
+    sum.deadline_exceeded += r.usage.deadline_exceeded;
+    sum.breaker_opens += r.usage.breaker_opens;
+    sum.breaker_half_open_probes += r.usage.breaker_half_open_probes;
+    // brownout_level is a gauge: take the max observed across seeds so a
+    // summed row still answers "did the ladder engage?".
+    sum.brownout_level = std::max(sum.brownout_level, r.usage.brownout_level);
+    sum.expired_jobs_cancelled += r.usage.expired_jobs_cancelled;
   }
   return sum;
 }
@@ -278,7 +304,13 @@ std::string UsageJson(
        << ",\"cache_bytes\":" << u.cache_bytes
        << ",\"blocks_promoted\":" << u.blocks_promoted
        << ",\"blocks_demoted\":" << u.blocks_demoted
-       << ",\"replica_extra_bytes\":" << u.replica_extra_bytes << "}";
+       << ",\"replica_extra_bytes\":" << u.replica_extra_bytes
+       << ",\"requests_shed\":" << u.requests_shed
+       << ",\"deadline_exceeded\":" << u.deadline_exceeded
+       << ",\"breaker_opens\":" << u.breaker_opens
+       << ",\"breaker_half_open_probes\":" << u.breaker_half_open_probes
+       << ",\"brownout_level\":" << u.brownout_level
+       << ",\"expired_jobs_cancelled\":" << u.expired_jobs_cancelled << "}";
   }
   os << "]}\n";
   return os.str();

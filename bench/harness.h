@@ -105,6 +105,19 @@ struct ExperimentParams {
   /// cache's latency savings surface as shorter queues (tail) rather
   /// than as extra closed-loop throughput.
   double think_ms = 0;
+  /// Overload control (DESIGN.md §14). All four default off, which keeps
+  /// the OverloadControl subsystem un-constructed and every pre-existing
+  /// bench bit-identical. --deadline-ms sets the end-to-end per-request
+  /// budget (0 = none); --admission enables the token/CoDel gate;
+  /// --breakers the per-site circuit breakers; --brownout the shed
+  /// ladder. --admission-in-flight / --breaker-p99-ms tune the two most
+  /// scenario-dependent thresholds.
+  double deadline_ms = 0;
+  bool admission = false;
+  bool breakers = false;
+  bool brownout = false;
+  std::uint32_t admission_max_in_flight = 64;
+  double breaker_p99_ms = 50;
 
   /// Reads overrides: --sites, --blocks, --block-bytes, --clients,
   /// --warmup, --measure, --zipf, --runs, --seed, --workload, --pages,

@@ -23,6 +23,9 @@
 # hybrid redundancy over the Wikipedia trace at equal storage, reporting
 # p99 per configuration and the improvement over the no-cache baseline:
 #   ./run_benches.sh cache-json [label]     # writes bench_results/cache_<label>.json
+# Overload-control snapshot (DESIGN.md §14): goodput + admitted p99 at
+# ~2x saturation, uncontrolled vs admission+breakers+brownout+deadline:
+#   ./run_benches.sh overload-json [label]  # writes bench_results/overload_<label>.json
 # Extra flags after the label pass through to the bench, e.g.
 #   ./run_benches.sh scale-json big --blocks=1000000 --threads=1,8,16,32
 # The label defaults to the current git short SHA (plus -dirty when the
@@ -142,6 +145,18 @@ cache_json() {
   build/bench/bench_cache_sweep --json="$out" "$@"
 }
 
+overload_json() {
+  local label="${1:-}"
+  if [ -z "$label" ]; then
+    label="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+    if ! git diff --quiet 2>/dev/null; then label="${label}-dirty"; fi
+  fi
+  shift $(( $# > 0 ? 1 : 0 ))
+  mkdir -p bench_results
+  local out="bench_results/overload_${label}.json"
+  build/bench/bench_overload --json="$out" "$@"
+}
+
 failures_repair() {
   local label="${1:-}"
   if [ -z "$label" ]; then
@@ -181,6 +196,10 @@ case "${1:-}" in
     ;;
   cache-json)
     cache_json "${2:-}" "${@:3}"
+    exit $?
+    ;;
+  overload-json)
+    overload_json "${2:-}" "${@:3}"
     exit $?
     ;;
   erasure-json)

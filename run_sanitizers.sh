@@ -10,10 +10,13 @@
 #
 # Both stages include the chaos smoke (chaos_test): a seeded fault
 # schedule that crashes/flaps/corrupts under concurrent MultiGet/Put and
-# asserts zero data loss (DESIGN.md §9). They also run the sharded
-# control-plane stress (shard_stress_test, DESIGN.md §10): MultiGet x Put
-# x FailSite x movement rounds against shards=8 with a live ILP executor
-# pool.
+# asserts zero data loss (DESIGN.md §9), including the overload storm
+# (breaker arc + brownout recovery at ~2x saturation, DESIGN.md §14).
+# They also run the sharded control-plane stress (shard_stress_test,
+# DESIGN.md §10): MultiGet x Put x FailSite x movement rounds against
+# shards=8 with a live ILP executor pool, and the overload-control suite
+# (overload_test): breakers, CoDel admission, brownout ladder, and the
+# shed/deadline integration in both embodiments.
 #
 #   ./run_sanitizers.sh [asan|tsan|all] [ctest -R regex override]
 set -eu
@@ -22,7 +25,7 @@ STAGE="${1:-all}"
 status=0
 
 run_asan() {
-  local regex="${1:-gf_test|erasure_test|codec_family_test|core_test|cache_test|fault_test|chaos_test|shard_stress_test|tail_test}"
+  local regex="${1:-gf_test|erasure_test|codec_family_test|core_test|cache_test|fault_test|chaos_test|shard_stress_test|tail_test|overload_test}"
   local build=build-asan
   cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_SANITIZE=ON
   cmake --build "$build" -j"$(nproc)"
@@ -35,7 +38,7 @@ run_asan() {
 }
 
 run_tsan() {
-  local regex="${1:-concurrency_test|codec_family_test|core_test|cache_test|fault_test|chaos_test|shard_stress_test|tail_test}"
+  local regex="${1:-concurrency_test|codec_family_test|core_test|cache_test|fault_test|chaos_test|shard_stress_test|tail_test|overload_test}"
   local build=build-tsan
   cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DECSTORE_TSAN=ON
   cmake --build "$build" -j"$(nproc)"

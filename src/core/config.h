@@ -9,6 +9,7 @@
 #include "common/codec_spec.h"
 #include "common/types.h"
 #include "fault/retry.h"
+#include "overload/overload.h"
 #include "placement/mover.h"
 #include "sim/network.h"
 #include "sim/site.h"
@@ -236,6 +237,12 @@ struct ECStoreConfig {
   /// A fetch counts as a straggler when its service time exceeds this
   /// multiple of its site's mean (LoadTracker summary input).
   double straggler_multiple = 5.0;
+  /// Service-time samples per LoadTracker rotation window. Estimates read
+  /// the merged previous+current window, so a load regime is fully
+  /// forgotten after two rotations. Smaller windows track regime changes
+  /// faster — circuit breakers (DESIGN.md §14) recover sooner after a
+  /// degraded site heals — at the cost of noisier tail estimates.
+  std::uint64_t latency_window = 1024;
 
   // --- Sharded control plane (DESIGN.md §10). Block metadata statistics,
   // the plan cache, and the deferred-ILP queues are partitioned into this
@@ -252,6 +259,14 @@ struct ECStoreConfig {
   // the per-shard queues on a small worker pool instead, fully off every
   // request path.
   std::size_t ilp_executor_threads = 0;
+
+  // --- Overload control (DESIGN.md §14): end-to-end deadlines, per-site
+  // circuit breakers, CoDel-style admission control, and the brownout
+  // shed ladder. All default-off: with OverloadParams::Enabled() false
+  // neither embodiment constructs an OverloadControl and the request
+  // path (RNG draws, planning, timing) is bit-identical to a build
+  // without the subsystem.
+  OverloadParams overload;
 
   std::uint64_t seed = 1;
 

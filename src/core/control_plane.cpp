@@ -32,6 +32,7 @@ FailureDetectorParams EffectiveDetectorParams(const ECStoreConfig& c) {
 LoadTrackerParams WithTailParams(LoadTrackerParams p, const ECStoreConfig& c) {
   p.tail_quantile = c.tail_quantile;
   p.straggler_multiple = c.straggler_multiple;
+  p.latency_window = std::max<std::uint64_t>(1, c.latency_window);
   return p;
 }
 
@@ -148,6 +149,49 @@ std::uint32_t ControlPlane::AdaptiveDelta() const {
     std::shared_lock lk(load_mu_);
     p = load_tracker_.ClusterStragglerFraction();
   }
+  return DeltaForStragglerFraction(p);
+}
+
+std::uint32_t ControlPlane::AdaptiveDelta(
+    std::span<const BlockId> blocks) const {
+  const std::uint32_t base = config_->EffectiveDelta();
+  if (!config_->adaptive_delta || LateBindingDelta(config_->technique, 1) == 0) {
+    return base;
+  }
+  // The sites this request's plan can possibly touch: the available
+  // chunk-holding sites of the requested blocks. Distinct — a site
+  // serving five of the request's blocks is no more likely to straggle
+  // per read than one serving one.
+  std::vector<SiteId> sites;
+  for (BlockId id : blocks) {
+    BlockInfo info;
+    if (!state_->ReadBlock(id, &info)) continue;
+    for (const ChunkLocation& loc : info.locations) {
+      if (loc.site == kInvalidSite) continue;
+      if (!state_->IsSiteAvailable(loc.site)) continue;
+      if (std::find(sites.begin(), sites.end(), loc.site) == sites.end()) {
+        sites.push_back(loc.site);
+      }
+    }
+  }
+  double p;
+  {
+    std::shared_lock lk(load_mu_);
+    if (sites.empty()) {
+      p = load_tracker_.ClusterStragglerFraction();
+    } else {
+      p = 0.0;
+      for (SiteId s : sites) p += load_tracker_.StragglerFraction(s);
+      p /= static_cast<double>(sites.size());
+    }
+  }
+  return DeltaForStragglerFraction(p);
+}
+
+std::uint32_t ControlPlane::DeltaForStragglerFraction(double p) const {
+  // Brownout level 4 (DESIGN.md §14): the deepest shed rung trades tail
+  // latency for capacity — spare late-binding reads are pure extra load.
+  if (overload_ && overload_->brownout_level() >= 4) return 0;
   const std::uint32_t cap =
       config_->adaptive_delta_max > 0
           ? std::min(config_->adaptive_delta_max, config_->r)
@@ -158,6 +202,16 @@ std::uint32_t ControlPlane::AdaptiveDelta() const {
     if (BinomialTailAbove(config_->k + d, d, p) <= eps) return d;
   }
   return cap;
+}
+
+double ControlPlane::SiteLatencyQuantileMs(SiteId site, double q) const {
+  std::shared_lock lk(load_mu_);
+  return load_tracker_.LatencyQuantileMs(site, q);
+}
+
+std::uint64_t ControlPlane::SiteLatencySamples(SiteId site) const {
+  std::shared_lock lk(load_mu_);
+  return load_tracker_.latency_samples(site);
 }
 
 void ControlPlane::ApplyTailTerm(std::vector<double>& overheads,
@@ -257,6 +311,26 @@ PlanDecision ControlPlane::SelectAccessPlan(
     return decision;
   }
 
+  // Breaker soft-failure path (DESIGN.md §14): while any breaker is not
+  // closed, plan greedily over breaker-filtered demands — no cache
+  // lookup (cached plans predate the trip and would steer right back
+  // into the sick site), no cache insert or background ILP (the episode
+  // is transient; its plans must not outlive it). When the filter drops
+  // nothing — every tripped site is one some demand can't do without —
+  // planning falls through to the normal path unchanged.
+  if (overload_) {
+    std::vector<BlockDemand> filtered;
+    if (FilterDemandsForBreakers(demands, filtered)) {
+      {
+        std::lock_guard<std::mutex> lk(rng_mu_);
+        decision.plan = GreedyPlan(filtered, PlanningCostParamsLocked(), *rng_);
+      }
+      decision.source = PlanSource::kGreedy;
+      if (plan_observer_) plan_observer_(blocks, decision);
+      return decision;
+    }
+  }
+
   // The request key's owning shard: shard of the minimum block id, which
   // is also where background solves for this key Insert their plan.
   const std::size_t owner_idx =
@@ -294,6 +368,38 @@ PlanDecision ControlPlane::SelectAccessPlan(
   return decision;
 }
 
+bool ControlPlane::FilterDemandsForBreakers(
+    std::span<const BlockDemand> demands, std::vector<BlockDemand>& filtered) {
+  CircuitBreakerSet* breakers = overload_ ? overload_->breakers() : nullptr;
+  if (!breakers || !breakers->AnyNotClosed()) return false;
+  // Per-call memo of the avoid decision: one breaker consultation — and
+  // at most one half-open probe grant — per site per request, so a
+  // single multiget can't drain the probe budget and the herd of
+  // requests behind it is bounded to `breaker_half_open_probes` total.
+  std::vector<std::pair<SiteId, bool>> memo;
+  auto avoid = [&](SiteId site) {
+    for (const auto& [s, a] : memo) {
+      if (s == site) return a;
+    }
+    const bool a = breakers->ShouldAvoid(site) || !breakers->AllowProbe(site);
+    memo.emplace_back(site, a);
+    return a;
+  };
+  bool dropped_any = false;
+  filtered.assign(demands.begin(), demands.end());
+  for (BlockDemand& d : filtered) {
+    for (std::size_t i = d.candidates.size(); i-- > 0;) {
+      if (d.candidates.size() <= d.needed) break;
+      if (avoid(d.candidates[i].site)) {
+        d.candidates.erase(d.candidates.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        dropped_any = true;
+      }
+    }
+  }
+  return dropped_any;
+}
+
 bool ControlPlane::ValidatePlan(const AccessPlan& plan) const {
   for (const ChunkRead& read : plan.reads) {
     if (!state_->IsSiteAvailable(read.site)) return false;
@@ -309,6 +415,11 @@ void ControlPlane::ScheduleBackgroundIlp(std::span<const BlockId> blocks,
   // V-B1). The queue is deduplicated and bounded: under a miss storm
   // extra solve requests are dropped — the greedy plan already served
   // the client.
+  // Brownout level 2+ (DESIGN.md §14): background refinement is paused —
+  // solver capacity is shed long before client work is. The greedy plan
+  // already served the request; the recurrence gate will re-queue the
+  // set once the ladder steps back down.
+  if (overload_ && overload_->brownout_level() >= 2) return;
   constexpr std::size_t kMaxQueue = 64;
   constexpr std::size_t kMaxMissedOnce = 100000;
   // Very large multigets (the Wikipedia trace's tail pages) are served by

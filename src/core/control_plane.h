@@ -126,6 +126,17 @@ struct ControlPlaneUsage {
   std::uint64_t blocks_promoted = 0;
   std::uint64_t blocks_demoted = 0;
   std::uint64_t replica_extra_bytes = 0;  // current extra storage (gauge)
+
+  // --- Overload-control counters (DESIGN.md §14). Overlaid by the
+  // embodiments from their OverloadControl; zero when the subsystem is
+  // off. All monotonic except brownout_level, a gauge holding the
+  // current shed-ladder level (0 = normal .. 4 = fully browned out).
+  std::uint64_t requests_shed = 0;            // admission fast-fails
+  std::uint64_t deadline_exceeded = 0;        // requests past their budget
+  std::uint64_t breaker_opens = 0;            // closed->open transitions
+  std::uint64_t breaker_half_open_probes = 0; // probe requests granted
+  std::uint64_t brownout_level = 0;           // current ladder level (gauge)
+  std::uint64_t expired_jobs_cancelled = 0;   // queue jobs expired pre-service
 };
 
 /// How an access plan was produced (the R2 decision of Fig. 3).
@@ -279,6 +290,15 @@ class ControlPlane {
   /// toward min(adaptive_delta_max, r) under variance. Draws no RNG.
   std::uint32_t AdaptiveDelta() const;
 
+  /// Per-request form (DESIGN.md §13 leftover closed in §14's PR): p is
+  /// the mean straggler fraction over the *available candidate sites of
+  /// the requested blocks* — the sites the plan must actually touch —
+  /// instead of the cluster mean, which underreacts when variance is
+  /// concentrated on one planned site. Falls back to the cluster form
+  /// when the blocks resolve to no sites. Draws no RNG. At brownout
+  /// level >= 4 the ladder forces δ = 0 (both forms).
+  std::uint32_t AdaptiveDelta(std::span<const BlockId> blocks) const;
+
   /// True when every read in the plan targets an available site that
   /// still holds the chunk.
   bool ValidatePlan(const AccessPlan& plan) const;
@@ -307,6 +327,22 @@ class ControlPlane {
   void set_invalidation_listener(InvalidationListener listener) {
     invalidation_listener_ = std::move(listener);
   }
+
+  /// Overload-control seam (DESIGN.md §14): when set (by the owning
+  /// embodiment, before traffic starts), planning treats open-breaker
+  /// sites as soft failures (dropping their candidates while
+  /// alternatives remain, letting bounded half-open probes through),
+  /// the brownout ladder pauses background ILP scheduling at level >= 2
+  /// and forces δ = 0 at level >= 4. Null (the default) changes nothing.
+  void set_overload_control(OverloadControl* overload) {
+    overload_ = overload;
+  }
+
+  /// One site's tail-model latency quantile / sample count, read under
+  /// the shared load lock (safe concurrent with live traffic — unlike
+  /// the raw load_tracker() accessor). The breaker evaluation input.
+  double SiteLatencyQuantileMs(SiteId site, double q) const;
+  std::uint64_t SiteLatencySamples(SiteId site) const;
 
   // --- Stats queries for the cache/prefetch/promotion tier (§12) ------
   /// Co-access partners of `b` (λ descending) from its owning shard —
@@ -491,6 +527,18 @@ class ControlPlane {
                         std::uint32_t delta);
   /// PlanningCostParams body; caller holds rng_mu_.
   CostParams PlanningCostParamsLocked();
+  /// Shared tail of both AdaptiveDelta forms: the smallest d with
+  /// P[Binomial(k + d, p) > d] <= epsilon, capped. Handles the off/LB
+  /// gates; `p` is whichever straggler fraction the caller derived.
+  std::uint32_t DeltaForStragglerFraction(double p) const;
+  /// Breaker-aware demand filter (DESIGN.md §14): drops candidates on
+  /// sites whose breaker says avoid — but only while a demand keeps at
+  /// least `needed` candidates, so a plan never becomes infeasible on
+  /// the breaker's account (a tripped site every block needs is still
+  /// read: soft failure, not hard). Returns true when anything was
+  /// dropped; `filtered` then holds the reduced demands.
+  bool FilterDemandsForBreakers(std::span<const BlockDemand> demands,
+                                std::vector<BlockDemand>& filtered);
   /// Adds the tail term (DESIGN.md §13) to a per-site overhead vector:
   /// o_j += tail_weight * tail_excess_ms(j). No-op at tail_weight 0 —
   /// values untouched, no extra work, bit-identical planning. `tracker`
@@ -518,6 +566,8 @@ class ControlPlane {
 
   PlanObserver plan_observer_;
   InvalidationListener invalidation_listener_;
+  /// Borrowed from the owning embodiment (null = subsystem off).
+  OverloadControl* overload_ = nullptr;
 
   // Resource counters (Table III) — monotonic, lock-free.
   std::atomic<std::uint64_t> stats_network_bytes_{0};

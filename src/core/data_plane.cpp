@@ -22,8 +22,10 @@ bool AnyPositive(const std::vector<double>& v) {
 
 }  // namespace
 
-DataPlane::DataPlane(std::size_t num_sites, DataPlaneParams params)
-    : params_(std::move(params)) {
+DataPlane::DataPlane(std::size_t num_sites, DataPlaneParams params,
+                     SojournObserver sojourn_observer)
+    : params_(std::move(params)),
+      sojourn_observer_(std::move(sojourn_observer)) {
   injects_latency_ = params_.base_latency_ms > 0 || params_.jitter_ms > 0 ||
                      AnyPositive(params_.site_extra_latency_ms);
   const std::size_t workers =
@@ -52,11 +54,18 @@ DataPlane::~DataPlane() {
   for (auto& t : workers_) t.join();
 }
 
-void DataPlane::Submit(SiteId site, Job job, CancelToken cancel) {
+void DataPlane::Submit(SiteId site, Job job, CancelToken cancel,
+                       Clock::time_point deadline) {
   SiteQueue& q = *queues_[site];
+  QueuedJob item{std::move(job), std::move(cancel), {}, deadline};
+  // The enqueue stamp feeds the sojourn observer and the deadline check;
+  // neither configured means no clock read on the submit path.
+  if (sojourn_observer_ || deadline != Clock::time_point::max()) {
+    item.enqueued = Clock::now();
+  }
   {
     std::lock_guard<std::mutex> lock(q.mu);
-    q.jobs.push_back({std::move(job), std::move(cancel)});
+    q.jobs.push_back(std::move(item));
   }
   q.cv.notify_one();
 }
@@ -122,9 +131,32 @@ void DataPlane::WorkerLoop(SiteId site, std::uint64_t worker,
     const bool cancelled =
         draining ||
         (item.cancel && item.cancel->load(std::memory_order_acquire));
+    // One clock read covers both overload-control signals; neither
+    // configured (the default) keeps the pickup path clock-free.
+    const bool needs_now =
+        !draining && (sojourn_observer_ != nullptr ||
+                      item.deadline != Clock::time_point::max());
+    Clock::time_point now{};
+    if (needs_now) now = Clock::now();
+    if (sojourn_observer_ && !draining) {
+      // Queue sojourn of every picked-up job — expired ones included:
+      // a job that aged out in the queue is the strongest standing-queue
+      // evidence CoDel can get.
+      sojourn_observer_(
+          std::chrono::duration<double, std::milli>(now - item.enqueued)
+              .count());
+    }
     if (cancelled) {
       jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
       item.fn(true);  // Bookkeeping only: no latency, no chunk read.
+      continue;
+    }
+    if (item.deadline != Clock::time_point::max() && now >= item.deadline) {
+      // Expired in the queue (DESIGN.md §14): the request this read was
+      // for has already missed its deadline — serving it now would only
+      // burn a worker on an answer nobody is waiting for.
+      jobs_expired_.fetch_add(1, std::memory_order_relaxed);
+      item.fn(true);
       continue;
     }
     const auto start = std::chrono::steady_clock::now();

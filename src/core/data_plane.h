@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,18 +43,30 @@ class DataPlane {
   /// it to drop still-queued stragglers cheaply (no latency injection).
   using CancelToken = std::shared_ptr<std::atomic<bool>>;
   /// One unit of site work. Invoked with cancelled=true when the token
-  /// was set before pickup or the plane is shutting down; the job must
-  /// still run its completion bookkeeping in that case.
+  /// was set before pickup, the job's deadline expired in the queue, or
+  /// the plane is shutting down; the job must still run its completion
+  /// bookkeeping in that case.
   using Job = std::function<void(bool cancelled)>;
+  using Clock = std::chrono::steady_clock;
+  /// Observes each served job's queue sojourn (pickup − enqueue, ms) —
+  /// the CoDel admission signal (DESIGN.md §14). Fixed at construction
+  /// so workers read it without synchronization; must be thread-safe.
+  using SojournObserver = std::function<void(double sojourn_ms)>;
 
-  DataPlane(std::size_t num_sites, DataPlaneParams params);
+  DataPlane(std::size_t num_sites, DataPlaneParams params,
+            SojournObserver sojourn_observer = nullptr);
   ~DataPlane();  // Drains every queue (remaining jobs run cancelled) and joins.
 
   DataPlane(const DataPlane&) = delete;
   DataPlane& operator=(const DataPlane&) = delete;
 
-  /// Enqueues `job` on `site`'s FIFO queue.
-  void Submit(SiteId site, Job job, CancelToken cancel = nullptr);
+  /// Enqueues `job` on `site`'s FIFO queue. A job whose `deadline` has
+  /// already passed when a worker picks it up is expired at the queue —
+  /// run with cancelled=true, no latency injection, no chunk read —
+  /// because its requester has, by definition, already given up on it.
+  /// Clock::time_point::max() (the default) means no deadline.
+  void Submit(SiteId site, Job job, CancelToken cancel = nullptr,
+              Clock::time_point deadline = Clock::time_point::max());
 
   /// True when any latency injection is configured — i.e. measured fetch
   /// service times carry real signal for the o_j probe path.
@@ -88,11 +101,19 @@ class DataPlane {
   std::uint64_t jobs_cancelled() const {
     return jobs_cancelled_.load(std::memory_order_relaxed);
   }
+  /// Jobs whose deadline had passed by pickup (counted separately from
+  /// token cancellations — these are the deadline subsystem's
+  /// `expired_jobs_cancelled`).
+  std::uint64_t jobs_expired() const {
+    return jobs_expired_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct QueuedJob {
     Job fn;
     CancelToken cancel;
+    Clock::time_point enqueued;
+    Clock::time_point deadline = Clock::time_point::max();
   };
   struct SiteQueue {
     std::mutex mu;
@@ -118,10 +139,13 @@ class DataPlane {
 
   DataPlaneParams params_;
   bool injects_latency_ = false;
+  /// Immutable after construction (workers read it lock-free).
+  SojournObserver sojourn_observer_;
   std::vector<std::unique_ptr<SiteQueue>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> jobs_run_{0};
   std::atomic<std::uint64_t> jobs_cancelled_{0};
+  std::atomic<std::uint64_t> jobs_expired_{0};
 };
 
 }  // namespace ecstore

@@ -52,6 +52,15 @@ struct FetchContext {
       std::make_shared<std::atomic<bool>>(false);
 };
 
+/// Releases an admission token on scope exit — the exception-safe pair
+/// of AdmissionController::TryAdmit (DESIGN.md §14).
+struct AdmissionRelease {
+  AdmissionController* admission = nullptr;
+  ~AdmissionRelease() {
+    if (admission) admission->Release();
+  }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -116,8 +125,26 @@ LocalECStore::LocalECStore(ECStoreConfig config)
     pp.max_block_bytes = config_.promote_max_block_bytes;
     promoter_ = std::make_unique<ReplicaPromoter>(pp);
   }
-  data_plane_ =
-      std::make_unique<DataPlane>(config_.num_sites, config_.data_plane);
+  // Overload control (DESIGN.md §14): constructed only when some
+  // feature is on; a null pointer everywhere is what guarantees the
+  // default config's request path is byte-identical to a build without
+  // the subsystem.
+  if (config_.overload.Enabled()) {
+    overload_ =
+        std::make_unique<OverloadControl>(config_.num_sites, config_.overload);
+    control_plane_.set_overload_control(overload_.get());
+  }
+  DataPlane::SojournObserver sojourn;
+  if (overload_ && overload_->admission()) {
+    // Per-site queue sojourns feed the CoDel admission signal. The
+    // observer outlives every worker call: data_plane_ is declared after
+    // overload_ and torn down first.
+    sojourn = [this](double sojourn_ms) {
+      overload_->admission()->RecordSojourn(sojourn_ms, NowMs());
+    };
+  }
+  data_plane_ = std::make_unique<DataPlane>(
+      config_.num_sites, config_.data_plane, std::move(sojourn));
 }
 
 LocalECStore::~LocalECStore() {
@@ -161,6 +188,14 @@ void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data) {
 
 void LocalECStore::Put(BlockId id, std::span<const std::uint8_t> data,
                        const CodecSpec& spec) {
+  // Admission gate (DESIGN.md §14): writes compete for the same tokens
+  // as reads. The explicit-sites Put overload stays ungated — it is the
+  // bulk-load/parity seam, not client traffic.
+  AdmissionRelease release;
+  if (overload_ && overload_->gate_enabled()) {
+    if (!overload_->admission()->TryAdmit(NowMs())) throw RequestShedError();
+    release.admission = overload_->admission();
+  }
   std::lock_guard<std::mutex> lock(meta_mu_);
   const std::vector<SiteId> sites = control_plane_.SelectWriteSites(spec);
   if (sites.empty()) {
@@ -182,7 +217,8 @@ std::vector<std::uint8_t> LocalECStore::Get(BlockId id) {
 
 std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
     const AccessPlan& plan, std::span<const BlockDemand> demands,
-    std::vector<BlockMeta>& meta) {
+    std::vector<BlockMeta>& meta,
+    std::chrono::steady_clock::time_point deadline) {
   auto ctx = std::make_shared<FetchContext>();
 
   // Block id -> demand index, sorted once so plan reads resolve with a
@@ -206,8 +242,8 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
   // store's metadata lock. The node read goes through FetchChunk: the
   // error-injected, checksum-verified data path, where a corrupt chunk or
   // a transient I/O error surfaces as a miss.
-  const auto issue = [this, &ctx](std::size_t gi, BlockId block,
-                                  ChunkIndex chunk, SiteId site) {
+  const auto issue = [this, &ctx, deadline](std::size_t gi, BlockId block,
+                                            ChunkIndex chunk, SiteId site) {
     StorageNode* node = nodes_[site].get();
     data_plane_->Submit(
         site,
@@ -245,7 +281,7 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
           --ctx->outstanding;
           ctx->cv.notify_all();
         },
-        ctx->cancel);
+        ctx->cancel, deadline);
   };
 
   {
@@ -277,7 +313,25 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
   // backoff and re-issue everything undelivered, re-rolling transient
   // errors, until the rounds or the request's deadline budget run out.
   const double deadline_ms = config_.data_plane.fetch_deadline_ms;
-  RetrySchedule schedule(config_.data_plane.retry, config_.data_plane.seed);
+  // End-to-end deadline (DESIGN.md §14): cap the retry schedule's
+  // budget to the request's remaining time, so no retry round whose
+  // earliest completion would land past the deadline is ever issued.
+  // Without a deadline the params pass through untouched.
+  RetryParams retry_params = config_.data_plane.retry;
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    // Floor above zero: 0 means "no cap" to RetryParams, and an already
+    // expired budget must refuse every retry round, not allow them all.
+    const double remaining_ms =
+        std::max(std::chrono::duration<double, std::milli>(
+                     deadline - std::chrono::steady_clock::now())
+                     .count(),
+                 1e-6);
+    if (retry_params.request_deadline_ms <= 0 ||
+        remaining_ms < retry_params.request_deadline_ms) {
+      retry_params.request_deadline_ms = remaining_ms;
+    }
+  }
+  RetrySchedule schedule(retry_params, config_.data_plane.seed);
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed_ms = [&t0] {
     return std::chrono::duration<double, std::milli>(
@@ -403,6 +457,45 @@ std::vector<std::vector<IndexedChunk>> LocalECStore::FetchChunks(
 
 std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
     std::span<const BlockId> ids) {
+  // Admission gate (DESIGN.md §14): refuse excess requests before any
+  // planning work is spent on them.
+  AdmissionRelease release;
+  if (overload_ && overload_->gate_enabled()) {
+    if (!overload_->admission()->TryAdmit(NowMs())) {
+      // Brownout L3 (cache-only answers): a refused request can still
+      // be served — free of fan-out — when every block sits validly in
+      // the decoded-block cache.
+      if (overload_->brownout_level() >= 3 && cache_) {
+        std::vector<std::vector<std::uint8_t>> out;
+        out.reserve(ids.size());
+        bool all_cached = true;
+        for (BlockId id : ids) {
+          std::shared_ptr<const std::vector<std::uint8_t>> hit;
+          if (cache_->Lookup(id, state_.BlockVersion(id), &hit) &&
+              hit != nullptr) {
+            out.push_back(*hit);
+          } else {
+            all_cached = false;
+            break;
+          }
+        }
+        if (all_cached) return out;
+      }
+      throw RequestShedError();
+    }
+    release.admission = overload_->admission();
+  }
+  // End-to-end deadline (DESIGN.md §14): the absolute budget flows into
+  // the fetch fan-out (per-site queue expiry) and the retry schedule.
+  const auto deadline =
+      overload_ && overload_->deadline_ms() > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        overload_->deadline_ms()))
+          : std::chrono::steady_clock::time_point::max();
+
   // Planning takes no store-wide lock (DESIGN.md §10): the control plane
   // synchronizes itself per shard and the catalog per stripe. A write
   // racing this path is absorbed downstream — a chunk that moved after
@@ -444,8 +537,9 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
       cache_ ? std::span<const BlockId>(miss_ids) : ids;
 
   // Per-request late-binding fan-out: static δ, or the adaptive policy's
-  // straggler-probability-derived value (DESIGN.md §13).
-  const std::uint32_t delta = control_plane_.AdaptiveDelta();
+  // straggler-probability-derived value over the sites this request's
+  // plan can actually touch (DESIGN.md §13).
+  const std::uint32_t delta = control_plane_.AdaptiveDelta(fetch_ids);
   DemandResult dr = BuildDemands(state_, fetch_ids, delta);
   for (std::size_t i = 0; i < dr.readable.size(); ++i) {
     if (!dr.readable[i]) {
@@ -475,7 +569,16 @@ std::vector<std::vector<std::uint8_t>> LocalECStore::MultiGet(
   // Fetch chunks per block in parallel; a late-binding plan fetches
   // extras and each block completes on its first k arrivals.
   std::vector<std::vector<IndexedChunk>> fetched =
-      FetchChunks(decision.plan, dr.demands, meta);
+      FetchChunks(decision.plan, dr.demands, meta, deadline);
+
+  if (deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline) {
+    // The budget is spent: the caller has given up, so decoding now
+    // would only deliver a late answer. Distinct from data loss — every
+    // chunk fetched above remains durable.
+    overload_->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExceededError();
+  }
 
   // Demand index per requested id (requests are small; the scan is over
   // the deduplicated demand list).
@@ -566,6 +669,17 @@ ControlPlaneUsage LocalECStore::Usage() const {
     u.blocks_promoted = ps.blocks_promoted;
     u.blocks_demoted = ps.blocks_demoted;
     u.replica_extra_bytes = ps.replica_extra_bytes;
+  }
+  if (overload_) {
+    // Jobs the data plane expired at pickup belong to the same
+    // "expired work cancelled at the queue" counter as the sim's.
+    const OverloadCounters oc = overload_->Counters(data_plane_->jobs_expired());
+    u.requests_shed = oc.requests_shed;
+    u.deadline_exceeded = oc.deadline_exceeded;
+    u.breaker_opens = oc.breaker_opens;
+    u.breaker_half_open_probes = oc.breaker_half_open_probes;
+    u.brownout_level = oc.brownout_level;
+    u.expired_jobs_cancelled = oc.expired_jobs_cancelled;
   }
   return u;
 }
@@ -858,6 +972,9 @@ std::optional<std::vector<std::uint8_t>> LocalECStore::ReadBlockBytesLocked(
 
 void LocalECStore::MaybePrefetch(BlockId anchor,
                                  std::span<const BlockId> requested) {
+  // Brownout L1 (DESIGN.md §14): prefetch is the cheapest optional work
+  // and the first to go under pressure.
+  if (overload_ && overload_->brownout_level() >= 1) return;
   const auto partners =
       control_plane_.CoAccessPartnersOf(anchor, config_.prefetch_max_partners);
   for (const CoAccessPartner& p : partners) {
@@ -1002,6 +1119,11 @@ void LocalECStore::RewriteBlockLocked(BlockId id, const BlockInfo& old_info,
 std::optional<MovementPlan> LocalECStore::RunMovementRound() {
   std::lock_guard<std::mutex> lock(meta_mu_);
   RefreshLoadFromCounters();
+  // Brownout L2 (DESIGN.md §14): movement and promotion rounds pause —
+  // background I/O yields its site capacity to admitted client reads.
+  // The refresh above still ran, so stats (and the ladder itself) stay
+  // live while paused.
+  if (overload_ && overload_->brownout_level() >= 2) return std::nullopt;
   // Hybrid-redundancy sweep (DESIGN.md §12) rides the movement round:
   // promote this window's hottest EC blocks to replicas, demote cooled
   // ones, all within the storage budget.
@@ -1088,6 +1210,17 @@ void LocalECStore::RefreshLoadFromCounters() {
     const auto samples =
         data_plane_->DrainServiceSamples(static_cast<SiteId>(j));
     control_plane_.RecordServiceSamples(static_cast<SiteId>(j), samples);
+  }
+  if (overload_) {
+    // Breakers feed on the same histograms the tail model keeps; the
+    // brownout ladder feeds on the admission controller's pressure.
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      const auto site = static_cast<SiteId>(j);
+      overload_->EvaluateSite(site,
+                              control_plane_.SiteLatencyQuantileMs(site, 0.99),
+                              control_plane_.SiteLatencySamples(site), now_ms);
+    }
+    overload_->UpdateBrownout(now_ms);
   }
   control_plane_.ReloadPlansOnDrift();
 }

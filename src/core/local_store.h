@@ -73,6 +73,7 @@
 #include "core/storage_node.h"
 #include "erasure/codec_family.h"
 #include "fault/injector.h"
+#include "overload/overload.h"
 #include "placement/mover.h"
 #include "placement/planner.h"
 #include "stats/co_access.h"
@@ -116,6 +117,12 @@ class LocalECStore {
   /// config.replica_budget_bytes == 0.
   ReplicaPromoter* promoter() { return promoter_.get(); }
   const ReplicaPromoter* promoter() const { return promoter_.get(); }
+
+  /// The overload-control subsystem (DESIGN.md §14); null when
+  /// config.overload.Enabled() is false — in which case no admission
+  /// gate, deadline, breaker, or brownout logic runs anywhere.
+  OverloadControl* overload() { return overload_.get(); }
+  const OverloadControl* overload() const { return overload_.get(); }
 
   /// Blocks until every in-flight prefetch has completed (tests).
   void WaitForPrefetches();
@@ -312,9 +319,16 @@ class LocalECStore {
   /// was rewritten mid-fetch (promotion/demotion changed its codec):
   /// chunks from the old encoding are dropped and the entry is re-read
   /// so the caller decodes with the committed layout's family/version.
+  /// `deadline` (steady-clock absolute; max() = none) is the request's
+  /// end-to-end budget: fetch jobs enqueue with it (expiring at the
+  /// per-site queue once it passes) and the retry schedule's budget is
+  /// capped to the time remaining, so no retry round is issued whose
+  /// earliest completion would land past it.
   std::vector<std::vector<IndexedChunk>> FetchChunks(
       const AccessPlan& plan, std::span<const BlockDemand> demands,
-      std::vector<BlockMeta>& meta);
+      std::vector<BlockMeta>& meta,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
 
   ECStoreConfig config_;
   Rng rng_;
@@ -383,6 +397,12 @@ class LocalECStore {
   // Prefetch fill pool: jobs reference nodes_/state_/cache_, so it is
   // declared after them (destroyed — drained and joined — first).
   std::unique_ptr<WorkerPool> prefetch_pool_;
+
+  // Overload control (DESIGN.md §14): null when every overload feature
+  // is off. Declared before data_plane_: the data plane's sojourn
+  // observer references it, so the plane must be torn down (workers
+  // joined) first.
+  std::unique_ptr<OverloadControl> overload_;
 
   // Declared last: its destructor joins the workers, whose queued jobs
   // reference the nodes above, before anything else is torn down.

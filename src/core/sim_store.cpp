@@ -40,6 +40,12 @@ struct SimECStore::PendingRequest {
   // Bumped on every (re)issue; in-flight chunk events from an older
   // generation are ignored after a failure-triggered re-plan.
   std::uint32_t generation = 0;
+  // Overload control (DESIGN.md §14): absolute deadline in simulated
+  // time (0 = none). A scheduled timeout event completes the request at
+  // the deadline; the guarded phases check `finished` on entry so no
+  // work continues past it.
+  SimTime deadline = 0;
+  bool deadline_hit = false;
 };
 
 SimECStore::SimECStore(ECStoreConfig config)
@@ -92,6 +98,15 @@ SimECStore::SimECStore(ECStoreConfig config)
     pp.max_block_bytes = config_.promote_max_block_bytes;
     promoter_ = std::make_unique<ReplicaPromoter>(pp);
   }
+
+  // Overload control (DESIGN.md §14): constructed only when some
+  // feature is on; the null pointer is what guarantees the default
+  // config's timelines are bit-identical to a build without it.
+  if (config_.overload.Enabled()) {
+    overload_ =
+        std::make_unique<OverloadControl>(config_.num_sites, config_.overload);
+    control_plane_.set_overload_control(overload_.get());
+  }
 }
 
 SimECStore::~SimECStore() = default;
@@ -127,10 +142,77 @@ void SimECStore::Start() {
 }
 
 void SimECStore::Get(std::vector<BlockId> blocks, GetCallback done) {
+  const SimTime start = queue_.Now();
+
+  // Admission gate (DESIGN.md §14): refuse excess requests before any
+  // control-plane work is spent on them.
+  if (overload_ && overload_->gate_enabled() &&
+      !overload_->admission()->TryAdmit(ToMillis(start))) {
+    // Brownout L3 (cache-only answers): a refused request can still be
+    // served — free of fan-out — when every block sits validly in the
+    // decoded-block cache.
+    if (overload_->brownout_level() >= 3 && cache_) {
+      bool all_cached = true;
+      for (BlockId id : blocks) {
+        if (!cache_->Lookup(id, state_.BlockVersion(id), nullptr)) {
+          all_cached = false;
+          break;
+        }
+      }
+      if (all_cached) {
+        const auto cached = static_cast<std::uint32_t>(blocks.size());
+        const SimTime serve =
+            config_.cache_hit_cost * static_cast<SimTime>(cached);
+        queue_.ScheduleAfter(serve,
+                             [this, start, cached, done = std::move(done)] {
+          RequestBreakdown out;
+          out.total = queue_.Now() - start;
+          out.ok = true;
+          out.cached_blocks = cached;
+          ++requests_completed_;
+          done(out);
+        });
+        return;
+      }
+    }
+    // Fast-fail shed: the modeled rejection cost, orders of magnitude
+    // below a served request.
+    queue_.ScheduleAfter(FromMillis(config_.overload.shed_penalty_ms),
+                         [this, start, done = std::move(done)] {
+      RequestBreakdown out;
+      out.total = queue_.Now() - start;
+      out.ok = false;
+      out.shed = true;
+      done(out);
+    });
+    return;
+  }
+
   auto req = std::make_shared<PendingRequest>();
   req->blocks = std::move(blocks);
   req->done = std::move(done);
-  req->start = queue_.Now();
+  req->start = start;
+  if (overload_ && overload_->gate_enabled()) {
+    // Exactly-once token release on whichever completion path fires
+    // (every path funnels through req->done exactly once).
+    req->done = [this, inner = std::move(req->done)](
+                    const RequestBreakdown& b) {
+      overload_->admission()->Release();
+      inner(b);
+    };
+  }
+  if (overload_ && overload_->deadline_ms() > 0) {
+    // End-to-end deadline: a timeout event completes the request at the
+    // budget's edge; the phase entry guards on `finished` stop all
+    // further work for it.
+    req->deadline = start + FromMillis(overload_->deadline_ms());
+    queue_.ScheduleAfter(FromMillis(overload_->deadline_ms()), [this, req] {
+      if (req->finished) return;
+      overload_->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      req->deadline_hit = true;
+      Complete(req, /*ok=*/false);
+    });
+  }
 
   // Statistics service samples the request stream (Section V-A).
   control_plane_.RecordRequest(req->blocks);
@@ -175,9 +257,11 @@ void SimECStore::Get(std::vector<BlockId> blocks, GetCallback done) {
 }
 
 void SimECStore::PlanPhase(std::shared_ptr<PendingRequest> req) {
+  if (req->finished) return;  // Deadline fired while this was in flight.
   // Per-request late-binding fan-out: the static δ, or the adaptive
-  // policy's straggler-probability-derived value (DESIGN.md §13).
-  const std::uint32_t delta = control_plane_.AdaptiveDelta();
+  // policy's straggler-probability-derived value over the sites this
+  // request's plan can actually touch (DESIGN.md §13).
+  const std::uint32_t delta = control_plane_.AdaptiveDelta(req->blocks);
   DemandResult dr = BuildDemands(state_, req->blocks, delta);
   if (std::find(dr.readable.begin(), dr.readable.end(), false) != dr.readable.end()) {
     Complete(req, /*ok=*/false);
@@ -219,6 +303,7 @@ void SimECStore::PlanPhase(std::shared_ptr<PendingRequest> req) {
 
 void SimECStore::IssueReads(std::shared_ptr<PendingRequest> req,
                             const AccessPlan& plan) {
+  if (req->finished) return;  // Deadline fired while this was in flight.
   if (req->retrieval_start == 0) req->retrieval_start = queue_.Now();
   const std::uint32_t generation = ++req->generation;
   const std::size_t n = req->demands.size();
@@ -265,6 +350,7 @@ void SimECStore::IssueReads(std::shared_ptr<PendingRequest> req,
     const SimTime arrival = net_.RequestDelay();
     queue_.ScheduleAfter(arrival, [this, req, generation, site = site,
                                    batch = std::move(batch)] {
+      if (req->finished) return;  // Deadline fired before dispatch.
       sim::SimSite& s = *sites_[site];
       if (!s.available()) {
         // The site failed while the request was in flight: the client
@@ -272,6 +358,24 @@ void SimECStore::IssueReads(std::shared_ptr<PendingRequest> req,
         // (Section VI-C4 "requests are routed to only the available
         // nodes").
         RetryAfterFailure(req, generation);
+        return;
+      }
+      if (overload_ && overload_->admission()) {
+        // CoDel signal (DESIGN.md §14): the site's backlog delay at
+        // submit time is the DES analogue of a queue sojourn.
+        overload_->admission()->RecordSojourn(
+            ToMillis(std::max<SimTime>(s.busy_until() - queue_.Now(), 0)),
+            ToMillis(queue_.Now()));
+      }
+      if (req->deadline > 0 &&
+          std::max(s.busy_until(), queue_.Now()) >= req->deadline) {
+        // Cancelled at the per-site queue (DESIGN.md §14): the site's
+        // standing backlog alone pushes this batch past the request's
+        // deadline — enqueueing it would burn service time on an answer
+        // nobody is waiting for. The deadline timeout event completes
+        // the request.
+        overload_->expired_jobs_cancelled.fetch_add(1,
+                                                    std::memory_order_relaxed);
         return;
       }
       const SimTime submitted = queue_.Now();
@@ -297,6 +401,13 @@ void SimECStore::IssueReads(std::shared_ptr<PendingRequest> req,
 void SimECStore::RetryAfterFailure(const std::shared_ptr<PendingRequest>& req,
                                    std::uint32_t generation) {
   if (req->finished || req->generation != generation) return;
+  if (req->deadline > 0 &&
+      queue_.Now() + config_.metadata_base_latency >= req->deadline) {
+    // The re-plan's earliest completion already misses the deadline: do
+    // not issue it. The timeout event completes the request, so
+    // retried_fetches_ counts only retries actually taken.
+    return;
+  }
   ++req->generation;  // Poison outstanding chunk events immediately.
   ++retried_fetches_;
   queue_.ScheduleAfter(config_.metadata_base_latency, [this, req] {
@@ -317,6 +428,7 @@ void SimECStore::OnChunkArrived(const std::shared_ptr<PendingRequest>& req,
 }
 
 void SimECStore::FinishRetrieval(const std::shared_ptr<PendingRequest>& req) {
+  if (req->finished) return;  // Deadline fired first: already completed.
   req->finished = true;
   req->retrieval = queue_.Now() - req->retrieval_start;
 
@@ -367,11 +479,15 @@ void SimECStore::FinishRetrieval(const std::shared_ptr<PendingRequest>& req) {
 }
 
 void SimECStore::Complete(const std::shared_ptr<PendingRequest>& req, bool ok) {
+  if (req->finished) return;  // Deadline timeout and failure can race.
+  req->finished = true;
+  ++req->generation;  // Poison any in-flight chunk events.
   RequestBreakdown out;
   out.metadata = req->metadata;
   out.total = queue_.Now() - req->start;
   out.ok = ok;
   out.cached_blocks = req->cached_blocks;
+  out.deadline_hit = req->deadline_hit;
   ++requests_completed_;
   req->done(out);
 }
@@ -379,6 +495,9 @@ void SimECStore::Complete(const std::shared_ptr<PendingRequest>& req, bool ok) {
 void SimECStore::SchedulePrefetch(BlockId anchor,
                                   const std::vector<BlockId>& requested) {
   if (!config_.cache_prefetch) return;
+  // Brownout L1 (DESIGN.md §14): prefetch is the cheapest optional work
+  // and the first to go under pressure.
+  if (overload_ && overload_->brownout_level() >= 1) return;
   const std::vector<CoAccessPartner> partners =
       control_plane_.CoAccessPartnersOf(anchor, config_.prefetch_max_partners);
   for (const CoAccessPartner& p : partners) {
@@ -416,6 +535,21 @@ std::vector<SiteId> SimECStore::ChooseWriteSites(std::uint32_t count) {
 
 void SimECStore::Put(BlockId id, std::uint64_t block_bytes, PutCallback done) {
   const SimTime start = queue_.Now();
+  // Admission gate (DESIGN.md §14): writes compete for the same tokens
+  // as reads — under overload a shed Put fast-fails like a shed Get.
+  if (overload_ && overload_->gate_enabled()) {
+    if (!overload_->admission()->TryAdmit(ToMillis(start))) {
+      queue_.ScheduleAfter(FromMillis(config_.overload.shed_penalty_ms),
+                           [this, start, done = std::move(done)] {
+        done(PutResult{queue_.Now() - start, false});
+      });
+      return;
+    }
+    done = [this, inner = std::move(done)](const PutResult& r) {
+      overload_->admission()->Release();
+      inner(r);
+    };
+  }
   // W1: placement decision at the chunk placement service.
   const SimTime control = net_.RoundTrip() + config_.metadata_base_latency;
   queue_.ScheduleAfter(control, [this, id, block_bytes, start,
@@ -588,6 +722,18 @@ void SimECStore::StatsTick() {
     control_plane_.NoteHeartbeat(report.site, ToMillis(queue_.Now()));
   }
   control_plane_.CheckFailures(ToMillis(queue_.Now()));
+  if (overload_) {
+    // Breakers feed on the same histograms the tail model keeps; the
+    // brownout ladder feeds on the admission controller's pressure.
+    const double now_ms = ToMillis(queue_.Now());
+    for (std::size_t j = 0; j < sites_.size(); ++j) {
+      const auto site = static_cast<SiteId>(j);
+      overload_->EvaluateSite(site,
+                              control_plane_.SiteLatencyQuantileMs(site, 0.99),
+                              control_plane_.SiteLatencySamples(site), now_ms);
+    }
+    overload_->UpdateBrownout(now_ms);
+  }
   // Request-rate estimate for the mover's load-shift model.
   const double interval_s =
       static_cast<double>(config_.stats_report_interval) / kSecond;
@@ -624,6 +770,9 @@ SimTime SimECStore::MoverPeriod() const {
 void SimECStore::MoverTick() {
   queue_.ScheduleAfter(MoverPeriod(), [this] { MoverTick(); });
   if (mover_busy_) return;  // Throttle: one in-flight movement at a time.
+  // Brownout L2 (DESIGN.md §14): movement and promotion rounds pause —
+  // background I/O yields its site capacity to admitted client reads.
+  if (overload_ && overload_->brownout_level() >= 2) return;
 
   // The mover's round also drives dynamic hybrid redundancy: hot EC
   // blocks promote to full replicas, cooled ones demote (DESIGN.md §12).

@@ -24,6 +24,7 @@
 #include "core/config.h"
 #include "core/control_plane.h"
 #include "fault/injector.h"
+#include "overload/overload.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/site.h"
@@ -45,6 +46,13 @@ struct RequestBreakdown {
   /// (DESIGN.md §12). A fully cached request skips the metadata trip,
   /// planning, fan-out, and decode entirely.
   std::uint32_t cached_blocks = 0;
+  /// Rejected by admission control (DESIGN.md §14): a cheap, deliberate
+  /// fast-fail, not data loss. `ok` is false; total is the modeled shed
+  /// penalty. Drivers count sheds apart from failures.
+  bool shed = false;
+  /// The request's end-to-end deadline expired before its blocks were
+  /// assembled; `ok` is false and total ≈ the deadline.
+  bool deadline_hit = false;
 };
 
 /// The simulated EC-Store deployment.
@@ -161,12 +169,27 @@ class SimECStore {
   ReplicaPromoter* promoter() { return promoter_.get(); }
   const ReplicaPromoter* promoter() const { return promoter_.get(); }
 
+  /// The overload-control subsystem (DESIGN.md §14); null when
+  /// config.overload.Enabled() is false — in which case no admission
+  /// gate, deadline, breaker, or brownout logic runs anywhere.
+  OverloadControl* overload() { return overload_.get(); }
+  const OverloadControl* overload() const { return overload_.get(); }
+
   /// Control-plane usage plus this embodiment's robustness counters
   /// (failure-triggered replans surface as retried_fetches) and the
   /// cache/hybrid tier's counters.
   ControlPlaneUsage Usage() const {
     ControlPlaneUsage u = control_plane_.Usage();
     u.retried_fetches = retried_fetches_;
+    if (overload_) {
+      const OverloadCounters oc = overload_->Counters();
+      u.requests_shed = oc.requests_shed;
+      u.deadline_exceeded = oc.deadline_exceeded;
+      u.breaker_opens = oc.breaker_opens;
+      u.breaker_half_open_probes = oc.breaker_half_open_probes;
+      u.brownout_level = oc.brownout_level;
+      u.expired_jobs_cancelled = oc.expired_jobs_cancelled;
+    }
     if (cache_) {
       const BlockCacheStats cs = cache_->Stats();
       u.cache_hits = cs.hits;
@@ -240,6 +263,10 @@ class SimECStore {
   // no extra events, no extra RNG draws, bit-identical timelines.
   std::unique_ptr<BlockCache> cache_;
   std::unique_ptr<ReplicaPromoter> promoter_;
+
+  // Overload control (DESIGN.md §14): null when every overload feature
+  // is off — no extra events, no RNG draws, bit-identical timelines.
+  std::unique_ptr<OverloadControl> overload_;
 
   bool started_ = false;
   bool mover_busy_ = false;

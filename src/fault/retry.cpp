@@ -20,4 +20,16 @@ double RetrySchedule::WaitMs(int round) {
   return std::max(wait, 0.0);
 }
 
+double RetrySchedule::MinWaitMs(int round) const {
+  if (round < 1 || params_.backoff_base_ms <= 0) return 0;
+  const double nominal =
+      params_.backoff_base_ms *
+      std::pow(std::max(params_.backoff_multiplier, 1.0),
+               static_cast<double>(round - 1));
+  // Mirror WaitMs: maximum downward jitter, then the hard cap.
+  const double jittered =
+      nominal * (1.0 - std::clamp(params_.jitter_frac, 0.0, 1.0));
+  return std::max(std::min(jittered, params_.max_backoff_ms), 0.0);
+}
+
 }  // namespace ecstore

@@ -43,11 +43,15 @@ class RetrySchedule {
       : params_(params), rng_(SplitMix64(seed ^ 0x5E7B0FFu).Next()) {}
 
   /// True when retry round `round` (1-based) may run, given the time
-  /// already spent on the request.
+  /// already spent on the request. A round whose *earliest possible*
+  /// completion would land past the deadline budget is refused outright:
+  /// the backoff wait alone (MinWaitMs, before any service time) would
+  /// burn the remaining budget, so issuing it could only ever deliver a
+  /// late answer the caller has already given up on.
   bool ShouldRetry(int round, double elapsed_ms) const {
     if (round > params_.max_retries) return false;
     if (params_.request_deadline_ms > 0 &&
-        elapsed_ms >= params_.request_deadline_ms) {
+        elapsed_ms + MinWaitMs(round) >= params_.request_deadline_ms) {
       return false;
     }
     return true;
@@ -55,6 +59,11 @@ class RetrySchedule {
 
   /// Jittered backoff to wait before retry round `round` (1-based).
   double WaitMs(int round);
+
+  /// Deterministic lower bound of WaitMs(round): the nominal backoff
+  /// under maximum downward jitter, against the cap. Draws no RNG, so
+  /// ShouldRetry stays a pure predicate.
+  double MinWaitMs(int round) const;
 
   const RetryParams& params() const { return params_; }
 

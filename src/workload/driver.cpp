@@ -51,7 +51,15 @@ void ClosedLoopDriver::ClientLoop(std::uint32_t client, Rng rng) {
     const bool in_window = issued_at >= measure_start_ && now <= measure_end_;
     if (in_window) {
       ++metrics_.requests;
-      if (!r.ok) {
+      if (r.shed) {
+        // Deliberate admission fast-fail: not a data-path failure, and
+        // excluded from the latency histograms of admitted requests.
+        ++metrics_.sheds;
+        metrics_.shed_latency_sum += static_cast<double>(r.total);
+      } else if (r.deadline_hit) {
+        ++metrics_.deadline_hits;
+        ++metrics_.failures;
+      } else if (!r.ok) {
         ++metrics_.failures;
       } else {
         metrics_.total.Record(r.total);

@@ -24,11 +24,26 @@ struct PhaseMetrics {
   Histogram decode;
   std::uint64_t requests = 0;
   std::uint64_t failures = 0;
+  /// Requests fast-failed by admission control (DESIGN.md §14). Counted
+  /// apart from `failures`: a shed is a deliberate, cheap refusal, not a
+  /// data-path error, and its latency must not pollute the breakdown
+  /// histograms of admitted requests.
+  std::uint64_t sheds = 0;
+  /// Requests whose end-to-end deadline expired (also excluded from the
+  /// latency histograms — their total is the deadline, by construction).
+  std::uint64_t deadline_hits = 0;
+  /// Sum of shed turnaround times (µs) — sheds must fail *fast*, so the
+  /// overload bench asserts mean shed latency ≪ mean service time.
+  double shed_latency_sum = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_lookups = 0;
   RunningStat sites_per_request;
 
   double MeanMs(const Histogram& h) const { return h.Mean() / kMillisecond; }
+  double MeanShedMs() const {
+    return sheds ? shed_latency_sum / static_cast<double>(sheds) / kMillisecond
+                 : 0.0;
+  }
 };
 
 /// One point of the Fig. 4a response-time timeline.

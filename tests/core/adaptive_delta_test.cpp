@@ -104,6 +104,42 @@ TEST(AdaptiveDeltaTest, CapBoundsTheWidening) {
   EXPECT_EQ(f.plane().AdaptiveDelta(), 1u);
 }
 
+TEST(AdaptiveDeltaTest, PerSiteDeltaReactsToPlannedSiteVariance) {
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.adaptive_delta = true;
+  ASSERT_DOUBLE_EQ(f.config.adaptive_delta_epsilon, 1e-3);
+  // Block 0's chunks live on sites 0-3 only.
+  f.state.AddBlock(0, 100 * 1024, 50 * 1024, 2, 2,
+                   std::vector<SiteId>{0, 1, 2, 3});
+  // Variance concentrated on one *planned* site: site 0 stalls on 10% of
+  // its reads while every other site is quiet. The cluster mean dilutes
+  // that fraction 8x (p ~ 1.25%); the plan's candidate sites {0,1,2,3}
+  // dilute it only 4x (p ~ 2.5%).
+  for (int i = 0; i < 1000; ++i) {
+    f.plane().RecordServiceTime(0, i % 10 == 0 ? 100.0 : 5.0);
+  }
+  for (SiteId s = 1; s < 8; ++s) {
+    for (int i = 0; i < 200; ++i) f.plane().RecordServiceTime(s, 5.0);
+  }
+  // Cluster-mean policy: P[Bin(3, .0125) > 1] ~ 4.6e-4 <= eps -> delta 1.
+  EXPECT_EQ(f.plane().AdaptiveDelta(), 1u);
+  // Per-request policy over the planned sites: P[Bin(3, .025) > 1] ~
+  // 1.8e-3 still exceeds eps, so this request escalates to the full r=2.
+  const std::vector<BlockId> blocks = {0};
+  EXPECT_EQ(f.plane().AdaptiveDelta(blocks), 2u);
+}
+
+TEST(AdaptiveDeltaTest, PerRequestFormFallsBackToClusterMean) {
+  // A request over blocks with no resolvable sites (unknown ids) uses
+  // the cluster-mean fraction rather than claiming a quiet plan.
+  PlaneFixture f(Technique::kEcCMLb);
+  f.config.adaptive_delta = true;
+  f.FeedStalls(0);
+  f.FeedStalls(1);
+  const std::vector<BlockId> unknown = {12345};
+  EXPECT_EQ(f.plane().AdaptiveDelta(unknown), f.plane().AdaptiveDelta());
+}
+
 TEST(AdaptiveDeltaTest, DrawsNoRngFromTheSharedStream) {
   // Planning reproducibility: the policy must be a pure read — a DES run
   // with adaptive delta on consumes exactly the same RNG stream.

@@ -202,6 +202,33 @@ TEST(RetryScheduleTest, DeadlineBudgetStopsRetries) {
   EXPECT_FALSE(sched.ShouldRetry(11, 0.0));
 }
 
+TEST(RetryScheduleTest, RetryPastDeadlineEarliestCompletionIsNotIssued) {
+  // Regression (DESIGN.md §14): a retry round whose *earliest possible*
+  // completion — the backoff wait under maximum downward jitter, before
+  // any service time — already lands past the request deadline must be
+  // refused outright, not issued to deliver an answer nobody waits for.
+  RetryParams params;
+  params.max_retries = 4;
+  params.backoff_base_ms = 10;
+  params.jitter_frac = 0.2;
+  params.request_deadline_ms = 100;
+  RetrySchedule sched(params, 1);
+  // MinWaitMs(1) = 10 * (1 - 0.2) = 8: the wait alone needs 8 ms.
+  EXPECT_DOUBLE_EQ(sched.MinWaitMs(1), 8.0);
+  EXPECT_TRUE(sched.ShouldRetry(1, 91.0));    // 91 + 8 < 100: may finish
+  EXPECT_FALSE(sched.ShouldRetry(1, 93.0));   // 93 + 8 > 100: cannot
+  EXPECT_FALSE(sched.ShouldRetry(1, 92.0));   // 92 + 8 = 100: boundary, late
+  // Later rounds back off longer, so they are refused even earlier.
+  EXPECT_DOUBLE_EQ(sched.MinWaitMs(2), 16.0);
+  EXPECT_TRUE(sched.ShouldRetry(2, 83.0));
+  EXPECT_FALSE(sched.ShouldRetry(2, 85.0));
+  // The hard cap bounds MinWaitMs after jitter, like it bounds WaitMs:
+  // round 3's nominal 40 ms jitters down to 32, then clamps to 12.
+  params.max_backoff_ms = 12;
+  RetrySchedule capped(params, 1);
+  EXPECT_DOUBLE_EQ(capped.MinWaitMs(3), 12.0);
+}
+
 TEST(RetryScheduleTest, ExponentialBackoffWithJitterAndCap) {
   RetryParams params;
   params.max_retries = 8;

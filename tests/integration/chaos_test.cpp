@@ -20,6 +20,7 @@
 // deterministically even under heavy sanitizer slowdowns.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -611,6 +612,250 @@ TEST(ChaosTest, MixedCodecFamiliesSurviveCrashErrorsAndCorruption) {
 
   for (BlockId id : all_blocks) {
     EXPECT_EQ(store.Get(id), MakeBlock(kMixedBlockBytes, id)) << "block " << id;
+  }
+}
+
+// Overload storm (DESIGN.md §14): offered load well past the admission
+// cap — 8 closed-loop readers against a 4-token gate — while 2% of
+// fetches straggle 20x, one site degrades to ~100x service time, and
+// another site flaps (crash + heal). The overload subsystem, all four
+// features on, must keep the storm *stable*:
+//   - excess requests are shed fast-fail (RequestShedError), never
+//     counted as data loss;
+//   - the degraded site's breaker trips open, grants half-open probes
+//     after the cool-off, and closes again once the site heals;
+//   - the brownout ladder engages under pressure and steps back to 0
+//     after the storm drains;
+//   - every admitted read, throughout and afterwards, is bit-exact.
+TEST(ChaosTest, OverloadStormShedsBreaksAndRecovers) {
+  constexpr SiteId kSlowVictim = 2;
+
+  ECStoreConfig config = ECStoreConfig::ForTechnique(Technique::kEcCMLb);
+  config.num_sites = 8;
+  config.k = 2;
+  config.r = 2;
+  config.late_binding_delta = 1;
+  config.seed = 7777;
+  config.detector_suspect_after = FromMillis(120);
+  config.detector_dead_after = FromMillis(250);
+  config.repair_wait = FromMillis(150);
+  config.maintenance_tick_ms = 15.0;
+  config.scrub_every_ticks = 4;
+  config.data_plane.workers_per_site = 2;
+  // A real (injected) service time so queues, sojourns, and per-site
+  // latency distributions all carry signal, plus the acceptance storm's
+  // straggler regime: 2% of fetches take 20x.
+  config.data_plane.base_latency_ms = 2.0;
+  config.data_plane.straggler_probability = 0.02;
+  config.data_plane.straggler_factor = 20.0;
+  // Generous fetch deadline: the degraded site serves ~200 ms fetches,
+  // which late binding cancels as stragglers rather than timing out.
+  config.data_plane.fetch_deadline_ms = 400.0;
+  config.data_plane.retry.max_retries = 3;
+  config.data_plane.retry.backoff_base_ms = 2.0;
+  config.data_plane.retry.max_backoff_ms = 20.0;
+  // Small rotation window so the slow site's histogram forgets the bad
+  // regime from probe traffic alone once the site heals — the breaker
+  // can then close within the test's drain phase.
+  config.latency_window = 64;
+  // The subsystem under test, everything on.
+  config.overload.deadline_ms = 5000.0;  // Generous: sanitizer headroom.
+  config.overload.admission = true;
+  config.overload.admission_max_in_flight = 4;
+  config.overload.breakers = true;
+  // Above the 2%/20x straggler p99 (~40 ms) so only the degraded site
+  // trips; well under its ~200 ms service time.
+  config.overload.breaker_p99_ms = 80.0;
+  config.overload.breaker_open_ms = 120.0;
+  config.overload.breaker_half_open_probes = 64;
+  config.overload.breaker_min_samples = 16;
+  config.overload.brownout = true;
+  config.overload.brownout_dwell_ms = 60.0;
+  LocalECStore store(config);
+
+  constexpr BlockId kPreloaded = 120;
+  constexpr std::size_t kBlockBytes = 4096;
+  for (BlockId id = 0; id < kPreloaded; ++id) {
+    store.Put(id, MakeBlock(kBlockBytes, id));
+  }
+
+  // Warm every site's latency histogram past breaker_min_samples with
+  // quiet traffic, so the degraded site trips from its p99 — not from a
+  // cold-start sample count race.
+  for (BlockId id = 0; id < kPreloaded; ++id) {
+    ASSERT_EQ(store.Get(id), MakeBlock(kBlockBytes, id));
+  }
+
+  store.StartMaintenance();
+
+  // The storm schedule: one site degrades to ~101x service (trips its
+  // breaker), another flaps dead and heals, and the degradation lifts
+  // with enough storm left for half-open probes to start flowing.
+  std::vector<TimedAction> schedule;
+  FaultActions actions = store.MakeFaultActions();
+  schedule.push_back({100, [&] { actions.degrade(kSlowVictim, 101.0); }});
+  schedule.push_back({600, [&] { actions.crash(kFlapVictim); }});
+  schedule.push_back({900, [&] { actions.heal(kFlapVictim); }});
+  schedule.push_back({1300, [&] { actions.degrade(kSlowVictim, 1.0); }});
+  InjectionThread injector(std::move(schedule));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads_done{0};
+  std::atomic<std::uint64_t> reads_shed{0};
+  std::atomic<std::uint64_t> deadline_hits{0};
+  std::atomic<std::uint64_t> read_failures{0};
+
+  std::mutex written_mu;
+  std::vector<BlockId> written;
+  std::thread writer([&] {
+    BlockId next = 40'000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      try {
+        store.Put(next, MakeBlock(kBlockBytes, next));
+        std::lock_guard<std::mutex> lock(written_mu);
+        written.push_back(next);
+      } catch (const std::exception&) {
+        // Shed by admission or short of sites mid-outage: skip this id.
+      }
+      ++next;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // 8 closed-loop readers against a 4-token admission gate: offered load
+  // ~2x the admitted concurrency, so sheds are structural, not timing
+  // luck. Sheds and deadline hits are deliberate overload outcomes and
+  // are counted apart from data loss. No gtest assertions off the main
+  // thread — failures funnel into a counter.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t i = static_cast<std::uint64_t>(t) * 977;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const BlockId a = (i * 31 + 7) % kPreloaded;
+        const BlockId b = (i * 17 + 3) % kPreloaded;
+        const std::vector<BlockId> ids = {a, b};
+        try {
+          const auto out = store.MultiGet(ids);
+          if (out[0] != MakeBlock(kBlockBytes, a) ||
+              out[1] != MakeBlock(kBlockBytes, b)) {
+            ++read_failures;  // Wrong bytes reached a client.
+          }
+        } catch (const RequestShedError&) {
+          ++reads_shed;  // Deliberate fast-fail; not data loss.
+        } catch (const DeadlineExceededError&) {
+          ++deadline_hits;  // Budget ran out; not data loss.
+        } catch (const std::exception&) {
+          ++read_failures;  // A block became unreadable.
+        }
+        ++reads_done;
+        ++i;
+      }
+    });
+  }
+
+  injector.Start();
+
+  // Poll the shed ladder while the storm runs: it must engage at some
+  // point during the flood (pressure pins at 1.0 while all four tokens
+  // stay taken).
+  std::uint64_t max_level_during = 0;
+  for (int slice = 0; slice < 21; ++slice) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    max_level_during =
+        std::max(max_level_during, store.Usage().brownout_level);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  writer.join();
+  injector.Stop(/*run_remaining=*/true);
+
+  // Drain phase, single reader: pressure collapses, the ladder steps
+  // back down, and half-open probes feed the healed slow site enough
+  // quiet samples to rotate the bad regime out of its histogram and
+  // close the breaker. Condition-driven with a generous cap so
+  // sanitizer slowdowns don't truncate the recovery arc.
+  const CircuitBreakerSet* breakers = store.overload()->breakers();
+  const auto recovered = [&] {
+    return breakers->StateOf(kSlowVictim) ==
+               CircuitBreakerSet::State::kClosed &&
+           store.Usage().brownout_level == 0;
+  };
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::uint64_t drain_i = 0;
+  while (!recovered() && std::chrono::steady_clock::now() < drain_deadline) {
+    const BlockId a = (drain_i * 31 + 7) % kPreloaded;
+    const BlockId b = (drain_i * 17 + 3) % kPreloaded;
+    const std::vector<BlockId> ids = {a, b};
+    try {
+      const auto out = store.MultiGet(ids);
+      if (out[0] != MakeBlock(kBlockBytes, a) ||
+          out[1] != MakeBlock(kBlockBytes, b)) {
+        ++read_failures;
+      }
+    } catch (const RequestShedError&) {
+      ++reads_shed;
+    } catch (const std::exception&) {
+      ++read_failures;
+    }
+    ++drain_i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  store.StopMaintenance();
+
+  EXPECT_EQ(read_failures.load(), 0u) << "a client saw wrong or lost data";
+  EXPECT_GT(reads_done.load(), 0u);
+  EXPECT_GT(reads_shed.load(), 0u) << "the gate never shed a reader";
+
+  // The full breaker arc: tripped open on the degraded site, granted
+  // half-open probes after the cool-off, and closed again post-heal.
+  const ControlPlaneUsage usage = store.Usage();
+  EXPECT_GE(usage.breaker_opens, 1u) << "the slow site never tripped";
+  EXPECT_GE(usage.breaker_half_open_probes, 1u)
+      << "no probe ever flowed in half-open";
+  EXPECT_EQ(breakers->StateOf(kSlowVictim),
+            CircuitBreakerSet::State::kClosed)
+      << "the breaker never closed after the site healed";
+
+  // The shed ladder: engaged during the flood, fully restored after.
+  EXPECT_GE(max_level_during, 1u) << "brownout never engaged";
+  EXPECT_EQ(usage.brownout_level, 0u) << "brownout never fully recovered";
+  EXPECT_GE(usage.requests_shed, reads_shed.load());
+
+  // Deterministic convergence + final bit-exact sweep, as in every chaos
+  // scenario: overload control must never have traded durability for
+  // stability.
+  std::vector<BlockId> all_blocks;
+  for (BlockId id = 0; id < kPreloaded; ++id) all_blocks.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(written_mu);
+    for (BlockId id : written) all_blocks.push_back(id);
+  }
+  const auto fully_redundant = [&](BlockId id) {
+    const BlockInfo& info = store.state().GetBlock(id);
+    if (info.locations.size() != config.ChunksPerBlock()) return false;
+    for (const ChunkLocation& loc : info.locations) {
+      if (!store.state().IsSiteAvailable(loc.site)) return false;
+      if (!store.node(loc.site).HasValidChunk(id, loc.chunk)) return false;
+    }
+    return true;
+  };
+  bool converged = false;
+  for (int round = 0; round < 64 && !converged; ++round) {
+    store.ScrubOnce();
+    for (SiteId j = 0; j < config.num_sites; ++j) {
+      if (!store.state().IsSiteAvailable(j)) store.RepairSite(j);
+    }
+    converged = true;
+    for (BlockId id : all_blocks) converged = converged && fully_redundant(id);
+  }
+  EXPECT_TRUE(converged) << "cluster never returned to full redundancy";
+
+  for (BlockId id : all_blocks) {
+    EXPECT_EQ(store.Get(id), MakeBlock(kBlockBytes, id)) << "block " << id;
   }
 }
 
